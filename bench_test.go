@@ -1,0 +1,203 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§6), one testing.B benchmark per artifact, plus
+// per-query engine benchmarks and micro-benchmarks of the symbolic
+// engine's hot paths.
+//
+//	go test -bench=. -benchmem
+//
+// Full-size runs (paper-comparable tables printed to stdout) are
+// produced by cmd/symplebench; the benchmarks here run the same code at
+// a reduced scale so the whole suite finishes in minutes.
+package repro
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/mapreduce"
+	"repro/internal/queries"
+	"repro/symple"
+)
+
+var benchScale = bench.Scale{Records: 20000, Segments: 8}
+
+var (
+	dsOnce sync.Once
+	ds     *bench.Datasets
+)
+
+func datasets() *bench.Datasets {
+	dsOnce.Do(func() { ds = bench.GenDatasets(benchScale) })
+	return ds
+}
+
+// runExperiment times one full regeneration of a paper artifact.
+func runExperiment(b *testing.B, f func(*bench.Datasets) (*bench.Table, error)) {
+	b.Helper()
+	d := datasets()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Queries regenerates Table 1 (all 12 queries run
+// sequentially for their group counts).
+func BenchmarkTable1Queries(b *testing.B) { runExperiment(b, bench.Table1) }
+
+// BenchmarkFig4Throughput regenerates Figure 4: multi-core throughput of
+// G1–G4 and R1–R4 under Sequential / SYMPLE / MapReduce × mapper counts.
+func BenchmarkFig4Throughput(b *testing.B) {
+	sc := bench.Scale{Records: 10000, Segments: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig4(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5Latency regenerates Figure 5: EMR end-to-end latency.
+func BenchmarkFig5Latency(b *testing.B) { runExperiment(b, bench.Fig5) }
+
+// BenchmarkFig6Shuffle regenerates Figure 6: EMR shuffle data size.
+func BenchmarkFig6Shuffle(b *testing.B) { runExperiment(b, bench.Fig6) }
+
+// BenchmarkFig7CPU regenerates Figure 7: 380-node cluster CPU usage.
+func BenchmarkFig7CPU(b *testing.B) { runExperiment(b, bench.Fig7) }
+
+// BenchmarkFig8Shuffle regenerates Figure 8: 380-node shuffle size.
+func BenchmarkFig8Shuffle(b *testing.B) { runExperiment(b, bench.Fig8) }
+
+// BenchmarkB1Latency regenerates the §6.4 single-group anecdote.
+func BenchmarkB1Latency(b *testing.B) { runExperiment(b, bench.B1Latency) }
+
+// BenchmarkAblationMerging regenerates the path-merging ablation (§3.5).
+func BenchmarkAblationMerging(b *testing.B) { runExperiment(b, bench.AblationMerging) }
+
+// BenchmarkAblationPathCap regenerates the live-path-cap sweep (§5.2).
+func BenchmarkAblationPathCap(b *testing.B) { runExperiment(b, bench.AblationPathCap) }
+
+// BenchmarkAblationCompose compares sequential vs pre-composed summary
+// application (§3.6).
+func BenchmarkAblationCompose(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationCompose(32, 500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryEngines reports per-query, per-engine throughput
+// (bytes/op is the corpus size, so ns/op maps directly to MB/s).
+func BenchmarkQueryEngines(b *testing.B) {
+	d := datasets()
+	for _, id := range []string{"G1", "B1", "B3", "R1", "R4"} {
+		spec := queries.ByID(id)
+		segs, err := d.For(spec.Dataset, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var bytes int64
+		for _, s := range segs {
+			bytes += s.Bytes()
+		}
+		conf := mapreduce.Config{NumReducers: 2}
+		b.Run(fmt.Sprintf("%s/sequential", id), func(b *testing.B) {
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				if _, err := spec.Sequential(segs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/baseline", id), func(b *testing.B) {
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				if _, err := spec.Baseline(segs, conf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/symple", id), func(b *testing.B) {
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				if _, err := spec.Symple(segs, conf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// maxBenchState is the §3.1 Max UDA used by the engine micro-benchmarks.
+type maxBenchState struct {
+	Max symple.SymInt
+}
+
+func (s *maxBenchState) Fields() []symple.Value { return []symple.Value{&s.Max} }
+
+func newMaxBenchState() *maxBenchState {
+	return &maxBenchState{Max: symple.NewSymInt(math.MinInt64)}
+}
+
+func maxBenchUpdate(ctx *symple.Ctx, s *maxBenchState, e int64) {
+	if s.Max.Lt(ctx, e) {
+		s.Max.Set(e)
+	}
+}
+
+// BenchmarkSymbolicFeed measures the engine's per-record cost on a
+// symbolic execution of Max (two live paths, merging active).
+func BenchmarkSymbolicFeed(b *testing.B) {
+	x := symple.NewExecutor(newMaxBenchState, maxBenchUpdate, symple.DefaultOptions())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := x.Feed(int64(i % 1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcreteFeed measures the same UDA through the concrete fast
+// path — the paper's "as fast as the native type but for the bound
+// check" claim.
+func BenchmarkConcreteFeed(b *testing.B) {
+	x := symple.NewConcreteExecutor(newMaxBenchState, maxBenchUpdate, symple.DefaultOptions())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := x.Feed(int64(i % 1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSummaryRoundTrip measures summary serialization, the shuffle
+// cost unit of Figures 6 and 8.
+func BenchmarkSummaryRoundTrip(b *testing.B) {
+	x := symple.NewExecutor(newMaxBenchState, maxBenchUpdate, symple.DefaultOptions())
+	for i := 0; i < 1000; i++ {
+		if err := x.Feed(int64(i * 7 % 500)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sums, err := x.Finish()
+	if err != nil {
+		b.Fatal(err)
+	}
+	init := newMaxBenchState()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sums[0].Apply(init); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

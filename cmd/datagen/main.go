@@ -1,0 +1,79 @@
+// Command datagen writes one of the synthetic corpora to disk as
+// tab-separated text, one file per input segment — the on-disk layout a
+// distributed file system would present to the mappers.
+//
+// Usage:
+//
+//	datagen -dataset github -records 1000000 -segments 16 -out /tmp/github
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"path/filepath"
+
+	"repro/internal/data"
+	"repro/internal/mapreduce"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+	var (
+		dataset  = flag.String("dataset", "github", "github | bing | twitter | redshift | redshift-condensed")
+		records  = flag.Int("records", 200000, "records to generate")
+		segments = flag.Int("segments", 8, "output files")
+		out      = flag.String("out", "", "output directory (required)")
+		seed     = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+	if *out == "" {
+		log.Fatal("-out directory is required")
+	}
+
+	var segs []*mapreduce.Segment
+	switch *dataset {
+	case "github":
+		segs = data.GenGithub(data.GithubConfig{
+			Records: *records, Repos: maxi(*records/20, 1), Segments: *segments,
+			Filler: 820, Seed: *seed})
+	case "bing":
+		segs = data.GenBing(data.BingConfig{
+			Records: *records, Users: maxi(*records/5, 1), Geos: 50,
+			Segments: *segments, Filler: 100, Seed: *seed,
+			Outages: maxi(*records/15000, 3)})
+	case "twitter":
+		segs = data.GenTwitter(data.TwitterConfig{
+			Records: *records, Hashtags: maxi(*records/10, 1), Users: maxi(*records/4, 1),
+			Segments: *segments, Filler: 300, Seed: *seed})
+	case "redshift":
+		segs = data.GenRedshift(data.RedshiftConfig{
+			Records: *records, Advertisers: 100, Segments: *segments,
+			Filler: 850, Seed: *seed, DarkWindows: 3})
+	case "redshift-condensed":
+		segs = data.GenRedshift(data.RedshiftConfig{
+			Records: *records, Advertisers: 100, Segments: *segments,
+			Seed: *seed, DarkWindows: 3, Condensed: true})
+	default:
+		log.Fatalf("unknown dataset %q", *dataset)
+	}
+
+	if err := mapreduce.WriteSegments(*out, segs); err != nil {
+		log.Fatal(err)
+	}
+	var total int64
+	for _, seg := range segs {
+		total += seg.Bytes()
+		fmt.Printf("wrote %s (%d records)\n",
+			filepath.Join(*out, fmt.Sprintf("part-%05d.tsv", seg.ID)), len(seg.Records))
+	}
+	fmt.Printf("total: %.1f MB across %d segments\n", float64(total)/1e6, len(segs))
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,131 @@
+// Command symple runs one of the paper's 12 evaluation queries on a
+// generated corpus under a chosen engine and reports results and metrics.
+//
+// Usage:
+//
+//	symple -query B1 -engine symple -records 200000 -segments 8
+//	symple -query R3 -engine all -condensed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/mapreduce"
+	"repro/internal/queries"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("symple: ")
+	var (
+		queryID   = flag.String("query", "B1", "query ID (G1-G4, B1-B3, T1, R1-R4)")
+		engine    = flag.String("engine", "all", "engine: sequential | baseline | symple | all")
+		records   = flag.Int("records", 200000, "records in the generated corpus")
+		segments  = flag.Int("segments", 8, "input segments (mapper count)")
+		reducers  = flag.Int("reducers", 4, "reduce tasks")
+		condensed = flag.Bool("condensed", false, "use the condensed RedShift variant (R1c-R4c)")
+		input     = flag.String("input", "", "read segments from this directory (written by datagen) instead of generating")
+	)
+	flag.Parse()
+
+	spec := queries.ByID(strings.ToUpper(*queryID))
+	if spec == nil {
+		var ids []string
+		for _, s := range queries.All() {
+			ids = append(ids, s.ID)
+		}
+		log.Fatalf("unknown query %q; available: %s", *queryID, strings.Join(ids, " "))
+	}
+	fmt.Printf("%s — %s [%s, sym types: %s]\n",
+		spec.ID, spec.Description, spec.Dataset, spec.SymTypesString())
+
+	var segs []*mapreduce.Segment
+	if *input != "" {
+		var err error
+		segs, err = mapreduce.ReadSegments(*input)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		d := bench.GenDatasets(bench.Scale{Records: *records, Segments: *segments})
+		var err error
+		segs, err = d.For(spec.Dataset, *condensed)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	var inputBytes, inputRecords int64
+	for _, s := range segs {
+		inputBytes += s.Bytes()
+		inputRecords += int64(len(s.Records))
+	}
+	fmt.Printf("corpus: %d records, %.1f MB, %d segments\n\n",
+		inputRecords, float64(inputBytes)/1e6, len(segs))
+
+	conf := mapreduce.Config{NumReducers: *reducers}
+	type engineRun struct {
+		name string
+		run  func() (*queries.Run, error)
+	}
+	var engines []engineRun
+	switch *engine {
+	case "sequential":
+		engines = append(engines, engineRun{"sequential", func() (*queries.Run, error) { return spec.Sequential(segs) }})
+	case "baseline":
+		engines = append(engines, engineRun{"baseline", func() (*queries.Run, error) { return spec.Baseline(segs, conf) }})
+	case "symple":
+		engines = append(engines, engineRun{"symple", func() (*queries.Run, error) { return spec.Symple(segs, conf) }})
+	case "all":
+		engines = append(engines,
+			engineRun{"sequential", func() (*queries.Run, error) { return spec.Sequential(segs) }},
+			engineRun{"baseline", func() (*queries.Run, error) { return spec.Baseline(segs, conf) }},
+			engineRun{"symple", func() (*queries.Run, error) { return spec.Symple(segs, conf) }})
+	default:
+		log.Fatalf("unknown engine %q", *engine)
+	}
+
+	var digests []uint64
+	for _, e := range engines {
+		run, err := e.run()
+		if err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+		m := run.Metrics
+		fmt.Printf("[%s]\n", e.name)
+		fmt.Printf("  results: %d groups reported (digest %016x)\n", run.NumResults, run.Digest)
+		fmt.Printf("  wall: %v  (map %v, reduce %v)\n", m.TotalWall.Round(1e6), m.MapWall.Round(1e6), m.ReduceWall.Round(1e6))
+		fmt.Printf("  throughput: %.0f MB/s\n", float64(m.InputBytes)/1e6/m.TotalWall.Seconds())
+		if e.name != "sequential" {
+			fmt.Printf("  shuffle: %d records, %.2f KB\n", m.ShuffleRecords, float64(m.ShuffleBytes)/1024)
+		}
+		if e.name == "symple" {
+			fmt.Printf("  symbolic: %d update runs over %d records (%.2fx), %d merges, %d restarts, %d summaries\n",
+				run.Sym.Runs, run.Sym.Records,
+				float64(run.Sym.Runs)/float64(max(1, run.Sym.Records)),
+				run.Sym.Merges, run.Sym.Restarts, run.Sym.Summaries)
+		}
+		fmt.Println()
+		digests = append(digests, run.Digest)
+	}
+	for _, d := range digests[1:] {
+		if d != digests[0] {
+			fmt.Println("ENGINES DISAGREE — this is a bug")
+			os.Exit(1)
+		}
+	}
+	if len(digests) > 1 {
+		fmt.Println("all engines agree ✓")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,90 @@
+// Command symplebench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	symplebench -experiment all
+//	symplebench -experiment fig5 -records 500000
+//
+// Experiments: table1, fig4, fig5, fig6, fig7, fig8, b1latency,
+// ablation, all. See EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("symplebench: ")
+	var (
+		experiment = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | fig8 | b1latency | ablation | all")
+		records    = flag.Int("records", 200000, "records per generated corpus")
+		segments   = flag.Int("segments", 8, "input segments (measured mapper count)")
+	)
+	flag.Parse()
+
+	sc := bench.Scale{Records: *records, Segments: *segments}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*experiment, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	var d *bench.Datasets
+	datasets := func() *bench.Datasets {
+		if d == nil {
+			fmt.Fprintf(os.Stderr, "generating corpora (%d records each)...\n", sc.Records)
+			d = bench.GenDatasets(sc)
+		}
+		return d
+	}
+
+	type exp struct {
+		name string
+		run  func() (*bench.Table, error)
+	}
+	exps := []exp{
+		{"table1", func() (*bench.Table, error) { return bench.Table1(datasets()) }},
+		{"fig4", func() (*bench.Table, error) { return bench.Fig4(sc) }},
+		{"fig5", func() (*bench.Table, error) { return bench.Fig5(datasets()) }},
+		{"fig6", func() (*bench.Table, error) { return bench.Fig6(datasets()) }},
+		{"fig7", func() (*bench.Table, error) { return bench.Fig7(datasets()) }},
+		{"fig8", func() (*bench.Table, error) { return bench.Fig8(datasets()) }},
+		{"b1latency", func() (*bench.Table, error) { return bench.B1Latency(datasets()) }},
+		{"ablation", func() (*bench.Table, error) { return bench.AblationMerging(datasets()) }},
+	}
+	ran := 0
+	for _, e := range exps {
+		if !all && !want[e.name] {
+			continue
+		}
+		t, err := e.run()
+		if err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+		t.Render(os.Stdout)
+		ran++
+		if e.name == "ablation" {
+			for _, extra := range []func() (*bench.Table, error){
+				func() (*bench.Table, error) { return bench.AblationPathCap(datasets()) },
+				func() (*bench.Table, error) { return bench.AblationCompose(64, 2000) },
+				bench.AblationPredWindow,
+			} {
+				t, err := extra()
+				if err != nil {
+					log.Fatalf("ablation: %v", err)
+				}
+				t.Render(os.Stdout)
+			}
+		}
+	}
+	if ran == 0 {
+		log.Fatalf("unknown experiment %q", *experiment)
+	}
+}

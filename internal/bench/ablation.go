@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/mapreduce"
+	"repro/internal/queries"
+	"repro/internal/sym"
+)
+
+// Ablations of the design choices DESIGN.md calls out: path merging
+// (§3.5), the live-path cap / summary-restart threshold (§5.2), and the
+// summary composition strategy (sequential application vs associative
+// pre-composition, §3.6).
+
+// AblationMerging compares SYMPLE runs with path merging enabled and
+// disabled on merge-sensitive queries.
+func AblationMerging(d *Datasets) (*Table, error) {
+	t := &Table{
+		Title: "Ablation: path merging (paper §3.5)",
+		Header: []string{"Query", "Mode", "Update runs", "Merges",
+			"Restarts", "Summaries", "Shuffle"},
+		Notes: []string{
+			"without merging, same-transfer paths accumulate until the live cap forces restarts,",
+			"producing more summaries, more shuffle bytes, and more reducer composition work",
+		},
+	}
+	for _, id := range []string{"R2", "G3", "T1"} {
+		spec := specByIDMust(id)
+		segs, err := d.For(spec.Dataset, false)
+		if err != nil {
+			return nil, err
+		}
+		conf := mapreduce.Config{NumReducers: 4}
+		on, err := spec.SympleWithOptions(segs, conf, sym.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		offOpts := sym.DefaultOptions()
+		offOpts.DisableMerging = true
+		off, err := spec.SympleWithOptions(segs, conf, offOpts)
+		if err != nil {
+			return nil, err
+		}
+		if on.Digest != off.Digest {
+			return nil, fmt.Errorf("ablation %s: merging changed results", id)
+		}
+		for _, r := range []struct {
+			mode string
+			run  *queries.Run
+		}{
+			{"merge on", on},
+			{"merge off", off},
+		} {
+			t.Rows = append(t.Rows, []string{
+				id, r.mode,
+				fmt.Sprintf("%d", r.run.Sym.Runs),
+				fmt.Sprintf("%d", r.run.Sym.Merges),
+				fmt.Sprintf("%d", r.run.Sym.Restarts),
+				fmt.Sprintf("%d", r.run.Sym.Summaries),
+				fmtBytes(r.run.Metrics.ShuffleBytes),
+			})
+		}
+	}
+	return t, nil
+}
+
+// AblationPathCap sweeps the live-path cap (the restart threshold,
+// paper's default 8) and reports how gracefully symbolic parallelism
+// degrades toward the baseline.
+func AblationPathCap(d *Datasets) (*Table, error) {
+	t := &Table{
+		Title:  "Ablation: live-path cap / restart threshold (paper §5.2, default 8)",
+		Header: []string{"Query", "Cap", "Restarts", "Summaries", "Shuffle", "Reduce CPU"},
+	}
+	for _, id := range []string{"B3", "R4"} {
+		spec := specByIDMust(id)
+		segs, err := d.For(spec.Dataset, false)
+		if err != nil {
+			return nil, err
+		}
+		conf := mapreduce.Config{NumReducers: 4}
+		var refDigest uint64
+		for i, cap := range []int{1, 2, 4, 8, 16} {
+			opts := sym.DefaultOptions()
+			opts.MaxLivePaths = cap
+			run, err := spec.SympleWithOptions(segs, conf, opts)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				refDigest = run.Digest
+			} else if run.Digest != refDigest {
+				return nil, fmt.Errorf("ablation %s: cap %d changed results", id, cap)
+			}
+			t.Rows = append(t.Rows, []string{
+				id, fmt.Sprintf("%d", cap),
+				fmt.Sprintf("%d", run.Sym.Restarts),
+				fmt.Sprintf("%d", run.Sym.Summaries),
+				fmtBytes(run.Metrics.ShuffleBytes),
+				fmt.Sprintf("%.1f ms", run.Metrics.ReduceCPU.Seconds()*1000),
+			})
+		}
+	}
+	return t, nil
+}
+
+// maxChunkState is the Max UDA state for the composition ablation.
+type maxChunkState struct {
+	V sym.SymInt
+}
+
+func (s *maxChunkState) Fields() []sym.Value { return []sym.Value{&s.V} }
+
+// AblationCompose compares the reducer's two ways of consuming an
+// ordered list of summaries (paper §3.6): sequential application
+// S_n(…S_1(c)…) versus associative pre-composition (S_n∘…∘S_1)(c),
+// which a tree reduction could parallelize.
+func AblationCompose(numChunks, chunkLen int) (*Table, error) {
+	newState := func() *maxChunkState {
+		return &maxChunkState{V: sym.NewSymInt(math.MinInt64)}
+	}
+	update := func(ctx *sym.Ctx, s *maxChunkState, e int64) {
+		if s.V.Lt(ctx, e) {
+			s.V.Set(e)
+		}
+	}
+	var sums []*sym.Summary[*maxChunkState]
+	val := int64(0)
+	for c := 0; c < numChunks; c++ {
+		x := sym.NewExecutor(newState, update, sym.DefaultOptions())
+		for i := 0; i < chunkLen; i++ {
+			val = (val*1103515245 + 12345) % 100000
+			if err := x.Feed(val); err != nil {
+				return nil, err
+			}
+		}
+		s, err := x.Finish()
+		if err != nil {
+			return nil, err
+		}
+		sums = append(sums, s...)
+	}
+
+	t0 := time.Now()
+	seqOut, err := sym.ApplyAll(newState(), sums)
+	if err != nil {
+		return nil, err
+	}
+	seqDur := time.Since(t0)
+
+	t1 := time.Now()
+	composed, err := sym.ComposeAll(sums)
+	if err != nil {
+		return nil, err
+	}
+	treeOut, err := composed.Apply(newState())
+	if err != nil {
+		return nil, err
+	}
+	treeDur := time.Since(t1)
+
+	if seqOut.V.Get() != treeOut.V.Get() {
+		return nil, fmt.Errorf("ablation compose: outputs differ (%d vs %d)",
+			seqOut.V.Get(), treeOut.V.Get())
+	}
+	t := &Table{
+		Title:  "Ablation: summary composition strategy (paper §3.6)",
+		Header: []string{"Strategy", "Summaries", "Time", "Result"},
+		Notes: []string{
+			"pre-composition is associative and could run as a parallel tree;",
+			"sequential application does less total work at one reducer",
+		},
+	}
+	t.Rows = append(t.Rows, []string{"sequential apply",
+		fmt.Sprintf("%d", len(sums)), seqDur.String(), fmt.Sprintf("%d", seqOut.V.Get())})
+	t.Rows = append(t.Rows, []string{"pre-compose then apply",
+		fmt.Sprintf("%d", len(sums)), treeDur.String(), fmt.Sprintf("%d", treeOut.V.Get())})
+	return t, nil
+}

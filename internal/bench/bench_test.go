@@ -1,0 +1,341 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testScale keeps experiment tests fast while preserving the paper's
+// group-count regimes.
+var testScale = Scale{Records: 20000, Segments: 8}
+
+var (
+	dsOnce sync.Once
+	ds     *Datasets
+)
+
+func testDatasets() *Datasets {
+	dsOnce.Do(func() { ds = GenDatasets(testScale) })
+	return ds
+}
+
+func cell(t *testing.T, tb *Table, rowLabel string, col int) string {
+	t.Helper()
+	for _, r := range tb.Rows {
+		if r[0] == rowLabel {
+			if col >= len(r) {
+				t.Fatalf("row %q has %d cells", rowLabel, len(r))
+			}
+			return r[col]
+		}
+	}
+	t.Fatalf("row %q not found in %q", rowLabel, tb.Title)
+	return ""
+}
+
+func numCell(t *testing.T, tb *Table, rowLabel string, col int) float64 {
+	t.Helper()
+	s := cell(t, tb, rowLabel, col)
+	s = strings.TrimSuffix(s, "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q/%d = %q is not numeric", rowLabel, col, s)
+	}
+	return v
+}
+
+func TestTable1(t *testing.T) {
+	tb, err := Table1(testDatasets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 12 {
+		t.Fatalf("%d rows, want 12", len(tb.Rows))
+	}
+	// Group-count regimes (Table 1's structure).
+	if g := numCell(t, tb, "B1", 2); g != 1 {
+		t.Errorf("B1 groups = %v, want 1", g)
+	}
+	if g := numCell(t, tb, "B2", 2); g != 50 {
+		t.Errorf("B2 groups = %v, want 50", g)
+	}
+	if g := numCell(t, tb, "R1", 2); g != 100 {
+		t.Errorf("R1 groups = %v, want 100", g)
+	}
+	if g := numCell(t, tb, "B3", 2); g < float64(testScale.Records)/10 {
+		t.Errorf("B3 groups = %v, want records-scale", g)
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	tb, err := Fig5(testDatasets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 12 {
+		t.Fatalf("%d rows, want 12 (G1-G4, R1-R4, R1c-R4c)", len(tb.Rows))
+	}
+	// SYMPLE never loses by much, and wins clearly on at least half of
+	// the condensed variants (the paper's 2.5–5.9x regime).
+	bigWins := 0
+	for _, id := range []string{"R1c", "R2c", "R3c", "R4c"} {
+		s := numCell(t, tb, id, 3)
+		if s < 0.9 {
+			t.Errorf("%s speedup %.2fx: SYMPLE should not lose", id, s)
+		}
+		if s >= 2.5 {
+			bigWins++
+		}
+	}
+	if bigWins < 2 {
+		t.Errorf("only %d condensed queries reach 2.5x speedup", bigWins)
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	tb, err := Fig6(testDatasets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Persistent-group RedShift queries see at least an order of
+	// magnitude; the github queries see single to double digits.
+	if r := numCell(t, tb, "R1", 3); r < 10 {
+		t.Errorf("R1 reduction %.0fx, want ≥ 10x", r)
+	}
+	if r := numCell(t, tb, "R1c", 3); r < 100 {
+		t.Errorf("R1c reduction %.0fx, want ≥ 100x", r)
+	}
+	if r := numCell(t, tb, "G1", 3); r < 2 {
+		t.Errorf("G1 reduction %.0fx, want ≥ 2x", r)
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	tb, err := Fig7(testDatasets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(tb.Rows))
+	}
+	// B3 is the paper's no-win case; B2 and G1 save CPU.
+	if s := numCell(t, tb, "B3", 3); s > 1.1 {
+		t.Errorf("B3 savings %.2fx: expected none (group count ~ record count)", s)
+	}
+	// B2's measured reduce CPU is sub-millisecond at test scale, so its
+	// ratio is noisy; assert only that SYMPLE is not badly behind. The
+	// full-scale run (cmd/symplebench) shows the paper's clear win.
+	if s := numCell(t, tb, "B2", 3); s < 0.7 {
+		t.Errorf("B2 savings %.2fx, want ≥ 0.7x", s)
+	}
+	if s := numCell(t, tb, "G1", 3); s < 1.1 {
+		t.Errorf("G1 savings %.2fx, want > 1.1x", s)
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	tb, err := Fig8(testDatasets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B1 is the extreme bar: at least four orders of magnitude.
+	if r := numCell(t, tb, "B1", 3); r < 1e4 {
+		t.Errorf("B1 reduction %.0fx, want ≥ 10000x", r)
+	}
+	// B3 and T1 are the least-savings bars.
+	if r := numCell(t, tb, "T1", 3); r > 100 {
+		t.Errorf("T1 reduction %.0fx: expected small", r)
+	}
+}
+
+func TestB1LatencyShape(t *testing.T) {
+	tb, err := B1Latency(testDatasets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := numCell(t, tb, "Speedup", 1)
+	if sp < 3 {
+		t.Errorf("B1 speedup %.0fx, want ≥ 3x (paper: ~49x)", sp)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if _, err := AblationMerging(testDatasets()); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := AblationPathCap(testDatasets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cap 1 must force restarts on every record for B3 (always ≥ 2
+	// paths); larger caps must not.
+	sawCap1Restarts := false
+	for _, r := range tb.Rows {
+		if r[0] == "B3" && r[1] == "1" {
+			if v, _ := strconv.Atoi(r[2]); v > 0 {
+				sawCap1Restarts = true
+			}
+		}
+		if r[0] == "B3" && r[1] == "8" {
+			if v, _ := strconv.Atoi(r[2]); v != 0 {
+				t.Errorf("B3 cap=8 restarts = %s, want 0", r[2])
+			}
+		}
+	}
+	if !sawCap1Restarts {
+		t.Error("B3 cap=1 produced no restarts")
+	}
+	if _, err := AblationCompose(16, 200); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig4Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig4 is wall-clock heavy")
+	}
+	tb, err := Fig4(Scale{Records: 10000, Segments: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		for i, c := range r[1:] {
+			if c == "-" {
+				t.Errorf("%s column %d missing throughput", r[0], i+1)
+			}
+		}
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Title:  "t",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"n"},
+	}
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"== t ==", "a    bb", "333  4", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	cases := []struct {
+		b    int64
+		want string
+	}{
+		{512, "512 B"}, {2048, "2.00 KB"}, {3 << 20, "3.00 MB"}, {5 << 30, "5.00 GB"},
+	}
+	for _, c := range cases {
+		if got := fmtBytes(c.b); got != c.want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", c.b, got, c.want)
+		}
+	}
+	if got := fmtDurS(30); got != "30.0 s" {
+		t.Errorf("fmtDurS(30) = %q", got)
+	}
+	if got := fmtDurS(120); got != "2.0 min" {
+		t.Errorf("fmtDurS(120) = %q", got)
+	}
+	if got := fmtDurS(7200); got != "2.0 h" {
+		t.Errorf("fmtDurS(7200) = %q", got)
+	}
+}
+
+func TestDatasetsFor(t *testing.T) {
+	d := testDatasets()
+	for _, name := range []string{"github", "bing", "twitter", "redshift"} {
+		segs, err := d.For(name, false)
+		if err != nil || len(segs) == 0 {
+			t.Errorf("For(%s): %v", name, err)
+		}
+	}
+	cond, err := d.For("redshift", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := d.For("redshift", false)
+	var cb, fb int64
+	for i := range cond {
+		cb += cond[i].Bytes()
+		fb += full[i].Bytes()
+	}
+	if cb >= fb {
+		t.Error("condensed variant not smaller")
+	}
+	if _, err := d.For("nope", false); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}
+
+func TestAblationPredWindow(t *testing.T) {
+	tb, err := AblationPredWindow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != maxPredWindow {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	// w=1 must stay at ≤2 live paths; larger windows grow toward 2^w.
+	if v := numCell(t, tb, "1", 1); v > 2 {
+		t.Errorf("w=1 max live paths %v, want ≤ 2", v)
+	}
+	if v := numCell(t, tb, "3", 1); v < 5 {
+		t.Errorf("w=3 max live paths %v, want ≥ 5 (2^3 bound)", v)
+	}
+	// w=4 exceeds the cap of 8 at chunk starts: restarts expected.
+	if v := numCell(t, tb, "4", 2); v == 0 {
+		t.Errorf("w=4 restarts = %v, want > 0", v)
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	c := &BarChart{
+		Title: "demo",
+		Unit:  "bytes",
+		Log:   true,
+		Groups: []BarGroup{
+			{Label: "Q1", Bars: []Bar{{Label: "A", Value: 1e9}, {Label: "B", Value: 1e3}}},
+			{Label: "Q2", Bars: []Bar{{Label: "A", Value: 5e6}, {Label: "B", Value: 0}}},
+		},
+	}
+	var sb strings.Builder
+	c.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"demo", "Q1", "Q2", "#", "log10", "953.67 MB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The 1GB bar must be visibly longer than the 1KB bar.
+	lines := strings.Split(out, "\n")
+	countHash := func(s string) int { return strings.Count(s, "#") }
+	if countHash(lines[1]) <= countHash(lines[2]) {
+		t.Errorf("log scaling wrong:\n%s", out)
+	}
+
+	// Linear scale and empty chart don't panic.
+	lin := &BarChart{Title: "lin", Unit: "seconds",
+		Groups: []BarGroup{{Label: "x", Bars: []Bar{{Label: "a", Value: 90}}}}}
+	sb.Reset()
+	lin.Render(&sb)
+	if !strings.Contains(sb.String(), "1.5 min") {
+		t.Errorf("linear chart: %s", sb.String())
+	}
+	empty := &BarChart{Title: "none", Unit: "u"}
+	sb.Reset()
+	empty.Render(&sb)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Errorf("empty chart: %s", sb.String())
+	}
+}

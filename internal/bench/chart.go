@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// BarChart renders the paper's grouped bar figures as text: one group
+// per query, one horizontal bar per engine, linear or log-10 scaled (the
+// paper's shuffle figures use a log axis).
+type BarChart struct {
+	Title  string
+	Unit   string
+	Log    bool
+	Groups []BarGroup
+}
+
+// BarGroup is one x-axis position (a query).
+type BarGroup struct {
+	Label string
+	Bars  []Bar
+}
+
+// Bar is one measurement.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+const chartWidth = 50
+
+// Render writes the chart.
+func (c *BarChart) Render(w io.Writer) {
+	fmt.Fprintf(w, "-- %s --\n", c.Title)
+	minPos, maxVal := math.Inf(1), 0.0
+	labelW, barLabelW := 0, 0
+	for _, g := range c.Groups {
+		if len(g.Label) > labelW {
+			labelW = len(g.Label)
+		}
+		for _, b := range g.Bars {
+			if b.Value > 0 && b.Value < minPos {
+				minPos = b.Value
+			}
+			if b.Value > maxVal {
+				maxVal = b.Value
+			}
+			if len(b.Label) > barLabelW {
+				barLabelW = len(b.Label)
+			}
+		}
+	}
+	if maxVal <= 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	scale := func(v float64) int {
+		if v <= 0 {
+			return 0
+		}
+		var frac float64
+		if c.Log {
+			lo, hi := math.Log10(minPos), math.Log10(maxVal)
+			if hi <= lo {
+				frac = 1
+			} else {
+				// Reserve one cell so the smallest bar is visible.
+				frac = (math.Log10(v) - lo) / (hi - lo)
+			}
+			frac = 0.04 + 0.96*frac
+		} else {
+			frac = v / maxVal
+		}
+		n := int(math.Round(frac * chartWidth))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	for _, g := range c.Groups {
+		for i, b := range g.Bars {
+			group := ""
+			if i == 0 {
+				group = g.Label
+			}
+			fmt.Fprintf(w, "%s  %s |%s %s\n",
+				pad(group, labelW), pad(b.Label, barLabelW),
+				strings.Repeat("#", scale(b.Value)), formatChartValue(b.Value, c.Unit))
+		}
+	}
+	axis := "linear"
+	if c.Log {
+		axis = "log10"
+	}
+	fmt.Fprintf(w, "(%s scale, unit: %s)\n\n", axis, c.Unit)
+}
+
+func formatChartValue(v float64, unit string) string {
+	switch unit {
+	case "bytes":
+		return fmtBytes(int64(v))
+	case "seconds":
+		return fmtDurS(v)
+	default:
+		return fmt.Sprintf("%.1f %s", v, unit)
+	}
+}

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/dcsim"
+)
+
+// The paper's private 380-node Hadoop cluster (§6.4): 16-core Xeon
+// E5-2450L nodes, 192GB RAM, shared and batch-scheduled (most latency is
+// scheduling), 50 reducers per job, mapper counts fixed by the input file
+// counts: github 405, bing 199, twitter 501.
+func cluster380() dcsim.Cluster {
+	return dcsim.Cluster{
+		Nodes:               380,
+		Node:                dcsim.NodeSpec{Cores: 16, DiskMBps: 300, NetMBps: 1250},
+		SchedulingOverheadS: 180,
+	}
+}
+
+const cluster380Reducers = 50
+
+type bigCase struct {
+	id           string
+	numMaps      int
+	paperBytes   float64
+	groupsTarget float64 // 0: scales with data
+	persistent   bool
+}
+
+func cluster380Cases() []bigCase {
+	var cs []bigCase
+	for _, id := range []string{"G1", "G2", "G3"} {
+		cs = append(cs, bigCase{id: id, numMaps: 405, paperBytes: 419e9, groupsTarget: 12e6})
+	}
+	cs = append(cs, bigCase{id: "G4", numMaps: 405, paperBytes: 419e9, groupsTarget: 22e6})
+	cs = append(cs, bigCase{id: "B1", numMaps: 199, paperBytes: 300e9, groupsTarget: 1, persistent: true})
+	cs = append(cs, bigCase{id: "B2", numMaps: 199, paperBytes: 300e9, groupsTarget: 50, persistent: true})
+	cs = append(cs, bigCase{id: "B3", numMaps: 199, paperBytes: 300e9})   // users ∝ data
+	cs = append(cs, bigCase{id: "T1", numMaps: 501, paperBytes: 1.23e12}) // hashtags ∝ data
+	return cs
+}
+
+func (c bigCase) emr() emrCase {
+	return emrCase{id: c.id, paperBytes: c.paperBytes, compression: 1,
+		groupsTarget: c.groupsTarget, persistent: c.persistent}
+}
+
+// Fig7 regenerates the paper's Figure 7: total CPU usage (×1000 seconds)
+// of the 8 queries on the 380-node cluster, baseline vs SYMPLE.
+func Fig7(d *Datasets) (*Table, error) {
+	t := &Table{
+		Title:  "Figure 7: 380-node cluster CPU usage (x1000 s)",
+		Header: []string{"Query", "MapReduce", "SYMPLE", "Savings"},
+		Notes: []string{
+			"paper: ~2x savings on github queries; large on B1/B2; none on B3",
+		},
+	}
+	chart := &BarChart{Title: "Figure 7 (bars): CPU usage", Unit: "seconds"}
+	for _, c := range cluster380Cases() {
+		m, err := runPair(d, c.id, false, cluster380Reducers)
+		if err != nil {
+			return nil, err
+		}
+		cl := cluster380()
+		ec := c.emr()
+		fBase := c.paperBytes / float64(m.baseline.Metrics.InputBytes)
+		base, err := dcsim.Simulate(cl, scaledJob(m.baseline.Metrics, ec, fBase, c.numMaps))
+		if err != nil {
+			return nil, err
+		}
+		symp, err := dcsim.Simulate(cl, scaledJob(m.symple.Metrics, ec,
+			sympleScale(m.symple.Metrics, ec, c.numMaps), c.numMaps))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			c.id,
+			fmt.Sprintf("%.1f", base.CPUSeconds/1000),
+			fmt.Sprintf("%.1f", symp.CPUSeconds/1000),
+			fmt.Sprintf("%.2fx", base.CPUSeconds/symp.CPUSeconds),
+		})
+		chart.Groups = append(chart.Groups, BarGroup{Label: c.id, Bars: []Bar{
+			{Label: "MapReduce", Value: base.CPUSeconds},
+			{Label: "SYMPLE", Value: symp.CPUSeconds},
+		}})
+	}
+	t.Chart = chart
+	return t, nil
+}
+
+// Fig8 regenerates the paper's Figure 8: shuffle bytes of the 8 queries
+// on the 380-node cluster (log-scale in the paper). B1's bars are the
+// extreme: the baseline ships every parsed record to one reducer while
+// SYMPLE ships one summary per mapper.
+func Fig8(d *Datasets) (*Table, error) {
+	t := &Table{
+		Title:  "Figure 8: 380-node cluster shuffle data size",
+		Header: []string{"Query", "MapReduce", "SYMPLE", "Reduction"},
+		Notes: []string{
+			"paper: extreme savings for B1/B2; least for B3 and T1 (group count ~ record count)",
+		},
+	}
+	chart := &BarChart{Title: "Figure 8 (bars): shuffle size", Unit: "bytes", Log: true}
+	for _, c := range cluster380Cases() {
+		m, err := runPair(d, c.id, false, cluster380Reducers)
+		if err != nil {
+			return nil, err
+		}
+		f := c.paperBytes / float64(m.baseline.Metrics.InputBytes)
+		baseBytes := float64(m.baseline.Metrics.ShuffleBytes) * f
+		sympBytes := float64(m.symple.Metrics.ShuffleBytes) *
+			sympleScale(m.symple.Metrics, c.emr(), c.numMaps)
+		t.Rows = append(t.Rows, []string{
+			c.id,
+			fmtBytes(int64(baseBytes)),
+			fmtBytes(int64(sympBytes)),
+			fmtFactor(baseBytes / sympBytes),
+		})
+		chart.Groups = append(chart.Groups, BarGroup{Label: c.id, Bars: []Bar{
+			{Label: "MapReduce", Value: baseBytes},
+			{Label: "SYMPLE", Value: sympBytes},
+		}})
+	}
+	t.Chart = chart
+	return t, nil
+}
+
+// B1Latency regenerates the paper's §6.4 anecdote: with no groupby
+// parallelism, the baseline funnels every record through one reducer
+// (4.5 hours in the paper) while SYMPLE completes in minutes (5m30s).
+func B1Latency(d *Datasets) (*Table, error) {
+	m, err := runPair(d, "B1", false, cluster380Reducers)
+	if err != nil {
+		return nil, err
+	}
+	c := bigCase{id: "B1", numMaps: 199, paperBytes: 300e9, groupsTarget: 1, persistent: true}
+	cl := cluster380()
+	ec := c.emr()
+	fBase := c.paperBytes / float64(m.baseline.Metrics.InputBytes)
+	base, err := dcsim.Simulate(cl, scaledJob(m.baseline.Metrics, ec, fBase, c.numMaps))
+	if err != nil {
+		return nil, err
+	}
+	symp, err := dcsim.Simulate(cl, scaledJob(m.symple.Metrics, ec,
+		sympleScale(m.symple.Metrics, ec, c.numMaps), c.numMaps))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "B1 end-to-end latency (single group, one hot reducer)",
+		Header: []string{"Engine", "Total", "Map", "Shuffle", "Reduce"},
+		Notes: []string{
+			"paper: baseline 4.5 h vs SYMPLE 5 min 30 s",
+			"the baseline's reduce bar is one reducer consuming every record sequentially",
+		},
+	}
+	t.Rows = append(t.Rows, []string{"MapReduce", fmtDurS(base.TotalS),
+		fmtDurS(base.MapPhaseS), fmtDurS(base.ShuffleS), fmtDurS(base.ReducePhaseS)})
+	t.Rows = append(t.Rows, []string{"SYMPLE", fmtDurS(symp.TotalS),
+		fmtDurS(symp.MapPhaseS), fmtDurS(symp.ShuffleS), fmtDurS(symp.ReducePhaseS)})
+	t.Rows = append(t.Rows, []string{"Speedup", fmt.Sprintf("%.0fx", base.TotalS/symp.TotalS), "", "", ""})
+	return t, nil
+}

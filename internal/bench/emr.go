@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/dcsim"
+	"repro/internal/mapreduce"
+)
+
+// EMR experiment configuration (paper §6.3): m3.xlarge instances — 4
+// vCPUs, 15GB RAM, 2×40GB SSD — reading gzipped data from S3. 10
+// instances for the complete RedShift variant, 5 for the condensed
+// variant and github.
+func emrCluster(nodes int) dcsim.Cluster {
+	return dcsim.Cluster{
+		Nodes:               nodes,
+		Node:                dcsim.NodeSpec{Cores: 4, DiskMBps: 200, NetMBps: 125},
+		RemoteReadMBps:      60, // effective S3 throughput per node
+		SchedulingOverheadS: 30,
+	}
+}
+
+// emrCase describes one Figure 5/6 bar: a query, its paper-scale corpus,
+// and the cluster that ran it.
+type emrCase struct {
+	id          string
+	condensed   bool
+	nodes       int
+	paperBytes  float64 // logical dataset size in the paper
+	compression float64 // gzip ratio of the S3 objects
+
+	// groupsTarget is the paper-scale group count (Table 1); zero means
+	// the group count scales with the data (B3's users, T1's hashtags).
+	groupsTarget float64
+	// persistent marks groups active across the whole timeline (ad
+	// advertisers, geo areas): every mapper meets every group, so the
+	// SYMPLE shuffle grows with the map-task count. Temporally local
+	// groups (repositories, hashtags) live in a bounded set of mappers,
+	// so the SYMPLE shuffle grows only with the group count.
+	persistent bool
+}
+
+func emrCases() []emrCase {
+	var cs []emrCase
+	for _, id := range []string{"G1", "G2", "G3"} {
+		cs = append(cs, emrCase{id: id, nodes: 5, paperBytes: 419e9, compression: 5, groupsTarget: 12e6})
+	}
+	cs = append(cs, emrCase{id: "G4", nodes: 5, paperBytes: 419e9, compression: 5, groupsTarget: 22e6})
+	for _, id := range []string{"R1", "R2", "R3", "R4"} {
+		cs = append(cs, emrCase{id: id, nodes: 10, paperBytes: 1.2e12, compression: 5,
+			groupsTarget: 10e3, persistent: true})
+	}
+	for _, id := range []string{"R1", "R2", "R3", "R4"} {
+		cs = append(cs, emrCase{id: id, condensed: true, nodes: 5, paperBytes: 50e9, compression: 5,
+			groupsTarget: 10e3, persistent: true})
+	}
+	return cs
+}
+
+// sympleScale is the growth factor of SYMPLE's shuffle and reduce work
+// from the measured run to paper scale. SYMPLE ships one summary bundle
+// per (mapper, group) pair, so the factor follows the group count — and
+// additionally the mapper count when groups are persistent.
+func sympleScale(m *mapreduce.Metrics, c emrCase, numMaps int) float64 {
+	f := c.paperBytes / float64(m.InputBytes)
+	if c.groupsTarget <= 0 {
+		return f // groups ∝ data; locality keeps pairs ∝ groups
+	}
+	s := c.groupsTarget / float64(m.Groups)
+	if c.persistent {
+		s *= float64(numMaps) / float64(len(m.MapTasks))
+	}
+	return s
+}
+
+// scaledJob replays a measured run at paper scale: total map CPU grows
+// with the data; the shuffle and the reduce side grow by shuffleScale
+// (the data factor for the baseline, sympleScale for SYMPLE). The
+// measured per-reducer skew (e.g. B1's single hot reducer) is preserved
+// exactly.
+func scaledJob(m *mapreduce.Metrics, c emrCase, shuffleScale float64, numMaps int) dcsim.Job {
+	f := c.paperBytes / float64(m.InputBytes)
+	reduceScale := shuffleScale
+	numReducers := len(m.ReduceTasks)
+
+	// Measured per-reducer shuffle distribution.
+	perReducer := make([]float64, numReducers)
+	for _, task := range m.MapTasks {
+		for r, b := range task.OutBytes {
+			perReducer[r] += float64(b)
+		}
+	}
+	mapCPU := m.MapCPU.Seconds() * f / float64(numMaps)
+	wirePerMap := c.paperBytes / c.compression / float64(numMaps)
+	maps := make([]dcsim.MapTask, numMaps)
+	for i := range maps {
+		out := make([]int64, numReducers)
+		for r := range out {
+			out[r] = int64(perReducer[r] * shuffleScale / float64(numMaps))
+		}
+		maps[i] = dcsim.MapTask{
+			InputBytes: int64(wirePerMap),
+			CPUSeconds: mapCPU,
+			OutBytes:   out,
+		}
+	}
+	reds := make([]dcsim.ReduceTask, numReducers)
+	for r := range reds {
+		reds[r] = dcsim.ReduceTask{
+			CPUSeconds: m.ReduceTasks[r].Duration.Seconds() * reduceScale,
+		}
+	}
+	return dcsim.Job{Maps: maps, Reduces: reds}
+}
+
+// emrMapTasks picks the paper-scale map-task count: one task per 256MB
+// of (compressed) S3 input, at least one wave.
+func emrMapTasks(c emrCase) int {
+	wire := c.paperBytes / c.compression
+	n := int(wire / (256e6))
+	if n < c.nodes {
+		n = c.nodes
+	}
+	return n
+}
+
+// emrMeasure runs both engines on the synthetic corpus with the paper's
+// reducer count (one per machine).
+func emrMeasure(d *Datasets, c emrCase) (*measured, error) {
+	return runPair(d, c.id, c.condensed, c.nodes)
+}
+
+// Fig5 regenerates the paper's Figure 5: Amazon EMR end-to-end job
+// latency, MapReduce baseline vs SYMPLE, for G1–G4, R1–R4 and R1c–R4c.
+func Fig5(d *Datasets) (*Table, error) {
+	t := &Table{
+		Title: "Figure 5: Amazon EMR end-to-end latency (min)",
+		Header: []string{"Query", "MapReduce", "SYMPLE", "Speedup",
+			"MR read/shuffle/reduce", "SY read/shuffle/reduce"},
+		Notes: []string{
+			"measured task costs replayed on a modeled EMR cluster (m3.xlarge, S3-limited reads)",
+			"paper: G/R 15–45% baseline overhead; R1c–R4c 2.5–5.9x SYMPLE speedup",
+		},
+	}
+	chart := &BarChart{Title: "Figure 5 (bars): EMR end-to-end latency", Unit: "seconds"}
+	for _, c := range emrCases() {
+		m, err := emrMeasure(d, c)
+		if err != nil {
+			return nil, err
+		}
+		numMaps := emrMapTasks(c)
+		cl := emrCluster(c.nodes)
+		fBase := c.paperBytes / float64(m.baseline.Metrics.InputBytes)
+		base, err := dcsim.Simulate(cl, scaledJob(m.baseline.Metrics, c, fBase, numMaps))
+		if err != nil {
+			return nil, err
+		}
+		symp, err := dcsim.Simulate(cl, scaledJob(m.symple.Metrics, c,
+			sympleScale(m.symple.Metrics, c, numMaps), numMaps))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			m.label(),
+			fmt.Sprintf("%.1f", base.TotalS/60),
+			fmt.Sprintf("%.1f", symp.TotalS/60),
+			fmt.Sprintf("%.2fx", base.TotalS/symp.TotalS),
+			fmt.Sprintf("%.0f/%.0f/%.0fs", base.MapPhaseS, base.ShuffleS, base.ReducePhaseS),
+			fmt.Sprintf("%.0f/%.0f/%.0fs", symp.MapPhaseS, symp.ShuffleS, symp.ReducePhaseS),
+		})
+		chart.Groups = append(chart.Groups, BarGroup{Label: m.label(), Bars: []Bar{
+			{Label: "MapReduce", Value: base.TotalS},
+			{Label: "SYMPLE", Value: symp.TotalS},
+		}})
+	}
+	t.Chart = chart
+	return t, nil
+}
+
+// Fig6 regenerates the paper's Figure 6: EMR shuffle data size for
+// MapReduce vs SYMPLE with the per-query reduction factor (log-scale bars
+// in the paper; a table here).
+func Fig6(d *Datasets) (*Table, error) {
+	t := &Table{
+		Title:  "Figure 6: Amazon EMR shuffle data size",
+		Header: []string{"Query", "MapReduce", "SYMPLE", "Reduction"},
+		Notes: []string{
+			"paper-scale estimates; reduction factors are the paper's headline 4x–705x",
+		},
+	}
+	var prodBase, prodSymp float64
+	n := 0
+	chart := &BarChart{Title: "Figure 6 (bars): EMR shuffle size", Unit: "bytes", Log: true}
+	for _, c := range emrCases() {
+		m, err := emrMeasure(d, c)
+		if err != nil {
+			return nil, err
+		}
+		numMaps := emrMapTasks(c)
+		f := c.paperBytes / float64(m.baseline.Metrics.InputBytes)
+		baseBytes := float64(m.baseline.Metrics.ShuffleBytes) * f
+		sympBytes := float64(m.symple.Metrics.ShuffleBytes) *
+			sympleScale(m.symple.Metrics, c, numMaps)
+		t.Rows = append(t.Rows, []string{
+			m.label(),
+			fmtBytes(int64(baseBytes)),
+			fmtBytes(int64(sympBytes)),
+			fmtFactor(baseBytes / sympBytes),
+		})
+		chart.Groups = append(chart.Groups, BarGroup{Label: m.label(), Bars: []Bar{
+			{Label: "MapReduce", Value: baseBytes},
+			{Label: "SYMPLE", Value: sympBytes},
+		}})
+		prodBase += baseBytes
+		prodSymp += sympBytes
+		n++
+	}
+	t.Chart = chart
+	t.Rows = append(t.Rows, []string{
+		"AVG", fmtBytes(int64(prodBase / float64(n))), fmtBytes(int64(prodSymp / float64(n))),
+		fmtFactor(prodBase / prodSymp),
+	})
+	return t, nil
+}

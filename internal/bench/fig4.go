@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/mapreduce"
+	"repro/internal/queries"
+)
+
+// specByIDMust panics on unknown IDs; experiment code only uses the
+// fixed catalogue.
+func specByIDMust(id string) *queries.Spec {
+	s := queries.ByID(id)
+	if s == nil {
+		panic("bench: unknown query " + id)
+	}
+	return s
+}
+
+// Fig4 regenerates the paper's Figure 4: single-machine, in-memory
+// throughput (MB/s) of the queries G1–G4 and R1–R4 under Sequential,
+// SYMPLE with 1/2/4 mappers, and local MapReduce with 1/2/4 mappers.
+// It answers the paper's §6.2 questions: symbolic execution's CPU
+// overhead, whether SYMPLE outruns a commodity disk (~100 MB/s), and
+// whether it scales with mappers.
+func Fig4(sc Scale) (*Table, error) {
+	t := &Table{
+		Title: "Figure 4: multi-core throughput (MB/s)",
+		Header: []string{"Query", "Sequential",
+			"SYMPLE 1m", "SYMPLE 2m", "SYMPLE 4m",
+			"MapReduce 1m", "MapReduce 2m", "MapReduce 4m"},
+		Notes: []string{
+			"in-memory input; mappers = input segments = parallel map tasks",
+			"the MapReduce bars shuffle through Unix sort, as the paper's local baseline does",
+			"commodity-disk reference line: 100 MB/s",
+		},
+	}
+	chart := &BarChart{Title: "Figure 4 (bars): multi-core throughput", Unit: "MB/s"}
+	ids := []string{"G1", "G2", "G3", "G4", "R1", "R2", "R3", "R4"}
+	for _, id := range ids {
+		spec := specByIDMust(id)
+		row := []string{id}
+		group := BarGroup{Label: id}
+
+		// Sequential over a single segment.
+		segs1 := fig4Dataset(spec.Dataset, sc, 1)
+		seq, err := spec.Sequential(segs1)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 %s sequential: %w", id, err)
+		}
+		row = append(row, fmtThroughput(seq))
+		group.Bars = append(group.Bars, Bar{Label: "Sequential", Value: throughputMBps(seq)})
+
+		var symple, baseline []string
+		for _, mappers := range []int{1, 2, 4} {
+			segs := fig4Dataset(spec.Dataset, sc, mappers)
+			conf := mapreduce.Config{NumReducers: 1, Parallelism: mappers}
+			// The paper's local MapReduce baseline pipes mapper output
+			// through Unix sort (§6.2); reproduce that for its bars.
+			baseConf := conf
+			baseConf.ExternalSort = true
+			symp, err := spec.Symple(segs, conf)
+			if err != nil {
+				return nil, fmt.Errorf("fig4 %s symple %dm: %w", id, mappers, err)
+			}
+			base, err := spec.Baseline(segs, baseConf)
+			if err != nil {
+				return nil, fmt.Errorf("fig4 %s baseline %dm: %w", id, mappers, err)
+			}
+			if symp.Digest != seq.Digest || base.Digest != seq.Digest {
+				return nil, fmt.Errorf("fig4 %s: engines disagree at %d mappers", id, mappers)
+			}
+			symple = append(symple, fmtThroughput(symp))
+			baseline = append(baseline, fmtThroughput(base))
+			if mappers == 4 {
+				group.Bars = append(group.Bars,
+					Bar{Label: "SYMPLE 4m", Value: throughputMBps(symp)},
+					Bar{Label: "MapReduce 4m", Value: throughputMBps(base)})
+			}
+		}
+		row = append(row, symple...)
+		row = append(row, baseline...)
+		t.Rows = append(t.Rows, row)
+		chart.Groups = append(chart.Groups, group)
+	}
+	t.Chart = chart
+	return t, nil
+}
+
+func fmtThroughput(r *queries.Run) string {
+	v := throughputMBps(r)
+	if v <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// throughputMBps is input bytes over wall time.
+func throughputMBps(r *queries.Run) float64 {
+	s := r.Metrics.TotalWall.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(r.Metrics.InputBytes) / 1e6 / s
+}
+
+// fig4Dataset regenerates the query's corpus with the requested segment
+// count (the mapper count of the run).
+func fig4Dataset(dataset string, sc Scale, segments int) []*mapreduce.Segment {
+	n := sc.Records
+	switch dataset {
+	case "github":
+		return data.GenGithub(data.GithubConfig{
+			Records: n, Repos: max(n/20, 1), Segments: segments,
+			Filler: 820, Seed: 42})
+	case "redshift":
+		return data.GenRedshift(data.RedshiftConfig{
+			Records: n, Advertisers: 100, Segments: segments,
+			Filler: 850, Seed: 45, DarkWindows: 3})
+	default:
+		panic("fig4: unexpected dataset " + dataset)
+	}
+}

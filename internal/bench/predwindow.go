@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sym"
+)
+
+// AblationPredWindow quantifies the paper's §4.4 claim: a UDA whose
+// dependence window spans the previous w events blindly forks each of
+// the w unresolved SymPreds on the first record of a chunk, so the path
+// blowup is bounded by 2^w — cheap for the window-of-one pattern all the
+// evaluation queries use, and degrading gracefully through the restart
+// mechanism as w grows past the live-path cap.
+
+const maxPredWindow = 4
+
+// windowState tracks the previous w events in a ring of SymPreds. The
+// ring position is itself loop-carried state (it is the global record
+// count mod w), so it is a SymEnum the UDA resolves by branching — at a
+// chunk start this forks up to w ways on top of the 2^w blind pred
+// forks.
+type windowState struct {
+	Preds [maxPredWindow]sym.SymPred[int64]
+	Idx   sym.SymEnum
+	Count sym.SymInt
+}
+
+func (s *windowState) Fields() []sym.Value {
+	return []sym.Value{&s.Preds[0], &s.Preds[1], &s.Preds[2], &s.Preds[3], &s.Idx, &s.Count}
+}
+
+func near(held, arg int64) bool {
+	d := held - arg
+	if d < 0 {
+		d = -d
+	}
+	return d < 25
+}
+
+// newWindowState builds the initial state for window size w; the ring
+// enum's domain is exactly w so every symbolic position is reachable.
+func newWindowState(w int) func() *windowState {
+	return func() *windowState {
+		s := &windowState{
+			Idx:   sym.NewSymEnum(w, 0),
+			Count: sym.NewSymInt(0),
+		}
+		for i := range s.Preds {
+			s.Preds[i] = sym.NewSymPred(near, sym.Int64Codec(), 1<<40) // far away
+		}
+		return s
+	}
+}
+
+// windowUpdate counts events near all of the previous w events.
+func windowUpdate(w int) func(*sym.Ctx, *windowState, int64) {
+	return func(ctx *sym.Ctx, s *windowState, e int64) {
+		within := true
+		for i := 0; i < w; i++ {
+			if !s.Preds[i].EvalPred(ctx, e) {
+				within = false
+			}
+		}
+		if within {
+			s.Count.Inc()
+		}
+		// Resolve the ring position symbolically: one Eq per candidate;
+		// each feasible outcome binds Idx concretely on its path.
+		for k := int64(0); k < int64(w); k++ {
+			if s.Idx.Eq(ctx, k) {
+				s.Preds[k].SetValue(e)
+				s.Idx.Set((k + 1) % int64(w))
+				return
+			}
+		}
+	}
+}
+
+// windowOracle is the plain-Go reference.
+func windowOracle(w int, events []int64) int64 {
+	prev := make([]int64, w)
+	for i := range prev {
+		prev[i] = 1 << 40
+	}
+	pos, count := 0, int64(0)
+	for _, e := range events {
+		within := true
+		for i := 0; i < w; i++ {
+			if !near(prev[i], e) {
+				within = false
+			}
+		}
+		if within {
+			count++
+		}
+		prev[pos] = e
+		pos = (pos + 1) % w
+	}
+	return count
+}
+
+// AblationPredWindow sweeps the dependence window size.
+func AblationPredWindow() (*Table, error) {
+	t := &Table{
+		Title: "Ablation: SymPred dependence window (paper §4.4: blowup ≤ 2^w)",
+		Header: []string{"Window", "Max live paths", "Restarts (cap 8)",
+			"Summaries", "Composed == sequential"},
+		Notes: []string{
+			"all evaluation queries use w = 1; blind forking costs 2^w paths at each chunk start",
+		},
+	}
+	r := rand.New(rand.NewSource(61))
+	events := make([]int64, 400)
+	cur := int64(0)
+	for i := range events {
+		cur += int64(r.Intn(40)) - 18
+		events[i] = cur
+	}
+	for w := 1; w <= maxPredWindow; w++ {
+		update := windowUpdate(w)
+
+		// Chunked symbolic run with the paper's default cap.
+		var sums []*sym.Summary[*windowState]
+		maxLive, restarts := 0, 0
+		const chunks = 8
+		for c := 0; c < chunks; c++ {
+			x := sym.NewExecutor(newWindowState(w), update, sym.DefaultOptions())
+			lo, hi := c*len(events)/chunks, (c+1)*len(events)/chunks
+			for _, e := range events[lo:hi] {
+				if err := x.Feed(e); err != nil {
+					return nil, fmt.Errorf("w=%d: %w", w, err)
+				}
+			}
+			s, err := x.Finish()
+			if err != nil {
+				return nil, fmt.Errorf("w=%d: %w", w, err)
+			}
+			sums = append(sums, s...)
+			st := x.Stats()
+			if st.MaxLive > maxLive {
+				maxLive = st.MaxLive
+			}
+			restarts += st.Restarts
+		}
+		final, err := sym.ApplyAll(newWindowState(w)(), sums)
+		if err != nil {
+			return nil, fmt.Errorf("w=%d: %w", w, err)
+		}
+		want := windowOracle(w, events)
+		ok := final.Count.Get() == want
+		if !ok {
+			return nil, fmt.Errorf("w=%d: composed %d != sequential %d",
+				w, final.Count.Get(), want)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", w),
+			fmt.Sprintf("%d", maxLive),
+			fmt.Sprintf("%d", restarts),
+			fmt.Sprintf("%d", len(sums)),
+			fmt.Sprintf("%t", ok),
+		})
+	}
+	return t, nil
+}

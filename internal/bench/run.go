@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/mapreduce"
+	"repro/internal/queries"
+)
+
+// measured holds one query's paired engine runs on the same input.
+type measured struct {
+	spec      *queries.Spec
+	condensed bool
+	baseline  *queries.Run
+	symple    *queries.Run
+}
+
+// runPair executes the baseline and SYMPLE engines on the query's
+// dataset and verifies their outputs agree (every reported number comes
+// from runs that produced the correct answer).
+func runPair(d *Datasets, id string, condensed bool, reducers int) (*measured, error) {
+	spec := queries.ByID(id)
+	if spec == nil {
+		return nil, fmt.Errorf("bench: unknown query %q", id)
+	}
+	segs, err := d.For(spec.Dataset, condensed)
+	if err != nil {
+		return nil, err
+	}
+	conf := mapreduce.Config{NumReducers: reducers}
+	base, err := spec.Baseline(segs, conf)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s baseline: %w", id, err)
+	}
+	symp, err := spec.Symple(segs, conf)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s symple: %w", id, err)
+	}
+	if base.Digest != symp.Digest {
+		return nil, fmt.Errorf("bench %s: engines disagree (baseline %x, symple %x)",
+			id, base.Digest, symp.Digest)
+	}
+	return &measured{spec: spec, condensed: condensed, baseline: base, symple: symp}, nil
+}
+
+// label renders the query name, with the paper's "c" suffix for the
+// condensed RedShift variant.
+func (m *measured) label() string {
+	if m.condensed {
+		return m.spec.ID + "c"
+	}
+	return m.spec.ID
+}

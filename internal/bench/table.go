@@ -1,0 +1,112 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§6): Table 1 (queries and datasets), Figure 4 (multi-core
+// throughput), Figures 5–6 (EMR latency and shuffle), Figures 7–8
+// (380-node CPU and shuffle), the §6.4 B1 latency anecdote, and ablations
+// of the design choices (merging, path caps, composition strategy).
+//
+// Numbers are produced by actually running both engines on synthetic
+// datasets, then — for cluster-scale figures — replaying the measured
+// per-task costs through the dcsim cluster model at the paper's dataset
+// sizes. Shapes (who wins, by what factor, where the crossovers are) are
+// the reproduction target; absolute values are hardware-dependent.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result; Chart, when present, is the
+// bar-figure rendering of the same data.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+	Chart  *BarChart
+}
+
+// Render writes the table in aligned plain text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+	if t.Chart != nil {
+		t.Chart.Render(w)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// fmtBytes renders a byte count with a binary-friendly unit.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// fmtFactor renders a ratio: one decimal below 10, whole above.
+func fmtFactor(f float64) string {
+	if f < 10 {
+		return fmt.Sprintf("%.1fx", f)
+	}
+	return fmt.Sprintf("%.0fx", f)
+}
+
+// fmtDurS renders seconds human-readably.
+func fmtDurS(s float64) string {
+	switch {
+	case s >= 3600:
+		return fmt.Sprintf("%.1f h", s/3600)
+	case s >= 60:
+		return fmt.Sprintf("%.1f min", s/60)
+	default:
+		return fmt.Sprintf("%.1f s", s)
+	}
+}

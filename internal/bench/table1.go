@@ -1,0 +1,36 @@
+package bench
+
+import "fmt"
+
+// Table1 regenerates the paper's Table 1: the query catalogue with
+// dataset, group count, and the symbolic types each UDA uses. Group
+// counts come from actually running each query (sequentially) on the
+// generated corpus.
+func Table1(d *Datasets) (*Table, error) {
+	t := &Table{
+		Title:  "Table 1: datasets and queries",
+		Header: []string{"ID", "Dataset", "#Groups", "Sym Types", "Description"},
+		Notes: []string{
+			fmt.Sprintf("synthetic corpora at %d records each; group counts scale with the corpus", d.Scale.Records),
+		},
+	}
+	for _, id := range []string{"G1", "G2", "G3", "G4", "B1", "B2", "B3", "T1", "R1", "R2", "R3", "R4"} {
+		spec := specByIDMust(id)
+		segs, err := d.For(spec.Dataset, false)
+		if err != nil {
+			return nil, err
+		}
+		run, err := spec.Sequential(segs)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", id, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			id,
+			spec.Dataset,
+			fmt.Sprintf("%d", run.Metrics.Groups),
+			spec.SymTypesString(),
+			spec.Description,
+		})
+	}
+	return t, nil
+}

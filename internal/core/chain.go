@@ -1,0 +1,37 @@
+package core
+
+import (
+	"repro/internal/mapreduce"
+)
+
+// ResultSegments converts a query's output into ordered input segments
+// for a downstream query — the minimal form of the "more sophisticated
+// query plans" the paper leaves as future work (§8): chaining
+// groupby-aggregate stages, each stage free to run under symbolic
+// parallelism.
+//
+// format renders one group's result as zero or more raw records for the
+// next stage's GroupBy. Groups are emitted in sorted key order so the
+// downstream input is deterministic; records spread across numSegments
+// ordered segments.
+func ResultSegments[R any](out *Output[R], format func(key string, r R) [][]byte, numSegments int) []*mapreduce.Segment {
+	if numSegments <= 0 {
+		numSegments = 1
+	}
+	var records [][]byte
+	for _, key := range out.Keys() {
+		records = append(records, format(key, out.Results[key])...)
+	}
+	segs := make([]*mapreduce.Segment, numSegments)
+	for i := range segs {
+		segs[i] = &mapreduce.Segment{ID: i}
+	}
+	if len(records) == 0 {
+		return segs
+	}
+	for i, r := range records {
+		s := segs[i*numSegments/len(records)]
+		s.Records = append(s.Records, r)
+	}
+	return segs
+}

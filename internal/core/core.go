@@ -1,0 +1,246 @@
+// Package core is the SYMPLE runtime: it turns a groupby-aggregate query
+// with a user-defined aggregation into MapReduce jobs (paper §1.2, §5.4).
+//
+// A Query bundles the user's GroupBy (parse a raw record, extract a key
+// and an event), the UDA (initial state, Update, Result), and event
+// serialization for the baseline engine. Three engines execute the same
+// query:
+//
+//   - RunSequential: one pass, concrete UDA per group — the semantic
+//     reference every other engine must match, and the "Sequential" bar
+//     of the paper's Figure 4.
+//   - RunBaseline: the paper's hand-optimized Hadoop baseline — GroupBy
+//     in mappers (shuffling only the event fields the UDA uses), the UDA
+//     running concretely in reducers.
+//   - RunSymple: the paper's contribution — mappers also run the UDA
+//     symbolically per group and shuffle compact symbolic summaries; the
+//     reducer composes summaries in input order and applies Result.
+//
+// SYMPLE "lifts" the aggregation into mappers exactly like built-in
+// associative aggregations, parallelizing per-group work and shrinking
+// the shuffle — the effects measured across the paper's evaluation.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/mapreduce"
+	"repro/internal/sym"
+	"repro/internal/wire"
+)
+
+// Query is a groupby-aggregate query over raw input records.
+type Query[S sym.State, E, R any] struct {
+	// Name identifies the query (e.g. "G1").
+	Name string
+
+	// GroupBy parses one raw input record, returning the group key and
+	// the event the UDA consumes. ok=false drops the record (filter).
+	// Only fields the UDA needs should be propagated into E — the same
+	// hand-optimization the paper applies to its baseline.
+	GroupBy func(record []byte) (key string, event E, ok bool)
+
+	// NewState returns the initial aggregation state.
+	NewState func() S
+
+	// Update advances the aggregation state by one event. It must
+	// confine all side effects to the state (paper §2.1).
+	Update func(*sym.Ctx, S, E)
+
+	// Result extracts the query result from the final state. It must be
+	// pure; it runs on a fully concrete state.
+	Result func(key string, s S) R
+
+	// EncodeEvent/DecodeEvent serialize events for the baseline's
+	// shuffle.
+	EncodeEvent func(*wire.Encoder, E)
+	DecodeEvent func(*wire.Decoder) (E, error)
+
+	// Options tunes the symbolic engine; zero means paper defaults.
+	Options sym.Options
+}
+
+// validateQuery checks the query's programmer contract once per run: the
+// analogue of the paper's §5.3 static verification of user code, with
+// reflection standing in for what C++'s type system could not express.
+func validateQuery[S sym.State, E, R any](q *Query[S, E, R]) error {
+	if q.GroupBy == nil || q.NewState == nil || q.Update == nil || q.Result == nil {
+		return fmt.Errorf("core %q: GroupBy, NewState, Update and Result are required", q.Name)
+	}
+	if err := sym.ValidateState(q.NewState); err != nil {
+		return fmt.Errorf("core %q: %w", q.Name, err)
+	}
+	return nil
+}
+
+// SymStats aggregates symbolic-execution work across all mapper-side
+// executors of a run.
+type SymStats struct {
+	Records   int // events fed to symbolic executors
+	Runs      int // Update invocations (symbolic overhead factor)
+	Merges    int
+	Restarts  int
+	Summaries int // summaries shuffled
+}
+
+// Output is the result of running a query under any engine.
+type Output[R any] struct {
+	Results map[string]R
+	Metrics *mapreduce.Metrics
+	Sym     SymStats
+}
+
+// Keys returns the sorted group keys, for deterministic iteration.
+func (o *Output[R]) Keys() []string {
+	keys := make([]string, 0, len(o.Results))
+	for k := range o.Results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// RunSequential executes the query in one sequential pass: the reference
+// semantics. Events are grouped per key preserving global input order and
+// the UDA runs concretely.
+func RunSequential[S sym.State, E, R any](q *Query[S, E, R], segments []*mapreduce.Segment) (*Output[R], error) {
+	if err := validateQuery(q); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	m := &mapreduce.Metrics{}
+	execs := make(map[string]*sym.Executor[S, E])
+	var order []string
+	for _, seg := range segments {
+		m.InputBytes += seg.Bytes()
+		m.InputRecords += int64(len(seg.Records))
+		for _, rec := range seg.Records {
+			key, ev, ok := q.GroupBy(rec)
+			if !ok {
+				continue
+			}
+			x := execs[key]
+			if x == nil {
+				x = sym.NewConcreteExecutor(q.NewState, q.Update, q.Options)
+				execs[key] = x
+				order = append(order, key)
+			}
+			if err := x.Feed(ev); err != nil {
+				return nil, fmt.Errorf("core %q: sequential key %q: %w", q.Name, key, err)
+			}
+		}
+	}
+	results := make(map[string]R, len(execs))
+	for _, key := range order {
+		s, err := execs[key].ConcreteState()
+		if err != nil {
+			return nil, fmt.Errorf("core %q: sequential key %q: %w", q.Name, key, err)
+		}
+		results[key] = q.Result(key, s)
+	}
+	m.Groups = int64(len(execs))
+	m.TotalWall = time.Since(start)
+	m.MapCPU = m.TotalWall
+	return &Output[R]{Results: results, Metrics: m}, nil
+}
+
+// RunBaseline executes the query as the paper's hand-optimized Hadoop
+// baseline: mappers group and shuffle (only) the UDA's event fields;
+// reducers run the UDA concretely over each ordered group.
+func RunBaseline[S sym.State, E, R any](q *Query[S, E, R], segments []*mapreduce.Segment, conf mapreduce.Config) (*Output[R], error) {
+	if err := validateQuery(q); err != nil {
+		return nil, err
+	}
+	if q.EncodeEvent == nil || q.DecodeEvent == nil {
+		return nil, fmt.Errorf("core %q: the baseline engine requires EncodeEvent/DecodeEvent", q.Name)
+	}
+	var mu sync.Mutex
+	results := make(map[string]R)
+	job := &mapreduce.Job{
+		Name: q.Name + "/baseline",
+		Map: func(mapperID int, seg *mapreduce.Segment, emit mapreduce.Emit) error {
+			for i, rec := range seg.Records {
+				key, ev, ok := q.GroupBy(rec)
+				if !ok {
+					continue
+				}
+				e := wire.NewEncoder(16)
+				q.EncodeEvent(e, ev)
+				emit(key, int64(i), e.Bytes())
+			}
+			return nil
+		},
+		Reduce: func(_ int, key string, values []mapreduce.Shuffled) error {
+			x := sym.NewConcreteExecutor(q.NewState, q.Update, q.Options)
+			for _, v := range values {
+				ev, err := q.DecodeEvent(wire.NewDecoder(v.Value))
+				if err != nil {
+					return err
+				}
+				if err := x.Feed(ev); err != nil {
+					return err
+				}
+			}
+			s, err := x.ConcreteState()
+			if err != nil {
+				return err
+			}
+			r := q.Result(key, s)
+			mu.Lock()
+			results[key] = r
+			mu.Unlock()
+			return nil
+		},
+		Conf: conf,
+	}
+	metrics, err := job.Run(segments)
+	if err != nil {
+		return nil, err
+	}
+	return &Output[R]{Results: results, Metrics: metrics}, nil
+}
+
+// RunSymple executes the query with symbolic parallelism: each mapper
+// groups its segment and runs the UDA symbolically per group, shuffling
+// one compact record per (mapper, group) that carries the group's ordered
+// symbolic summaries. Reducers compose the summaries in (mapperID,
+// recordID) order starting from the initial aggregation state — exactly
+// the sequential semantics (paper §5.4).
+func RunSymple[S sym.State, E, R any](q *Query[S, E, R], segments []*mapreduce.Segment, conf mapreduce.Config) (*Output[R], error) {
+	if err := validateQuery(q); err != nil {
+		return nil, err
+	}
+	var mu sync.Mutex
+	results := make(map[string]R)
+	stats := SymStats{}
+	job := &mapreduce.Job{
+		Name: q.Name + "/symple",
+		Map:  sympleMapFunc(q, &mu, &stats),
+		Reduce: func(_ int, key string, values []mapreduce.Shuffled) error {
+			// values arrive ordered by (mapperID, recordID): the order
+			// the chunks appear in the input.
+			sums, err := decodeSummaryBundles[S](q.NewState, values)
+			if err != nil {
+				return err
+			}
+			final, err := sym.ApplyAll(q.NewState(), sums)
+			if err != nil {
+				return fmt.Errorf("composing %d summaries: %w", len(sums), err)
+			}
+			r := q.Result(key, final)
+			mu.Lock()
+			results[key] = r
+			mu.Unlock()
+			return nil
+		},
+		Conf: conf,
+	}
+	metrics, err := job.Run(segments)
+	if err != nil {
+		return nil, err
+	}
+	return &Output[R]{Results: results, Metrics: metrics, Sym: stats}, nil
+}

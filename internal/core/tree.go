@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mapreduce"
+	"repro/internal/sym"
+	"repro/internal/wire"
+)
+
+// RunSympleTree is RunSymple with the reducer's composition restructured
+// as a parallel binary tree (paper §3.6: function composition is
+// associative, so rather than apply summaries to the running state one
+// by one, adjacent summaries can be pre-composed pairwise in parallel
+// and the single resulting summary applied once).
+//
+// For groups with many summaries this trades extra total work (summary
+// composition is a cross product) for reduction-depth parallelism —
+// worthwhile when a single group dominates a reducer, as in B1. The
+// ablation benchmarks compare both strategies.
+func RunSympleTree[S sym.State, E, R any](q *Query[S, E, R], segments []*mapreduce.Segment, conf mapreduce.Config) (*Output[R], error) {
+	if err := validateQuery(q); err != nil {
+		return nil, err
+	}
+	var mu sync.Mutex
+	results := make(map[string]R)
+	stats := SymStats{}
+	job := &mapreduce.Job{
+		Name:   q.Name + "/symple-tree",
+		Map:    sympleMapFunc(q, &mu, &stats),
+		Reduce: treeReduceFunc(q, &mu, results),
+		Conf:   conf,
+	}
+	metrics, err := job.Run(segments)
+	if err != nil {
+		return nil, err
+	}
+	return &Output[R]{Results: results, Metrics: metrics, Sym: stats}, nil
+}
+
+// sympleMapFunc is the shared SYMPLE mapper: groupby plus symbolic UDA
+// execution per group, emitting one summary bundle per group.
+func sympleMapFunc[S sym.State, E, R any](q *Query[S, E, R], mu *sync.Mutex, stats *SymStats) mapreduce.MapFunc {
+	return func(mapperID int, seg *mapreduce.Segment, emit mapreduce.Emit) error {
+		execs := make(map[string]*sym.Executor[S, E])
+		lastRec := make(map[string]int64)
+		var order []string
+		for i, rec := range seg.Records {
+			key, ev, ok := q.GroupBy(rec)
+			if !ok {
+				continue
+			}
+			x := execs[key]
+			if x == nil {
+				x = sym.NewExecutor(q.NewState, q.Update, q.Options)
+				execs[key] = x
+				order = append(order, key)
+			}
+			if err := x.Feed(ev); err != nil {
+				return fmt.Errorf("key %q: %w", key, err)
+			}
+			lastRec[key] = int64(i)
+		}
+		local := SymStats{}
+		for _, key := range order {
+			x := execs[key]
+			sums, err := x.Finish()
+			if err != nil {
+				return fmt.Errorf("key %q: %w", key, err)
+			}
+			e := wire.NewEncoder(64)
+			e.Uvarint(uint64(len(sums)))
+			for _, s := range sums {
+				s.Encode(e)
+			}
+			emit(key, lastRec[key], e.Bytes())
+			st := x.Stats()
+			local.Records += st.Records
+			local.Runs += st.Runs
+			local.Merges += st.Merges
+			local.Restarts += st.Restarts
+			local.Summaries += len(sums)
+		}
+		mu.Lock()
+		stats.Records += local.Records
+		stats.Runs += local.Runs
+		stats.Merges += local.Merges
+		stats.Restarts += local.Restarts
+		stats.Summaries += local.Summaries
+		mu.Unlock()
+		return nil
+	}
+}
+
+// treeReduceFunc composes a group's summaries as a parallel binary tree
+// and applies the single result to the initial state.
+func treeReduceFunc[S sym.State, E, R any](q *Query[S, E, R], mu *sync.Mutex, results map[string]R) mapreduce.ReduceFunc {
+	return func(_ int, key string, values []mapreduce.Shuffled) error {
+		sums, err := decodeSummaryBundles[S](q.NewState, values)
+		if err != nil {
+			return err
+		}
+		composed, err := composeTree(sums)
+		if err != nil {
+			return fmt.Errorf("key %q: %w", key, err)
+		}
+		final, err := composed.Apply(q.NewState())
+		if err != nil {
+			return fmt.Errorf("key %q: %w", key, err)
+		}
+		r := q.Result(key, final)
+		mu.Lock()
+		results[key] = r
+		mu.Unlock()
+		return nil
+	}
+}
+
+// decodeSummaryBundles decodes the ordered summary bundles of one group.
+func decodeSummaryBundles[S sym.State](newState func() S, values []mapreduce.Shuffled) ([]*sym.Summary[S], error) {
+	var sums []*sym.Summary[S]
+	for _, v := range values {
+		d := wire.NewDecoder(v.Value)
+		n := d.Length(d.Remaining() + 1)
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			s, err := sym.DecodeSummary(newState, d)
+			if err != nil {
+				return nil, err
+			}
+			sums = append(sums, s)
+		}
+	}
+	return sums, nil
+}
+
+// composeTree reduces ordered summaries pairwise, level by level, with
+// the pairs of each level composed concurrently.
+func composeTree[S sym.State](sums []*sym.Summary[S]) (*sym.Summary[S], error) {
+	if len(sums) == 0 {
+		return nil, fmt.Errorf("core: no summaries to compose")
+	}
+	level := sums
+	for len(level) > 1 {
+		next := make([]*sym.Summary[S], (len(level)+1)/2)
+		errs := make([]error, len(next))
+		var wg sync.WaitGroup
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next[i/2] = level[i]
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				next[i/2], errs[i/2] = level[i].ComposeWith(level[i+1])
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		level = next
+	}
+	return level[0], nil
+}

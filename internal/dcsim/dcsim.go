@@ -1,0 +1,326 @@
+// Package dcsim is a discrete-event (fluid) datacenter simulator used to
+// replay measured MapReduce task costs at cluster scale.
+//
+// The paper evaluates SYMPLE on clusters we do not have: Amazon Elastic
+// MapReduce instances reading from S3 (§6.3) and a 380-node shared Hadoop
+// cluster (§6.4). The in-process engine measures per-task CPU seconds and
+// exact shuffle bytes; this package maps those costs onto a modeled
+// cluster — nodes with core slots, disk bandwidth, NIC bandwidth, and an
+// optional remote-store (S3) bandwidth cap — to produce end-to-end job
+// latency. Because both the baseline and SYMPLE jobs are replayed through
+// the same model, the comparison (who wins, by how much, and where reads
+// dominate compute) is preserved even though absolute numbers are
+// synthetic.
+//
+// Execution model, deliberately close to stock Hadoop:
+//
+//  1. Map phase: map tasks are scheduled FIFO onto free core slots. A
+//     running task pipelines input reading with computation; it finishes
+//     when both its bytes and its CPU seconds are done. IO bandwidth is
+//     shared equally among a node's running readers and capped by the
+//     remote store when reads are remote.
+//  2. Shuffle: starts when the map phase ends (no slow-start overlap);
+//     its duration is bounded by the most loaded NIC, egress or ingress.
+//  3. Reduce phase: reduce tasks scheduled FIFO onto slots, pure CPU
+//     (sort cost is folded into the measured reduce CPU).
+//
+// Plus a fixed scheduling overhead, dominant on the shared 380-node
+// cluster per §6.4.
+package dcsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeSpec describes one machine.
+type NodeSpec struct {
+	Cores    int
+	DiskMBps float64 // local read bandwidth
+	NetMBps  float64 // NIC bandwidth, each direction
+}
+
+// Cluster describes the modeled datacenter.
+type Cluster struct {
+	Nodes int
+	Node  NodeSpec
+
+	// RemoteReadMBps, when positive, caps each node's input reads (the
+	// S3 connection of the EMR experiments). Zero means inputs are on
+	// local disk.
+	RemoteReadMBps float64
+
+	// RemoteAggMBps, when positive, caps the cluster's aggregate remote
+	// read bandwidth.
+	RemoteAggMBps float64
+
+	// SchedulingOverheadS is added once per job (shared-cluster queueing,
+	// JVM spin-up, etc.).
+	SchedulingOverheadS float64
+
+	// StragglerEvery, when positive, marks every k-th task a straggler
+	// whose CPU work is multiplied by StragglerSlowdown — the shared-
+	// cluster effect that makes reducer fan-out matter (the paper runs
+	// 50 reducers "to ensure jobs are not limited by the latency of any
+	// one reducer"). Deterministic so simulations are repeatable.
+	StragglerEvery    int
+	StragglerSlowdown float64
+}
+
+// taskCPU applies the straggler model to task index i.
+func (c Cluster) taskCPU(i int, cpu float64) float64 {
+	if c.StragglerEvery > 0 && c.StragglerSlowdown > 1 && i%c.StragglerEvery == c.StragglerEvery-1 {
+		return cpu * c.StragglerSlowdown
+	}
+	return cpu
+}
+
+// MapTask is one map task's replayed cost.
+type MapTask struct {
+	InputBytes int64
+	CPUSeconds float64
+	// OutBytes[r] is the shuffle payload destined to reducer r.
+	OutBytes []int64
+}
+
+// ReduceTask is one reduce task's replayed cost. Its shuffle ingress is
+// derived from the map tasks' OutBytes.
+type ReduceTask struct {
+	CPUSeconds float64
+}
+
+// Job is a complete MapReduce job to simulate.
+type Job struct {
+	Maps    []MapTask
+	Reduces []ReduceTask
+}
+
+// Result is the simulated outcome.
+type Result struct {
+	MapPhaseS    float64
+	ShuffleS     float64
+	ReducePhaseS float64
+	TotalS       float64
+	CPUSeconds   float64 // total compute consumed (map + reduce)
+	ShuffleBytes int64
+}
+
+// Simulate runs the job on the cluster.
+func Simulate(c Cluster, j Job) (Result, error) {
+	if c.Nodes <= 0 || c.Node.Cores <= 0 {
+		return Result{}, fmt.Errorf("dcsim: cluster must have nodes and cores")
+	}
+	if c.Node.DiskMBps <= 0 || c.Node.NetMBps <= 0 {
+		return Result{}, fmt.Errorf("dcsim: node bandwidths must be positive")
+	}
+	var res Result
+
+	// ---- Map phase: fluid simulation with shared IO ----
+	res.MapPhaseS = simulateMapPhase(c, j.Maps)
+
+	// ---- Shuffle ----
+	numReducers := len(j.Reduces)
+	egress := make([]float64, c.Nodes) // bytes leaving each node
+	ingress := make([]float64, c.Nodes)
+	var shuffleBytes int64
+	for i, m := range j.Maps {
+		node := i % c.Nodes
+		for r, b := range m.OutBytes {
+			if numReducers == 0 {
+				break
+			}
+			rnode := r % c.Nodes
+			shuffleBytes += b
+			if rnode == node {
+				continue // local: no network
+			}
+			egress[node] += float64(b)
+			ingress[rnode] += float64(b)
+		}
+	}
+	res.ShuffleBytes = shuffleBytes
+	net := c.Node.NetMBps * 1e6
+	var worst float64
+	for n := 0; n < c.Nodes; n++ {
+		if t := egress[n] / net; t > worst {
+			worst = t
+		}
+		if t := ingress[n] / net; t > worst {
+			worst = t
+		}
+	}
+	res.ShuffleS = worst
+
+	// ---- Reduce phase: pure CPU on slots ----
+	res.ReducePhaseS = simulateCPUPhase(c, j.Reduces)
+
+	for _, m := range j.Maps {
+		res.CPUSeconds += m.CPUSeconds
+	}
+	for _, r := range j.Reduces {
+		res.CPUSeconds += r.CPUSeconds
+	}
+	res.TotalS = c.SchedulingOverheadS + res.MapPhaseS + res.ShuffleS + res.ReducePhaseS
+	return res, nil
+}
+
+// runningTask is a map task in flight during the fluid simulation.
+type runningTask struct {
+	node   int
+	ioRem  float64 // bytes left to read
+	cpuRem float64 // seconds left to compute
+}
+
+// simulateMapPhase schedules map tasks FIFO onto core slots and advances
+// a fluid model where each running task's IO rate is its equal share of
+// its node's read bandwidth (and of the aggregate remote cap), and its
+// CPU rate is one dedicated core. A task completes when both resources
+// are drained (read and compute are pipelined).
+func simulateMapPhase(c Cluster, maps []MapTask) float64 {
+	if len(maps) == 0 {
+		return 0
+	}
+	perNodeRead := c.Node.DiskMBps * 1e6
+	if c.RemoteReadMBps > 0 {
+		perNodeRead = c.RemoteReadMBps * 1e6
+	}
+	slotsFree := make([]int, c.Nodes)
+	for n := range slotsFree {
+		slotsFree[n] = c.Node.Cores
+	}
+	readersOnNode := make([]int, c.Nodes)
+
+	next := 0 // next task to schedule; task i is pinned to node i%Nodes
+	var running []runningTask
+	now := 0.0
+
+	schedule := func() {
+		for next < len(maps) {
+			node := next % c.Nodes
+			if slotsFree[node] == 0 {
+				// FIFO with pinned placement: stop at the first task
+				// whose node is busy (input splits live where they
+				// live). This models wave-based map execution.
+				break
+			}
+			slotsFree[node]--
+			t := runningTask{
+				node:   node,
+				ioRem:  float64(maps[next].InputBytes),
+				cpuRem: c.taskCPU(next, maps[next].CPUSeconds),
+			}
+			if t.ioRem > 0 {
+				readersOnNode[node]++
+			}
+			running = append(running, t)
+			next++
+		}
+	}
+	schedule()
+
+	for len(running) > 0 {
+		// Per-task rates under the current task set.
+		totalReaders := 0
+		for n := range readersOnNode {
+			totalReaders += readersOnNode[n]
+		}
+		aggShare := math.Inf(1)
+		if c.RemoteAggMBps > 0 && totalReaders > 0 {
+			aggShare = c.RemoteAggMBps * 1e6 / float64(totalReaders)
+		}
+		rates := make([]float64, len(running))
+		dt := math.Inf(1)
+		for i := range running {
+			t := &running[i]
+			rate := 0.0
+			if t.ioRem > 0 {
+				rate = perNodeRead / float64(readersOnNode[t.node])
+				if rate > aggShare {
+					rate = aggShare
+				}
+			}
+			rates[i] = rate
+			// Completion time under constant rates: both pipes must
+			// drain.
+			fin := t.cpuRem
+			if t.ioRem > 0 {
+				if rate == 0 {
+					fin = math.Inf(1)
+				} else if io := t.ioRem / rate; io > fin {
+					fin = io
+				}
+			}
+			if fin < dt {
+				dt = fin
+			}
+		}
+		if math.IsInf(dt, 1) || dt < 0 {
+			// Cannot happen with positive bandwidths; guard anyway.
+			break
+		}
+		now += dt
+		// Advance everyone and retire completed tasks.
+		alive := running[:0]
+		for i := range running {
+			t := running[i]
+			if t.ioRem > 0 {
+				t.ioRem -= rates[i] * dt
+				if t.ioRem <= 1e-9 {
+					t.ioRem = 0
+					readersOnNode[t.node]--
+				}
+			}
+			t.cpuRem -= dt
+			if t.cpuRem <= 1e-9 {
+				t.cpuRem = 0
+			}
+			if t.ioRem == 0 && t.cpuRem == 0 {
+				slotsFree[t.node]++
+			} else {
+				alive = append(alive, t)
+			}
+		}
+		running = alive
+		schedule()
+	}
+	return now
+}
+
+// simulateCPUPhase packs pure-CPU tasks onto the cluster's slots (LPT
+// list scheduling) and returns the makespan.
+func simulateCPUPhase(c Cluster, tasks []ReduceTask) float64 {
+	if len(tasks) == 0 {
+		return 0
+	}
+	slots := c.Nodes * c.Node.Cores
+	durs := make([]float64, len(tasks))
+	for i, t := range tasks {
+		durs[i] = c.taskCPU(i, t.CPUSeconds)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(durs)))
+	if len(durs) < slots {
+		slots = len(durs)
+	}
+	if slots == 0 {
+		return 0
+	}
+	// Greedy longest-processing-time onto least-loaded slot.
+	loads := make([]float64, slots)
+	for _, d := range durs {
+		min := 0
+		for s := 1; s < slots; s++ {
+			if loads[s] < loads[min] {
+				min = s
+			}
+		}
+		loads[min] += d
+	}
+	var makespan float64
+	for _, l := range loads {
+		if l > makespan {
+			makespan = l
+		}
+	}
+	return makespan
+}

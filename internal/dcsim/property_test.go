@@ -1,0 +1,120 @@
+package dcsim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// simJob generates small random jobs for property checks.
+type simJob struct {
+	Maps    []MapTask
+	Reduces []ReduceTask
+}
+
+func (simJob) Generate(r *rand.Rand, _ int) reflect.Value {
+	nm := 1 + r.Intn(12)
+	nr := 1 + r.Intn(4)
+	j := simJob{}
+	for i := 0; i < nm; i++ {
+		out := make([]int64, nr)
+		for k := range out {
+			out[k] = int64(r.Intn(1e6))
+		}
+		j.Maps = append(j.Maps, MapTask{
+			InputBytes: int64(r.Intn(1e8)),
+			CPUSeconds: r.Float64() * 5,
+			OutBytes:   out,
+		})
+	}
+	for i := 0; i < nr; i++ {
+		j.Reduces = append(j.Reduces, ReduceTask{CPUSeconds: r.Float64() * 3})
+	}
+	return reflect.ValueOf(j)
+}
+
+// TestQuickSimulationBounds: for any job, the simulated phases respect
+// the physical lower bounds (work cannot finish faster than the
+// aggregate resources allow) and sane upper bounds (no slot left idle
+// while work remains would exceed serial execution).
+func TestQuickSimulationBounds(t *testing.T) {
+	c := Cluster{Nodes: 3, Node: NodeSpec{Cores: 2, DiskMBps: 100, NetMBps: 100}}
+	f := func(j simJob) bool {
+		res, err := Simulate(c, Job{Maps: j.Maps, Reduces: j.Reduces})
+		if err != nil {
+			return false
+		}
+		// Lower bounds.
+		var cpuTotal, ioTotal, maxTaskCPU float64
+		for _, m := range j.Maps {
+			cpuTotal += m.CPUSeconds
+			ioTotal += float64(m.InputBytes)
+			if m.CPUSeconds > maxTaskCPU {
+				maxTaskCPU = m.CPUSeconds
+			}
+		}
+		slots := float64(c.Nodes * c.Node.Cores)
+		lb := cpuTotal / slots
+		if v := ioTotal / (float64(c.Nodes) * c.Node.DiskMBps * 1e6); v > lb {
+			lb = v
+		}
+		if maxTaskCPU > lb {
+			lb = maxTaskCPU
+		}
+		if res.MapPhaseS < lb-1e-6 {
+			t.Logf("map phase %.4f below lower bound %.4f", res.MapPhaseS, lb)
+			return false
+		}
+		// Upper bound: serial execution of everything on one core and
+		// one disk.
+		ub := cpuTotal + ioTotal/(c.Node.DiskMBps*1e6) + 1e-6
+		if res.MapPhaseS > ub {
+			t.Logf("map phase %.4f above serial bound %.4f", res.MapPhaseS, ub)
+			return false
+		}
+		// Reduce phase bounds.
+		var redTotal, redMax float64
+		for _, r := range j.Reduces {
+			redTotal += r.CPUSeconds
+			if r.CPUSeconds > redMax {
+				redMax = r.CPUSeconds
+			}
+		}
+		if res.ReducePhaseS < redMax-1e-9 || res.ReducePhaseS > redTotal+1e-9 {
+			t.Logf("reduce phase %.4f outside [%.4f, %.4f]", res.ReducePhaseS, redMax, redTotal)
+			return false
+		}
+		// Totals compose.
+		want := res.MapPhaseS + res.ShuffleS + res.ReducePhaseS + c.SchedulingOverheadS
+		if res.TotalS < want-1e-6 || res.TotalS > want+1e-6 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickShuffleSymmetry: total shuffle bytes reported equal the sum
+// of map OutBytes regardless of placement.
+func TestQuickShuffleSymmetry(t *testing.T) {
+	c := Cluster{Nodes: 4, Node: NodeSpec{Cores: 2, DiskMBps: 100, NetMBps: 100}}
+	f := func(j simJob) bool {
+		res, err := Simulate(c, Job{Maps: j.Maps, Reduces: j.Reduces})
+		if err != nil {
+			return false
+		}
+		var want int64
+		for _, m := range j.Maps {
+			for _, b := range m.OutBytes {
+				want += b
+			}
+		}
+		return res.ShuffleBytes == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,284 @@
+// Package mapreduce is an in-process Hadoop-style execution engine:
+// parallel map tasks over ordered input segments, a hash-partitioned
+// sort-based shuffle, and parallel reduce tasks over per-key groups.
+//
+// It reproduces the substrate SYMPLE runs on (paper §5.4). Two details
+// matter for the reproduction and are modeled faithfully:
+//
+//   - Ordering. MapReduce treats a group's records as a set, but SYMPLE
+//     needs the original input order, so every shuffled record carries the
+//     (mapperID, recordID) pair and the shuffle sorts each group
+//     lexicographically by it — the paper's triple (mapper_id, record_id,
+//     R).
+//   - Accounting. The shuffle counts the exact wire bytes crossing the
+//     map→reduce boundary, the quantity behind the paper's Figures 6
+//     and 8, and per-task wall/CPU costs that the cluster simulator
+//     replays at datacenter scale.
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Segment is one ordered slice of the input, as stored in one distributed
+// file chunk. Segment IDs order the global input: the concatenation of
+// segments by ID is the full dataset.
+type Segment struct {
+	ID      int
+	Records [][]byte
+}
+
+// Bytes returns the total payload size of the segment.
+func (s *Segment) Bytes() int64 {
+	var n int64
+	for _, r := range s.Records {
+		n += int64(len(r))
+	}
+	return n
+}
+
+// Emit sends one keyed record from a mapper into the shuffle. recordID
+// must be the record's position within the mapper's segment so the
+// reducer can restore input order within each group.
+type Emit func(key string, recordID int64, value []byte)
+
+// MapFunc processes one input segment. mapperID is the segment's ID.
+type MapFunc func(mapperID int, seg *Segment, emit Emit) error
+
+// Shuffled is one record delivered to a reducer, already ordered within
+// its group by (MapperID, RecordID).
+type Shuffled struct {
+	MapperID int
+	RecordID int64
+	Value    []byte
+}
+
+// ReduceFunc processes one key group.
+type ReduceFunc func(reducerID int, key string, values []Shuffled) error
+
+// Config configures a job.
+type Config struct {
+	// NumReducers is the reduce-task count. Default 1.
+	NumReducers int
+	// Parallelism caps concurrently running tasks. Default GOMAXPROCS.
+	Parallelism int
+	// ExternalSort pipes each reduce partition through the system sort
+	// binary, reproducing the paper's §6.2 single-machine baseline that
+	// shuffles mapper output through Unix sort. Falls back to the
+	// in-process sort when no sort binary is available.
+	ExternalSort bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumReducers <= 0 {
+		c.NumReducers = 1
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// TaskMetrics records one task's cost, replayed by the cluster simulator.
+type TaskMetrics struct {
+	Duration   time.Duration
+	InputBytes int64
+	// OutBytes is, for map tasks, the wire bytes destined to each
+	// reducer; for reduce tasks it is nil.
+	OutBytes []int64
+}
+
+// Metrics aggregates a job run.
+type Metrics struct {
+	InputBytes     int64
+	InputRecords   int64
+	ShuffleBytes   int64
+	ShuffleRecords int64
+	MapWall        time.Duration
+	ReduceWall     time.Duration
+	TotalWall      time.Duration
+	MapCPU         time.Duration // summed task durations
+	ReduceCPU      time.Duration
+	MapTasks       []TaskMetrics
+	ReduceTasks    []TaskMetrics
+	Groups         int64
+}
+
+// kvRec is a shuffled record inside the engine.
+type kvRec struct {
+	key      string
+	mapperID int
+	recordID int64
+	value    []byte
+}
+
+// wireSize is the record's cost on the wire: the same framing a Hadoop
+// intermediate file would use (length-prefixed key and value plus the
+// ordering pair as varints).
+func (r *kvRec) wireSize() int64 {
+	e := wire.NewEncoder(0)
+	e.Uvarint(uint64(len(r.key)))
+	e.Uvarint(uint64(r.mapperID))
+	e.Uvarint(uint64(r.recordID))
+	e.Uvarint(uint64(len(r.value)))
+	return int64(e.Len()) + int64(len(r.key)) + int64(len(r.value))
+}
+
+// Job is one configured MapReduce execution.
+type Job struct {
+	Name   string
+	Map    MapFunc
+	Reduce ReduceFunc
+	Conf   Config
+}
+
+// Run executes the job over the input segments and returns its metrics.
+func (j *Job) Run(segments []*Segment) (*Metrics, error) {
+	conf := j.Conf.withDefaults()
+	m := &Metrics{}
+	start := time.Now()
+
+	// ---- Map phase ----
+	mapStart := time.Now()
+	type mapOut struct {
+		parts [][]kvRec
+		task  TaskMetrics
+		err   error
+	}
+	outs := make([]mapOut, len(segments))
+	sem := make(chan struct{}, conf.Parallelism)
+	var wg sync.WaitGroup
+	for i, seg := range segments {
+		wg.Add(1)
+		go func(i int, seg *Segment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			parts := make([][]kvRec, conf.NumReducers)
+			outBytes := make([]int64, conf.NumReducers)
+			emit := func(key string, recordID int64, value []byte) {
+				rec := kvRec{key: key, mapperID: seg.ID, recordID: recordID, value: value}
+				p := partition(key, conf.NumReducers)
+				parts[p] = append(parts[p], rec)
+				outBytes[p] += rec.wireSize()
+			}
+			err := j.Map(seg.ID, seg, emit)
+			outs[i] = mapOut{
+				parts: parts,
+				task: TaskMetrics{
+					Duration:   time.Since(t0),
+					InputBytes: seg.Bytes(),
+					OutBytes:   outBytes,
+				},
+				err: err,
+			}
+		}(i, seg)
+	}
+	wg.Wait()
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, fmt.Errorf("mapreduce %q: map task %d: %w", j.Name, segments[i].ID, o.err)
+		}
+		m.MapTasks = append(m.MapTasks, o.task)
+		m.MapCPU += o.task.Duration
+		m.InputBytes += o.task.InputBytes
+		m.InputRecords += int64(len(segments[i].Records))
+	}
+	m.MapWall = time.Since(mapStart)
+
+	// ---- Shuffle: partition, count, sort ----
+	partitions := make([][]kvRec, conf.NumReducers)
+	for _, o := range outs {
+		for p := range o.parts {
+			partitions[p] = append(partitions[p], o.parts[p]...)
+		}
+		for p, b := range o.task.OutBytes {
+			_ = p
+			m.ShuffleBytes += b
+		}
+	}
+	for p := range partitions {
+		m.ShuffleRecords += int64(len(partitions[p]))
+	}
+
+	// ---- Reduce phase ----
+	reduceStart := time.Now()
+	redErrs := make([]error, conf.NumReducers)
+	redTasks := make([]TaskMetrics, conf.NumReducers)
+	groupCounts := make([]int64, conf.NumReducers)
+	var rwg sync.WaitGroup
+	for p := 0; p < conf.NumReducers; p++ {
+		rwg.Add(1)
+		go func(p int) {
+			defer rwg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			part := partitions[p]
+			// The merge/sort of the partition is reducer work in Hadoop
+			// and is attributed to the reduce task here too: its cost on
+			// full-data shuffles is part of what SYMPLE's tiny summaries
+			// avoid.
+			if conf.ExternalSort && externalSortAvailable() {
+				part = externalSort(part)
+			} else {
+				sortPartition(part)
+			}
+			var inBytes int64
+			for i := range part {
+				inBytes += part[i].wireSize()
+			}
+			for lo := 0; lo < len(part); {
+				hi := lo + 1
+				for hi < len(part) && part[hi].key == part[lo].key {
+					hi++
+				}
+				group := make([]Shuffled, hi-lo)
+				for i := lo; i < hi; i++ {
+					group[i-lo] = Shuffled{
+						MapperID: part[i].mapperID,
+						RecordID: part[i].recordID,
+						Value:    part[i].value,
+					}
+				}
+				groupCounts[p]++
+				if err := j.Reduce(p, part[lo].key, group); err != nil {
+					redErrs[p] = fmt.Errorf("mapreduce %q: reduce task %d key %q: %w",
+						j.Name, p, part[lo].key, err)
+					return
+				}
+				lo = hi
+			}
+			redTasks[p] = TaskMetrics{Duration: time.Since(t0), InputBytes: inBytes}
+		}(p)
+	}
+	rwg.Wait()
+	for _, err := range redErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for p := range redTasks {
+		m.ReduceTasks = append(m.ReduceTasks, redTasks[p])
+		m.ReduceCPU += redTasks[p].Duration
+		m.Groups += groupCounts[p]
+	}
+	m.ReduceWall = time.Since(reduceStart)
+	m.TotalWall = time.Since(start)
+	return m, nil
+}
+
+// partition assigns a key to a reducer by FNV-1a hash, Hadoop's default
+// strategy modulo the hash function.
+func partition(key string, n int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}

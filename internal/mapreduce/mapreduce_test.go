@@ -1,0 +1,260 @@
+package mapreduce
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func segmentsFromLines(lines []string, numSegments int) []*Segment {
+	segs := make([]*Segment, numSegments)
+	for i := range segs {
+		segs[i] = &Segment{ID: i}
+	}
+	for i, l := range lines {
+		s := segs[i*numSegments/len(lines)]
+		s.Records = append(s.Records, []byte(l))
+	}
+	return segs
+}
+
+func TestWordCount(t *testing.T) {
+	lines := []string{
+		"the quick brown fox",
+		"jumps over the lazy dog",
+		"the dog barks",
+	}
+	segs := segmentsFromLines(lines, 2)
+
+	var mu sync.Mutex
+	counts := map[string]int{}
+	job := &Job{
+		Name: "wordcount",
+		Map: func(id int, seg *Segment, emit Emit) error {
+			for i, rec := range seg.Records {
+				for _, w := range strings.Fields(string(rec)) {
+					emit(w, int64(i), []byte("1"))
+				}
+			}
+			return nil
+		},
+		Reduce: func(_ int, key string, values []Shuffled) error {
+			mu.Lock()
+			counts[key] = len(values)
+			mu.Unlock()
+			return nil
+		},
+		Conf: Config{NumReducers: 3},
+	}
+	m, err := job.Run(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"the": 3, "dog": 2, "quick": 1, "brown": 1,
+		"fox": 1, "jumps": 1, "over": 1, "lazy": 1, "barks": 1}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("count[%q] = %d, want %d", k, counts[k], v)
+		}
+	}
+	if m.Groups != int64(len(want)) {
+		t.Errorf("groups = %d, want %d", m.Groups, len(want))
+	}
+	if m.ShuffleRecords != 12 {
+		t.Errorf("shuffle records = %d, want 12", m.ShuffleRecords)
+	}
+	if m.ShuffleBytes <= 0 || m.InputBytes <= 0 {
+		t.Error("byte accounting missing")
+	}
+	if len(m.MapTasks) != 2 || len(m.ReduceTasks) != 3 {
+		t.Errorf("task metrics: %d map, %d reduce", len(m.MapTasks), len(m.ReduceTasks))
+	}
+}
+
+// TestShuffleOrdering verifies the paper's §5.4 requirement: within a
+// group, records arrive sorted by (mapperID, recordID) regardless of map
+// completion order, reconstituting the global input order.
+func TestShuffleOrdering(t *testing.T) {
+	const perSeg = 50
+	segs := make([]*Segment, 4)
+	for i := range segs {
+		segs[i] = &Segment{ID: i}
+		for r := 0; r < perSeg; r++ {
+			segs[i].Records = append(segs[i].Records,
+				[]byte(fmt.Sprintf("%d", i*perSeg+r)))
+		}
+	}
+	var mu sync.Mutex
+	var got []int
+	job := &Job{
+		Name: "order",
+		Map: func(id int, seg *Segment, emit Emit) error {
+			for i, rec := range seg.Records {
+				emit("all", int64(i), rec)
+			}
+			return nil
+		},
+		Reduce: func(_ int, _ string, values []Shuffled) error {
+			mu.Lock()
+			defer mu.Unlock()
+			prevMapper, prevRec := -1, int64(-1)
+			for _, v := range values {
+				if v.MapperID < prevMapper ||
+					(v.MapperID == prevMapper && v.RecordID <= prevRec) {
+					return fmt.Errorf("order violated: (%d,%d) after (%d,%d)",
+						v.MapperID, v.RecordID, prevMapper, prevRec)
+				}
+				prevMapper, prevRec = v.MapperID, v.RecordID
+				n, _ := strconv.Atoi(string(v.Value))
+				got = append(got, n)
+			}
+			return nil
+		},
+		Conf: Config{NumReducers: 1},
+	}
+	if _, err := job.Run(segs); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4*perSeg {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("position %d has %d: global order not reconstituted", i, v)
+		}
+	}
+}
+
+func TestPartitionStability(t *testing.T) {
+	// Same key always lands on the same reducer.
+	for _, key := range []string{"", "a", "user42", "advertiser-9"} {
+		p := partition(key, 7)
+		for i := 0; i < 10; i++ {
+			if partition(key, 7) != p {
+				t.Fatalf("partition(%q) unstable", key)
+			}
+		}
+		if p < 0 || p >= 7 {
+			t.Fatalf("partition(%q) = %d out of range", key, p)
+		}
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	sentinel := errors.New("boom")
+	job := &Job{
+		Name:   "failing",
+		Map:    func(int, *Segment, Emit) error { return sentinel },
+		Reduce: func(int, string, []Shuffled) error { return nil },
+	}
+	_, err := job.Run([]*Segment{{ID: 0, Records: [][]byte{[]byte("x")}}})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestReduceErrorPropagates(t *testing.T) {
+	sentinel := errors.New("boom")
+	job := &Job{
+		Name: "failing",
+		Map: func(_ int, seg *Segment, emit Emit) error {
+			emit("k", 0, []byte("v"))
+			return nil
+		},
+		Reduce: func(int, string, []Shuffled) error { return sentinel },
+	}
+	_, err := job.Run([]*Segment{{ID: 0, Records: [][]byte{[]byte("x")}}})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	job := &Job{
+		Name:   "empty",
+		Map:    func(int, *Segment, Emit) error { return nil },
+		Reduce: func(int, string, []Shuffled) error { return nil },
+	}
+	m, err := job.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ShuffleRecords != 0 || m.Groups != 0 {
+		t.Fatal("nonzero metrics on empty input")
+	}
+}
+
+func TestShuffleByteAccounting(t *testing.T) {
+	// Shuffle bytes must be at least the payload bytes emitted and equal
+	// the sum of per-map-task out bytes.
+	payload := bytes.Repeat([]byte("v"), 100)
+	job := &Job{
+		Name: "bytes",
+		Map: func(_ int, seg *Segment, emit Emit) error {
+			for i := range seg.Records {
+				emit("key", int64(i), payload)
+			}
+			return nil
+		},
+		Reduce: func(int, string, []Shuffled) error { return nil },
+		Conf:   Config{NumReducers: 2},
+	}
+	segs := segmentsFromLines([]string{"a", "b", "c", "d"}, 2)
+	m, err := job.Run(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ShuffleBytes < 400 {
+		t.Fatalf("shuffle bytes %d < payload 400", m.ShuffleBytes)
+	}
+	var fromTasks int64
+	for _, task := range m.MapTasks {
+		for _, b := range task.OutBytes {
+			fromTasks += b
+		}
+	}
+	if fromTasks != m.ShuffleBytes {
+		t.Fatalf("task out bytes %d != shuffle bytes %d", fromTasks, m.ShuffleBytes)
+	}
+}
+
+func TestManyGroupsAcrossReducers(t *testing.T) {
+	// Every key appears exactly once at exactly one reducer.
+	var mu sync.Mutex
+	seen := map[string]int{}
+	job := &Job{
+		Name: "groups",
+		Map: func(_ int, seg *Segment, emit Emit) error {
+			for i, rec := range seg.Records {
+				emit(string(rec), int64(i), nil)
+			}
+			return nil
+		},
+		Reduce: func(_ int, key string, values []Shuffled) error {
+			mu.Lock()
+			seen[key]++
+			mu.Unlock()
+			return nil
+		},
+		Conf: Config{NumReducers: 5},
+	}
+	var lines []string
+	for i := 0; i < 500; i++ {
+		lines = append(lines, fmt.Sprintf("key-%d", i%100))
+	}
+	if _, err := job.Run(segmentsFromLines(lines, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 100 {
+		t.Fatalf("saw %d keys, want 100", len(seen))
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("key %q reduced %d times", k, n)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package queries
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/sym"
+	"repro/internal/wire"
+)
+
+// RedShift ad-impression schema:
+// datetime  advertiser  campaign  country  [extra fields in the complete
+// variant] (data.GenRedshift). The same query code runs on both variants
+// (R1–R4 on complete, R1c–R4c on condensed): only the input differs.
+
+// ---- R1: impressions per advertiser ----
+
+type r1State struct {
+	Count sym.SymInt
+}
+
+func (s *r1State) Fields() []sym.Value { return []sym.Value{&s.Count} }
+
+// R1 counts impressions per advertiser — counting written as a UDA, the
+// paper's canonical example of an aggregation systems normally special-
+// case but SYMPLE parallelizes automatically.
+func R1() *Spec {
+	q := &core.Query[*r1State, struct{}, int64]{
+		Name: "R1",
+		GroupBy: func(rec []byte) (string, struct{}, bool) {
+			adv := data.Field(rec, 1)
+			if adv == nil {
+				return "", struct{}{}, false
+			}
+			return string(adv), struct{}{}, true
+		},
+		NewState: func() *r1State { return &r1State{Count: sym.NewSymInt(0)} },
+		Update: func(_ *sym.Ctx, s *r1State, _ struct{}) {
+			s.Count.Inc()
+		},
+		Result:      func(_ string, s *r1State) int64 { return s.Count.Get() },
+		EncodeEvent: func(*wire.Encoder, struct{}) {},
+		DecodeEvent: func(d *wire.Decoder) (struct{}, error) { return struct{}{}, d.Err() },
+	}
+	return makeSpec("R1", "Number of impressions per advertiser", "redshift",
+		false, true, false, q,
+		func(key string, count int64) string { return fmt.Sprintf("%s:%d", key, count) })
+}
+
+// ---- R2: advertisers operating only in a single country ----
+
+// The country tracker is a SymEnum over the closed country domain plus a
+// sentinel for "no country seen yet".
+var r2Sentinel = int64(len(data.RedshiftCountries))
+
+type r2State struct {
+	Country sym.SymEnum
+	Multi   sym.SymBool
+	Count   sym.SymInt
+}
+
+func (s *r2State) Fields() []sym.Value {
+	return []sym.Value{&s.Country, &s.Multi, &s.Count}
+}
+
+// R2 lists advertisers whose every impression is in one country.
+func R2() *Spec {
+	q := &core.Query[*r2State, int64, string]{
+		Name: "R2",
+		GroupBy: func(rec []byte) (string, int64, bool) {
+			cc := data.CountryIndex(data.Field(rec, 3))
+			if cc < 0 {
+				return "", 0, false
+			}
+			return string(data.Field(rec, 1)), int64(cc), true
+		},
+		NewState: func() *r2State {
+			return &r2State{
+				Country: sym.NewSymEnum(len(data.RedshiftCountries)+1, r2Sentinel),
+				Multi:   sym.NewSymBool(false),
+				Count:   sym.NewSymInt(0),
+			}
+		},
+		Update: func(ctx *sym.Ctx, s *r2State, cc int64) {
+			s.Count.Inc()
+			if s.Country.Eq(ctx, r2Sentinel) {
+				s.Country.Set(cc)
+			} else if s.Country.Ne(ctx, cc) {
+				s.Multi.Set(true)
+			}
+		},
+		Result: func(_ string, s *r2State) string {
+			if s.Multi.Get() {
+				return ""
+			}
+			c := s.Country.Get()
+			if c == r2Sentinel {
+				return ""
+			}
+			return fmt.Sprintf("%s(%d)", data.RedshiftCountries[c], s.Count.Get())
+		},
+		EncodeEvent: func(e *wire.Encoder, cc int64) { e.Uvarint(uint64(cc)) },
+		DecodeEvent: func(d *wire.Decoder) (int64, error) { return int64(d.Uvarint()), d.Err() },
+	}
+	return makeSpec("R2", "List of advertisers operating only in a single country", "redshift",
+		true, true, false, q,
+		func(key string, country string) string {
+			if country == "" {
+				return ""
+			}
+			return fmt.Sprintf("%s:%s", key, country)
+		})
+}
+
+// ---- R3: periods over an hour with no impressions ----
+
+// redshiftLayout is the wall-clock format stored in the log. R3 parses
+// it with the standard library on every record — the paper found R3c
+// dominated by exactly this datetime parsing, not by symbolic execution.
+const redshiftLayout = "2006-01-02 15:04:05"
+
+type r3State struct {
+	LastTs sym.SymInt
+	Out    sym.SymIntVector // (gap start, gap end) pairs
+}
+
+func (s *r3State) Fields() []sym.Value { return []sym.Value{&s.LastTs, &s.Out} }
+
+// R3 reports, per advertiser, the cases when its ads were not showing
+// for more than 1 hour.
+func R3() *Spec {
+	q := &core.Query[*r3State, int64, []int64]{
+		Name: "R3",
+		GroupBy: func(rec []byte) (string, int64, bool) {
+			t, err := time.Parse(redshiftLayout, string(data.Field(rec, 0)))
+			if err != nil {
+				return "", 0, false
+			}
+			return string(data.Field(rec, 1)), t.Unix(), true
+		},
+		NewState: func() *r3State { return &r3State{LastTs: sym.NewSymInt(farFuture)} },
+		Update: func(ctx *sym.Ctx, s *r3State, ts int64) {
+			if s.LastTs.Lt(ctx, ts-3600) {
+				s.Out.PushInt(&s.LastTs)
+				s.Out.Push(ts)
+			}
+			s.LastTs.Set(ts)
+		},
+		Result:      func(_ string, s *r3State) []int64 { return s.Out.Elems() },
+		EncodeEvent: func(e *wire.Encoder, ts int64) { e.Varint(ts) },
+		DecodeEvent: func(d *wire.Decoder) (int64, error) { return d.Varint(), d.Err() },
+	}
+	return makeSpec("R3", "Cases for advertiser when their ads were not showing for more than 1 hour", "redshift",
+		false, true, false, q,
+		func(key string, gaps []int64) string {
+			if len(gaps) == 0 {
+				return ""
+			}
+			return fmt.Sprintf("%s:%s", key, formatInts(gaps))
+		})
+}
+
+// ---- R4: lengths of single-campaign runs ----
+
+var r4Sentinel = int64(data.NumRedshiftCampaigns)
+
+type r4State struct {
+	Cur sym.SymEnum
+	Len sym.SymInt
+	Out sym.SymIntVector
+}
+
+func (s *r4State) Fields() []sym.Value {
+	return []sym.Value{&s.Cur, &s.Len, &s.Out}
+}
+
+// R4 reports, per advertiser, the length of each maximal run of
+// impressions showing a single campaign.
+func R4() *Spec {
+	q := &core.Query[*r4State, int64, []int64]{
+		Name: "R4",
+		GroupBy: func(rec []byte) (string, int64, bool) {
+			c := data.CampaignIndex(data.Field(rec, 2))
+			if c < 0 {
+				return "", 0, false
+			}
+			return string(data.Field(rec, 1)), int64(c), true
+		},
+		NewState: func() *r4State {
+			return &r4State{
+				Cur: sym.NewSymEnum(data.NumRedshiftCampaigns+1, r4Sentinel),
+				Len: sym.NewSymInt(0),
+			}
+		},
+		Update: func(ctx *sym.Ctx, s *r4State, c int64) {
+			if s.Cur.Eq(ctx, c) {
+				s.Len.Inc()
+			} else {
+				s.Out.PushInt(&s.Len)
+				s.Cur.Set(c)
+				s.Len.Set(1)
+			}
+		},
+		Result: func(_ string, s *r4State) []int64 {
+			// Drop the 0 pushed on the first-ever campaign change and
+			// include the still-open run.
+			var out []int64
+			for _, v := range s.Out.Elems() {
+				if v > 0 {
+					out = append(out, v)
+				}
+			}
+			return append(out, s.Len.Get())
+		},
+		EncodeEvent: func(e *wire.Encoder, c int64) { e.Uvarint(uint64(c)) },
+		DecodeEvent: func(d *wire.Decoder) (int64, error) { return int64(d.Uvarint()), d.Err() },
+	}
+	return makeSpec("R4", "Lengths of runs for which only a single campaign by an advertiser is shown", "redshift",
+		true, true, false, q,
+		func(key string, runs []int64) string {
+			if len(runs) == 0 {
+				return ""
+			}
+			return fmt.Sprintf("%s:%s", key, formatInts(runs))
+		})
+}

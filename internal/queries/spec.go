@@ -1,0 +1,146 @@
+// Package queries implements the paper's 12 evaluation queries (Table 1):
+// G1–G4 over the GitHub log, B1–B3 over the Bing query log, T1 over the
+// Twitter firehose, and R1–R4 over the RedShift ad impressions. Each
+// query is a core.Query — a GroupBy plus a UDA written against the
+// symbolic data types — together with enough type-erased plumbing for the
+// benchmark harness to run any query under any engine and compare
+// outputs across engines.
+package queries
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mapreduce"
+	"repro/internal/sym"
+)
+
+// Run is the type-erased outcome of executing a query under one engine.
+type Run struct {
+	// Digest is an order-insensitive hash of the formatted results;
+	// equal digests across engines mean equal outputs.
+	Digest uint64
+	// NumResults counts groups with a non-empty result line.
+	NumResults int
+	Metrics    *mapreduce.Metrics
+	Sym        core.SymStats
+}
+
+// Spec is a type-erased query: metadata for Table 1 plus engine runners.
+type Spec struct {
+	ID          string
+	Description string
+	Dataset     string
+
+	// Sym types the UDA uses, for the Table 1 columns.
+	UsesEnum, UsesInt, UsesPred bool
+
+	Sequential func(segs []*mapreduce.Segment) (*Run, error)
+	Baseline   func(segs []*mapreduce.Segment, conf mapreduce.Config) (*Run, error)
+	Symple     func(segs []*mapreduce.Segment, conf mapreduce.Config) (*Run, error)
+
+	// SympleWithOptions runs the SYMPLE engine with explicit symbolic
+	// engine options (for the merging / path-cap ablations). Not safe to
+	// call concurrently with the other runners.
+	SympleWithOptions func(segs []*mapreduce.Segment, conf mapreduce.Config, opts sym.Options) (*Run, error)
+}
+
+// SymTypesString renders the Table 1 "Sym Types Used" cell.
+func (s *Spec) SymTypesString() string {
+	var parts []string
+	if s.UsesEnum {
+		parts = append(parts, "Enum")
+	}
+	if s.UsesInt {
+		parts = append(parts, "Int")
+	}
+	if s.UsesPred {
+		parts = append(parts, "Pred")
+	}
+	return strings.Join(parts, "+")
+}
+
+// digestResults hashes formatted per-key result lines, order-insensitive.
+// Keys with empty lines (filtered results) are skipped.
+func digestResults[R any](results map[string]R, format func(key string, r R) string) (uint64, int) {
+	lines := make([]string, 0, len(results))
+	for k, r := range results {
+		if l := format(k, r); l != "" {
+			lines = append(lines, l)
+		}
+	}
+	sort.Strings(lines)
+	h := fnv.New64a()
+	for _, l := range lines {
+		_, _ = h.Write([]byte(l))
+		_, _ = h.Write([]byte{'\n'})
+	}
+	return h.Sum64(), len(lines)
+}
+
+// makeSpec wraps a typed query into a Spec.
+func makeSpec[S sym.State, E, R any](
+	id, desc, dataset string,
+	usesEnum, usesInt, usesPred bool,
+	q *core.Query[S, E, R],
+	format func(key string, r R) string,
+) *Spec {
+	wrap := func(out *core.Output[R], err error) (*Run, error) {
+		if err != nil {
+			return nil, fmt.Errorf("query %s: %w", id, err)
+		}
+		d, n := digestResults(out.Results, format)
+		return &Run{Digest: d, NumResults: n, Metrics: out.Metrics, Sym: out.Sym}, nil
+	}
+	return &Spec{
+		ID: id, Description: desc, Dataset: dataset,
+		UsesEnum: usesEnum, UsesInt: usesInt, UsesPred: usesPred,
+		Sequential: func(segs []*mapreduce.Segment) (*Run, error) {
+			return wrap(core.RunSequential(q, segs))
+		},
+		Baseline: func(segs []*mapreduce.Segment, conf mapreduce.Config) (*Run, error) {
+			return wrap(core.RunBaseline(q, segs, conf))
+		},
+		Symple: func(segs []*mapreduce.Segment, conf mapreduce.Config) (*Run, error) {
+			return wrap(core.RunSymple(q, segs, conf))
+		},
+		SympleWithOptions: func(segs []*mapreduce.Segment, conf mapreduce.Config, opts sym.Options) (*Run, error) {
+			saved := q.Options
+			q.Options = opts
+			defer func() { q.Options = saved }()
+			return wrap(core.RunSymple(q, segs, conf))
+		},
+	}
+}
+
+// formatInts renders an int64 slice compactly.
+func formatInts(vs []int64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// All returns every query spec, in Table 1 order.
+func All() []*Spec {
+	return []*Spec{
+		G1(), G2(), G3(), G4(),
+		B1(), B2(), B3(),
+		T1(),
+		R1(), R2(), R3(), R4(),
+	}
+}
+
+// ByID returns the query with the given ID, or nil.
+func ByID(id string) *Spec {
+	for _, s := range All() {
+		if s.ID == id {
+			return s
+		}
+	}
+	return nil
+}

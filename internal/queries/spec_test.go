@@ -1,0 +1,87 @@
+package queries
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/mapreduce"
+	"repro/internal/sym"
+)
+
+func TestDigestProperties(t *testing.T) {
+	format := func(key string, v int64) string {
+		if v == 0 {
+			return ""
+		}
+		return key
+	}
+	// Order-insensitive: maps iterate randomly, digest must not care.
+	a := map[string]int64{"x": 1, "y": 2, "z": 3}
+	d1, n1 := digestResults(a, format)
+	d2, n2 := digestResults(a, format)
+	if d1 != d2 || n1 != n2 || n1 != 3 {
+		t.Fatalf("digest unstable: %x/%d vs %x/%d", d1, n1, d2, n2)
+	}
+	// Filtered entries don't contribute.
+	b := map[string]int64{"x": 1, "y": 2, "z": 3, "w": 0}
+	d3, n3 := digestResults(b, format)
+	if d3 != d1 || n3 != 3 {
+		t.Fatalf("filtered entry changed digest")
+	}
+	// Different content, different digest.
+	c := map[string]int64{"x": 1, "y": 2, "q": 3}
+	d4, _ := digestResults(c, format)
+	if d4 == d1 {
+		t.Fatal("distinct results collide")
+	}
+}
+
+func TestFormatInts(t *testing.T) {
+	if got := formatInts(nil); got != "" {
+		t.Errorf("empty: %q", got)
+	}
+	if got := formatInts([]int64{1}); got != "1" {
+		t.Errorf("single: %q", got)
+	}
+	if got := formatInts([]int64{-1, 0, 7}); got != "-1,0,7" {
+		t.Errorf("multi: %q", got)
+	}
+}
+
+func TestSympleWithOptionsRestoresDefaults(t *testing.T) {
+	spec := G1()
+	segs := data.GenGithub(data.GithubConfig{Records: 500, Repos: 20, Segments: 2, Seed: 33})
+	conf := mapreduce.Config{NumReducers: 1}
+	base, err := spec.Symple(segs, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A run with forced restarts...
+	tight := sym.Options{MaxLivePaths: 1, DisableMerging: true}
+	forced, err := spec.SympleWithOptions(segs, conf, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Digest != base.Digest {
+		t.Fatal("options changed results")
+	}
+	// ...must not leak its options into subsequent default runs.
+	again, err := spec.Symple(segs, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Sym.Restarts != base.Sym.Restarts {
+		t.Fatalf("options leaked: restarts %d vs %d", again.Sym.Restarts, base.Sym.Restarts)
+	}
+}
+
+func TestSpecMetadataComplete(t *testing.T) {
+	for _, s := range All() {
+		if s.Sequential == nil || s.Baseline == nil || s.Symple == nil || s.SympleWithOptions == nil {
+			t.Errorf("%s: missing runner", s.ID)
+		}
+		if !s.UsesEnum && !s.UsesInt && !s.UsesPred {
+			t.Errorf("%s: no sym types recorded", s.ID)
+		}
+	}
+}

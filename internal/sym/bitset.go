@@ -1,0 +1,39 @@
+package sym
+
+import "math/bits"
+
+// bitset is a fixed-domain set over at most 64 values, backing SymEnum
+// constraints. A single machine word keeps SymEnum operations — probe,
+// narrow, union — allocation-free on the engine's hot path; the paper's
+// enum domains (op codes, countries, booleans, FSM states) are far below
+// the cap, and larger domains are better served by SymPred.
+type bitset uint64
+
+// maxEnumDomain is the largest SymEnum domain size.
+const maxEnumDomain = 64
+
+func fullBitset(n int) bitset {
+	if n >= 64 {
+		return ^bitset(0)
+	}
+	return bitset(1)<<n - 1
+}
+
+func (s bitset) has(v int64) bool {
+	return uint64(v) < 64 && s&(1<<uint64(v)) != 0
+}
+
+func (s *bitset) add(v int64)    { *s |= 1 << uint64(v) }
+func (s *bitset) remove(v int64) { *s &^= 1 << uint64(v) }
+
+func (s bitset) count() int { return bits.OnesCount64(uint64(s)) }
+
+func (s bitset) empty() bool { return s == 0 }
+
+// single returns the sole element if the set has exactly one, else -1.
+func (s bitset) single() int64 {
+	if bits.OnesCount64(uint64(s)) != 1 {
+		return -1
+	}
+	return int64(bits.TrailingZeros64(uint64(s)))
+}

@@ -1,0 +1,66 @@
+package sym
+
+import "math"
+
+// Checked int64 arithmetic. SYMPLE's summaries must agree bit-for-bit with
+// the sequential execution, so transfer-function coefficients may never
+// silently wrap; overflow aborts the path via fail(ErrOverflow).
+
+func addChecked(a, b int64) int64 {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		fail(ErrOverflow)
+	}
+	return s
+}
+
+func subChecked(a, b int64) int64 {
+	s := a - b
+	if (b > 0 && s > a) || (b < 0 && s < a) {
+		fail(ErrOverflow)
+	}
+	return s
+}
+
+func mulChecked(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a == math.MinInt64 || b == math.MinInt64 {
+		// MinInt64 * anything other than 1 overflows; * 1 is identity.
+		if a == 1 {
+			return b
+		}
+		if b == 1 {
+			return a
+		}
+		fail(ErrOverflow)
+	}
+	p := a * b
+	if p/b != a {
+		fail(ErrOverflow)
+	}
+	return p
+}
+
+// floorDiv returns ⌊a/b⌋ for b ≠ 0 (Go's / truncates toward zero).
+// MinInt64/-1 is the one quotient not representable in int64 (Go defines
+// it to wrap); it aborts the path instead.
+func floorDiv(a, b int64) int64 {
+	if a == math.MinInt64 && b == -1 {
+		fail(ErrOverflow)
+	}
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// Interval bound helpers. noLB/noUB are the "unbounded" sentinels used by
+// SymInt constraints; arithmetic that would involve a sentinel is handled
+// by the callers before reaching the checked helpers.
+const (
+	noLB = math.MinInt64
+	noUB = math.MaxInt64
+)

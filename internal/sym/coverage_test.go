@@ -1,0 +1,183 @@
+package sym
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestSymPredComposeSymbolic covers symbolic-on-symbolic composition of
+// SymPred paths (ComposeAll over the session UDA), including assumption
+// concatenation when both sides are unbound and resolution when the
+// earlier side bound a value.
+func TestSymPredComposeSymbolic(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		events := make([]int64, 6+r.Intn(20))
+		for i := range events {
+			events[i] = int64(r.Intn(60))
+		}
+		cut := 1 + r.Intn(len(events)-1)
+		var sums []*Summary[*predState]
+		for _, chunk := range [][]int64{events[:cut], events[cut:]} {
+			x := NewExecutor(newPredState, sessionUpdate, DefaultOptions())
+			for _, e := range chunk {
+				if err := x.Feed(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s, err := x.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sums = append(sums, s...)
+		}
+		one, err := ComposeAll(sums)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, init := range []int64{0, 7, 55, 1000} {
+			start := newPredState()
+			start.Prev.SetValue(init)
+			start.Count.Set(2)
+			composed, err := one.ApplyStrict(start)
+			if err != nil {
+				t.Fatalf("trial %d init %d: %v", trial, init, err)
+			}
+			wantPrev, wantCount, wantOut := sessionConcrete(init, 2, events)
+			if composed.Prev.Get() != wantPrev || composed.Count.Get() != wantCount {
+				t.Fatalf("trial %d init %d: (%d,%d) want (%d,%d)", trial, init,
+					composed.Prev.Get(), composed.Count.Get(), wantPrev, wantCount)
+			}
+			got := composed.Out.Elems()
+			if len(got) != len(wantOut) {
+				t.Fatalf("trial %d init %d: out %v want %v", trial, init, got, wantOut)
+			}
+			for i := range wantOut {
+				if got[i] != wantOut[i] {
+					t.Fatalf("trial %d init %d: out %v want %v", trial, init, got, wantOut)
+				}
+			}
+		}
+	}
+}
+
+// TestStringRenderings exercises the diagnostic String methods: they
+// must be non-empty and reflect symbolic vs concrete states.
+func TestStringRenderings(t *testing.T) {
+	var i SymInt
+	i.ResetSymbolic(0)
+	if s := i.String(); !strings.Contains(s, "x0") {
+		t.Errorf("symbolic int: %q", s)
+	}
+	i.Set(5)
+	if s := i.String(); !strings.Contains(s, "5") {
+		t.Errorf("bound int: %q", s)
+	}
+
+	e := NewSymEnum(4, 2)
+	if s := e.String(); !strings.Contains(s, "2") {
+		t.Errorf("bound enum: %q", s)
+	}
+	e.ResetSymbolic(1)
+	if s := e.String(); !strings.Contains(s, "x1") {
+		t.Errorf("symbolic enum: %q", s)
+	}
+	if e.Domain() != 4 {
+		t.Error("Domain")
+	}
+
+	b := NewSymBool(true)
+	if s := b.String(); !strings.Contains(s, "true") {
+		t.Errorf("bound bool: %q", s)
+	}
+	b.ResetSymbolic(2)
+	if s := b.String(); !strings.Contains(s, "x2") {
+		t.Errorf("symbolic bool: %q", s)
+	}
+	var ctx Ctx
+	ctx.choices = []choice{{0, 2}}
+	b.IsTrue(&ctx)
+	if s := b.String(); s == "" {
+		t.Error("narrowed bool renders empty")
+	}
+
+	p := NewSymPred(withinTen, Int64Codec(), 3)
+	if s := p.String(); !strings.Contains(s, "3") {
+		t.Errorf("bound pred: %q", s)
+	}
+	p.ResetSymbolic(4)
+	ctx2 := Ctx{choices: []choice{{1, 2}}}
+	p.EvalPred(&ctx2, 9)
+	if s := p.String(); !strings.Contains(s, "assumption") {
+		t.Errorf("symbolic pred: %q", s)
+	}
+	if _, ok := p.TryGet(); ok {
+		t.Error("TryGet on unbound pred")
+	}
+	p.SetValue(7)
+	if v, ok := p.TryGet(); !ok || v != 7 {
+		t.Error("TryGet on bound pred")
+	}
+
+	v := NewSymVector(StringCodec())
+	v.Push("a")
+	if s := v.String(); !strings.Contains(s, "1") {
+		t.Errorf("vector: %q", s)
+	}
+	if !v.UnionConstraint(&v) || !v.Admits(&v) || !v.ConstraintEq(&v) {
+		t.Error("vector constraint trivia")
+	}
+
+	var iv SymIntVector
+	iv.Push(3)
+	var sym SymInt
+	sym.ResetSymbolic(0)
+	iv.PushInt(&sym)
+	if s := iv.String(); !strings.Contains(s, "3") || !strings.Contains(s, "x0") {
+		t.Errorf("int vector: %q", s)
+	}
+	if !iv.UnionConstraint(&iv) {
+		t.Error("int vector union")
+	}
+
+	x := NewExecutor(newIntState(0), maxUpdate, DefaultOptions())
+	if err := x.Feed(5); err != nil {
+		t.Fatal(err)
+	}
+	if x.Err() != nil {
+		t.Error("unexpected executor error")
+	}
+	sums, _ := x.Finish()
+	if s := sums[0].String(); !strings.Contains(s, "paths") {
+		t.Errorf("summary: %q", s)
+	}
+}
+
+func TestMulCheckedEdges(t *testing.T) {
+	if got := mulChecked(0, 5); got != 0 {
+		t.Error("0*5")
+	}
+	if got := mulChecked(5, 0); got != 0 {
+		t.Error("5*0")
+	}
+	if got := mulChecked(1, noLB); got != noLB {
+		t.Error("1*min")
+	}
+	if got := mulChecked(noLB, 1); got != noLB {
+		t.Error("min*1")
+	}
+	expectOverflow := func(a, b int64) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("mulChecked(%d,%d): expected overflow", a, b)
+			}
+		}()
+		mulChecked(a, b)
+	}
+	expectOverflow(noLB, 2)
+	expectOverflow(2, noLB)
+	expectOverflow(noUB, 2)
+	expectOverflow(1<<32, 1<<32)
+}

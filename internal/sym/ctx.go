@@ -1,0 +1,75 @@
+package sym
+
+// Ctx is the per-run execution context for one symbolic exploration of the
+// user Update function. Symbolic data types call ForkN whenever both (or
+// several) outcomes of a branch are feasible; the context replays or
+// records the decision in its choice vector (paper §5.1).
+//
+// The engine runs Update once per feasible path: the first run takes
+// outcome 0 at every fork, and advance then increments the choice vector
+// lexicographically (popping maxed-out trailing choices and bumping the
+// last incrementable one) until the whole space is explored. Because
+// feasibility checks are deterministic, a replayed prefix always
+// encounters the same forks, so recorded choices are always valid.
+type Ctx struct {
+	choices []choice
+	pos     int
+	runs    int // runs consumed for the current record (explosion guard)
+}
+
+type choice struct {
+	v uint8 // chosen outcome
+	n uint8 // number of feasible outcomes at this fork
+}
+
+// ForkN returns the outcome (0..n-1) to take at a branch with n feasible
+// outcomes. n must be in [2, 255]; single-outcome branches must not fork.
+func (c *Ctx) ForkN(n int) int {
+	if n < 2 || n > 255 {
+		fail(ErrPathExplosion)
+	}
+	if c.pos < len(c.choices) {
+		ch := c.choices[c.pos]
+		c.pos++
+		return int(ch.v)
+	}
+	c.choices = append(c.choices, choice{v: 0, n: uint8(n)})
+	c.pos++
+	return 0
+}
+
+// Fork is ForkN(2), returning true for outcome 0. By convention symbolic
+// comparisons take the "predicate holds" outcome first.
+func (c *Ctx) Fork() bool {
+	return c.ForkN(2) == 0
+}
+
+// begin readies the context for a fresh run along the current choice
+// vector.
+func (c *Ctx) begin() {
+	c.pos = 0
+	c.runs++
+}
+
+// advance moves the choice vector to the lexicographically next unexplored
+// path. It reports false once the space is exhausted. Choices beyond the
+// consumed prefix belong to runs that no longer exist and are discarded.
+func (c *Ctx) advance() bool {
+	c.choices = c.choices[:c.pos]
+	for len(c.choices) > 0 {
+		last := &c.choices[len(c.choices)-1]
+		if last.v+1 < last.n {
+			last.v++
+			return true
+		}
+		c.choices = c.choices[:len(c.choices)-1]
+	}
+	return false
+}
+
+// reset clears the context for a new (path, record) exploration.
+func (c *Ctx) reset() {
+	c.choices = c.choices[:0]
+	c.pos = 0
+	c.runs = 0
+}

@@ -1,0 +1,249 @@
+package sym
+
+import "fmt"
+
+// Options configure an Executor's path-explosion controls (paper §5.2).
+type Options struct {
+	// MaxLivePaths bounds the live paths carried across records. When
+	// exceeded (after merging), the executor emits the summary built so
+	// far and restarts from a fresh symbolic state, trading parallelism
+	// for sequential efficiency instead of blowing up. Default 8, the
+	// paper's setting.
+	MaxLivePaths int
+
+	// MaxRunsPerRecord bounds the paths explored while processing a
+	// single record. Exceeding it indicates a loop that depends on the
+	// aggregation state and aborts with ErrPathExplosion. Default 256.
+	MaxRunsPerRecord int
+
+	// DisableMerging turns off path merging (ablation only).
+	DisableMerging bool
+}
+
+// DefaultOptions returns the paper's settings.
+func DefaultOptions() Options {
+	return Options{MaxLivePaths: 8, MaxRunsPerRecord: 256}
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxLivePaths <= 0 {
+		o.MaxLivePaths = 8
+	}
+	if o.MaxRunsPerRecord <= 0 {
+		o.MaxRunsPerRecord = 256
+	}
+	return o
+}
+
+// Stats counts the work an Executor performed.
+type Stats struct {
+	Records  int // records fed
+	Runs     int // Update invocations (≥ Records; the symbolic overhead)
+	MaxLive  int // peak live paths after merging
+	Merges   int // path pairs merged
+	Restarts int // summaries emitted due to the live-path cap
+}
+
+// Executor runs a UDA's Update function over a stream of records,
+// exploring every feasible path per record with a lexicographically
+// incremented choice vector (paper §5.1) and maintaining the set of live
+// paths that constitutes the symbolic summary so far.
+//
+// The zero Executor is not usable; construct with NewExecutor (symbolic
+// start, for mappers) or NewConcreteExecutor (concrete start, for the
+// sequential baseline and single-chunk runs).
+type Executor[S State, E any] struct {
+	newState func() S
+	update   func(*Ctx, S, E)
+	opts     Options
+	ctx      Ctx
+	paths    []S
+	scratch  []S // recycled backing array for the next-paths slice
+	pool     []S // retired states recycled for clones (allocation-free hot path)
+	// fastConcrete caches "exactly one live path and it is fully
+	// concrete". Concreteness is monotone within a path (no operation
+	// reintroduces symbolic state; only a restart does), so once set the
+	// per-record Fields walk is skipped entirely — the native-speed
+	// execution mode of a bound state (paper §4.1).
+	fastConcrete bool
+	done         []*Summary[S]
+	maxSeen      int
+	err          error
+	stats        Stats
+}
+
+// NewExecutor returns an executor starting from a fresh symbolic state:
+// the mapper side of SYMPLE, which does not know the state its chunk will
+// receive. newState must return the user's initial aggregation state (its
+// concrete values are ignored here but used by summary application).
+func NewExecutor[S State, E any](newState func() S, update func(*Ctx, S, E), opts Options) *Executor[S, E] {
+	x := &Executor[S, E]{
+		newState: newState,
+		update:   update,
+		opts:     opts.withDefaults(),
+	}
+	x.paths = []S{freshSymbolic(newState)}
+	x.maxSeen = 1
+	x.stats.MaxLive = 1
+	return x
+}
+
+// NewConcreteExecutor returns an executor starting from the user's
+// initial concrete state. All branches resolve concretely, so exactly one
+// path is ever live: this is the sequential execution of the UDA through
+// the same code path, used as the correctness oracle and the Sequential
+// baseline.
+func NewConcreteExecutor[S State, E any](newState func() S, update func(*Ctx, S, E), opts Options) *Executor[S, E] {
+	x := &Executor[S, E]{
+		newState: newState,
+		update:   update,
+		opts:     opts.withDefaults(),
+	}
+	x.paths = []S{newState()}
+	x.maxSeen = 1
+	x.stats.MaxLive = 1
+	x.fastConcrete = allConcrete(x.paths[0])
+	return x
+}
+
+// Feed processes one input record, advancing every live path. A returned
+// error (path explosion, overflow) is sticky: the executor is dead.
+func (x *Executor[S, E]) Feed(rec E) (err error) {
+	if x.err != nil {
+		return x.err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			f, ok := r.(failure)
+			if !ok {
+				panic(r)
+			}
+			x.err = f.err
+			err = f.err
+		}
+	}()
+	x.feed(rec)
+	return nil
+}
+
+func (x *Executor[S, E]) feed(rec E) {
+	x.stats.Records++
+	if x.fastConcrete {
+		x.ctx.reset()
+		x.ctx.begin()
+		x.stats.Runs++
+		x.update(&x.ctx, x.paths[0], rec)
+		return
+	}
+	next := x.scratch[:0]
+	for _, p := range x.paths {
+		if allConcrete(p) {
+			// Fast path: no field depends on symbolic input, so Update
+			// cannot fork and may run in place without cloning.
+			x.ctx.reset()
+			x.ctx.begin()
+			x.stats.Runs++
+			x.update(&x.ctx, p, rec)
+			next = append(next, p)
+			continue
+		}
+		x.ctx.reset()
+		for {
+			x.ctx.begin()
+			x.stats.Runs++
+			if x.ctx.runs > x.opts.MaxRunsPerRecord {
+				fail(ErrPathExplosion)
+			}
+			run := x.clone(p)
+			x.update(&x.ctx, run, rec)
+			next = append(next, run)
+			if !x.ctx.advance() {
+				break
+			}
+		}
+		// p was replaced by its clones and is never referenced again;
+		// recycle it. Sharing through CopyFrom is pointer-level and
+		// copy-on-append, so reuse cannot alias live paths.
+		x.pool = append(x.pool, p)
+	}
+	x.scratch = x.paths
+	x.paths = next
+
+	// Merge as soon as the path count exceeds the previous maximum
+	// (paper §5.2), then restart if still over the live cap.
+	if len(x.paths) > x.maxSeen {
+		if !x.opts.DisableMerging {
+			var m int
+			x.paths, m = mergeAll(x.paths)
+			x.stats.Merges += m
+		}
+		if len(x.paths) > x.maxSeen {
+			x.maxSeen = len(x.paths)
+		}
+		if len(x.paths) > x.stats.MaxLive {
+			x.stats.MaxLive = len(x.paths)
+		}
+	}
+	if len(x.paths) > x.opts.MaxLivePaths {
+		x.done = append(x.done, &Summary[S]{paths: x.paths, newState: x.newState})
+		x.paths = []S{freshSymbolic(x.newState)}
+		x.maxSeen = 1
+		x.stats.Restarts++
+	}
+	x.fastConcrete = len(x.paths) == 1 && allConcrete(x.paths[0])
+}
+
+// clone deep-copies src into a pooled or fresh state.
+func (x *Executor[S, E]) clone(src S) S {
+	var dst S
+	if n := len(x.pool); n > 0 {
+		dst = x.pool[n-1]
+		x.pool = x.pool[:n-1]
+	} else {
+		dst = x.newState()
+	}
+	df, sf := dst.Fields(), src.Fields()
+	if len(df) != len(sf) {
+		fail(ErrStateMismatch)
+	}
+	for i := range df {
+		df[i].CopyFrom(sf[i])
+	}
+	return dst
+}
+
+// Finish returns the ordered symbolic summaries for everything fed so
+// far. A mapper usually produces one summary; path-explosion restarts
+// produce several, composed in order at the reducer.
+func (x *Executor[S, E]) Finish() ([]*Summary[S], error) {
+	if x.err != nil {
+		return nil, x.err
+	}
+	out := make([]*Summary[S], 0, len(x.done)+1)
+	out = append(out, x.done...)
+	out = append(out, &Summary[S]{paths: x.paths, newState: x.newState})
+	return out, nil
+}
+
+// ConcreteState returns the single live state of a concrete execution.
+// It errors if the executor was started symbolically or has failed.
+func (x *Executor[S, E]) ConcreteState() (S, error) {
+	var zero S
+	if x.err != nil {
+		return zero, x.err
+	}
+	if len(x.done) != 0 || len(x.paths) != 1 || !allConcrete(x.paths[0]) {
+		return zero, fmt.Errorf("sym: executor state is symbolic (%d summaries, %d paths)",
+			len(x.done), len(x.paths))
+	}
+	return x.paths[0], nil
+}
+
+// Stats returns the executor's work counters.
+func (x *Executor[S, E]) Stats() Stats { return x.stats }
+
+// LivePaths returns the number of currently live paths.
+func (x *Executor[S, E]) LivePaths() int { return len(x.paths) }
+
+// Err returns the sticky error, if any.
+func (x *Executor[S, E]) Err() error { return x.err }

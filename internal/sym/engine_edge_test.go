@@ -1,0 +1,161 @@
+package sym
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxLivePaths != 8 || o.MaxRunsPerRecord != 256 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	d := DefaultOptions()
+	if d.MaxLivePaths != 8 || d.MaxRunsPerRecord != 256 || d.DisableMerging {
+		t.Fatalf("DefaultOptions: %+v", d)
+	}
+	// Explicit values survive.
+	o2 := Options{MaxLivePaths: 3, MaxRunsPerRecord: 10}.withDefaults()
+	if o2.MaxLivePaths != 3 || o2.MaxRunsPerRecord != 10 {
+		t.Fatalf("explicit: %+v", o2)
+	}
+}
+
+func TestForkNBounds(t *testing.T) {
+	// ForkN outside [2,255] aborts the path with ErrPathExplosion.
+	x := NewExecutor(newIntState(0), func(ctx *Ctx, s *intState, _ struct{}) {
+		ctx.ForkN(1)
+	}, DefaultOptions())
+	if err := x.Feed(struct{}{}); !errors.Is(err, ErrPathExplosion) {
+		t.Fatalf("ForkN(1): %v", err)
+	}
+	y := NewExecutor(newIntState(0), func(ctx *Ctx, s *intState, _ struct{}) {
+		ctx.ForkN(256)
+	}, DefaultOptions())
+	if err := y.Feed(struct{}{}); !errors.Is(err, ErrPathExplosion) {
+		t.Fatalf("ForkN(256): %v", err)
+	}
+}
+
+func TestFeedAfterFinishContinues(t *testing.T) {
+	// Finish is a snapshot; further feeding extends the live summary.
+	// (The runtime never does this, but the semantics should be sane.)
+	x := NewExecutor(newIntState(math.MinInt64), maxUpdate, DefaultOptions())
+	if err := x.Feed(5); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := x.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, err := ApplyAll(&intState{V: NewSymInt(0)}, s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1.V.Get() != 5 {
+		t.Fatalf("first snapshot: %d", got1.V.Get())
+	}
+	if err := x.Feed(9); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := x.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ApplyAll(&intState{V: NewSymInt(0)}, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.V.Get() != 9 {
+		t.Fatalf("second snapshot: %d", got2.V.Get())
+	}
+}
+
+func TestApplyAllErrorNamesSummary(t *testing.T) {
+	// An invalid (empty) summary in the middle reports its position.
+	good := maxChunkSummaries(t, []int64{1, 2})
+	bad := NewSummary(newIntState(0), nil)
+	_, err := ApplyAll(&intState{V: NewSymInt(0)}, []*Summary[*intState]{good[0], bad})
+	if err == nil || !errors.Is(err, ErrNoPath) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSymIntNe(t *testing.T) {
+	x := NewExecutor(newIntState(0), func(ctx *Ctx, s *intState, _ struct{}) {
+		if s.V.Ne(ctx, 7) {
+			s.V.Set(1)
+		} else {
+			s.V.Set(2)
+		}
+	}, Options{DisableMerging: true})
+	if err := x.Feed(struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	sums, _ := x.Finish()
+	for _, c := range []struct{ in, want int64 }{{6, 1}, {7, 2}, {8, 1}} {
+		got, err := sums[0].ApplyStrict(&intState{V: NewSymInt(c.in)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := got.V.Get(); g != c.want {
+			t.Errorf("Ne apply(%d) = %d, want %d", c.in, g, c.want)
+		}
+	}
+}
+
+func TestRescaledDoesNotFailOnBoundOverflowFreeCase(t *testing.T) {
+	v := NewSymInt(10)
+	r := v.Rescaled(3, -5)
+	if got := r.Get(); got != 25 {
+		t.Fatalf("rescaled bound: %d", got)
+	}
+}
+
+func TestSymIntSingletonStaysMergeableWithAffine(t *testing.T) {
+	// A path whose interval narrowed to a point keeps its affine
+	// transfer (no constant rewriting), so it still merges with the
+	// adjacent identity path — the paper-faithful representation choice.
+	var a, b SymInt
+	a.ResetSymbolic(0)
+	b.ResetSymbolic(0)
+	a.lb, a.ub = 5, 5 // singleton, identity transfer
+	b.lb, b.ub = 6, 20
+	if !a.IsConcrete() {
+		t.Fatal("singleton not concrete for reads")
+	}
+	if v, ok := a.TryGet(); !ok || v != 5 {
+		t.Fatalf("TryGet: %d %t", v, ok)
+	}
+	if !a.SameTransfer(&b) {
+		t.Fatal("identity transfers differ")
+	}
+	if !a.UnionConstraint(&b) {
+		t.Fatal("adjacent singleton union refused")
+	}
+	if a.lb != 5 || a.ub != 20 {
+		t.Fatalf("union: [%d,%d]", a.lb, a.ub)
+	}
+}
+
+func TestEnumSingletonConcreteReads(t *testing.T) {
+	e := NewSymEnum(5, 0)
+	e.ResetSymbolic(0)
+	var ctx Ctx
+	ctx.choices = []choice{{0, 2}}
+	if !e.Eq(&ctx, 3) {
+		t.Fatal("forced true branch")
+	}
+	// Constraint {3}, identity transfer: concrete for reads, transfer
+	// representation unchanged.
+	if !e.IsConcrete() {
+		t.Fatal("singleton enum not concrete")
+	}
+	if e.Get() != 3 {
+		t.Fatalf("Get = %d", e.Get())
+	}
+	if e.bound {
+		t.Fatal("Eq must not bind (assignment-only binding)")
+	}
+}

@@ -1,0 +1,264 @@
+package sym
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestCtxLexicographicExploration(t *testing.T) {
+	// Three forks of width 2: the context must enumerate all 8 paths in
+	// lexicographic order.
+	var ctx Ctx
+	var seen [][3]int
+	ctx.reset()
+	for {
+		ctx.begin()
+		var p [3]int
+		for i := range p {
+			p[i] = ctx.ForkN(2)
+		}
+		seen = append(seen, p)
+		if !ctx.advance() {
+			break
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("explored %d paths, want 8", len(seen))
+	}
+	for i, p := range seen {
+		want := [3]int{(i >> 2) & 1, (i >> 1) & 1, i & 1}
+		if p != want {
+			t.Errorf("path %d = %v, want %v", i, p, want)
+		}
+	}
+}
+
+func TestCtxVariableDepth(t *testing.T) {
+	// A fork tree where outcome 1 at the first fork ends the run: paths
+	// are 00, 01, 1 — the paper's 0,10,11 example modulo labeling.
+	var ctx Ctx
+	var seen []string
+	ctx.reset()
+	for {
+		ctx.begin()
+		if ctx.ForkN(2) == 0 {
+			if ctx.ForkN(2) == 0 {
+				seen = append(seen, "00")
+			} else {
+				seen = append(seen, "01")
+			}
+		} else {
+			seen = append(seen, "1")
+		}
+		if !ctx.advance() {
+			break
+		}
+	}
+	if len(seen) != 3 || seen[0] != "00" || seen[1] != "01" || seen[2] != "1" {
+		t.Fatalf("paths: %v", seen)
+	}
+}
+
+func TestCtxMixedRadix(t *testing.T) {
+	var ctx Ctx
+	count := 0
+	ctx.reset()
+	for {
+		ctx.begin()
+		ctx.ForkN(3)
+		ctx.ForkN(2)
+		count++
+		if !ctx.advance() {
+			break
+		}
+	}
+	if count != 6 {
+		t.Fatalf("explored %d paths, want 6", count)
+	}
+}
+
+func maxUpdate(ctx *Ctx, s *intState, e int64) {
+	if s.V.Lt(ctx, e) {
+		s.V.Set(e)
+	}
+}
+
+func TestEngineMergingKeepsTwoPaths(t *testing.T) {
+	// The Max UDA over any chunk merges to exactly 2 paths (paper §3.5).
+	x := NewExecutor(newIntState(math.MinInt64), maxUpdate, DefaultOptions())
+	for e := int64(0); e < 100; e++ {
+		if err := x.Feed(e * 7 % 50); err != nil {
+			t.Fatal(err)
+		}
+		if got := x.LivePaths(); got > 2 {
+			t.Fatalf("after %d records: %d live paths, want ≤ 2", e+1, got)
+		}
+	}
+	st := x.Stats()
+	if st.Restarts != 0 {
+		t.Fatalf("restarts = %d, want 0", st.Restarts)
+	}
+	if st.Merges == 0 {
+		t.Fatal("expected merges to occur")
+	}
+}
+
+func TestEngineMergingDisabledGrowsPaths(t *testing.T) {
+	// With merging off, Max accumulates paths until the live cap forces
+	// restarts — the ablation of paper §5.2.
+	x := NewExecutor(newIntState(math.MinInt64), maxUpdate,
+		Options{MaxLivePaths: 4, DisableMerging: true})
+	for e := int64(1); e <= 40; e++ {
+		if err := x.Feed(e); err != nil { // strictly increasing: every record forks
+			t.Fatal(err)
+		}
+	}
+	st := x.Stats()
+	if st.Restarts == 0 {
+		t.Fatal("expected restarts with merging disabled")
+	}
+	sums, err := x.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != st.Restarts+1 {
+		t.Fatalf("%d summaries, want %d", len(sums), st.Restarts+1)
+	}
+	// Composition across restart summaries still yields the right max.
+	got, err := ApplyAll(&intState{V: NewSymInt(math.MinInt64)}, sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := got.V.Get(); g != 40 {
+		t.Fatalf("max = %d, want 40", g)
+	}
+	got2, err := ApplyAll(&intState{V: NewSymInt(1000)}, sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := got2.V.Get(); g != 1000 {
+		t.Fatalf("max = %d, want 1000", g)
+	}
+}
+
+func TestEngineRestartBoundsLivePaths(t *testing.T) {
+	// A UDA whose paths never merge (distinct transfers): counters
+	// diverge by path. Live paths must stay ≤ MaxLivePaths.
+	update := func(ctx *Ctx, s *intState, e int64) {
+		if s.V.Lt(ctx, e) {
+			s.V.Mul(2)
+			s.V.Add(e)
+		} else {
+			s.V.Add(1)
+		}
+	}
+	x := NewExecutor(newIntState(0), update, Options{MaxLivePaths: 8, MaxRunsPerRecord: 1 << 16})
+	for e := int64(1); e < 30; e++ {
+		if err := x.Feed(e * 3); err != nil {
+			t.Fatal(err)
+		}
+		if got := x.LivePaths(); got > 8 {
+			t.Fatalf("live paths %d exceeds cap", got)
+		}
+	}
+	sums, err := x.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) < 2 {
+		t.Fatalf("expected multiple summaries, got %d", len(sums))
+	}
+	// Oracle check across the restart boundaries.
+	concrete := func(v int64) int64 {
+		for e := int64(1); e < 30; e++ {
+			rec := e * 3
+			if v < rec {
+				v = v*2 + rec
+			} else {
+				v++
+			}
+		}
+		return v
+	}
+	for _, init := range []int64{-5, 0, 10, 1000} {
+		got, err := ApplyAll(&intState{V: NewSymInt(init)}, sums)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g, want := got.V.Get(), concrete(init); g != want {
+			t.Fatalf("init %d: got %d, want %d", init, g, want)
+		}
+	}
+}
+
+func TestEnginePathExplosionDetected(t *testing.T) {
+	// A state-dependent loop: unbounded forking within one record.
+	update := func(ctx *Ctx, s *intState, _ struct{}) {
+		for s.V.Gt(ctx, 0) {
+			s.V.Dec()
+		}
+	}
+	x := NewExecutor(newIntState(0), update, Options{MaxRunsPerRecord: 32})
+	err := x.Feed(struct{}{})
+	if !errors.Is(err, ErrPathExplosion) {
+		t.Fatalf("got %v, want ErrPathExplosion", err)
+	}
+}
+
+func TestEngineConcreteFastPath(t *testing.T) {
+	// A concrete executor never clones or forks: Runs == Records.
+	x := NewConcreteExecutor(newIntState(math.MinInt64), maxUpdate, DefaultOptions())
+	for e := int64(0); e < 1000; e++ {
+		if err := x.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := x.Stats()
+	if st.Runs != st.Records {
+		t.Fatalf("runs %d != records %d on concrete execution", st.Runs, st.Records)
+	}
+	s, err := x.ConcreteState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.V.Get(); got != 999 {
+		t.Fatalf("max = %d, want 999", got)
+	}
+}
+
+func TestEngineSymbolicBecomesConcreteFast(t *testing.T) {
+	// Once every path is fully bound, the engine switches to in-place
+	// execution: Runs grows by paths-count per record, no forks.
+	update := func(ctx *Ctx, s *intState, e int64) {
+		if e == 0 {
+			s.V.Set(0) // binds on first record in every path
+		} else {
+			s.V.Add(e)
+		}
+	}
+	x := NewExecutor(newIntState(0), update, DefaultOptions())
+	if err := x.Feed(0); err != nil {
+		t.Fatal(err)
+	}
+	runsAfterFirst := x.Stats().Runs
+	for e := int64(1); e <= 100; e++ {
+		if err := x.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := x.Stats()
+	if got := st.Runs - runsAfterFirst; got != 100 {
+		t.Fatalf("post-bind runs = %d, want 100 (one in-place run per record)", got)
+	}
+}
+
+func TestConcreteStateOnSymbolicExecutorFails(t *testing.T) {
+	x := NewExecutor(newIntState(0), maxUpdate, DefaultOptions())
+	if err := x.Feed(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.ConcreteState(); err == nil {
+		t.Fatal("expected error reading concrete state of symbolic executor")
+	}
+}

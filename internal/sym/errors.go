@@ -1,0 +1,46 @@
+package sym
+
+import "errors"
+
+var (
+	// ErrOverflow reports that a symbolic arithmetic operation overflowed
+	// int64. SYMPLE's decision procedures are exact; rather than silently
+	// wrapping (and potentially producing answers that differ from the
+	// sequential execution), the engine aborts the offending path.
+	ErrOverflow = errors.New("sym: integer overflow in symbolic arithmetic")
+
+	// ErrPathExplosion reports that exploring a single input record
+	// exceeded Options.MaxRunsPerRecord paths. Per the paper (§5.2) this
+	// almost always means the UDA contains a loop that depends on the
+	// aggregation state, which symbolic execution cannot bound.
+	ErrPathExplosion = errors.New("sym: path explosion — UDA may contain a loop that depends on the aggregation state")
+
+	// ErrSymbolicRead reports an attempt to read a concrete value out of a
+	// variable that is still symbolic. Concrete reads are only legal once
+	// a summary has been composed onto a concrete state.
+	ErrSymbolicRead = errors.New("sym: concrete read of a symbolic value")
+
+	// ErrNoPath reports that summary composition found no path admitting
+	// the concrete input state. A valid summary partitions the input
+	// space, so this indicates a corrupted or mismatched summary.
+	ErrNoPath = errors.New("sym: no summary path admits the concrete state")
+
+	// ErrInfeasible reports that a symbolic-on-symbolic composition
+	// produced no feasible paths, which a pair of valid summaries over the
+	// same state type cannot do.
+	ErrInfeasible = errors.New("sym: summary composition produced no feasible paths")
+
+	// ErrStateMismatch reports that two states that should have identical
+	// shape (same fields in the same order) do not.
+	ErrStateMismatch = errors.New("sym: aggregation state shape mismatch")
+)
+
+// failure carries a sentinel error through panic/recover inside the
+// engine; Executor.Feed converts it back into an error return. Symbolic
+// data types are used deep inside user Update code where threading an
+// error return through every arithmetic helper would make UDAs unwritable.
+type failure struct{ err error }
+
+func fail(err error) {
+	panic(failure{err})
+}

@@ -1,0 +1,72 @@
+package sym
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// FuzzDecodeSummary feeds arbitrary bytes to the summary decoder for the
+// funnel state (bool + int + string vector): it must never panic, and
+// anything it accepts must survive re-encoding.
+func FuzzDecodeSummary(f *testing.F) {
+	// Seed with a genuine summary.
+	x := NewExecutor(newFunnelState, funnelUpdate, DefaultOptions())
+	for i := 0; i < 20; i++ {
+		if err := x.Feed(funnelEvent{kind: i % 4, item: "t"}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	sums, err := x.Finish()
+	if err != nil {
+		f.Fatal(err)
+	}
+	e := wire.NewEncoder(0)
+	sums[0].Encode(e)
+	f.Add(e.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSummary(newFunnelState, wire.NewDecoder(data))
+		if err != nil {
+			return
+		}
+		// Accepted summaries must re-encode without panicking.
+		e := wire.NewEncoder(0)
+		s.Encode(e)
+		// And applying to a concrete state must not panic (it may
+		// legitimately fail with ErrNoPath if the fuzzer forged
+		// non-covering constraints).
+		_, _ = s.Apply(newFunnelState())
+	})
+}
+
+// FuzzSymIntDecode checks the SymInt decoder on raw bytes.
+func FuzzSymIntDecode(f *testing.F) {
+	v := NewSymInt(42)
+	e := wire.NewEncoder(0)
+	v.Encode(e)
+	f.Add(e.Bytes())
+	var s SymInt
+	s.ResetSymbolic(3)
+	e2 := wire.NewEncoder(0)
+	s.Encode(e2)
+	f.Add(e2.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var got SymInt
+		if err := got.Decode(wire.NewDecoder(data)); err != nil {
+			return
+		}
+		e := wire.NewEncoder(0)
+		got.Encode(e)
+		var again SymInt
+		if err := again.Decode(wire.NewDecoder(e.Bytes())); err != nil {
+			t.Fatalf("re-decode of accepted value failed: %v", err)
+		}
+		if again != got {
+			t.Fatalf("decode/encode not idempotent: %+v vs %+v", got, again)
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package sym
+
+// ivl is a closed int64 interval; empty iff lo > hi. The sentinels noLB
+// and noUB stand for "unbounded" on the respective side: SYMPLE treats the
+// symbolic input x as a mathematical integer, and a constraint touching
+// the sentinel means "no constraint from that side".
+type ivl struct {
+	lo, hi int64
+}
+
+var emptyIvl = ivl{lo: 1, hi: 0}
+var fullIvl = ivl{lo: noLB, hi: noUB}
+
+func (i ivl) empty() bool { return i.lo > i.hi }
+
+func (i ivl) contains(v int64) bool { return i.lo <= v && v <= i.hi }
+
+func isect(a, b ivl) ivl {
+	lo, hi := a.lo, a.hi
+	if b.lo > lo {
+		lo = b.lo
+	}
+	if b.hi < hi {
+		hi = b.hi
+	}
+	return ivl{lo, hi}
+}
+
+// unionIvl returns the union of a and b when it is itself an interval
+// (the intervals overlap or are adjacent), else ok=false. Both inputs must
+// be nonempty.
+func unionIvl(a, b ivl) (u ivl, ok bool) {
+	if a.lo > b.lo {
+		a, b = b, a
+	}
+	// Now a.lo <= b.lo. Union is an interval iff b.lo <= a.hi+1.
+	if a.hi != noUB && b.lo > a.hi && b.lo-1 > a.hi {
+		return ivl{}, false
+	}
+	hi := a.hi
+	if b.hi > hi {
+		hi = b.hi
+	}
+	return ivl{a.lo, hi}, true
+}
+
+// aboveExcl returns {t+1, +∞}, empty when t is the upper sentinel.
+func aboveExcl(t int64) ivl {
+	if t == noUB {
+		return emptyIvl
+	}
+	return ivl{t + 1, noUB}
+}
+
+// belowExcl returns {-∞, t-1}, empty when t is the lower sentinel.
+func belowExcl(t int64) ivl {
+	if t == noLB {
+		return emptyIvl
+	}
+	return ivl{noLB, t - 1}
+}
+
+// ceilDiv returns ⌈a/b⌉ for b ≠ 0. Divisibility is tested with the
+// remainder rather than q·b, which can overflow near the int64 extremes.
+func ceilDiv(a, b int64) int64 {
+	q := floorDiv(a, b)
+	if a%b != 0 {
+		q++
+	}
+	return q
+}
+
+// preimageAffine returns the x-interval {x : lo ≤ a·x+b ≤ hi} for a ≠ 0,
+// treating sentinel bounds as unbounded sides. Used when composing a later
+// summary's constraint through an earlier summary's affine transfer.
+func preimageAffine(a, b int64, lo, hi int64) ivl {
+	res := fullIvl
+	if lo != noLB {
+		d := subChecked(lo, b) // a·x ≥ d
+		if a > 0 {
+			res = isect(res, ivl{ceilDiv(d, a), noUB})
+		} else {
+			res = isect(res, ivl{noLB, floorDiv(d, a)})
+		}
+	}
+	if hi != noUB {
+		d := subChecked(hi, b) // a·x ≤ d
+		if a > 0 {
+			res = isect(res, ivl{noLB, floorDiv(d, a)})
+		} else {
+			res = isect(res, ivl{ceilDiv(d, a), noUB})
+		}
+	}
+	return res
+}

@@ -1,0 +1,103 @@
+package sym
+
+// Helpers over State values shared by the engine and summaries.
+
+// cloneState builds a deep copy of src using the state factory.
+func cloneState[S State](newState func() S, src S) S {
+	dst := newState()
+	df, sf := dst.Fields(), src.Fields()
+	if len(df) != len(sf) {
+		fail(ErrStateMismatch)
+	}
+	for i := range df {
+		df[i].CopyFrom(sf[i])
+	}
+	return dst
+}
+
+// freshSymbolic builds a state whose every field is a fresh unconstrained
+// symbolic input; field indices identify the variables.
+func freshSymbolic[S State](newState func() S) S {
+	s := newState()
+	for i, f := range s.Fields() {
+		f.ResetSymbolic(i)
+	}
+	return s
+}
+
+// allConcrete reports whether no field of s depends on symbolic input, in
+// which case running the UDA on s cannot fork and needs no cloning — the
+// paper's "once bound, as fast as the concrete type but for the bound
+// check" fast path.
+func allConcrete(s State) bool {
+	for _, f := range s.Fields() {
+		if !f.IsConcrete() {
+			return false
+		}
+	}
+	return true
+}
+
+// tryMergePaths merges path b into path a when sound: every field pair
+// must have an identical transfer function, and the constraints may
+// differ in at most one field whose union is canonical (the union of two
+// boxes differing in one dimension is a box). Reports whether the merge
+// happened; a is mutated only on success.
+func tryMergePaths(a, b State) bool {
+	af, bf := a.Fields(), b.Fields()
+	if len(af) != len(bf) {
+		fail(ErrStateMismatch)
+	}
+	for i := range af {
+		if !af[i].SameTransfer(bf[i]) {
+			return false
+		}
+	}
+	diff := -1
+	for i := range af {
+		if !af[i].ConstraintEq(bf[i]) {
+			if diff >= 0 {
+				return false
+			}
+			diff = i
+		}
+	}
+	if diff < 0 {
+		// Identical paths; absorbing b is trivially sound.
+		return true
+	}
+	return af[diff].UnionConstraint(bf[diff])
+}
+
+// mergeAll repeatedly merges path pairs until no pair merges, returning
+// the compacted slice (paper §3.5). Path counts are small (bounded by the
+// live-path cap), so the quadratic scan is cheap.
+func mergeAll[S State](paths []S) ([]S, int) {
+	merged := 0
+	for i := 0; i < len(paths); i++ {
+		for j := i + 1; j < len(paths); j++ {
+			if tryMergePaths(paths[i], paths[j]) {
+				paths[j] = paths[len(paths)-1]
+				paths = paths[:len(paths)-1]
+				merged++
+				j--
+			}
+		}
+	}
+	return paths, merged
+}
+
+// admits reports whether concrete state c satisfies every per-field
+// constraint of path p.
+func admits(p, c State) bool {
+	pf, cf := p.Fields(), c.Fields()
+	if len(pf) != len(cf) {
+		fail(ErrStateMismatch)
+	}
+	for i := range pf {
+		if !pf[i].Admits(cf[i]) {
+			return false
+		}
+	}
+	return true
+}

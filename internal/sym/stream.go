@@ -1,0 +1,103 @@
+package sym
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StreamComposer consumes chunk summaries as they arrive — possibly out
+// of order, as mappers finish at different times — and maintains the
+// aggregation state composed through the longest contiguous prefix of
+// chunk sequence numbers. It is the incremental/streaming consumption
+// mode the paper's conclusion points at ("a platform for interactive
+// ad-hoc querying"): results tighten as chunks land, without waiting for
+// a full barrier before composing.
+//
+// Chunks are identified by a dense sequence number starting at 0 (e.g.
+// the (mapperID, recordID) order already used by the shuffle, flattened).
+// Add is not safe for concurrent use; wrap with a lock if needed.
+type StreamComposer[S State] struct {
+	newState func() S
+	state    S   // composed through chunks [0, next)
+	next     int // first missing sequence number
+	pending  map[int][]*Summary[S]
+}
+
+// NewStreamComposer starts a composer from the initial concrete state.
+func NewStreamComposer[S State](newState func() S) *StreamComposer[S] {
+	return &StreamComposer[S]{
+		newState: newState,
+		state:    newState(),
+		pending:  map[int][]*Summary[S]{},
+	}
+}
+
+// Add delivers the ordered summaries of chunk seq. It returns the number
+// of chunks newly folded into the prefix state (0 if seq leaves a gap).
+// Delivering the same sequence number twice is an error.
+func (c *StreamComposer[S]) Add(seq int, sums []*Summary[S]) (int, error) {
+	if seq < c.next {
+		return 0, fmt.Errorf("sym: chunk %d already composed", seq)
+	}
+	if _, dup := c.pending[seq]; dup {
+		return 0, fmt.Errorf("sym: chunk %d delivered twice", seq)
+	}
+	c.pending[seq] = sums
+	folded := 0
+	for {
+		sums, ok := c.pending[c.next]
+		if !ok {
+			break
+		}
+		next, err := ApplyAll(c.state, sums)
+		if err != nil {
+			return folded, fmt.Errorf("sym: folding chunk %d: %w", c.next, err)
+		}
+		delete(c.pending, c.next)
+		c.state = next
+		c.next++
+		folded++
+	}
+	return folded, nil
+}
+
+// Prefix returns the state composed through the contiguous prefix and
+// the number of chunks it covers. The state must not be mutated.
+func (c *StreamComposer[S]) Prefix() (S, int) {
+	return c.state, c.next
+}
+
+// Pending returns the sequence numbers received but not yet foldable
+// (blocked behind a gap), in ascending order.
+func (c *StreamComposer[S]) Pending() []int {
+	out := make([]int, 0, len(c.pending))
+	for seq := range c.pending {
+		out = append(out, seq)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Speculate returns the state that would result if the pending chunks
+// directly after the prefix gap-free region were... composed through
+// every received chunk in sequence order, skipping gaps. It answers
+// "what does the result look like so far" for interactive consumption;
+// the answer is exact once Pending is empty. The prefix state is not
+// affected.
+func (c *StreamComposer[S]) Speculate() (S, error) {
+	cur := c.state
+	for _, seq := range c.Pending() {
+		next, err := ApplyAll(cur, c.pending[seq])
+		if err != nil {
+			var zero S
+			return zero, fmt.Errorf("sym: speculating through chunk %d: %w", seq, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Done reports whether all chunks in [0, total) have been folded.
+func (c *StreamComposer[S]) Done(total int) bool {
+	return c.next >= total && len(c.pending) == 0
+}

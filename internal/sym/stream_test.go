@@ -1,0 +1,136 @@
+package sym
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func maxChunkSummaries(t *testing.T, chunk []int64) []*Summary[*intState] {
+	t.Helper()
+	x := NewExecutor(newIntState(math.MinInt64), maxUpdate, DefaultOptions())
+	for _, e := range chunk {
+		if err := x.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sums, err := x.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sums
+}
+
+func TestStreamComposerInOrder(t *testing.T) {
+	c := NewStreamComposer(newIntState(math.MinInt64))
+	chunks := [][]int64{{2, 9, 1}, {5, 3, 10}, {8, 2, 1}}
+	for i, chunk := range chunks {
+		folded, err := c.Add(i, maxChunkSummaries(t, chunk))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if folded != 1 {
+			t.Fatalf("chunk %d: folded %d, want 1", i, folded)
+		}
+	}
+	state, n := c.Prefix()
+	if n != 3 || state.V.Get() != 10 {
+		t.Fatalf("prefix (%d chunks) = %d", n, state.V.Get())
+	}
+	if !c.Done(3) {
+		t.Fatal("not done")
+	}
+}
+
+func TestStreamComposerOutOfOrder(t *testing.T) {
+	c := NewStreamComposer(newIntState(math.MinInt64))
+	chunks := [][]int64{{2, 9, 1}, {5, 3, 10}, {8, 2, 1}, {4, 4}}
+
+	// Deliver 2, 1, 3, 0.
+	if folded, err := c.Add(2, maxChunkSummaries(t, chunks[2])); err != nil || folded != 0 {
+		t.Fatalf("add 2: folded %d err %v", folded, err)
+	}
+	if folded, err := c.Add(1, maxChunkSummaries(t, chunks[1])); err != nil || folded != 0 {
+		t.Fatalf("add 1: folded %d err %v", folded, err)
+	}
+	if got := c.Pending(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("pending %v", got)
+	}
+	// Speculative answer uses all received chunks.
+	spec, err := c.Speculate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.V.Get() != 10 {
+		t.Fatalf("speculate = %d, want 10 (chunks 1,2 received)", spec.V.Get())
+	}
+
+	if folded, err := c.Add(3, maxChunkSummaries(t, chunks[3])); err != nil || folded != 0 {
+		t.Fatalf("add 3: folded %d err %v", folded, err)
+	}
+	// Chunk 0 closes the gap: everything folds at once.
+	folded, err := c.Add(0, maxChunkSummaries(t, chunks[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded != 4 {
+		t.Fatalf("folded %d, want 4", folded)
+	}
+	state, n := c.Prefix()
+	if n != 4 || state.V.Get() != 10 {
+		t.Fatalf("prefix (%d) = %d", n, state.V.Get())
+	}
+	if !c.Done(4) || len(c.Pending()) != 0 {
+		t.Fatal("not done after all chunks")
+	}
+}
+
+func TestStreamComposerRejectsDuplicates(t *testing.T) {
+	c := NewStreamComposer(newIntState(math.MinInt64))
+	sums := maxChunkSummaries(t, []int64{1})
+	if _, err := c.Add(1, sums); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Add(1, sums); err == nil {
+		t.Fatal("duplicate pending accepted")
+	}
+	if _, err := c.Add(0, sums); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Add(0, sums); err == nil {
+		t.Fatal("already-composed chunk accepted")
+	}
+}
+
+// TestStreamComposerMatchesBatch: random chunkings and arrival orders
+// always converge to the batch answer.
+func TestStreamComposerMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(8)
+		chunks := make([][]int64, n)
+		want := int64(math.MinInt64)
+		for i := range chunks {
+			m := 1 + r.Intn(10)
+			chunks[i] = make([]int64, m)
+			for j := range chunks[i] {
+				chunks[i][j] = int64(r.Intn(1000))
+				if chunks[i][j] > want {
+					want = chunks[i][j]
+				}
+			}
+		}
+		order := r.Perm(n)
+		c := NewStreamComposer(newIntState(math.MinInt64))
+		for _, seq := range order {
+			if _, err := c.Add(seq, maxChunkSummaries(t, chunks[seq])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		state, folded := c.Prefix()
+		if folded != n || state.V.Get() != want {
+			t.Fatalf("trial %d: folded %d/%d, value %d want %d",
+				trial, folded, n, state.V.Get(), want)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package sym
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// Summary is a symbolic summary of a UDA execution over one input chunk:
+// a set of paths, each a State whose fields carry a per-variable
+// constraint on the chunk's unknown initial state and the transfer
+// function producing the final state (paper §3.2). A valid summary's path
+// constraints partition the initial-state space, so applying a summary to
+// any concrete state selects exactly one path.
+type Summary[S State] struct {
+	paths    []S
+	newState func() S
+}
+
+// NewSummary builds a summary from explored paths. Intended for tests and
+// extensions; executors produce summaries via Finish.
+func NewSummary[S State](newState func() S, paths []S) *Summary[S] {
+	return &Summary[S]{paths: paths, newState: newState}
+}
+
+// NumPaths returns the number of paths.
+func (s *Summary[S]) NumPaths() int { return len(s.paths) }
+
+// Paths returns the underlying paths. They must not be mutated.
+func (s *Summary[S]) Paths() []S { return s.paths }
+
+// Apply composes the summary onto the concrete state c: it selects the
+// path admitting c, applies the transfer functions, and resolves symbolic
+// vector elements (paper §3.6). c is not mutated.
+func (s *Summary[S]) Apply(c S) (out S, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			f, ok := r.(failure)
+			if !ok {
+				panic(r)
+			}
+			err = f.err
+		}
+	}()
+	for _, p := range s.paths {
+		if admits(p, c) {
+			return s.concretize(p, c), nil
+		}
+	}
+	var zero S
+	return zero, ErrNoPath
+}
+
+// ApplyStrict is Apply plus a validity check: it errors if the number of
+// admitting paths differs from one (the partition property is violated).
+// Use in tests; Apply takes the first admitting path.
+func (s *Summary[S]) ApplyStrict(c S) (out S, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			f, ok := r.(failure)
+			if !ok {
+				panic(r)
+			}
+			err = f.err
+		}
+	}()
+	var chosen S
+	n := 0
+	for _, p := range s.paths {
+		if admits(p, c) {
+			chosen = p
+			n++
+		}
+	}
+	if n != 1 {
+		var zero S
+		return zero, fmt.Errorf("%w: %d of %d paths admit the state", ErrNoPath, n, len(s.paths))
+	}
+	return s.concretize(chosen, c), nil
+}
+
+func (s *Summary[S]) concretize(p, c S) S {
+	env := NewEnv(c)
+	out := cloneState(s.newState, p)
+	cf := c.Fields()
+	for i, f := range out.Fields() {
+		f.Concretize(cf[i], env)
+	}
+	return out
+}
+
+// ApplyAll composes an ordered sequence of summaries onto the concrete
+// state c, the reducer-side evaluation S_n(…S_2(S_1(c))…) of paper §3.6.
+func ApplyAll[S State](c S, summaries []*Summary[S]) (S, error) {
+	cur := c
+	for i, s := range summaries {
+		next, err := s.Apply(cur)
+		if err != nil {
+			var zero S
+			return zero, fmt.Errorf("sym: applying summary %d/%d: %w", i+1, len(summaries), err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// ComposeWith composes two summaries into one: s runs first, next runs
+// second, and the result maps s's input directly to next's output
+// (paper §3.6: function composition is associative, enabling parallel
+// reduction of summaries). The composition takes the cross product of
+// path pairs, eliminates infeasible combinations, and re-merges.
+func (s *Summary[S]) ComposeWith(next *Summary[S]) (out *Summary[S], err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			f, ok := r.(failure)
+			if !ok {
+				panic(r)
+			}
+			err = f.err
+		}
+	}()
+	var paths []S
+	for _, pa := range s.paths {
+		senv := NewSymEnv(pa)
+		paf := pa.Fields()
+		for _, pb := range next.paths {
+			cand := cloneState(s.newState, pb)
+			feasible := true
+			for i, f := range cand.Fields() {
+				if !f.ComposeAfter(paf[i], senv) {
+					feasible = false
+					break
+				}
+			}
+			if feasible {
+				paths = append(paths, cand)
+			}
+		}
+	}
+	if len(paths) == 0 {
+		return nil, ErrInfeasible
+	}
+	paths, _ = mergeAll(paths)
+	return &Summary[S]{paths: paths, newState: s.newState}, nil
+}
+
+// ComposeAll reduces an ordered list of summaries to a single summary by
+// left-to-right composition. With the associativity of composition this
+// could equally run as a parallel tree; see the ablation benchmarks.
+func ComposeAll[S State](summaries []*Summary[S]) (*Summary[S], error) {
+	if len(summaries) == 0 {
+		return nil, fmt.Errorf("sym: ComposeAll of zero summaries")
+	}
+	cur := summaries[0]
+	for _, s := range summaries[1:] {
+		next, err := cur.ComposeWith(s)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Encode appends the summary's compact wire form to e.
+func (s *Summary[S]) Encode(e *wire.Encoder) {
+	e.Uvarint(uint64(len(s.paths)))
+	for _, p := range s.paths {
+		for _, f := range p.Fields() {
+			f.Encode(e)
+		}
+	}
+}
+
+// EncodedSize returns the wire size of the summary in bytes.
+func (s *Summary[S]) EncodedSize() int {
+	e := wire.NewEncoder(256)
+	s.Encode(e)
+	return e.Len()
+}
+
+// DecodeSummary reads a summary written by Encode. newState must build
+// states of the same shape (field order, enum domains, codecs) as the
+// encoding side.
+func DecodeSummary[S State](newState func() S, d *wire.Decoder) (*Summary[S], error) {
+	n := d.Length(d.Remaining() + 1)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	paths := make([]S, n)
+	for i := range paths {
+		paths[i] = newState()
+		for _, f := range paths[i].Fields() {
+			if err := f.Decode(d); err != nil {
+				return nil, fmt.Errorf("sym: decoding summary path %d: %w", i, err)
+			}
+		}
+	}
+	return &Summary[S]{paths: paths, newState: newState}, nil
+}
+
+// String renders the summary for diagnostics, one path per line.
+func (s *Summary[S]) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "summary(%d paths)\n", len(s.paths))
+	for _, p := range s.paths {
+		parts := make([]string, 0, len(p.Fields()))
+		for _, f := range p.Fields() {
+			parts = append(parts, f.String())
+		}
+		fmt.Fprintf(&b, "  %s\n", strings.Join(parts, " ∧ "))
+	}
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package sym
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// SymBool is the symbolic version of a boolean: a SymEnum over the
+// two-element domain {false, true} with boolean-flavoured operations
+// (paper §4.2).
+type SymBool struct {
+	e SymEnum
+}
+
+const (
+	boolFalse = 0
+	boolTrue  = 1
+)
+
+// NewSymBool returns a SymBool bound to the concrete initial value v.
+func NewSymBool(v bool) SymBool {
+	c := int64(boolFalse)
+	if v {
+		c = boolTrue
+	}
+	return SymBool{e: NewSymEnum(2, c)}
+}
+
+// IsTrue reports whether the value is true, forking when both outcomes
+// are feasible.
+func (b *SymBool) IsTrue(ctx *Ctx) bool { return b.e.Eq(ctx, boolTrue) }
+
+// IsFalse reports whether the value is false.
+func (b *SymBool) IsFalse(ctx *Ctx) bool { return b.e.Eq(ctx, boolFalse) }
+
+// Set binds the value to the concrete constant v.
+func (b *SymBool) Set(v bool) {
+	if v {
+		b.e.Set(boolTrue)
+	} else {
+		b.e.Set(boolFalse)
+	}
+}
+
+// Get returns the concrete value, aborting the path if still symbolic.
+func (b *SymBool) Get() bool { return b.e.Get() == boolTrue }
+
+// TryGet returns the concrete value and whether the bool is bound.
+func (b *SymBool) TryGet() (bool, bool) {
+	c, ok := b.e.TryGet()
+	return c == boolTrue, ok
+}
+
+// ResetSymbolic implements Value.
+func (b *SymBool) ResetSymbolic(id int) {
+	b.e.n = 2
+	b.e.ResetSymbolic(id)
+}
+
+// CopyFrom implements Value.
+func (b *SymBool) CopyFrom(src Value) { b.e.CopyFrom(&src.(*SymBool).e) }
+
+// IsConcrete implements Value.
+func (b *SymBool) IsConcrete() bool { return b.e.IsConcrete() }
+
+// SameTransfer implements Value.
+func (b *SymBool) SameTransfer(other Value) bool {
+	return b.e.SameTransfer(&other.(*SymBool).e)
+}
+
+// ConstraintEq implements Value.
+func (b *SymBool) ConstraintEq(other Value) bool {
+	return b.e.ConstraintEq(&other.(*SymBool).e)
+}
+
+// UnionConstraint implements Value.
+func (b *SymBool) UnionConstraint(other Value) bool {
+	return b.e.UnionConstraint(&other.(*SymBool).e)
+}
+
+// Admits implements Value.
+func (b *SymBool) Admits(prev Value) bool {
+	return b.e.Admits(&prev.(*SymBool).e)
+}
+
+// Concretize implements Value.
+func (b *SymBool) Concretize(prev Value, env *Env) {
+	b.e.Concretize(&prev.(*SymBool).e, env)
+}
+
+// ComposeAfter implements Value.
+func (b *SymBool) ComposeAfter(prev Value, senv *SymEnv) bool {
+	return b.e.ComposeAfter(&prev.(*SymBool).e, senv)
+}
+
+// concreteInput implements scalarInput.
+func (b *SymBool) concreteInput() (int64, bool) { return b.e.concreteInput() }
+
+// transfer implements scalarTransfer.
+func (b *SymBool) transfer() (bool, int64, int64) { return b.e.transfer() }
+
+// Encode implements Value.
+func (b *SymBool) Encode(e *wire.Encoder) { b.e.Encode(e) }
+
+// Decode implements Value.
+func (b *SymBool) Decode(d *wire.Decoder) error {
+	b.e.n = 2
+	return b.e.Decode(d)
+}
+
+// String implements Value.
+func (b *SymBool) String() string {
+	c, ok := b.e.TryGet()
+	if ok {
+		return fmt.Sprintf("%s ⇒ %t", b.constraintString(), c == boolTrue)
+	}
+	return fmt.Sprintf("%s ⇒ x%d", b.constraintString(), b.e.id)
+}
+
+func (b *SymBool) constraintString() string {
+	hasF, hasT := b.e.set.has(boolFalse), b.e.set.has(boolTrue)
+	switch {
+	case hasF && hasT:
+		return "true"
+	case hasT:
+		return fmt.Sprintf("x%d", b.e.id)
+	case hasF:
+		return fmt.Sprintf("¬x%d", b.e.id)
+	default:
+		return "false"
+	}
+}
+
+var _ Value = (*SymBool)(nil)

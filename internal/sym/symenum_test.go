@@ -1,0 +1,300 @@
+package sym
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+type enumState struct {
+	M SymEnum
+}
+
+func (s *enumState) Fields() []Value { return []Value{&s.M} }
+
+func newEnumState(n int, c int64) func() *enumState {
+	return func() *enumState { return &enumState{M: NewSymEnum(n, c)} }
+}
+
+func TestSymEnumConcreteOps(t *testing.T) {
+	var ctx Ctx
+	v := NewSymEnum(4, 2)
+	if !v.Eq(&ctx, 2) || v.Eq(&ctx, 1) {
+		t.Error("Eq on bound enum wrong")
+	}
+	if !v.Ne(&ctx, 3) || v.Ne(&ctx, 2) {
+		t.Error("Ne on bound enum wrong")
+	}
+	if !v.In(&ctx, 1, 2) || v.In(&ctx, 0, 3) {
+		t.Error("In on bound enum wrong")
+	}
+	v.Set(3)
+	if got := v.Get(); got != 3 {
+		t.Fatalf("got %d, want 3", got)
+	}
+	if len(ctx.choices) != 0 {
+		t.Fatal("concrete enum ops forked")
+	}
+}
+
+func TestSymEnumSymbolicForks(t *testing.T) {
+	// FSM: if state == 0, go to 1, else stay. Two paths.
+	x := NewExecutor(newEnumState(3, 0), func(ctx *Ctx, s *enumState, _ struct{}) {
+		if s.M.Eq(ctx, 0) {
+			s.M.Set(1)
+		}
+	}, Options{DisableMerging: true})
+	if err := x.Feed(struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.LivePaths(); got != 2 {
+		t.Fatalf("got %d paths, want 2", got)
+	}
+	sums, _ := x.Finish()
+	for _, c := range []struct{ in, want int64 }{{0, 1}, {1, 1}, {2, 2}} {
+		got, err := sums[0].ApplyStrict(&enumState{M: NewSymEnum(3, c.in)})
+		if err != nil {
+			t.Fatalf("apply(%d): %v", c.in, err)
+		}
+		if g := got.M.Get(); g != c.want {
+			t.Errorf("apply(%d): got %d, want %d", c.in, g, c.want)
+		}
+	}
+}
+
+func TestSymEnumInfeasiblePruning(t *testing.T) {
+	// After learning state != 0, Eq(0) must not fork again.
+	x := NewExecutor(newEnumState(3, 0), func(ctx *Ctx, s *enumState, _ struct{}) {
+		if s.M.Ne(ctx, 0) {
+			if s.M.Eq(ctx, 0) { // infeasible under the path constraint
+				s.M.Set(2)
+			}
+		}
+	}, Options{DisableMerging: true})
+	if err := x.Feed(struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.LivePaths(); got != 2 {
+		t.Fatalf("got %d paths, want 2 (Ne fork only)", got)
+	}
+}
+
+func TestSymEnumSingletonNoFork(t *testing.T) {
+	// Once the set narrows to {1}, Eq(1) is decided without forking.
+	x := NewExecutor(newEnumState(3, 0), func(ctx *Ctx, s *enumState, _ struct{}) {
+		if s.M.In(ctx, 1) { // splits {0,1,2} into {1} and {0,2}
+			if s.M.Eq(ctx, 1) { // forced true on the {1} path
+				s.M.Set(2)
+			}
+		}
+	}, Options{DisableMerging: true})
+	if err := x.Feed(struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.LivePaths(); got != 2 {
+		t.Fatalf("got %d paths, want 2", got)
+	}
+}
+
+func TestSymEnumFSMMergesByUnion(t *testing.T) {
+	// A transition that maps every state to 1 collapses to a single
+	// path after merging: set union is always canonical.
+	x := NewExecutor(newEnumState(4, 0), func(ctx *Ctx, s *enumState, _ struct{}) {
+		if s.M.Eq(ctx, 0) {
+			s.M.Set(1)
+		} else if s.M.Eq(ctx, 1) {
+			s.M.Set(1)
+		} else if s.M.Eq(ctx, 2) {
+			s.M.Set(1)
+		} else {
+			s.M.Set(1)
+		}
+	}, DefaultOptions())
+	if err := x.Feed(struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.LivePaths(); got != 1 {
+		t.Fatalf("got %d paths, want 1 after merge", got)
+	}
+}
+
+func TestSymEnumEncodeDecode(t *testing.T) {
+	v := NewSymEnum(60, 33)
+	v.ResetSymbolic(5)
+	// Narrow the constraint a bit.
+	var ctx Ctx
+	ctx.choices = []choice{{1, 2}} // take the false branch
+	v.Eq(&ctx, 33)
+
+	e := wire.NewEncoder(0)
+	v.Encode(e)
+	got := SymEnum{n: 60}
+	if err := got.Decode(wire.NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got.id != 5 || got.bound || got.set.has(33) || !got.set.has(32) || !got.set.has(59) {
+		t.Fatalf("decoded: %s", got.String())
+	}
+
+	// Domain mismatch must be rejected.
+	bad := SymEnum{n: 64}
+	if err := bad.Decode(wire.NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("expected domain mismatch error")
+	}
+}
+
+func TestSymEnumDecodeRejectsOutOfDomainSet(t *testing.T) {
+	v := NewSymEnum(60, 3)
+	v.ResetSymbolic(0)
+	e := wire.NewEncoder(0)
+	v.Encode(e)
+	// A receiver with a smaller domain must reject the constraint set.
+	bad := SymEnum{n: 60}
+	raw := append([]byte(nil), e.Bytes()...)
+	// Corrupt the set word (last 8 bytes) to include bit 63.
+	raw[len(raw)-1] |= 0x80
+	if err := bad.Decode(wire.NewDecoder(raw)); err == nil {
+		t.Fatal("expected out-of-domain constraint error")
+	}
+}
+
+func TestSymEnumDomainCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected failure for domain > 64")
+		}
+	}()
+	NewSymEnum(65, 0)
+}
+
+func TestSymEnumSetOutOfDomain(t *testing.T) {
+	x := NewExecutor(newEnumState(3, 0), func(ctx *Ctx, s *enumState, _ struct{}) {
+		s.M.Set(7)
+	}, DefaultOptions())
+	if err := x.Feed(struct{}{}); err == nil {
+		t.Fatal("expected error for out-of-domain Set")
+	}
+}
+
+func TestSymBoolBasics(t *testing.T) {
+	var ctx Ctx
+	b := NewSymBool(false)
+	if b.Get() {
+		t.Fatal("initial true")
+	}
+	if b.IsTrue(&ctx) || !b.IsFalse(&ctx) {
+		t.Fatal("concrete checks wrong")
+	}
+	b.Set(true)
+	if !b.IsTrue(&ctx) {
+		t.Fatal("Set(true) not observed")
+	}
+	if len(ctx.choices) != 0 {
+		t.Fatal("concrete bool forked")
+	}
+}
+
+type boolState struct {
+	B SymBool
+}
+
+func (s *boolState) Fields() []Value { return []Value{&s.B} }
+
+func TestSymBoolSymbolic(t *testing.T) {
+	newBS := func() *boolState { return &boolState{B: NewSymBool(false)} }
+	x := NewExecutor(newBS, func(ctx *Ctx, s *boolState, e int64) {
+		if e == 1 {
+			s.B.Set(true)
+		} else if s.B.IsTrue(ctx) {
+			s.B.Set(false)
+		}
+	}, DefaultOptions())
+	// First record e=0: forks on B. The true path assigns false (bound
+	// transfer); the false path keeps the identity transfer over {false}.
+	// Both outcomes are semantically false but the transfers differ
+	// syntactically, so — like the paper's syntactic merge rule — they
+	// stay as two paths.
+	if err := x.Feed(int64(0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.LivePaths(); got != 2 {
+		t.Fatalf("after e=0: %d paths, want 2 (bound-false and identity-over-{false})", got)
+	}
+	sums, err := x.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, init := range []bool{false, true} {
+		got, err := sums[0].ApplyStrict(&boolState{B: NewSymBool(init)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.B.Get() {
+			t.Errorf("init %t: want false", init)
+		}
+	}
+}
+
+func TestSymBoolEncodeDecode(t *testing.T) {
+	b := NewSymBool(true)
+	b.ResetSymbolic(2)
+	e := wire.NewEncoder(0)
+	b.Encode(e)
+	var got SymBool
+	if err := got.Decode(wire.NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got.IsConcrete() {
+		t.Fatal("decoded bool should be symbolic")
+	}
+	if _, ok := got.TryGet(); ok {
+		t.Fatal("TryGet on symbolic bool")
+	}
+}
+
+func TestSymEnumGetSymbolicFails(t *testing.T) {
+	x := NewExecutor(newEnumState(3, 0), func(ctx *Ctx, s *enumState, _ struct{}) {
+		s.M.Get()
+	}, DefaultOptions())
+	if err := x.Feed(struct{}{}); !errors.Is(err, ErrSymbolicRead) {
+		t.Fatalf("got %v, want ErrSymbolicRead", err)
+	}
+}
+
+func TestBitset(t *testing.T) {
+	var s bitset
+	if !s.empty() {
+		t.Fatal("zero bitset not empty")
+	}
+	s.add(0)
+	s.add(40)
+	s.add(63)
+	if s.count() != 3 || !s.has(0) || !s.has(40) || !s.has(63) || s.has(1) {
+		t.Fatal("add/has wrong")
+	}
+	if s.has(-1) || s.has(64) || s.has(1000) {
+		t.Fatal("out-of-range has should be false")
+	}
+	s.remove(40)
+	if s.count() != 2 || s.has(40) {
+		t.Fatal("remove wrong")
+	}
+	if got := fullBitset(64).count(); got != 64 {
+		t.Fatalf("full(64) count %d", got)
+	}
+	if got := fullBitset(10).count(); got != 10 {
+		t.Fatalf("full(10) count %d", got)
+	}
+	if fullBitset(10).has(10) {
+		t.Fatal("full(10) contains 10")
+	}
+	if fullBitset(3).single() != -1 {
+		t.Fatal("single on non-singleton")
+	}
+	var one bitset
+	one.add(61)
+	if one.single() != 61 {
+		t.Fatalf("single = %d", one.single())
+	}
+}

@@ -1,0 +1,411 @@
+package sym
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// SymInt is the symbolic version of a 64-bit integer (paper §4.3). It
+// supports addition, subtraction and multiplication by concrete integers,
+// and comparison against concrete integers. Operations between two SymInts
+// are deliberately not provided: this keeps every constraint over a single
+// symbolic variable, so branch feasibility is decided in constant time
+// instead of by an integer-linear solver.
+//
+// Canonical form: under the path constraint lb ≤ x ≤ ub on the variable's
+// unknown initial value x, the current value is a·x+b (or the constant b
+// once bound). The constraint outlives binding — a path that learned
+// x < 5 before assigning a constant still carries x < 5 for composition.
+type SymInt struct {
+	id     int
+	bound  bool
+	a, b   int64 // transfer: b if bound, else a·x+b with a ≠ 0
+	lb, ub int64 // constraint on x
+}
+
+// NewSymInt returns a SymInt bound to the concrete initial value v. The
+// engine rebinds state fields to fresh symbolic inputs per chunk; the
+// concrete initial value is what summary composition starts from.
+func NewSymInt(v int64) SymInt {
+	return SymInt{bound: true, b: v, lb: noLB, ub: noUB}
+}
+
+// ResetSymbolic implements Value.
+func (v *SymInt) ResetSymbolic(id int) {
+	*v = SymInt{id: id, a: 1, lb: noLB, ub: noUB}
+}
+
+// CopyFrom implements Value.
+func (v *SymInt) CopyFrom(src Value) {
+	*v = *src.(*SymInt)
+}
+
+// concreteVal returns the current value when it is determined: bound by
+// an assignment, or an affine transfer over a single-point constraint
+// (lb = ub). The transfer representation is kept as-is in the singleton
+// case so that same-transfer paths still merge (paper §4.3).
+func (v *SymInt) concreteVal() (int64, bool) {
+	if v.bound {
+		return v.b, true
+	}
+	if v.lb == v.ub {
+		return addChecked(mulChecked(v.a, v.lb), v.b), true
+	}
+	return 0, false
+}
+
+// IsConcrete implements Value: true when bound by assignment or when
+// the constraint has narrowed to a single point.
+func (v *SymInt) IsConcrete() bool {
+	return v.bound || v.lb == v.ub
+}
+
+// Get returns the concrete value; it aborts the path if the value is
+// still symbolic. Call it from Result functions, which run on fully
+// concrete states.
+func (v *SymInt) Get() int64 {
+	c, ok := v.concreteVal()
+	if !ok {
+		fail(ErrSymbolicRead)
+	}
+	return c
+}
+
+// TryGet returns the concrete value and whether it is determined.
+func (v *SymInt) TryGet() (int64, bool) { return v.concreteVal() }
+
+// Set binds the value to the concrete constant c.
+func (v *SymInt) Set(c int64) {
+	v.bound, v.a, v.b = true, 0, c
+}
+
+// Add adds the concrete constant c to the value.
+func (v *SymInt) Add(c int64) { v.b = addChecked(v.b, c) }
+
+// Sub subtracts the concrete constant c from the value.
+func (v *SymInt) Sub(c int64) { v.b = subChecked(v.b, c) }
+
+// Inc increments the value by one.
+func (v *SymInt) Inc() { v.Add(1) }
+
+// Dec decrements the value by one.
+func (v *SymInt) Dec() { v.Sub(1) }
+
+// Mul multiplies the value by the concrete constant c.
+func (v *SymInt) Mul(c int64) {
+	if c == 0 {
+		v.bound, v.a, v.b = true, 0, 0
+		return
+	}
+	v.b = mulChecked(v.b, c)
+	if !v.bound {
+		v.a = mulChecked(v.a, c)
+	}
+}
+
+// Neg negates the value.
+func (v *SymInt) Neg() { v.Mul(-1) }
+
+// Rescaled returns a copy of v representing mul·v + add without mutating
+// v. Useful for pushing derived expressions (e.g. a time delta
+// ts − lastTs, written lastTs.Rescaled(-1, ts)) into a SymIntVector.
+func (v *SymInt) Rescaled(mul, add int64) SymInt {
+	c := *v
+	c.Mul(mul)
+	c.Add(add)
+	return c
+}
+
+// splitLt returns the subintervals of [v.lb, v.ub] on which a·x+b < c
+// holds (t) and fails (f). v must not be bound.
+func (v *SymInt) splitLt(c int64) (t, f ivl) {
+	d := subChecked(c, v.b) // a·x < d
+	cur := ivl{v.lb, v.ub}
+	if v.a > 0 {
+		// x ≤ thr, thr = ⌊(d-1)/a⌋ computed without forming d-1.
+		thr := floorDiv(d, v.a)
+		if d%v.a == 0 {
+			if thr == noLB {
+				return emptyIvl, cur
+			}
+			thr--
+		}
+		return isect(cur, ivl{noLB, thr}), isect(cur, aboveExcl(thr))
+	}
+	// a < 0: x ≥ thr+1, thr = ⌊d/a⌋.
+	thr := floorDiv(d, v.a)
+	return isect(cur, aboveExcl(thr)), isect(cur, ivl{noLB, thr})
+}
+
+// decide resolves a two-way split: if only one side is feasible it is
+// taken without forking; otherwise the context picks. The receiver's
+// constraint is tightened to the chosen side.
+func (v *SymInt) decide(ctx *Ctx, t, f ivl) bool {
+	res := false
+	switch {
+	case f.empty() && t.empty():
+		fail(ErrInfeasible) // live paths always have nonempty constraints
+	case f.empty():
+		v.lb, v.ub = t.lo, t.hi
+		res = true
+	case t.empty():
+		v.lb, v.ub = f.lo, f.hi
+	case ctx.Fork():
+		v.lb, v.ub = t.lo, t.hi
+		res = true
+	default:
+		v.lb, v.ub = f.lo, f.hi
+	}
+	return res
+}
+
+// Lt reports value < c, forking when both outcomes are feasible.
+func (v *SymInt) Lt(ctx *Ctx, c int64) bool {
+	if v.bound {
+		return v.b < c
+	}
+	t, f := v.splitLt(c)
+	return v.decide(ctx, t, f)
+}
+
+// Le reports value ≤ c.
+func (v *SymInt) Le(ctx *Ctx, c int64) bool {
+	if v.bound {
+		return v.b <= c
+	}
+	if c == noUB {
+		return true // every representable value satisfies ≤ MaxInt64
+	}
+	t, f := v.splitLt(c + 1)
+	return v.decide(ctx, t, f)
+}
+
+// Gt reports value > c.
+func (v *SymInt) Gt(ctx *Ctx, c int64) bool { return !v.Le(ctx, c) }
+
+// Ge reports value ≥ c.
+func (v *SymInt) Ge(ctx *Ctx, c int64) bool { return !v.Lt(ctx, c) }
+
+// Eq reports value == c. When the value is symbolic this splits the
+// domain three ways (below, equal, above), since the canonical form is a
+// single interval and x ≠ x₀ is not one.
+func (v *SymInt) Eq(ctx *Ctx, c int64) bool {
+	if v.bound {
+		return v.b == c
+	}
+	d := subChecked(c, v.b) // a·x == d
+	cur := ivl{v.lb, v.ub}
+	eq, below, above := emptyIvl, emptyIvl, emptyIvl
+	if d%v.a == 0 && !(d == noLB && v.a == -1) {
+		x0 := d / v.a
+		eq = isect(cur, ivl{x0, x0})
+		below = isect(cur, belowExcl(x0))
+		above = isect(cur, aboveExcl(x0))
+	} else {
+		below = cur // never equal: the whole current interval is "false"
+	}
+	type out struct {
+		iv  ivl
+		res bool
+	}
+	outs := make([]out, 0, 3)
+	if !eq.empty() {
+		outs = append(outs, out{eq, true})
+	}
+	if !below.empty() {
+		outs = append(outs, out{below, false})
+	}
+	if !above.empty() {
+		outs = append(outs, out{above, false})
+	}
+	if len(outs) == 0 {
+		fail(ErrInfeasible)
+	}
+	o := outs[0]
+	if len(outs) > 1 {
+		o = outs[ctx.ForkN(len(outs))]
+	}
+	v.lb, v.ub = o.iv.lo, o.iv.hi
+	return o.res
+}
+
+// Ne reports value != c.
+func (v *SymInt) Ne(ctx *Ctx, c int64) bool { return !v.Eq(ctx, c) }
+
+// SameTransfer implements Value.
+func (v *SymInt) SameTransfer(other Value) bool {
+	o := other.(*SymInt)
+	if v.bound != o.bound || v.b != o.b {
+		return false
+	}
+	return v.bound || v.a == o.a
+}
+
+// ConstraintEq implements Value.
+func (v *SymInt) ConstraintEq(other Value) bool {
+	o := other.(*SymInt)
+	return v.lb == o.lb && v.ub == o.ub
+}
+
+// UnionConstraint implements Value. Per the paper (§4.3), two summaries
+// with the same transfer merge when their x-intervals overlap or are
+// adjacent: the union is then itself an interval.
+func (v *SymInt) UnionConstraint(other Value) bool {
+	o := other.(*SymInt)
+	u, ok := unionIvl(ivl{v.lb, v.ub}, ivl{o.lb, o.ub})
+	if !ok {
+		return false
+	}
+	v.lb, v.ub = u.lo, u.hi
+	return true
+}
+
+// Admits implements Value.
+func (v *SymInt) Admits(prev Value) bool {
+	p := prev.(*SymInt)
+	if !p.bound {
+		fail(ErrSymbolicRead)
+	}
+	return v.lb <= p.b && p.b <= v.ub
+}
+
+// Concretize implements Value.
+func (v *SymInt) Concretize(prev Value, _ *Env) {
+	p := prev.(*SymInt)
+	if !v.bound {
+		v.b = addChecked(mulChecked(v.a, p.b), v.b)
+		v.a, v.bound = 0, true
+	}
+	v.lb, v.ub = noLB, noUB
+	v.id = p.id
+}
+
+// ComposeAfter implements Value (paper §3.6): rewrite this later-path
+// field over the earlier path's input x, intersecting the earlier
+// constraint with the preimage of this field's constraint under the
+// earlier transfer.
+func (v *SymInt) ComposeAfter(prev Value, _ *SymEnv) bool {
+	p := prev.(*SymInt)
+	var nc ivl
+	if p.bound {
+		if !(ivl{v.lb, v.ub}).contains(p.b) {
+			return false
+		}
+		nc = ivl{p.lb, p.ub}
+		if !v.bound {
+			v.b = addChecked(mulChecked(v.a, p.b), v.b)
+			v.a, v.bound = 0, true
+		}
+	} else {
+		nc = isect(ivl{p.lb, p.ub}, preimageAffine(p.a, p.b, v.lb, v.ub))
+		if nc.empty() {
+			return false
+		}
+		if !v.bound {
+			// a·(pa·x+pb)+b = (a·pa)·x + (a·pb + b)
+			v.b = addChecked(mulChecked(v.a, p.b), v.b)
+			v.a = mulChecked(v.a, p.a)
+		}
+	}
+	v.lb, v.ub = nc.lo, nc.hi
+	v.id = p.id
+	return true
+}
+
+// concreteInput implements scalarInput.
+func (v *SymInt) concreteInput() (int64, bool) { return v.concreteVal() }
+
+// transfer implements scalarTransfer.
+func (v *SymInt) transfer() (bool, int64, int64) {
+	if !v.bound {
+		if c, ok := v.concreteVal(); ok {
+			return true, 0, c
+		}
+	}
+	return v.bound, v.a, v.b
+}
+
+const (
+	intFlagBound = 1 << iota
+	intFlagHasLB
+	intFlagHasUB
+)
+
+// Encode implements Value.
+func (v *SymInt) Encode(e *wire.Encoder) {
+	var flags byte
+	if v.bound {
+		flags |= intFlagBound
+	}
+	if v.lb != noLB {
+		flags |= intFlagHasLB
+	}
+	if v.ub != noUB {
+		flags |= intFlagHasUB
+	}
+	e.Byte(flags)
+	e.Uvarint(uint64(v.id))
+	e.Varint(v.b)
+	if !v.bound {
+		e.Varint(v.a)
+	}
+	if v.lb != noLB {
+		e.Varint(v.lb)
+	}
+	if v.ub != noUB {
+		e.Varint(v.ub)
+	}
+}
+
+// Decode implements Value.
+func (v *SymInt) Decode(d *wire.Decoder) error {
+	flags := d.Byte()
+	v.id = d.Length(maxFieldID)
+	v.b = d.Varint()
+	v.bound = flags&intFlagBound != 0
+	if v.bound {
+		v.a = 0
+	} else {
+		v.a = d.Varint()
+	}
+	v.lb, v.ub = noLB, noUB
+	if flags&intFlagHasLB != 0 {
+		v.lb = d.Varint()
+	}
+	if flags&intFlagHasUB != 0 {
+		v.ub = d.Varint()
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if !v.bound && v.a == 0 {
+		return fmt.Errorf("%w: symbolic SymInt with zero coefficient", wire.ErrCorrupt)
+	}
+	return nil
+}
+
+// String implements Value.
+func (v *SymInt) String() string {
+	c := "true"
+	if v.lb != noLB || v.ub != noUB {
+		c = fmt.Sprintf("x%d∈[%s,%s]", v.id, boundStr(v.lb, "-inf"), boundStr(v.ub, "+inf"))
+	}
+	if v.bound {
+		return fmt.Sprintf("%s ⇒ %d", c, v.b)
+	}
+	return fmt.Sprintf("%s ⇒ %d·x%d%+d", c, v.a, v.id, v.b)
+}
+
+func boundStr(v int64, inf string) string {
+	if v == noLB || v == noUB {
+		return inf
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+var (
+	_ Value          = (*SymInt)(nil)
+	_ scalarInput    = (*SymInt)(nil)
+	_ scalarTransfer = (*SymInt)(nil)
+)

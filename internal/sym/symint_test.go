@@ -1,0 +1,508 @@
+package sym
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// intState is a single-SymInt aggregation state for focused tests.
+type intState struct {
+	V SymInt
+}
+
+func (s *intState) Fields() []Value { return []Value{&s.V} }
+
+func newIntState(init int64) func() *intState {
+	return func() *intState { return &intState{V: NewSymInt(init)} }
+}
+
+// intOp is one step of a random straight-line SymInt program.
+type intOp struct {
+	kind int // 0 add, 1 mul, 2 set, 3 cmpLt, 4 cmpLe, 5 cmpEq, 6 cmpGt
+	c    int64
+	then intAct // action when comparison true
+	els  intAct // action when comparison false
+}
+
+type intAct struct {
+	kind int // 0 nothing, 1 add, 2 set
+	c    int64
+}
+
+func applyAct(ctx *Ctx, v *SymInt, a intAct) {
+	switch a.kind {
+	case 1:
+		v.Add(a.c)
+	case 2:
+		v.Set(a.c)
+	}
+}
+
+func applyActConcrete(v *int64, a intAct) {
+	switch a.kind {
+	case 1:
+		*v += a.c
+	case 2:
+		*v = a.c
+	}
+}
+
+func runSymProgram(ctx *Ctx, s *intState, ops []intOp) {
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			s.V.Add(op.c)
+		case 1:
+			s.V.Mul(op.c)
+		case 2:
+			s.V.Set(op.c)
+		case 3, 4, 5, 6:
+			var taken bool
+			switch op.kind {
+			case 3:
+				taken = s.V.Lt(ctx, op.c)
+			case 4:
+				taken = s.V.Le(ctx, op.c)
+			case 5:
+				taken = s.V.Eq(ctx, op.c)
+			case 6:
+				taken = s.V.Gt(ctx, op.c)
+			}
+			if taken {
+				applyAct(ctx, &s.V, op.then)
+			} else {
+				applyAct(ctx, &s.V, op.els)
+			}
+		}
+	}
+}
+
+func runConcreteProgram(x int64, ops []intOp) int64 {
+	v := x
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			v += op.c
+		case 1:
+			v *= op.c
+		case 2:
+			v = op.c
+		case 3, 4, 5, 6:
+			var taken bool
+			switch op.kind {
+			case 3:
+				taken = v < op.c
+			case 4:
+				taken = v <= op.c
+			case 5:
+				taken = v == op.c
+			case 6:
+				taken = v > op.c
+			}
+			if taken {
+				applyActConcrete(&v, op.then)
+			} else {
+				applyActConcrete(&v, op.els)
+			}
+		}
+	}
+	return v
+}
+
+func randAct(r *rand.Rand) intAct {
+	return intAct{kind: r.Intn(3), c: int64(r.Intn(21) - 10)}
+}
+
+func randOps(r *rand.Rand, n int) []intOp {
+	ops := make([]intOp, n)
+	for i := range ops {
+		k := r.Intn(7)
+		ops[i] = intOp{kind: k, c: int64(r.Intn(41) - 20), then: randAct(r), els: randAct(r)}
+		if k == 1 {
+			// Keep multipliers small to stay far from overflow.
+			ops[i].c = int64(r.Intn(5) - 2)
+		}
+	}
+	return ops
+}
+
+// TestSymIntProgramOracle is the core soundness property for SymInt: a
+// random straight-line program with state-dependent branches, executed
+// symbolically as one "record", must summarize to exactly the concrete
+// execution for every initial value.
+func TestSymIntProgramOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		ops := randOps(r, 1+r.Intn(8))
+		x := NewExecutor(newIntState(0), func(ctx *Ctx, s *intState, _ struct{}) {
+			runSymProgram(ctx, s, ops)
+		}, Options{MaxLivePaths: 1 << 20, MaxRunsPerRecord: 1 << 20})
+		if err := x.Feed(struct{}{}); err != nil {
+			t.Fatalf("trial %d: feed: %v", trial, err)
+		}
+		sums, err := x.Finish()
+		if err != nil {
+			t.Fatalf("trial %d: finish: %v", trial, err)
+		}
+		if len(sums) != 1 {
+			t.Fatalf("trial %d: got %d summaries, want 1", trial, len(sums))
+		}
+		for _, init := range []int64{-100, -21, -20, -1, 0, 1, 5, 19, 20, 21, 100, int64(r.Intn(1000) - 500)} {
+			want := runConcreteProgram(init, ops)
+			got, err := sums[0].ApplyStrict(&intState{V: NewSymInt(init)})
+			if err != nil {
+				t.Fatalf("trial %d init %d: apply: %v\nops: %+v\n%s", trial, init, err, ops, sums[0])
+			}
+			if g := got.V.Get(); g != want {
+				t.Fatalf("trial %d init %d: got %d, want %d\nops: %+v\n%s", trial, init, g, want, ops, sums[0])
+			}
+		}
+	}
+}
+
+// TestMaxSummaryShape reproduces the paper's §3.5 running example: the
+// Max UDA over chunk [5,3,10] must summarize, after merging, to
+// x<10 ⇒ 10 ∧ x≥10 ⇒ x.
+func TestMaxSummaryShape(t *testing.T) {
+	maxUpdate := func(ctx *Ctx, s *intState, e int64) {
+		if s.V.Lt(ctx, e) {
+			s.V.Set(e)
+		}
+	}
+	x := NewExecutor(newIntState(math.MinInt64), maxUpdate, DefaultOptions())
+	for _, e := range []int64{5, 3, 10} {
+		if err := x.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sums, err := x.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sums[0]
+	if s.NumPaths() != 2 {
+		t.Fatalf("got %d paths, want 2:\n%s", s.NumPaths(), s)
+	}
+	// One path: x ≤ 9 ⇒ 10 (bound); other: x ≥ 10 ⇒ x (identity).
+	var sawBound, sawIdent bool
+	for _, p := range s.Paths() {
+		v := &p.V
+		if v.bound {
+			if v.b != 10 || v.ub != 9 || v.lb != noLB {
+				t.Errorf("bound path wrong: %s", v)
+			}
+			sawBound = true
+		} else {
+			if v.a != 1 || v.b != 0 || v.lb != 10 || v.ub != noUB {
+				t.Errorf("identity path wrong: %s", v)
+			}
+			sawIdent = true
+		}
+	}
+	if !sawBound || !sawIdent {
+		t.Fatalf("missing expected paths:\n%s", s)
+	}
+
+	// Composing onto concrete 9 (the first chunk's max) gives 10;
+	// onto 42 gives 42.
+	for _, c := range []struct{ in, want int64 }{{9, 10}, {42, 42}, {10, 10}, {11, 11}} {
+		got, err := s.ApplyStrict(&intState{V: NewSymInt(c.in)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := got.V.Get(); g != c.want {
+			t.Errorf("apply(%d): got %d, want %d", c.in, g, c.want)
+		}
+	}
+}
+
+func TestSymIntComparisonsConcrete(t *testing.T) {
+	var ctx Ctx
+	v := NewSymInt(7)
+	if !v.Lt(&ctx, 8) || v.Lt(&ctx, 7) || v.Lt(&ctx, 6) {
+		t.Error("Lt on bound value wrong")
+	}
+	if !v.Le(&ctx, 7) || v.Le(&ctx, 6) {
+		t.Error("Le on bound value wrong")
+	}
+	if !v.Gt(&ctx, 6) || v.Gt(&ctx, 7) {
+		t.Error("Gt on bound value wrong")
+	}
+	if !v.Ge(&ctx, 7) || v.Ge(&ctx, 8) {
+		t.Error("Ge on bound value wrong")
+	}
+	if !v.Eq(&ctx, 7) || v.Eq(&ctx, 8) {
+		t.Error("Eq on bound value wrong")
+	}
+	if !v.Ne(&ctx, 8) || v.Ne(&ctx, 7) {
+		t.Error("Ne on bound value wrong")
+	}
+}
+
+func TestSymIntArithmetic(t *testing.T) {
+	v := NewSymInt(10)
+	v.Add(5)
+	v.Sub(3)
+	v.Inc()
+	v.Dec()
+	v.Mul(2)
+	if got := v.Get(); got != 24 {
+		t.Fatalf("got %d, want 24", got)
+	}
+	v.Neg()
+	if got := v.Get(); got != -24 {
+		t.Fatalf("got %d, want -24", got)
+	}
+	v.Mul(0)
+	if got := v.Get(); got != 0 {
+		t.Fatalf("got %d, want 0", got)
+	}
+}
+
+func TestSymIntRescaled(t *testing.T) {
+	var v SymInt
+	v.ResetSymbolic(0)
+	r := v.Rescaled(-1, 100) // 100 - x
+	if r.a != -1 || r.b != 100 || r.bound {
+		t.Fatalf("rescaled: %+v", r)
+	}
+	if v.a != 1 || v.b != 0 {
+		t.Fatal("Rescaled mutated receiver")
+	}
+	b := NewSymInt(30)
+	rb := b.Rescaled(-1, 100)
+	if got := rb.Get(); got != 70 {
+		t.Fatalf("got %d, want 70", got)
+	}
+}
+
+func TestSymIntSymbolicSplit(t *testing.T) {
+	// value = 2x+1, branch on < 10: true iff x ≤ 4.
+	run := func(takeTrue bool) *SymInt {
+		var v SymInt
+		v.ResetSymbolic(0)
+		v.Mul(2)
+		v.Add(1)
+		var ctx Ctx
+		if takeTrue {
+			ctx.choices = []choice{{0, 2}}
+		} else {
+			ctx.choices = []choice{{1, 2}}
+		}
+		v.Lt(&ctx, 10)
+		return &v
+	}
+	tv := run(true)
+	if tv.lb != noLB || tv.ub != 4 {
+		t.Errorf("true side: [%d,%d], want [-inf,4]", tv.lb, tv.ub)
+	}
+	fv := run(false)
+	if fv.lb != 5 || fv.ub != noUB {
+		t.Errorf("false side: [%d,%d], want [5,+inf]", fv.lb, fv.ub)
+	}
+}
+
+func TestSymIntNegativeCoefficientSplit(t *testing.T) {
+	// value = -3x+2 < 5  ⇔  -3x < 3  ⇔  x > -1  ⇔  x ≥ 0.
+	var v SymInt
+	v.ResetSymbolic(0)
+	v.Mul(-3)
+	v.Add(2)
+	tIv, fIv := v.splitLt(5)
+	if tIv.lo != 0 || tIv.hi != noUB {
+		t.Errorf("true side [%d,%d], want [0,+inf]", tIv.lo, tIv.hi)
+	}
+	if fIv.lo != noLB || fIv.hi != -1 {
+		t.Errorf("false side [%d,%d], want [-inf,-1]", fIv.lo, fIv.hi)
+	}
+}
+
+func TestSymIntEqThreeWaySplit(t *testing.T) {
+	var v SymInt
+	v.ResetSymbolic(0)
+	x := NewExecutor(newIntState(0), func(ctx *Ctx, s *intState, _ struct{}) {
+		if s.V.Eq(ctx, 5) {
+			s.V.Set(100)
+		} else {
+			s.V.Set(200)
+		}
+	}, Options{DisableMerging: true})
+	if err := x.Feed(struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.LivePaths(); got != 3 {
+		t.Fatalf("got %d paths, want 3 (below, equal, above)", got)
+	}
+	sums, _ := x.Finish()
+	for _, c := range []struct{ in, want int64 }{{4, 200}, {5, 100}, {6, 200}} {
+		got, err := sums[0].ApplyStrict(&intState{V: NewSymInt(c.in)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g := got.V.Get(); g != c.want {
+			t.Errorf("apply(%d): got %d, want %d", c.in, g, c.want)
+		}
+	}
+}
+
+func TestSymIntEqNotDivisible(t *testing.T) {
+	// value = 2x: Eq(5) is never true; no fork should occur.
+	var v SymInt
+	v.ResetSymbolic(0)
+	v.Mul(2)
+	var ctx Ctx
+	if v.Eq(&ctx, 5) {
+		t.Fatal("2x == 5 reported true")
+	}
+	if len(ctx.choices) != 0 {
+		t.Fatal("infeasible Eq forked")
+	}
+}
+
+func TestSymIntMergeAdjacent(t *testing.T) {
+	a, b := NewSymInt(10), NewSymInt(10)
+	a.lb, a.ub = noLB, 4
+	b.lb, b.ub = 5, 9
+	if !a.UnionConstraint(&b) {
+		t.Fatal("adjacent intervals did not merge")
+	}
+	if a.lb != noLB || a.ub != 9 {
+		t.Fatalf("merged to [%d,%d]", a.lb, a.ub)
+	}
+}
+
+func TestSymIntMergeDisjointFails(t *testing.T) {
+	a, b := NewSymInt(10), NewSymInt(10)
+	a.lb, a.ub = 0, 3
+	b.lb, b.ub = 5, 9
+	if a.UnionConstraint(&b) {
+		t.Fatal("disjoint non-adjacent intervals merged")
+	}
+	if a.lb != 0 || a.ub != 3 {
+		t.Fatal("failed union mutated receiver")
+	}
+}
+
+func TestSymIntEncodeDecode(t *testing.T) {
+	cases := []SymInt{
+		{id: 3, bound: true, b: 42, lb: noLB, ub: noUB},
+		{id: 0, a: 2, b: -7, lb: -100, ub: 100},
+		{id: 7, a: -1, b: 0, lb: 5, ub: noUB},
+		{id: 1, a: 1, b: math.MaxInt64, lb: noLB, ub: -1},
+	}
+	for i, c := range cases {
+		e := wire.NewEncoder(0)
+		c.Encode(e)
+		var got SymInt
+		if err := got.Decode(wire.NewDecoder(e.Bytes())); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != c {
+			t.Errorf("case %d: got %+v, want %+v", i, got, c)
+		}
+	}
+}
+
+func TestSymIntDecodeRejectsZeroCoefficient(t *testing.T) {
+	e := wire.NewEncoder(0)
+	e.Byte(0) // not bound, no lb, no ub
+	e.Uvarint(0)
+	e.Varint(5) // b
+	e.Varint(0) // a = 0: invalid for symbolic
+	var v SymInt
+	if err := v.Decode(wire.NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("expected error for zero symbolic coefficient")
+	}
+}
+
+func TestSymIntOverflow(t *testing.T) {
+	x := NewExecutor(newIntState(0), func(ctx *Ctx, s *intState, _ struct{}) {
+		s.V.Set(math.MaxInt64)
+		s.V.Add(1)
+	}, DefaultOptions())
+	err := x.Feed(struct{}{})
+	if !errors.Is(err, ErrOverflow) {
+		t.Fatalf("got %v, want ErrOverflow", err)
+	}
+	// Error is sticky.
+	if err := x.Feed(struct{}{}); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("sticky error lost: %v", err)
+	}
+	if _, err := x.Finish(); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("finish after error: %v", err)
+	}
+}
+
+func TestSymIntGetSymbolicFails(t *testing.T) {
+	x := NewExecutor(newIntState(0), func(ctx *Ctx, s *intState, _ struct{}) {
+		s.V.Get() // symbolic at chunk start: must abort
+	}, DefaultOptions())
+	if err := x.Feed(struct{}{}); !errors.Is(err, ErrSymbolicRead) {
+		t.Fatalf("got %v, want ErrSymbolicRead", err)
+	}
+}
+
+func TestSymIntExtremeConstants(t *testing.T) {
+	// Comparisons against extreme constants on identity transfer.
+	probe := func(c int64, f func(ctx *Ctx, v *SymInt) bool) (tEmpty, fEmpty bool) {
+		var v SymInt
+		v.ResetSymbolic(0)
+		x := NewExecutor(newIntState(0), func(ctx *Ctx, s *intState, _ struct{}) {
+			f(ctx, &s.V)
+		}, Options{DisableMerging: true})
+		if err := x.Feed(struct{}{}); err != nil {
+			t.Fatalf("feed: %v", err)
+		}
+		return false, x.LivePaths() == 1
+	}
+	// x < MinInt64 is never true: single path.
+	if _, single := probe(math.MinInt64, func(ctx *Ctx, v *SymInt) bool { return v.Lt(ctx, math.MinInt64) }); !single {
+		t.Error("x < MinInt64 forked")
+	}
+	// x ≤ MaxInt64 is always true: single path.
+	if _, single := probe(math.MaxInt64, func(ctx *Ctx, v *SymInt) bool { return v.Le(ctx, math.MaxInt64) }); !single {
+		t.Error("x ≤ MaxInt64 forked")
+	}
+	// x ≥ MinInt64 is always true: single path.
+	if _, single := probe(math.MinInt64, func(ctx *Ctx, v *SymInt) bool { return v.Ge(ctx, math.MinInt64) }); !single {
+		t.Error("x ≥ MinInt64 forked")
+	}
+}
+
+func TestFloorCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, floor, ceil int64 }{
+		{10, 3, 3, 4},
+		{9, 3, 3, 3},
+		{-10, 3, -4, -3},
+		{-9, 3, -3, -3},
+		{10, -3, -4, -3},
+		{-10, -3, 3, 4},
+		{0, 5, 0, 0},
+		{math.MinInt64, 2, math.MinInt64 / 2, math.MinInt64 / 2},
+		{math.MinInt64, 3, -3074457345618258603, -3074457345618258602},
+		{math.MaxInt64, 1, math.MaxInt64, math.MaxInt64},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.floor {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.floor)
+		}
+		if got := ceilDiv(c.a, c.b); got != c.ceil {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.ceil)
+		}
+	}
+}
+
+func TestFloorDivMinByMinusOne(t *testing.T) {
+	defer func() {
+		r := recover()
+		f, ok := r.(failure)
+		if !ok || !errors.Is(f.err, ErrOverflow) {
+			t.Fatalf("got %v, want ErrOverflow failure", r)
+		}
+	}()
+	floorDiv(math.MinInt64, -1)
+}

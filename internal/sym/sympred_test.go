@@ -1,0 +1,204 @@
+package sym
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// withinTen is a black-box predicate: |held - arg| < 10.
+func withinTen(held, arg int64) bool {
+	d := held - arg
+	if d < 0 {
+		d = -d
+	}
+	return d < 10
+}
+
+type predState struct {
+	Prev  SymPred[int64]
+	Count SymInt
+	Out   SymIntVector
+}
+
+func (s *predState) Fields() []Value { return []Value{&s.Prev, &s.Count, &s.Out} }
+
+func newPredState() *predState {
+	return &predState{
+		Prev:  NewSymPred(withinTen, Int64Codec(), 0),
+		Count: NewSymInt(0),
+	}
+}
+
+// sessionUpdate is the paper's §4.4 sessionization pattern with a window
+// of one: count events within "sessions" of nearby values.
+func sessionUpdate(ctx *Ctx, s *predState, e int64) {
+	if s.Prev.EvalPred(ctx, e) {
+		s.Count.Inc()
+	} else {
+		s.Out.PushInt(&s.Count)
+		s.Count.Set(0)
+	}
+	s.Prev.SetValue(e)
+}
+
+// sessionConcrete is the independent concrete oracle.
+func sessionConcrete(init int64, initCount int64, events []int64) (prev, count int64, out []int64) {
+	prev, count = init, initCount
+	for _, e := range events {
+		if withinTen(prev, e) {
+			count++
+		} else {
+			out = append(out, count)
+			count = 0
+		}
+		prev = e
+	}
+	return prev, count, out
+}
+
+func TestSymPredWindowedBlowupIsTwo(t *testing.T) {
+	x := NewExecutor(newPredState, sessionUpdate, DefaultOptions())
+	for _, e := range []int64{3, 8, 50, 55, 200} {
+		if err := x.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The blind fork happens only on the first record: prev is assigned
+	// concretely in both branches, so the path count stays at 2.
+	if got := x.LivePaths(); got != 2 {
+		t.Fatalf("got %d live paths, want 2 (windowed dependence)", got)
+	}
+	sums, err := x.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, init := range []int64{0, 5, 400, -3} {
+		wantPrev, wantCount, wantOut := sessionConcrete(init, 7, []int64{3, 8, 50, 55, 200})
+		start := newPredState()
+		start.Prev.SetValue(init)
+		start.Count.Set(7)
+		got, err := sums[0].ApplyStrict(start)
+		if err != nil {
+			t.Fatalf("init %d: %v", init, err)
+		}
+		if g := got.Prev.Get(); g != wantPrev {
+			t.Errorf("init %d: prev %d, want %d", init, g, wantPrev)
+		}
+		if g := got.Count.Get(); g != wantCount {
+			t.Errorf("init %d: count %d, want %d", init, g, wantCount)
+		}
+		gotOut := got.Out.Elems()
+		if len(gotOut) != len(wantOut) {
+			t.Fatalf("init %d: out %v, want %v", init, gotOut, wantOut)
+		}
+		for i := range wantOut {
+			if gotOut[i] != wantOut[i] {
+				t.Errorf("init %d: out[%d] = %d, want %d", init, i, gotOut[i], wantOut[i])
+			}
+		}
+	}
+}
+
+func TestSymPredSymbolicPushResolved(t *testing.T) {
+	// The else branch of the first record pushes Count while Count is
+	// still symbolic x+0; composition must resolve it to the initial
+	// count (the paper's "appending a symbolic count" example).
+	x := NewExecutor(newPredState, sessionUpdate, DefaultOptions())
+	if err := x.Feed(int64(1000)); err != nil {
+		t.Fatal(err)
+	}
+	sums, _ := x.Finish()
+	start := newPredState()
+	start.Prev.SetValue(0) // far from 1000: predicate false, count pushed
+	start.Count.Set(42)
+	got, err := sums[0].ApplyStrict(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := got.Out.Elems()
+	if len(out) != 1 || out[0] != 42 {
+		t.Fatalf("out = %v, want [42]", out)
+	}
+	if got.Count.Get() != 0 {
+		t.Fatalf("count = %d, want 0", got.Count.Get())
+	}
+}
+
+func TestSymPredAssumptionsDistinguishPaths(t *testing.T) {
+	p1 := NewSymPred(withinTen, Int64Codec(), 0)
+	p1.ResetSymbolic(0)
+	p2 := NewSymPred(withinTen, Int64Codec(), 0)
+	p2.ResetSymbolic(0)
+	var ctx1, ctx2 Ctx
+	ctx1.choices = []choice{{0, 2}}
+	ctx2.choices = []choice{{1, 2}}
+	p1.EvalPred(&ctx1, 100)
+	p2.EvalPred(&ctx2, 100)
+	if p1.ConstraintEq(&p2) {
+		t.Fatal("opposite assumptions compare equal")
+	}
+	if p1.UnionConstraint(&p2) {
+		t.Fatal("differing assumptions must not union")
+	}
+	near := NewSymPred(withinTen, Int64Codec(), 95)
+	far := NewSymPred(withinTen, Int64Codec(), 0)
+	if !p1.Admits(&near) || p1.Admits(&far) {
+		t.Error("p1 (assumed true) admits wrong values")
+	}
+	if p2.Admits(&near) || !p2.Admits(&far) {
+		t.Error("p2 (assumed false) admits wrong values")
+	}
+}
+
+func TestSymPredCopyOnAppend(t *testing.T) {
+	base := NewSymPred(withinTen, Int64Codec(), 0)
+	base.ResetSymbolic(0)
+	var ctx Ctx
+	ctx.choices = []choice{{0, 2}}
+	base.EvalPred(&ctx, 1)
+
+	var c1, c2 SymPred[int64]
+	c1.CopyFrom(&base)
+	c2.CopyFrom(&base)
+	ctx1 := Ctx{choices: []choice{{0, 2}}}
+	ctx2 := Ctx{choices: []choice{{1, 2}}}
+	c1.EvalPred(&ctx1, 2)
+	c2.EvalPred(&ctx2, 3)
+	if len(c1.assumps) != 2 || len(c2.assumps) != 2 {
+		t.Fatal("assumption counts wrong")
+	}
+	if c1.assumps[1].arg != 2 || c2.assumps[1].arg != 3 {
+		t.Fatal("appends leaked across copies")
+	}
+	if len(base.assumps) != 1 {
+		t.Fatal("base mutated")
+	}
+}
+
+func TestSymPredEncodeDecode(t *testing.T) {
+	p := NewSymPred(withinTen, Int64Codec(), 0)
+	p.ResetSymbolic(3)
+	var ctx Ctx
+	ctx.choices = []choice{{1, 2}}
+	p.EvalPred(&ctx, 77)
+
+	e := wire.NewEncoder(0)
+	p.Encode(e)
+	got := NewSymPred(withinTen, Int64Codec(), 0)
+	if err := got.Decode(wire.NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got.bound || got.id != 3 || len(got.assumps) != 1 {
+		t.Fatalf("decoded: %+v", got)
+	}
+	if got.assumps[0].arg != 77 || got.assumps[0].outcome {
+		t.Fatalf("assumption: %+v", got.assumps[0])
+	}
+
+	// Decoding into a receiver without pred/codec must error.
+	var bare SymPred[int64]
+	if err := bare.Decode(wire.NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("expected error decoding without codec")
+	}
+}

@@ -1,0 +1,184 @@
+package sym
+
+import (
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// SymStruct composes several symbolic values into one (paper §4.5,
+// "Symbolic Struct"). The composite is itself a Value, so aggregation
+// states can nest: a field of the state can be a struct of symbolic
+// fields, and structs can contain structs.
+//
+// Like the paper — where C++'s lack of reflection forces the programmer
+// to provide list_fields — the contained values are enumerated
+// explicitly at construction. The contained values must be the same
+// (count, order, dynamic type) across all instances produced by a state
+// factory.
+//
+// Semantics are the product of the parts: the struct's constraint is the
+// conjunction of its parts' constraints, its transfer the tuple of their
+// transfers. Merging follows the engine's box rule transitively: a
+// struct counts as "constraint differs in one field" only when exactly
+// one nested leaf differs and that leaf unions canonically.
+//
+// One restriction: SymIntVector.PushInt/PushEnum resolve their symbolic
+// element against top-level state fields; a scalar nested inside a
+// SymStruct cannot be pushed while symbolic (push it from a top-level
+// field instead).
+type SymStruct struct {
+	parts []Value
+}
+
+// NewSymStruct builds a composite over parts. The composite holds the
+// given values by reference; callers typically pass pointers to fields
+// of an enclosing Go struct.
+func NewSymStruct(parts ...Value) SymStruct {
+	return SymStruct{parts: parts}
+}
+
+// Parts returns the contained values.
+func (v *SymStruct) Parts() []Value { return v.parts }
+
+// ResetSymbolic implements Value. All parts share the struct's field
+// index as their variable identity base; their own identities remain
+// distinguishable through position, which is stable by construction.
+func (v *SymStruct) ResetSymbolic(id int) {
+	for _, p := range v.parts {
+		p.ResetSymbolic(id)
+	}
+}
+
+// CopyFrom implements Value.
+func (v *SymStruct) CopyFrom(src Value) {
+	s := src.(*SymStruct)
+	if len(v.parts) != len(s.parts) {
+		fail(ErrStateMismatch)
+	}
+	for i, p := range v.parts {
+		p.CopyFrom(s.parts[i])
+	}
+}
+
+// IsConcrete implements Value.
+func (v *SymStruct) IsConcrete() bool {
+	for _, p := range v.parts {
+		if !p.IsConcrete() {
+			return false
+		}
+	}
+	return true
+}
+
+// SameTransfer implements Value.
+func (v *SymStruct) SameTransfer(other Value) bool {
+	o := other.(*SymStruct)
+	if len(v.parts) != len(o.parts) {
+		return false
+	}
+	for i, p := range v.parts {
+		if !p.SameTransfer(o.parts[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConstraintEq implements Value.
+func (v *SymStruct) ConstraintEq(other Value) bool {
+	o := other.(*SymStruct)
+	if len(v.parts) != len(o.parts) {
+		return false
+	}
+	for i, p := range v.parts {
+		if !p.ConstraintEq(o.parts[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionConstraint implements Value: sound only when the constraints
+// differ in exactly one nested part whose union is canonical (the box
+// rule, applied through the nesting).
+func (v *SymStruct) UnionConstraint(other Value) bool {
+	o := other.(*SymStruct)
+	if len(v.parts) != len(o.parts) {
+		return false
+	}
+	diff := -1
+	for i, p := range v.parts {
+		if !p.ConstraintEq(o.parts[i]) {
+			if diff >= 0 {
+				return false
+			}
+			diff = i
+		}
+	}
+	if diff < 0 {
+		return true
+	}
+	return v.parts[diff].UnionConstraint(o.parts[diff])
+}
+
+// Admits implements Value.
+func (v *SymStruct) Admits(prev Value) bool {
+	p := prev.(*SymStruct)
+	for i, part := range v.parts {
+		if !part.Admits(p.parts[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Concretize implements Value.
+func (v *SymStruct) Concretize(prev Value, env *Env) {
+	p := prev.(*SymStruct)
+	for i, part := range v.parts {
+		part.Concretize(p.parts[i], env)
+	}
+}
+
+// ComposeAfter implements Value.
+func (v *SymStruct) ComposeAfter(prev Value, senv *SymEnv) bool {
+	p := prev.(*SymStruct)
+	if len(v.parts) != len(p.parts) {
+		fail(ErrStateMismatch)
+	}
+	for i, part := range v.parts {
+		if !part.ComposeAfter(p.parts[i], senv) {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode implements Value.
+func (v *SymStruct) Encode(e *wire.Encoder) {
+	for _, p := range v.parts {
+		p.Encode(e)
+	}
+}
+
+// Decode implements Value.
+func (v *SymStruct) Decode(d *wire.Decoder) error {
+	for _, p := range v.parts {
+		if err := p.Decode(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String implements Value.
+func (v *SymStruct) String() string {
+	parts := make([]string, len(v.parts))
+	for i, p := range v.parts {
+		parts[i] = p.String()
+	}
+	return "{" + strings.Join(parts, "; ") + "}"
+}
+
+var _ Value = (*SymStruct)(nil)

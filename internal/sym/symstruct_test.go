@@ -1,0 +1,172 @@
+package sym
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// pairState nests two scalars inside a SymStruct plus a top-level
+// counter, exercising composite clone/merge/compose paths.
+type pairState struct {
+	lo, hi SymInt
+	Pair   SymStruct
+	Count  SymInt
+}
+
+func (s *pairState) Fields() []Value { return []Value{&s.Pair, &s.Count} }
+
+func newPairState() *pairState {
+	s := &pairState{
+		lo:    NewSymInt(0),
+		hi:    NewSymInt(0),
+		Count: NewSymInt(0),
+	}
+	s.Pair = NewSymStruct(&s.lo, &s.hi)
+	return s
+}
+
+// pairUpdate tracks running min (lo), max (hi) and count.
+func pairUpdate(ctx *Ctx, s *pairState, e int64) {
+	if s.lo.Gt(ctx, e) {
+		s.lo.Set(e)
+	}
+	if s.hi.Lt(ctx, e) {
+		s.hi.Set(e)
+	}
+	s.Count.Inc()
+}
+
+func pairConcrete(lo, hi, count int64, events []int64) (int64, int64, int64) {
+	for _, e := range events {
+		if lo > e {
+			lo = e
+		}
+		if hi < e {
+			hi = e
+		}
+		count++
+	}
+	return lo, hi, count
+}
+
+func TestSymStructChunkedOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + r.Intn(60)
+		events := make([]int64, n)
+		for i := range events {
+			events[i] = int64(r.Intn(200) - 100)
+		}
+		cut := 1 + r.Intn(n-1)
+
+		var sums []*Summary[*pairState]
+		for _, chunk := range [][]int64{events[:cut], events[cut:]} {
+			x := NewExecutor(newPairState, pairUpdate, DefaultOptions())
+			for _, e := range chunk {
+				if err := x.Feed(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s, err := x.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sums = append(sums, s...)
+		}
+
+		init := newPairState()
+		init.lo.Set(50)
+		init.hi.Set(-50)
+		init.Count.Set(3)
+		got, err := ApplyAll(init, sums)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		wantLo, wantHi, wantCount := pairConcrete(50, -50, 3, events)
+		if got.lo.Get() != wantLo || got.hi.Get() != wantHi || got.Count.Get() != wantCount {
+			t.Fatalf("trial %d: got (%d,%d,%d), want (%d,%d,%d)",
+				trial, got.lo.Get(), got.hi.Get(), got.Count.Get(),
+				wantLo, wantHi, wantCount)
+		}
+
+		// Symbolic-on-symbolic composition agrees too.
+		one, err := ComposeAll(sums)
+		if err != nil {
+			t.Fatal(err)
+		}
+		init2 := newPairState()
+		init2.lo.Set(50)
+		init2.hi.Set(-50)
+		init2.Count.Set(3)
+		got2, err := one.ApplyStrict(init2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got2.lo.Get() != wantLo || got2.hi.Get() != wantHi || got2.Count.Get() != wantCount {
+			t.Fatalf("trial %d: composed output differs", trial)
+		}
+	}
+}
+
+func TestSymStructMergeOneLeafRule(t *testing.T) {
+	mk := func(loLB, loUB, hiLB, hiUB int64) *pairState {
+		s := newPairState()
+		s.lo.ResetSymbolic(0)
+		s.hi.ResetSymbolic(0)
+		s.lo.lb, s.lo.ub = loLB, loUB
+		s.hi.lb, s.hi.ub = hiLB, hiUB
+		return s
+	}
+	// Same hi constraint, adjacent lo constraints: merges.
+	a := mk(0, 4, 10, 20)
+	b := mk(5, 9, 10, 20)
+	if !a.Pair.UnionConstraint(&b.Pair) {
+		t.Fatal("one-leaf adjacent union refused")
+	}
+	if a.lo.lb != 0 || a.lo.ub != 9 {
+		t.Fatalf("merged lo = [%d,%d]", a.lo.lb, a.lo.ub)
+	}
+	// Two differing leaves: refused.
+	c := mk(0, 4, 10, 20)
+	d := mk(5, 9, 30, 40)
+	if c.Pair.UnionConstraint(&d.Pair) {
+		t.Fatal("two-leaf union accepted")
+	}
+	// One differing leaf but disjoint: refused.
+	e := mk(0, 3, 10, 20)
+	f := mk(7, 9, 10, 20)
+	if e.Pair.UnionConstraint(&f.Pair) {
+		t.Fatal("disjoint union accepted")
+	}
+}
+
+func TestSymStructEncodeDecode(t *testing.T) {
+	s := newPairState()
+	s.lo.ResetSymbolic(0)
+	s.hi.Set(42)
+	e := wire.NewEncoder(0)
+	s.Pair.Encode(e)
+
+	got := newPairState()
+	if err := got.Pair.Decode(wire.NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got.lo.IsConcrete() {
+		t.Error("lo should be symbolic after decode")
+	}
+	if v, ok := got.hi.TryGet(); !ok || v != 42 {
+		t.Errorf("hi = (%d,%t)", v, ok)
+	}
+}
+
+func TestSymStructString(t *testing.T) {
+	s := newPairState()
+	if got := s.Pair.String(); got == "" || got[0] != '{' {
+		t.Errorf("String() = %q", got)
+	}
+	if len(s.Pair.Parts()) != 2 {
+		t.Error("Parts() wrong")
+	}
+}

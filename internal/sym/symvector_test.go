@@ -1,0 +1,177 @@
+package sym
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestSymVectorPushAndCopyIsolation(t *testing.T) {
+	v := NewSymVector(StringCodec())
+	v.Push("a")
+	var c1, c2 SymVector[string]
+	c1.CopyFrom(&v)
+	c2.CopyFrom(&v)
+	c1.Push("b")
+	c2.Push("c")
+	if got := c1.Elems(); len(got) != 2 || got[1] != "b" {
+		t.Fatalf("c1 = %v", got)
+	}
+	if got := c2.Elems(); len(got) != 2 || got[1] != "c" {
+		t.Fatalf("c2 = %v", got)
+	}
+	if v.Len() != 1 {
+		t.Fatal("base mutated")
+	}
+}
+
+func TestSymVectorConcretizeConcatenates(t *testing.T) {
+	prev := NewSymVector(StringCodec())
+	prev.Push("p1")
+	prev.Push("p2")
+	local := NewSymVector(StringCodec())
+	local.Push("l1")
+	local.Concretize(&prev, nil)
+	got := local.Elems()
+	want := []string{"p1", "p2", "l1"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSymVectorSameTransfer(t *testing.T) {
+	a := NewSymVector(StringCodec())
+	b := NewSymVector(StringCodec())
+	a.Push("x")
+	b.Push("x")
+	if !a.SameTransfer(&b) {
+		t.Fatal("equal vectors differ")
+	}
+	b.Push("y")
+	if a.SameTransfer(&b) {
+		t.Fatal("unequal lengths compare equal")
+	}
+}
+
+func TestSymVectorEncodeDecode(t *testing.T) {
+	v := NewSymVector(StringCodec())
+	v.Push("hello")
+	v.Push("")
+	v.Push("world")
+	e := wire.NewEncoder(0)
+	v.Encode(e)
+	got := NewSymVector(StringCodec())
+	if err := got.Decode(wire.NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 || got.Elems()[2] != "world" {
+		t.Fatalf("decoded: %v", got.Elems())
+	}
+}
+
+func TestSymIntVectorSymbolicElements(t *testing.T) {
+	var count SymInt
+	count.ResetSymbolic(1)
+	count.Add(5) // x1 + 5, the paper's example
+
+	var v SymIntVector
+	v.PushInt(&count)
+	v.Push(99)
+	if v.IsConcrete() {
+		t.Fatal("vector with symbolic element reports concrete")
+	}
+
+	// Concretize with x1 = 10: element becomes 15.
+	env := &Env{ints: []int64{0, 10}, ok: []bool{true, true}}
+	var prev SymIntVector
+	prev.Push(-1)
+	v.Concretize(&prev, env)
+	got := v.Elems()
+	want := []int64{-1, 15, 99}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSymIntVectorElemsFailsOnSymbolic(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected failure panic")
+		}
+	}()
+	var count SymInt
+	count.ResetSymbolic(0)
+	var v SymIntVector
+	v.PushInt(&count)
+	v.Elems()
+}
+
+func TestSymIntVectorPushEnum(t *testing.T) {
+	en := NewSymEnum(5, 2)
+	en.ResetSymbolic(0)
+	var v SymIntVector
+	v.PushEnum(&en)
+	en2 := NewSymEnum(5, 3)
+	v.PushEnum(&en2) // bound: concrete 3
+
+	env := &Env{ints: []int64{4}, ok: []bool{true}}
+	var prev SymIntVector
+	v.Concretize(&prev, env)
+	got := v.Elems()
+	if got[0] != 4 || got[1] != 3 {
+		t.Fatalf("got %v, want [4 3]", got)
+	}
+}
+
+func TestSymIntVectorComposeAfterRewrites(t *testing.T) {
+	// Later path pushed 2·x0+1; earlier path's field 0 transfer is
+	// 3·x0+4. Composed element must be 2·(3x+4)+1 = 6x+9.
+	var later SymIntVector
+	later.push(intElem{sym: true, field: 0, a: 2, b: 1})
+	senv := &SymEnv{entries: []symEnvEntry{{ok: true, bound: false, a: 3, b: 4}}}
+	var prevVec SymIntVector
+	prevVec.Push(7)
+	if !later.ComposeAfter(&prevVec, senv) {
+		t.Fatal("compose failed")
+	}
+	if later.elems[0] != (intElem{b: 7}) {
+		t.Fatalf("prev element wrong: %+v", later.elems[0])
+	}
+	e := later.elems[1]
+	if !e.sym || e.a != 6 || e.b != 9 || e.field != 0 {
+		t.Fatalf("composed element: %+v", e)
+	}
+
+	// With a bound earlier transfer (x0 resolved to 5), 2·5+1 = 11.
+	var later2 SymIntVector
+	later2.push(intElem{sym: true, field: 0, a: 2, b: 1})
+	senv2 := &SymEnv{entries: []symEnvEntry{{ok: true, bound: true, b: 5}}}
+	if !later2.ComposeAfter(&SymIntVector{}, senv2) {
+		t.Fatal("compose failed")
+	}
+	if later2.elems[0] != (intElem{b: 11}) {
+		t.Fatalf("resolved element: %+v", later2.elems[0])
+	}
+}
+
+func TestSymIntVectorEncodeDecode(t *testing.T) {
+	var v SymIntVector
+	v.Push(-5)
+	v.push(intElem{sym: true, field: 2, a: -1, b: 100})
+	e := wire.NewEncoder(0)
+	v.Encode(e)
+	var got SymIntVector
+	if err := got.Decode(wire.NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.elems[0] != v.elems[0] || got.elems[1] != v.elems[1] {
+		t.Fatalf("decoded: %+v", got.elems)
+	}
+}

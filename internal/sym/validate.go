@@ -1,0 +1,145 @@
+package sym
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/wire"
+)
+
+// ValidateState checks a state factory against the programmer contract
+// the runtime depends on (paper §5.3). The paper's C++ leans on the type
+// checker plus the user-supplied list_fields and cannot verify that
+// every symbolic member was actually listed; Go has reflection, so this
+// goes further:
+//
+//   - Fields() returns at least one Value, with no duplicates and no
+//     nils;
+//   - every field of the state struct that implements Value (directly
+//     or inside nested structs/arrays) appears in Fields() — a field
+//     forgotten in Fields() would silently break cloning and produce
+//     wrong answers;
+//   - two instances from the factory have the same shape, and fields
+//     survive a CopyFrom plus a symbolic-reset encode/decode round trip.
+//
+// Validation uses reflection and runs once per query, never on the
+// record path.
+func ValidateState[S State](newState func() S) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			f, ok := r.(failure)
+			if !ok {
+				panic(r)
+			}
+			err = fmt.Errorf("sym: state validation: %w", f.err)
+		}
+	}()
+	a, b := newState(), newState()
+	fa, fb := a.Fields(), b.Fields()
+	if len(fa) == 0 {
+		return fmt.Errorf("sym: state has no symbolic fields")
+	}
+	if len(fa) != len(fb) {
+		return fmt.Errorf("sym: state factory is not shape-stable: %d vs %d fields", len(fa), len(fb))
+	}
+	seen := map[Value]int{}
+	for i, f := range fa {
+		if f == nil {
+			return fmt.Errorf("sym: Fields()[%d] is nil", i)
+		}
+		if j, dup := seen[f]; dup {
+			return fmt.Errorf("sym: Fields()[%d] and Fields()[%d] are the same value", j, i)
+		}
+		seen[f] = i
+		if reflect.TypeOf(f) != reflect.TypeOf(fb[i]) {
+			return fmt.Errorf("sym: Fields()[%d] type differs across instances: %T vs %T", i, f, fb[i])
+		}
+	}
+
+	// Every symbolic member reachable in the struct must be listed.
+	// SymStruct members enumerate their parts, so a listed SymStruct
+	// covers the leaves it references.
+	covered := map[uintptr]bool{}
+	var cover func(v Value)
+	cover = func(v Value) {
+		covered[reflect.ValueOf(v).Pointer()] = true
+		if st, ok := v.(*SymStruct); ok {
+			for _, p := range st.Parts() {
+				cover(p)
+			}
+		}
+	}
+	for _, f := range fa {
+		cover(f)
+	}
+	if missing := findUnlistedValues(reflect.ValueOf(a), covered); missing != "" {
+		return fmt.Errorf("sym: symbolic field %s is not returned by Fields(); the runtime cannot clone or serialize it", missing)
+	}
+
+	// Clone and wire round trips on a fresh symbolic state.
+	s := freshSymbolic(newState)
+	c := cloneState(newState, s)
+	sf, cf := s.Fields(), c.Fields()
+	e := wire.NewEncoder(64)
+	for i := range sf {
+		if !sf[i].SameTransfer(cf[i]) || !sf[i].ConstraintEq(cf[i]) {
+			return fmt.Errorf("sym: Fields()[%d] does not survive CopyFrom", i)
+		}
+		sf[i].Encode(e)
+	}
+	d := wire.NewDecoder(e.Bytes())
+	dec := newState()
+	for i, f := range dec.Fields() {
+		if err := f.Decode(d); err != nil {
+			return fmt.Errorf("sym: Fields()[%d] does not survive encode/decode: %w", i, err)
+		}
+		if !f.SameTransfer(sf[i]) || !f.ConstraintEq(sf[i]) {
+			return fmt.Errorf("sym: Fields()[%d] changes across encode/decode", i)
+		}
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("sym: state encoding left %d undecoded bytes", d.Remaining())
+	}
+	return nil
+}
+
+// valueType is the interface reflection probes for.
+var valueType = reflect.TypeOf((*Value)(nil)).Elem()
+
+// findUnlistedValues walks the state looking for addressable members
+// that implement Value but were not covered by Fields(). It returns a
+// description of the first one found, or "".
+func findUnlistedValues(v reflect.Value, covered map[uintptr]bool) string {
+	switch v.Kind() {
+	case reflect.Pointer:
+		if v.IsNil() {
+			return ""
+		}
+		return findUnlistedValues(v.Elem(), covered)
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			if !f.CanAddr() {
+				continue
+			}
+			addr := f.Addr()
+			if addr.Type().Implements(valueType) {
+				if covered[addr.Pointer()] {
+					continue
+				}
+				return fmt.Sprintf("%s.%s (%s)", t.Name(), t.Field(i).Name, f.Type())
+			}
+			if s := findUnlistedValues(f, covered); s != "" {
+				return s
+			}
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			if s := findUnlistedValues(v.Index(i), covered); s != "" {
+				return s
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,123 @@
+package sym
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateStateAccepts(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"intState", func() error { return ValidateState(newIntState(0)) }},
+		{"enumState", func() error { return ValidateState(newEnumState(4, 1)) }},
+		{"funnelState", func() error { return ValidateState(newFunnelState) }},
+		{"predState", func() error { return ValidateState(newPredState) }},
+		{"pairState (SymStruct)", func() error { return ValidateState(newPairState) }},
+	}
+	for _, c := range cases {
+		if err := c.run(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+// forgotState omits Count from Fields — the bug class §5.3's checking
+// targets.
+type forgotState struct {
+	Flag  SymBool
+	Count SymInt
+}
+
+func (s *forgotState) Fields() []Value { return []Value{&s.Flag} }
+
+func TestValidateStateCatchesUnlistedField(t *testing.T) {
+	err := ValidateState(func() *forgotState {
+		return &forgotState{Flag: NewSymBool(false), Count: NewSymInt(0)}
+	})
+	if err == nil {
+		t.Fatal("expected error for field missing from Fields()")
+	}
+	if !strings.Contains(err.Error(), "Count") {
+		t.Fatalf("error should name the missing field: %v", err)
+	}
+}
+
+// nestedForgotState hides the unlisted field inside a nested plain
+// struct.
+type innerCounters struct {
+	A SymInt
+	B SymInt
+}
+
+type nestedForgotState struct {
+	In innerCounters
+}
+
+func (s *nestedForgotState) Fields() []Value { return []Value{&s.In.A} }
+
+func TestValidateStateCatchesNestedUnlisted(t *testing.T) {
+	err := ValidateState(func() *nestedForgotState {
+		return &nestedForgotState{innerCounters{NewSymInt(0), NewSymInt(0)}}
+	})
+	if err == nil || !strings.Contains(err.Error(), "B") {
+		t.Fatalf("expected error naming nested field B, got %v", err)
+	}
+}
+
+// dupState lists the same field twice.
+type dupState struct {
+	V SymInt
+}
+
+func (s *dupState) Fields() []Value { return []Value{&s.V, &s.V} }
+
+func TestValidateStateCatchesDuplicate(t *testing.T) {
+	if err := ValidateState(func() *dupState { return &dupState{V: NewSymInt(0)} }); err == nil {
+		t.Fatal("expected error for duplicate field")
+	}
+}
+
+// nilFieldState returns a nil Value.
+type nilFieldState struct {
+	V SymInt
+}
+
+func (s *nilFieldState) Fields() []Value { return []Value{&s.V, nil} }
+
+func TestValidateStateCatchesNil(t *testing.T) {
+	if err := ValidateState(func() *nilFieldState { return &nilFieldState{V: NewSymInt(0)} }); err == nil {
+		t.Fatal("expected error for nil field")
+	}
+}
+
+// emptyState has no symbolic fields at all.
+type emptyState struct{}
+
+func (s *emptyState) Fields() []Value { return nil }
+
+func TestValidateStateCatchesEmpty(t *testing.T) {
+	if err := ValidateState(func() *emptyState { return &emptyState{} }); err == nil {
+		t.Fatal("expected error for empty state")
+	}
+}
+
+// arrayState holds symbolic values in an array, all listed.
+type arrayState struct {
+	Preds [2]SymPred[int64]
+}
+
+func (s *arrayState) Fields() []Value { return []Value{&s.Preds[0], &s.Preds[1]} }
+
+func TestValidateStateArrayFields(t *testing.T) {
+	mk := func() *arrayState {
+		return &arrayState{Preds: [2]SymPred[int64]{
+			NewSymPred(withinTen, Int64Codec(), 0),
+			NewSymPred(withinTen, Int64Codec(), 0),
+		}}
+	}
+	if err := ValidateState(mk); err != nil {
+		t.Fatalf("array fields: %v", err)
+	}
+}

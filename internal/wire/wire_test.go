@@ -1,0 +1,200 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	e := NewEncoder(64)
+	e.Uvarint(0)
+	e.Uvarint(300)
+	e.Uvarint(math.MaxUint64)
+	e.Varint(0)
+	e.Varint(-1)
+	e.Varint(math.MinInt64)
+	e.Varint(math.MaxInt64)
+	e.Bool(true)
+	e.Bool(false)
+	e.Byte(0xAB)
+	e.Uint64(0xDEADBEEFCAFEF00D)
+	e.Float64(3.14159)
+	e.String("hello, symple")
+	e.String("")
+	e.BytesField([]byte{1, 2, 3})
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Uvarint(); got != 0 {
+		t.Errorf("uvarint: got %d, want 0", got)
+	}
+	if got := d.Uvarint(); got != 300 {
+		t.Errorf("uvarint: got %d, want 300", got)
+	}
+	if got := d.Uvarint(); got != math.MaxUint64 {
+		t.Errorf("uvarint: got %d, want max", got)
+	}
+	if got := d.Varint(); got != 0 {
+		t.Errorf("varint: got %d, want 0", got)
+	}
+	if got := d.Varint(); got != -1 {
+		t.Errorf("varint: got %d, want -1", got)
+	}
+	if got := d.Varint(); got != math.MinInt64 {
+		t.Errorf("varint: got %d, want min", got)
+	}
+	if got := d.Varint(); got != math.MaxInt64 {
+		t.Errorf("varint: got %d, want max", got)
+	}
+	if got := d.Bool(); !got {
+		t.Error("bool: got false, want true")
+	}
+	if got := d.Bool(); got {
+		t.Error("bool: got true, want false")
+	}
+	if got := d.Byte(); got != 0xAB {
+		t.Errorf("byte: got %x, want ab", got)
+	}
+	if got := d.Uint64(); got != 0xDEADBEEFCAFEF00D {
+		t.Errorf("uint64: got %x", got)
+	}
+	if got := d.Float64(); got != 3.14159 {
+		t.Errorf("float64: got %v", got)
+	}
+	if got := d.String(); got != "hello, symple" {
+		t.Errorf("string: got %q", got)
+	}
+	if got := d.String(); got != "" {
+		t.Errorf("string: got %q, want empty", got)
+	}
+	b := d.BytesField()
+	if len(b) != 3 || b[0] != 1 || b[1] != 2 || b[2] != 3 {
+		t.Errorf("bytes: got %v", b)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("decoder error: %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("remaining: got %d, want 0", d.Remaining())
+	}
+}
+
+func TestQuickVarintRoundTrip(t *testing.T) {
+	f := func(v int64, u uint64, s string) bool {
+		e := NewEncoder(0)
+		e.Varint(v)
+		e.Uvarint(u)
+		e.String(s)
+		d := NewDecoder(e.Bytes())
+		return d.Varint() == v && d.Uvarint() == u && d.String() == s && d.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoderTruncated(t *testing.T) {
+	e := NewEncoder(0)
+	e.Uint64(12345)
+	e.String("truncate me please")
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := NewDecoder(full[:cut])
+		d.Uint64()
+		_ = d.String()
+		if cut < len(full) && d.Err() == nil {
+			t.Fatalf("cut=%d: expected error on truncated stream", cut)
+		}
+		if !errors.Is(d.Err(), ErrCorrupt) {
+			t.Fatalf("cut=%d: error %v is not ErrCorrupt", cut, d.Err())
+		}
+	}
+}
+
+func TestDecoderErrorSticky(t *testing.T) {
+	d := NewDecoder(nil)
+	d.Uvarint()
+	first := d.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	// Further reads return zero values and keep the first error.
+	if v := d.Varint(); v != 0 {
+		t.Errorf("varint after error: got %d", v)
+	}
+	if v := d.Bool(); v {
+		t.Error("bool after error: got true")
+	}
+	if d.Err() != first {
+		t.Error("error not sticky")
+	}
+}
+
+func TestBadBoolByte(t *testing.T) {
+	d := NewDecoder([]byte{7})
+	d.Bool()
+	if d.Err() == nil {
+		t.Fatal("expected error for bool byte 7")
+	}
+}
+
+func TestEncoderReset(t *testing.T) {
+	e := NewEncoder(0)
+	e.Uvarint(42)
+	if e.Len() == 0 {
+		t.Fatal("expected nonzero length")
+	}
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatal("reset did not clear buffer")
+	}
+	e.Uvarint(7)
+	d := NewDecoder(e.Bytes())
+	if got := d.Uvarint(); got != 7 {
+		t.Fatalf("after reset: got %d, want 7", got)
+	}
+}
+
+func TestStringLengthOverflow(t *testing.T) {
+	// A length prefix far larger than the buffer must error, not panic.
+	e := NewEncoder(0)
+	e.Uvarint(math.MaxUint64)
+	d := NewDecoder(e.Bytes())
+	if s := d.String(); s != "" || d.Err() == nil {
+		t.Fatalf("expected error, got %q err=%v", s, d.Err())
+	}
+}
+
+func TestLength(t *testing.T) {
+	e := NewEncoder(0)
+	e.Uvarint(5)
+	e.Uvarint(100)
+	e.Uvarint(math.MaxUint64)
+	d := NewDecoder(e.Bytes())
+	if got := d.Length(10); got != 5 || d.Err() != nil {
+		t.Fatalf("Length = %d, err %v", got, d.Err())
+	}
+	// Over the limit: error, zero result.
+	if got := d.Length(10); got != 0 || d.Err() == nil {
+		t.Fatalf("over-limit Length = %d, err %v", got, d.Err())
+	}
+	// Error is sticky; the huge value never converts.
+	if got := d.Length(1 << 40); got != 0 {
+		t.Fatalf("post-error Length = %d", got)
+	}
+
+	// A value that would wrap a signed int must be rejected, not wrapped.
+	e2 := NewEncoder(0)
+	e2.Uvarint(math.MaxUint64)
+	d2 := NewDecoder(e2.Bytes())
+	if got := d2.Length(math.MaxInt64); got != 0 || d2.Err() == nil {
+		t.Fatalf("wrapping Length = %d, err %v", got, d2.Err())
+	}
+
+	// Negative max always errors.
+	d3 := NewDecoder([]byte{1})
+	if got := d3.Length(-1); got != 0 || d3.Err() == nil {
+		t.Fatalf("negative max Length = %d, err %v", got, d3.Err())
+	}
+}
