@@ -6,7 +6,8 @@
 //	symplebench -experiment fig5 -records 500000
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8, b1latency,
-// ablation, all. See EXPERIMENTS.md for the paper-vs-measured record.
+// ablation, shuffle, all. See EXPERIMENTS.md for the paper-vs-measured
+// record; -experiment shuffle also writes BENCH_SHUFFLE.json.
 package main
 
 import (
@@ -23,7 +24,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("symplebench: ")
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | fig8 | b1latency | ablation | all")
+		experiment = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | fig8 | b1latency | ablation | shuffle | all")
 		records    = flag.Int("records", 200000, "records per generated corpus")
 		segments   = flag.Int("segments", 8, "input segments (measured mapper count)")
 	)
@@ -58,6 +59,7 @@ func main() {
 		{"fig8", func() (*bench.Table, error) { return bench.Fig8(datasets()) }},
 		{"b1latency", func() (*bench.Table, error) { return bench.B1Latency(datasets()) }},
 		{"ablation", func() (*bench.Table, error) { return bench.AblationMerging(datasets()) }},
+		{"shuffle", func() (*bench.Table, error) { return bench.Shuffle(sc) }},
 	}
 	ran := 0
 	for _, e := range exps {

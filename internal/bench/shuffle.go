@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/mapreduce"
+	"repro/internal/queries"
+)
+
+// Shuffle measures the streaming spill-run/merge shuffle against the
+// retained barrier engine (the seed's shuffle) and records the numbers
+// to BENCH_SHUFFLE.json so future PRs have a perf trajectory:
+//
+//   - a synthetic full-shuffle microbenchmark (emit → spill sort → run
+//     transfer → k-way merge → group streaming) under testing.Benchmark,
+//     reporting MB/s, B/op and allocs/op per engine;
+//   - Figure-4-style end-to-end throughput of G1 and R1 under the
+//     MapReduce baseline engine at 4 mappers with the in-memory shuffle,
+//     streaming vs seed — the acceptance comparison for the streaming
+//     shuffle PR.
+func Shuffle(sc Scale) (*Table, error) {
+	t := &Table{
+		Title:  "Shuffle: streaming spill-run/merge vs seed barrier engine",
+		Header: []string{"Benchmark", "Engine", "MB/s", "ns/op", "B/op", "allocs/op", "vs seed"},
+		Notes: []string{
+			"micro: synthetic full-shuffle job (emit, spill sort, run transfer, k-way merge, group streaming)",
+			"fig4-G1/R1: end-to-end MapReduce-baseline throughput at 4 mappers, 1 reducer, in-memory shuffle",
+			"written to BENCH_SHUFFLE.json",
+		},
+	}
+	rep := shuffleReport{Scale: sc}
+
+	micro := func(barrier bool) microStats {
+		segs := shuffleSegments(sc)
+		var inputBytes int64
+		for _, s := range segs {
+			inputBytes += s.Bytes()
+		}
+		job := shuffleJob(mapreduce.Config{NumReducers: 4, Parallelism: 4, BarrierShuffle: barrier})
+		r := testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(inputBytes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := job.Run(segs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return microStats{
+			MBPerSec:    float64(inputBytes) / 1e6 / (float64(r.NsPerOp()) / 1e9),
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+	}
+	rep.Micro.Streaming = micro(false)
+	rep.Micro.Barrier = micro(true)
+	rep.Micro.Speedup = rep.Micro.Streaming.MBPerSec / rep.Micro.Barrier.MBPerSec
+	rep.Micro.AllocDrop = 1 - float64(rep.Micro.Streaming.AllocsPerOp)/float64(rep.Micro.Barrier.AllocsPerOp)
+	t.Rows = append(t.Rows,
+		microRow("micro-shuffle", "streaming", rep.Micro.Streaming, rep.Micro.Speedup),
+		microRow("micro-shuffle", "barrier (seed)", rep.Micro.Barrier, 1))
+
+	// End-to-end Figure-4-style runs: the baseline MapReduce engine
+	// shuffles every input record, so it is the engine whose throughput
+	// the shuffle rebuild moves. Best of three runs per engine.
+	const mappers = 4
+	for _, id := range []string{"G1", "R1"} {
+		spec := specByIDMust(id)
+		segs := fig4Dataset(spec.Dataset, sc, mappers)
+		conf := mapreduce.Config{NumReducers: 1, Parallelism: mappers}
+		seedConf := conf
+		seedConf.BarrierShuffle = true
+		stream, err := bestThroughput(func() (*queries.Run, error) { return spec.Baseline(segs, conf) })
+		if err != nil {
+			return nil, fmt.Errorf("shuffle %s streaming: %w", id, err)
+		}
+		seed, err := bestThroughput(func() (*queries.Run, error) { return spec.Baseline(segs, seedConf) })
+		if err != nil {
+			return nil, fmt.Errorf("shuffle %s barrier: %w", id, err)
+		}
+		e2e := endToEnd{Query: id, StreamingMBPerSec: stream, SeedMBPerSec: seed, Speedup: stream / seed}
+		rep.Fig4Baseline4m = append(rep.Fig4Baseline4m, e2e)
+		t.Rows = append(t.Rows,
+			[]string{"fig4-" + id, "streaming", fmt.Sprintf("%.0f", stream), "-", "-", "-", fmtFactor(e2e.Speedup)},
+			[]string{"fig4-" + id, "barrier (seed)", fmt.Sprintf("%.0f", seed), "-", "-", "-", "1.0x"})
+	}
+
+	f, err := os.Create("BENCH_SHUFFLE.json")
+	if err != nil {
+		return nil, fmt.Errorf("shuffle: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return nil, fmt.Errorf("shuffle: %w", err)
+	}
+	return t, nil
+}
+
+type microStats struct {
+	MBPerSec    float64 `json:"mb_per_sec"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type endToEnd struct {
+	Query             string  `json:"query"`
+	StreamingMBPerSec float64 `json:"streaming_mb_per_sec"`
+	SeedMBPerSec      float64 `json:"seed_mb_per_sec"`
+	Speedup           float64 `json:"speedup"`
+}
+
+type shuffleReport struct {
+	Scale Scale `json:"scale"`
+	Micro struct {
+		Streaming microStats `json:"streaming"`
+		Barrier   microStats `json:"barrier"`
+		Speedup   float64    `json:"speedup"`
+		AllocDrop float64    `json:"alloc_drop"`
+	} `json:"micro"`
+	Fig4Baseline4m []endToEnd `json:"fig4_baseline_4m"`
+}
+
+func microRow(bench, engine string, s microStats, speedup float64) []string {
+	return []string{bench, engine,
+		fmt.Sprintf("%.0f", s.MBPerSec),
+		fmt.Sprintf("%d", s.NsPerOp),
+		fmt.Sprintf("%d", s.BytesPerOp),
+		fmt.Sprintf("%d", s.AllocsPerOp),
+		fmtFactor(speedup)}
+}
+
+// bestThroughput takes the best of five runs, discarding warm-up,
+// scheduler and GC-pacing noise; each run starts from a collected heap
+// so one engine's garbage is not billed to the other.
+func bestThroughput(run func() (*queries.Run, error)) (float64, error) {
+	best := 0.0
+	for i := 0; i < 5; i++ {
+		runtime.GC()
+		r, err := run()
+		if err != nil {
+			return 0, err
+		}
+		if v := throughputMBps(r); v > best {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+// shuffleSegments builds the microbenchmark corpus: fixed-width random
+// records whose leading bytes pick one of 512 keys, giving realistic
+// group fan-in per reducer.
+func shuffleSegments(sc Scale) []*mapreduce.Segment {
+	const payload = 100
+	numSegs := max(sc.Segments, 1)
+	perSeg := max(sc.Records/numSegs, 1)
+	rng := rand.New(rand.NewSource(1))
+	segs := make([]*mapreduce.Segment, numSegs)
+	for i := range segs {
+		segs[i] = &mapreduce.Segment{ID: i}
+		for r := 0; r < perSeg; r++ {
+			rec := make([]byte, payload)
+			for j := range rec {
+				rec[j] = byte('a' + rng.Intn(26))
+			}
+			segs[i].Records = append(segs[i].Records, rec)
+		}
+	}
+	return segs
+}
+
+func shuffleJob(conf mapreduce.Config) *mapreduce.Job {
+	return &mapreduce.Job{
+		Name: "bench/shuffle",
+		Map: func(id int, seg *mapreduce.Segment, emit mapreduce.Emit) error {
+			for i, rec := range seg.Records {
+				emit(fmt.Sprintf("key-%d", (int(rec[0])*31+int(rec[1]))%512), int64(i), rec)
+			}
+			return nil
+		},
+		Reduce: func(_ int, _ string, values []mapreduce.Shuffled) error {
+			for i := range values {
+				_ = values[i].Value
+			}
+			return nil
+		},
+		Conf: conf,
+	}
+}

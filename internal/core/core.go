@@ -203,6 +203,27 @@ func RunBaseline[S sym.State, E, R any](q *Query[S, E, R], segments []*mapreduce
 	return &Output[R]{Results: results, Metrics: metrics}, nil
 }
 
+// SympleOptions tunes how the SYMPLE engines execute a query. The zero
+// value is RunSymple's classic behavior.
+type SympleOptions struct {
+	// Combine enables the mapper-side combiner: before shuffling, each
+	// group's ordered summary list is pre-composed into a single summary
+	// via the associative summary∘summary composition (paper §3.6) —
+	// the classic mapper-side combining lever (Lin's "monoidify"
+	// principle), which summary composition extends to non-monoid UDAs.
+	// It shrinks both reducer CPU and shuffle payload. Ordering
+	// semantics (§5.4) are preserved because only adjacent summaries of
+	// one (mapper, group) list are composed, in order; composition can
+	// fail (e.g. the path cross product exceeds limits), in which case
+	// the mapper falls back to shipping the uncombined list, so results
+	// are identical either way.
+	Combine bool
+	// Tree composes each group's summaries at the reducer as a parallel
+	// binary tree (RunSympleTree's strategy) instead of applying them
+	// left-to-right onto the concrete state.
+	Tree bool
+}
+
 // RunSymple executes the query with symbolic parallelism: each mapper
 // groups its segment and runs the UDA symbolically per group, shuffling
 // one compact record per (mapper, group) that carries the group's ordered
@@ -210,33 +231,46 @@ func RunBaseline[S sym.State, E, R any](q *Query[S, E, R], segments []*mapreduce
 // recordID) order starting from the initial aggregation state — exactly
 // the sequential semantics (paper §5.4).
 func RunSymple[S sym.State, E, R any](q *Query[S, E, R], segments []*mapreduce.Segment, conf mapreduce.Config) (*Output[R], error) {
+	return RunSympleOpts(q, segments, conf, SympleOptions{})
+}
+
+// RunSympleOpts is RunSymple with explicit engine options.
+func RunSympleOpts[S sym.State, E, R any](q *Query[S, E, R], segments []*mapreduce.Segment, conf mapreduce.Config, opt SympleOptions) (*Output[R], error) {
 	if err := validateQuery(q); err != nil {
 		return nil, err
 	}
 	var mu sync.Mutex
 	results := make(map[string]R)
 	stats := SymStats{}
+	name := q.Name + "/symple"
+	if opt.Tree {
+		name = q.Name + "/symple-tree"
+	}
+	reduce := func(_ int, key string, values []mapreduce.Shuffled) error {
+		// values arrive ordered by (mapperID, recordID): the order
+		// the chunks appear in the input.
+		sums, err := decodeSummaryBundles[S](q.NewState, values)
+		if err != nil {
+			return err
+		}
+		final, err := sym.ApplyAll(q.NewState(), sums)
+		if err != nil {
+			return fmt.Errorf("composing %d summaries: %w", len(sums), err)
+		}
+		r := q.Result(key, final)
+		mu.Lock()
+		results[key] = r
+		mu.Unlock()
+		return nil
+	}
+	if opt.Tree {
+		reduce = treeReduceFunc(q, &mu, results)
+	}
 	job := &mapreduce.Job{
-		Name: q.Name + "/symple",
-		Map:  sympleMapFunc(q, &mu, &stats),
-		Reduce: func(_ int, key string, values []mapreduce.Shuffled) error {
-			// values arrive ordered by (mapperID, recordID): the order
-			// the chunks appear in the input.
-			sums, err := decodeSummaryBundles[S](q.NewState, values)
-			if err != nil {
-				return err
-			}
-			final, err := sym.ApplyAll(q.NewState(), sums)
-			if err != nil {
-				return fmt.Errorf("composing %d summaries: %w", len(sums), err)
-			}
-			r := q.Result(key, final)
-			mu.Lock()
-			results[key] = r
-			mu.Unlock()
-			return nil
-		},
-		Conf: conf,
+		Name:   name,
+		Map:    sympleMapFunc(q, &mu, &stats, opt.Combine),
+		Reduce: reduce,
+		Conf:   conf,
 	}
 	metrics, err := job.Run(segments)
 	if err != nil {

@@ -20,28 +20,15 @@ import (
 // worthwhile when a single group dominates a reducer, as in B1. The
 // ablation benchmarks compare both strategies.
 func RunSympleTree[S sym.State, E, R any](q *Query[S, E, R], segments []*mapreduce.Segment, conf mapreduce.Config) (*Output[R], error) {
-	if err := validateQuery(q); err != nil {
-		return nil, err
-	}
-	var mu sync.Mutex
-	results := make(map[string]R)
-	stats := SymStats{}
-	job := &mapreduce.Job{
-		Name:   q.Name + "/symple-tree",
-		Map:    sympleMapFunc(q, &mu, &stats),
-		Reduce: treeReduceFunc(q, &mu, results),
-		Conf:   conf,
-	}
-	metrics, err := job.Run(segments)
-	if err != nil {
-		return nil, err
-	}
-	return &Output[R]{Results: results, Metrics: metrics, Sym: stats}, nil
+	return RunSympleOpts(q, segments, conf, SympleOptions{Tree: true})
 }
 
 // sympleMapFunc is the shared SYMPLE mapper: groupby plus symbolic UDA
-// execution per group, emitting one summary bundle per group.
-func sympleMapFunc[S sym.State, E, R any](q *Query[S, E, R], mu *sync.Mutex, stats *SymStats) mapreduce.MapFunc {
+// execution per group, emitting one summary bundle per group. With
+// combine set it acts as its own combiner, pre-composing the group's
+// summary list into one summary before the shuffle (falling back to the
+// uncombined list when composition fails).
+func sympleMapFunc[S sym.State, E, R any](q *Query[S, E, R], mu *sync.Mutex, stats *SymStats, combine bool) mapreduce.MapFunc {
 	return func(mapperID int, seg *mapreduce.Segment, emit mapreduce.Emit) error {
 		execs := make(map[string]*sym.Executor[S, E])
 		lastRec := make(map[string]int64)
@@ -68,6 +55,11 @@ func sympleMapFunc[S sym.State, E, R any](q *Query[S, E, R], mu *sync.Mutex, sta
 			sums, err := x.Finish()
 			if err != nil {
 				return fmt.Errorf("key %q: %w", key, err)
+			}
+			if combine && len(sums) > 1 {
+				if composed, cerr := sym.ComposeAll(sums); cerr == nil {
+					sums = []*sym.Summary[S]{composed}
+				}
 			}
 			e := wire.NewEncoder(64)
 			e.Uvarint(uint64(len(sums)))

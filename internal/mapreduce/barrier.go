@@ -1,0 +1,174 @@
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// The pre-streaming reference engine, selected by Config.BarrierShuffle.
+// It preserves the original barrier semantics and cost profile — all map
+// output materialized behind a global barrier, partitions concatenated
+// and fully re-sorted reduce-side, a fresh []Shuffled per group, and the
+// original per-record allocations (a scratch encoder per wire-size
+// computation, a hasher and key copy per partition call). It exists so
+// the streaming engine has an in-tree equivalence oracle and so the
+// benchmarks can report speedup and allocation reduction against a live
+// baseline rather than a number in a commit message.
+
+func (j *Job) runBarrier(conf Config, segments []*Segment) (*Metrics, error) {
+	m := &Metrics{}
+	start := time.Now()
+
+	// ---- Map phase (global barrier at the end) ----
+	mapStart := time.Now()
+	type mapOut struct {
+		parts [][]kvRec
+		task  TaskMetrics
+		err   error
+	}
+	outs := make([]mapOut, len(segments))
+	sem := make(chan struct{}, conf.Parallelism)
+	var wg sync.WaitGroup
+	for i, seg := range segments {
+		wg.Add(1)
+		go func(i int, seg *Segment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			parts := make([][]kvRec, conf.NumReducers)
+			outBytes := make([]int64, conf.NumReducers)
+			emit := func(key string, recordID int64, value []byte) {
+				rec := kvRec{key: key, mapperID: seg.ID, recordID: recordID, value: value}
+				p := legacyPartition(key, conf.NumReducers)
+				parts[p] = append(parts[p], rec)
+				outBytes[p] += legacyWireSize(&rec)
+			}
+			err := j.Map(seg.ID, seg, emit)
+			outs[i] = mapOut{
+				parts: parts,
+				task: TaskMetrics{
+					Duration:   time.Since(t0),
+					InputBytes: seg.Bytes(),
+					OutBytes:   outBytes,
+				},
+				err: err,
+			}
+		}(i, seg)
+	}
+	wg.Wait()
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, fmt.Errorf("mapreduce %q: map task %d: %w", j.Name, segments[i].ID, o.err)
+		}
+		m.MapTasks = append(m.MapTasks, o.task)
+		m.MapCPU += o.task.Duration
+		m.InputBytes += o.task.InputBytes
+		m.InputRecords += int64(len(segments[i].Records))
+	}
+	m.MapWall = time.Since(mapStart)
+
+	// ---- Shuffle: concatenate and count ----
+	partitions := make([][]kvRec, conf.NumReducers)
+	for _, o := range outs {
+		for p := range o.parts {
+			partitions[p] = append(partitions[p], o.parts[p]...)
+		}
+		for _, b := range o.task.OutBytes {
+			m.ShuffleBytes += b
+		}
+	}
+	for p := range partitions {
+		m.ShuffleRecords += int64(len(partitions[p]))
+	}
+
+	// ---- Reduce phase ----
+	reduceStart := time.Now()
+	redErrs := make([]error, conf.NumReducers)
+	redTasks := make([]TaskMetrics, conf.NumReducers)
+	groupCounts := make([]int64, conf.NumReducers)
+	var rwg sync.WaitGroup
+	for p := 0; p < conf.NumReducers; p++ {
+		rwg.Add(1)
+		go func(p int) {
+			defer rwg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			part := partitions[p]
+			// The full re-sort of the partition is reducer work in this
+			// engine; the streaming shuffle moves it map-side as sorted
+			// spill runs.
+			if conf.ExternalSort && externalSortAvailable() {
+				part = externalSort(part)
+			} else {
+				sortPartition(part)
+			}
+			var inBytes int64
+			for i := range part {
+				inBytes += legacyWireSize(&part[i])
+			}
+			for lo := 0; lo < len(part); {
+				hi := lo + 1
+				for hi < len(part) && part[hi].key == part[lo].key {
+					hi++
+				}
+				group := make([]Shuffled, hi-lo)
+				for i := lo; i < hi; i++ {
+					group[i-lo] = Shuffled{
+						MapperID: part[i].mapperID,
+						RecordID: part[i].recordID,
+						Value:    part[i].value,
+					}
+				}
+				groupCounts[p]++
+				if err := j.Reduce(p, part[lo].key, group); err != nil {
+					redErrs[p] = fmt.Errorf("mapreduce %q: reduce task %d key %q: %w",
+						j.Name, p, part[lo].key, err)
+					return
+				}
+				lo = hi
+			}
+			redTasks[p] = TaskMetrics{Duration: time.Since(t0), InputBytes: inBytes}
+		}(p)
+	}
+	rwg.Wait()
+	for _, err := range redErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for p := range redTasks {
+		m.ReduceTasks = append(m.ReduceTasks, redTasks[p])
+		m.ReduceCPU += redTasks[p].Duration
+		m.Groups += groupCounts[p]
+	}
+	m.ReduceWall = time.Since(reduceStart)
+	m.TotalWall = time.Since(start)
+	return m, nil
+}
+
+// legacyWireSize computes the same framing cost as kvRec.wireSize by
+// actually encoding the frame, allocating a scratch encoder per record —
+// the original hot-path cost the streaming engine eliminates. Pinned
+// equal to the arithmetic version by TestWireSizeMatchesEncoder.
+func legacyWireSize(r *kvRec) int64 {
+	e := wire.NewEncoder(0)
+	e.Uvarint(uint64(len(r.key)))
+	e.Uvarint(uint64(r.mapperID))
+	e.Uvarint(uint64(r.recordID))
+	e.Uvarint(uint64(len(r.value)))
+	return int64(e.Len()) + int64(len(r.key)) + int64(len(r.value))
+}
+
+// legacyPartition is partition() by way of hash/fnv: a hasher allocation
+// and a []byte copy of the key per call.
+func legacyPartition(key string, n int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}

@@ -1,6 +1,7 @@
 // Package mapreduce is an in-process Hadoop-style execution engine:
 // parallel map tasks over ordered input segments, a hash-partitioned
-// sort-based shuffle, and parallel reduce tasks over per-key groups.
+// streaming shuffle built from sorted spill runs, and parallel reduce
+// tasks over per-key groups.
 //
 // It reproduces the substrate SYMPLE runs on (paper §5.4). Two details
 // matter for the reproduction and are modeled faithfully:
@@ -14,13 +15,20 @@
 //     map→reduce boundary, the quantity behind the paper's Figures 6
 //     and 8, and per-task wall/CPU costs that the cluster simulator
 //     replays at datacenter scale.
+//
+// The shuffle itself follows Hadoop's design rather than a barrier-style
+// concatenate-and-resort: each map task sorts its per-reducer output
+// locally and hands off an immutable sorted spill run; reduce tasks
+// receive runs over per-partition channels as mappers finish — folding
+// early arrivals together while later maps still run — and k-way merge
+// them with a loser tree, streaming each key group to the reduce
+// function through a reusable buffer. See runmerge.go and pipeline.go.
+// The pre-streaming engine is retained behind Config.BarrierShuffle as
+// the equivalence oracle and benchmark baseline (barrier.go).
 package mapreduce
 
 import (
-	"fmt"
-	"hash/fnv"
 	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/wire"
@@ -44,8 +52,9 @@ func (s *Segment) Bytes() int64 {
 }
 
 // Emit sends one keyed record from a mapper into the shuffle. recordID
-// must be the record's position within the mapper's segment so the
-// reducer can restore input order within each group.
+// must be the record's position within the mapper's segment — and hence
+// nondecreasing across calls — so the reducer can restore input order
+// within each group.
 type Emit func(key string, recordID int64, value []byte)
 
 // MapFunc processes one input segment. mapperID is the segment's ID.
@@ -59,7 +68,10 @@ type Shuffled struct {
 	Value    []byte
 }
 
-// ReduceFunc processes one key group.
+// ReduceFunc processes one key group. The values slice is a buffer the
+// engine reuses between groups: it is valid only for the duration of
+// the call and must not be retained (the Value payloads themselves are
+// stable).
 type ReduceFunc func(reducerID int, key string, values []Shuffled) error
 
 // Config configures a job.
@@ -73,6 +85,13 @@ type Config struct {
 	// shuffles mapper output through Unix sort. Falls back to the
 	// in-process sort when no sort binary is available.
 	ExternalSort bool
+	// BarrierShuffle selects the pre-streaming reference engine: all map
+	// output is materialized behind a global map barrier, concatenated,
+	// and fully re-sorted per partition, with a freshly allocated group
+	// slice per key. Kept as the equivalence oracle for the streaming
+	// shuffle and as the benchmark baseline; not intended for production
+	// runs.
+	BarrierShuffle bool
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +105,9 @@ func (c Config) withDefaults() Config {
 }
 
 // TaskMetrics records one task's cost, replayed by the cluster simulator.
+// For reduce tasks under the streaming shuffle, Duration counts active
+// work (run folding, merging, reducing), not time spent waiting for map
+// output to arrive.
 type TaskMetrics struct {
 	Duration   time.Duration
 	InputBytes int64
@@ -110,24 +132,29 @@ type Metrics struct {
 	Groups         int64
 }
 
-// kvRec is a shuffled record inside the engine.
+// kvRec is a shuffled record inside the engine. seq is the record's
+// emit sequence number within its map task; it totalizes the spill-sort
+// order — (key, recordID) can tie when one input record emits the same
+// key twice — so the sort can be unstable yet reproduce emit order
+// exactly. It is engine-internal and costs nothing on the wire.
 type kvRec struct {
 	key      string
 	mapperID int
 	recordID int64
+	seq      int64
 	value    []byte
 }
 
 // wireSize is the record's cost on the wire: the same framing a Hadoop
 // intermediate file would use (length-prefixed key and value plus the
-// ordering pair as varints).
+// ordering pair as varints). Computed arithmetically — this runs once
+// per emitted record, so it must not touch an encoder.
 func (r *kvRec) wireSize() int64 {
-	e := wire.NewEncoder(0)
-	e.Uvarint(uint64(len(r.key)))
-	e.Uvarint(uint64(r.mapperID))
-	e.Uvarint(uint64(r.recordID))
-	e.Uvarint(uint64(len(r.value)))
-	return int64(e.Len()) + int64(len(r.key)) + int64(len(r.value))
+	return int64(wire.UvarintLen(uint64(len(r.key))) +
+		wire.UvarintLen(uint64(r.mapperID)) +
+		wire.UvarintLen(uint64(r.recordID)) +
+		wire.UvarintLen(uint64(len(r.value))) +
+		len(r.key) + len(r.value))
 }
 
 // Job is one configured MapReduce execution.
@@ -141,144 +168,25 @@ type Job struct {
 // Run executes the job over the input segments and returns its metrics.
 func (j *Job) Run(segments []*Segment) (*Metrics, error) {
 	conf := j.Conf.withDefaults()
-	m := &Metrics{}
-	start := time.Now()
-
-	// ---- Map phase ----
-	mapStart := time.Now()
-	type mapOut struct {
-		parts [][]kvRec
-		task  TaskMetrics
-		err   error
+	if conf.BarrierShuffle {
+		return j.runBarrier(conf, segments)
 	}
-	outs := make([]mapOut, len(segments))
-	sem := make(chan struct{}, conf.Parallelism)
-	var wg sync.WaitGroup
-	for i, seg := range segments {
-		wg.Add(1)
-		go func(i int, seg *Segment) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			t0 := time.Now()
-			parts := make([][]kvRec, conf.NumReducers)
-			outBytes := make([]int64, conf.NumReducers)
-			emit := func(key string, recordID int64, value []byte) {
-				rec := kvRec{key: key, mapperID: seg.ID, recordID: recordID, value: value}
-				p := partition(key, conf.NumReducers)
-				parts[p] = append(parts[p], rec)
-				outBytes[p] += rec.wireSize()
-			}
-			err := j.Map(seg.ID, seg, emit)
-			outs[i] = mapOut{
-				parts: parts,
-				task: TaskMetrics{
-					Duration:   time.Since(t0),
-					InputBytes: seg.Bytes(),
-					OutBytes:   outBytes,
-				},
-				err: err,
-			}
-		}(i, seg)
-	}
-	wg.Wait()
-	for i, o := range outs {
-		if o.err != nil {
-			return nil, fmt.Errorf("mapreduce %q: map task %d: %w", j.Name, segments[i].ID, o.err)
-		}
-		m.MapTasks = append(m.MapTasks, o.task)
-		m.MapCPU += o.task.Duration
-		m.InputBytes += o.task.InputBytes
-		m.InputRecords += int64(len(segments[i].Records))
-	}
-	m.MapWall = time.Since(mapStart)
-
-	// ---- Shuffle: partition, count, sort ----
-	partitions := make([][]kvRec, conf.NumReducers)
-	for _, o := range outs {
-		for p := range o.parts {
-			partitions[p] = append(partitions[p], o.parts[p]...)
-		}
-		for p, b := range o.task.OutBytes {
-			_ = p
-			m.ShuffleBytes += b
-		}
-	}
-	for p := range partitions {
-		m.ShuffleRecords += int64(len(partitions[p]))
-	}
-
-	// ---- Reduce phase ----
-	reduceStart := time.Now()
-	redErrs := make([]error, conf.NumReducers)
-	redTasks := make([]TaskMetrics, conf.NumReducers)
-	groupCounts := make([]int64, conf.NumReducers)
-	var rwg sync.WaitGroup
-	for p := 0; p < conf.NumReducers; p++ {
-		rwg.Add(1)
-		go func(p int) {
-			defer rwg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			t0 := time.Now()
-			part := partitions[p]
-			// The merge/sort of the partition is reducer work in Hadoop
-			// and is attributed to the reduce task here too: its cost on
-			// full-data shuffles is part of what SYMPLE's tiny summaries
-			// avoid.
-			if conf.ExternalSort && externalSortAvailable() {
-				part = externalSort(part)
-			} else {
-				sortPartition(part)
-			}
-			var inBytes int64
-			for i := range part {
-				inBytes += part[i].wireSize()
-			}
-			for lo := 0; lo < len(part); {
-				hi := lo + 1
-				for hi < len(part) && part[hi].key == part[lo].key {
-					hi++
-				}
-				group := make([]Shuffled, hi-lo)
-				for i := lo; i < hi; i++ {
-					group[i-lo] = Shuffled{
-						MapperID: part[i].mapperID,
-						RecordID: part[i].recordID,
-						Value:    part[i].value,
-					}
-				}
-				groupCounts[p]++
-				if err := j.Reduce(p, part[lo].key, group); err != nil {
-					redErrs[p] = fmt.Errorf("mapreduce %q: reduce task %d key %q: %w",
-						j.Name, p, part[lo].key, err)
-					return
-				}
-				lo = hi
-			}
-			redTasks[p] = TaskMetrics{Duration: time.Since(t0), InputBytes: inBytes}
-		}(p)
-	}
-	rwg.Wait()
-	for _, err := range redErrs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	for p := range redTasks {
-		m.ReduceTasks = append(m.ReduceTasks, redTasks[p])
-		m.ReduceCPU += redTasks[p].Duration
-		m.Groups += groupCounts[p]
-	}
-	m.ReduceWall = time.Since(reduceStart)
-	m.TotalWall = time.Since(start)
-	return m, nil
+	return j.runStreaming(conf, segments)
 }
 
 // partition assigns a key to a reducer by FNV-1a hash, Hadoop's default
-// strategy modulo the hash function.
+// strategy modulo the hash function. The hash is inlined over the string
+// — no hasher allocation, no []byte copy of the key — and matches
+// hash/fnv bit for bit (pinned by TestPartitionMatchesFNV).
 func partition(key string, n int) int {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(key))
-	return int(h.Sum32() % uint32(n))
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
 }

@@ -1,0 +1,285 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The streaming engine. Map and reduce overlap: reduce tasks start
+// before any map task and consume sorted spill runs from per-partition
+// channels as mappers deliver them, pre-merging early arrivals while
+// later maps still run. User Reduce calls begin only once every run has
+// arrived — a k-way merge cannot know its smallest key earlier — but by
+// then most merge work is already done, off the critical path. The
+// (mapperID, recordID) composition order is unaffected: runs are sorted
+// at the mapper and merged under the same total order the barrier
+// engine sorts by.
+
+// premergeMinRuns is the pending-run count above which an idle reduce
+// task folds its two smallest runs into one while waiting for more map
+// output. Below it, the final loser tree is already shallow and folding
+// would only add copies.
+const premergeMinRuns = 4
+
+func (j *Job) runStreaming(conf Config, segments []*Segment) (*Metrics, error) {
+	m := &Metrics{}
+	start := time.Now()
+	sem := make(chan struct{}, conf.Parallelism)
+
+	// Per-partition run channels, buffered for one run per mapper so map
+	// tasks never block on reducers.
+	runCh := make([]chan spillRun, conf.NumReducers)
+	for p := range runCh {
+		runCh[p] = make(chan spillRun, len(segments))
+	}
+	// aborted tells reduce tasks a map failed; they then drop their runs
+	// without invoking Reduce. It is set before the channels close, and
+	// channel close happens-before the post-drain load.
+	var aborted atomic.Bool
+
+	// ---- Reduce tasks (launched first: there is no map barrier) ----
+	type redOut struct {
+		task   TaskMetrics
+		groups int64
+		err    error
+	}
+	redOuts := make([]redOut, conf.NumReducers)
+	var rwg sync.WaitGroup
+	for p := 0; p < conf.NumReducers; p++ {
+		rwg.Add(1)
+		go func(p int) {
+			defer rwg.Done()
+			runs, inBytes, active := collectRuns(runCh[p], conf.ExternalSort)
+			if aborted.Load() {
+				releaseRuns(runs)
+				return
+			}
+			// The merge and the user reduce calls are CPU work; cap them
+			// like any other task. By now all maps are done, so their
+			// semaphore slots are free.
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			groups, err := reducePartition(j, p, runs, conf)
+			redOuts[p] = redOut{
+				task:   TaskMetrics{Duration: active + time.Since(t0), InputBytes: inBytes},
+				groups: groups,
+				err:    err,
+			}
+		}(p)
+	}
+
+	// ---- Map tasks ----
+	mapStart := time.Now()
+	type mapOut struct {
+		task    TaskMetrics
+		emitted int64
+		err     error
+	}
+	outs := make([]mapOut, len(segments))
+	var wg sync.WaitGroup
+	for i, seg := range segments {
+		wg.Add(1)
+		go func(i int, seg *Segment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			parts := make([][]kvRec, conf.NumReducers)
+			outBytes := make([]int64, conf.NumReducers)
+			var seq int64
+			emit := func(key string, recordID int64, value []byte) {
+				rec := kvRec{key: key, mapperID: seg.ID, recordID: recordID, seq: seq, value: value}
+				seq++
+				p := partition(key, conf.NumReducers)
+				buf := parts[p]
+				if buf == nil {
+					buf = kvBufs.get(0)
+				}
+				parts[p] = append(buf, rec)
+				outBytes[p] += rec.wireSize()
+			}
+			err := j.Map(seg.ID, seg, emit)
+			var emitted int64
+			for p := range parts {
+				if parts[p] == nil {
+					continue
+				}
+				if err != nil || len(parts[p]) == 0 {
+					kvBufs.put(parts[p])
+					continue
+				}
+				emitted += int64(len(parts[p]))
+				// The spill sort is map-side work, as in Hadoop — except
+				// under ExternalSort, where the §6.2 baseline pays for
+				// sorting in the reducer's Unix sort pipe.
+				if !conf.ExternalSort {
+					sortRun(parts[p])
+				}
+				runCh[p] <- spillRun{recs: parts[p], bytes: outBytes[p]}
+			}
+			outs[i] = mapOut{
+				task: TaskMetrics{
+					Duration:   time.Since(t0),
+					InputBytes: seg.Bytes(),
+					OutBytes:   outBytes,
+				},
+				emitted: emitted,
+				err:     err,
+			}
+		}(i, seg)
+	}
+	wg.Wait()
+	mapDone := time.Now()
+	m.MapWall = mapDone.Sub(mapStart)
+
+	// Collect map results, folding shuffle-byte and record summation
+	// into this single pass, then release the reducers by closing their
+	// channels.
+	var mapErr error
+	for i, o := range outs {
+		if o.err != nil && mapErr == nil {
+			mapErr = fmt.Errorf("mapreduce %q: map task %d: %w", j.Name, segments[i].ID, o.err)
+		}
+		m.MapTasks = append(m.MapTasks, o.task)
+		m.MapCPU += o.task.Duration
+		m.InputBytes += o.task.InputBytes
+		m.InputRecords += int64(len(segments[i].Records))
+		m.ShuffleRecords += o.emitted
+		for _, b := range o.task.OutBytes {
+			m.ShuffleBytes += b
+		}
+	}
+	if mapErr != nil {
+		aborted.Store(true)
+	}
+	for p := range runCh {
+		close(runCh[p])
+	}
+	rwg.Wait()
+	if mapErr != nil {
+		return nil, mapErr
+	}
+
+	for p := range redOuts {
+		if redOuts[p].err != nil {
+			return nil, redOuts[p].err
+		}
+		m.ReduceTasks = append(m.ReduceTasks, redOuts[p].task)
+		m.ReduceCPU += redOuts[p].task.Duration
+		m.Groups += redOuts[p].groups
+	}
+	// ReduceWall is the post-map tail: the part of reduce work left on
+	// the critical path after pipelining has overlapped the rest.
+	m.ReduceWall = time.Since(mapDone)
+	m.TotalWall = time.Since(start)
+	return m, nil
+}
+
+// collectRuns drains one partition's channel until all mappers are done.
+// While the channel is open but momentarily empty — the reducer would
+// otherwise idle — it folds the two smallest pending runs into one,
+// overlapping merge work with still-running map tasks. Returns the
+// pending runs, total wire bytes received, and active (non-waiting)
+// time.
+func collectRuns(ch <-chan spillRun, external bool) (runs []spillRun, inBytes int64, active time.Duration) {
+	for {
+		select {
+		case r, ok := <-ch:
+			if !ok {
+				return runs, inBytes, active
+			}
+			runs = append(runs, r)
+			inBytes += r.bytes
+		default:
+			if !external && len(runs) >= premergeMinRuns {
+				t0 := time.Now()
+				runs = foldSmallest(runs)
+				active += time.Since(t0)
+				continue
+			}
+			r, ok := <-ch
+			if !ok {
+				return runs, inBytes, active
+			}
+			runs = append(runs, r)
+			inBytes += r.bytes
+		}
+	}
+}
+
+// foldSmallest merges the two shortest runs (fewest total copies, the
+// same greedy choice as Huffman merging) and replaces them with the
+// result.
+func foldSmallest(runs []spillRun) []spillRun {
+	a, b := 0, 1
+	if len(runs[b].recs) < len(runs[a].recs) {
+		a, b = b, a
+	}
+	for i := 2; i < len(runs); i++ {
+		switch n := len(runs[i].recs); {
+		case n < len(runs[a].recs):
+			a, b = i, a
+		case n < len(runs[b].recs):
+			b = i
+		}
+	}
+	merged := mergeTwo(runs[a], runs[b])
+	lo, hi := min(a, b), max(a, b)
+	runs[lo] = merged
+	runs[hi] = runs[len(runs)-1]
+	return runs[:len(runs)-1]
+}
+
+// reducePartition merges the partition's runs and streams each key group
+// to the reduce function through a reusable buffer — no per-group slice
+// is materialized. Under ExternalSort the runs are concatenated and
+// piped through the system sort binary first (§6.2 baseline), then
+// streamed the same way as a single run.
+func reducePartition(j *Job, p int, runs []spillRun, conf Config) (groups int64, err error) {
+	if conf.ExternalSort && externalSortAvailable() {
+		var n int
+		var bytes int64
+		for i := range runs {
+			n += len(runs[i].recs)
+			bytes += runs[i].bytes
+		}
+		flat := kvBufs.get(n)
+		for i := range runs {
+			flat = append(flat, runs[i].recs...)
+		}
+		releaseRuns(runs)
+		sorted := externalSort(flat)
+		if len(flat) > 0 && len(sorted) > 0 && &sorted[0] != &flat[0] {
+			// externalSort returned a fresh slice; recycle the scratch.
+			kvBufs.put(flat)
+		}
+		runs = []spillRun{{recs: sorted, bytes: bytes}}
+	}
+	defer releaseRuns(runs)
+
+	tree := newLoserTree(runs)
+	group := make([]Shuffled, 0, 64)
+	for {
+		head := tree.peek()
+		if head == nil {
+			return groups, nil
+		}
+		key := head.key
+		group = group[:0]
+		for {
+			h := tree.peek()
+			if h == nil || h.key != key {
+				break
+			}
+			group = append(group, Shuffled{MapperID: h.mapperID, RecordID: h.recordID, Value: h.value})
+			tree.advance()
+		}
+		groups++
+		if err := j.Reduce(p, key, group); err != nil {
+			return groups, fmt.Errorf("mapreduce %q: reduce task %d key %q: %w", j.Name, p, key, err)
+		}
+	}
+}

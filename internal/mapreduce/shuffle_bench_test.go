@@ -1,0 +1,114 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The shuffle benchmarks compare the streaming spill-run/merge engine
+// against the retained barrier engine on the same workload, and the
+// allocation-free emit hot path against the original encoder/hasher
+// version. cmd/symplebench -experiment shuffle records the same
+// comparisons to BENCH_SHUFFLE.json for the perf trajectory.
+
+func benchSegments(numSegs, perSeg, payload int) []*Segment {
+	rng := rand.New(rand.NewSource(1))
+	segs := make([]*Segment, numSegs)
+	for i := range segs {
+		segs[i] = &Segment{ID: i}
+		for r := 0; r < perSeg; r++ {
+			rec := make([]byte, payload)
+			for j := range rec {
+				rec[j] = byte('a' + rng.Intn(26))
+			}
+			segs[i].Records = append(segs[i].Records, rec)
+		}
+	}
+	return segs
+}
+
+func benchJob(conf Config) *Job {
+	return &Job{
+		Name: "bench",
+		Map: func(id int, seg *Segment, emit Emit) error {
+			for i, rec := range seg.Records {
+				// Skewed key space: realistic group fan-in per reducer.
+				emit(fmt.Sprintf("key-%d", (int(rec[0])*31+int(rec[1]))%512), int64(i), rec)
+			}
+			return nil
+		},
+		Reduce: func(_ int, _ string, values []Shuffled) error {
+			for i := range values {
+				_ = values[i].Value
+			}
+			return nil
+		},
+		Conf: conf,
+	}
+}
+
+// BenchmarkShuffleMerge drives the full shuffle path — emit, spill sort,
+// run transfer, k-way merge, group streaming — under both engines.
+func BenchmarkShuffleMerge(b *testing.B) {
+	const numSegs, perSeg, payload = 8, 4000, 100
+	segs := benchSegments(numSegs, perSeg, payload)
+	var inputBytes int64
+	for _, s := range segs {
+		inputBytes += s.Bytes()
+	}
+	for _, eng := range []struct {
+		name    string
+		barrier bool
+	}{{"streaming", false}, {"barrier", true}} {
+		b.Run(eng.name, func(b *testing.B) {
+			job := benchJob(Config{NumReducers: 4, Parallelism: 4, BarrierShuffle: eng.barrier})
+			b.SetBytes(inputBytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := job.Run(segs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEmitHotPath isolates the per-record emit cost: partition the
+// key, account the wire size, append to the run buffer. The legacy
+// variant pays the original hasher + scratch-encoder allocations.
+func BenchmarkEmitHotPath(b *testing.B) {
+	keys := make([]string, 512)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	value := make([]byte, 100)
+	for _, eng := range []struct {
+		name   string
+		legacy bool
+	}{{"streaming", false}, {"legacy", true}} {
+		b.Run(eng.name, func(b *testing.B) {
+			parts := make([][]kvRec, 4)
+			outBytes := make([]int64, 4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				key := keys[i%len(keys)]
+				rec := kvRec{key: key, mapperID: 3, recordID: int64(i), value: value}
+				var p int
+				if eng.legacy {
+					p = legacyPartition(key, len(parts))
+					outBytes[p] += legacyWireSize(&rec)
+				} else {
+					p = partition(key, len(parts))
+					outBytes[p] += rec.wireSize()
+				}
+				if len(parts[p]) > 1<<16 {
+					parts[p] = parts[p][:0] // bound memory; keep append cost amortized
+				}
+				parts[p] = append(parts[p], rec)
+			}
+		})
+	}
+}

@@ -42,6 +42,12 @@ type Spec struct {
 	Baseline   func(segs []*mapreduce.Segment, conf mapreduce.Config) (*Run, error)
 	Symple     func(segs []*mapreduce.Segment, conf mapreduce.Config) (*Run, error)
 
+	// SympleTree composes summaries as a parallel binary tree at
+	// reducers (§3.6); SympleCombined enables the mapper-side combiner
+	// that pre-composes each group's summary list before the shuffle.
+	SympleTree     func(segs []*mapreduce.Segment, conf mapreduce.Config) (*Run, error)
+	SympleCombined func(segs []*mapreduce.Segment, conf mapreduce.Config) (*Run, error)
+
 	// SympleWithOptions runs the SYMPLE engine with explicit symbolic
 	// engine options (for the merging / path-cap ablations). Not safe to
 	// call concurrently with the other runners.
@@ -106,6 +112,12 @@ func makeSpec[S sym.State, E, R any](
 		},
 		Symple: func(segs []*mapreduce.Segment, conf mapreduce.Config) (*Run, error) {
 			return wrap(core.RunSymple(q, segs, conf))
+		},
+		SympleTree: func(segs []*mapreduce.Segment, conf mapreduce.Config) (*Run, error) {
+			return wrap(core.RunSympleOpts(q, segs, conf, core.SympleOptions{Tree: true}))
+		},
+		SympleCombined: func(segs []*mapreduce.Segment, conf mapreduce.Config) (*Run, error) {
+			return wrap(core.RunSympleOpts(q, segs, conf, core.SympleOptions{Combine: true}))
 		},
 		SympleWithOptions: func(segs []*mapreduce.Segment, conf mapreduce.Config, opts sym.Options) (*Run, error) {
 			saved := q.Options

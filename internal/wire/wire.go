@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // ErrCorrupt is returned (wrapped) when a decoder reads malformed data.
@@ -45,6 +46,14 @@ func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 // Uvarint appends an unsigned varint.
 func (e *Encoder) Uvarint(v uint64) {
 	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// UvarintLen returns the number of bytes Uvarint writes for v, computed
+// arithmetically so size accounting never needs a scratch encoder. A
+// varint carries 7 payload bits per byte; v|1 makes the zero value cost
+// one byte like the encoder does.
+func UvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
 }
 
 // Varint appends a zig-zag-encoded signed varint.

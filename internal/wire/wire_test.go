@@ -198,3 +198,26 @@ func TestLength(t *testing.T) {
 		t.Fatalf("negative max Length = %d, err %v", got, d3.Err())
 	}
 }
+
+// TestUvarintLen pins the arithmetic size function against what the
+// encoder actually writes, across byte-length boundaries and random
+// values.
+func TestUvarintLen(t *testing.T) {
+	cases := []uint64{0, 1, 0x7F, 0x80, 0x3FFF, 0x4000, 1 << 21, (1 << 21) - 1,
+		1<<28 - 1, 1 << 28, 1<<35 - 1, 1 << 35, 1<<42 - 1, 1 << 42,
+		1<<49 - 1, 1 << 49, 1<<56 - 1, 1 << 56, 1<<63 - 1, 1 << 63, math.MaxUint64}
+	for _, v := range cases {
+		e := NewEncoder(10)
+		e.Uvarint(v)
+		if got, want := UvarintLen(v), e.Len(); got != want {
+			t.Errorf("UvarintLen(%#x) = %d, encoder wrote %d", v, got, want)
+		}
+	}
+	if err := quick.Check(func(v uint64) bool {
+		e := NewEncoder(10)
+		e.Uvarint(v)
+		return UvarintLen(v) == e.Len()
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, vet, formatting, full tests, and a race
+# run of the pipelined shuffle + SYMPLE runtime.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fmt=$(gofmt -l . | grep -v '^\.git/' || true)
+if [ -n "$fmt" ]; then
+    echo "gofmt: files need formatting:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/mapreduce ./internal/core
+echo "verify: OK"

@@ -171,6 +171,16 @@ func RunSympleTree[S State, E, R any](q *Query[S, E, R], segments []*Segment, co
 	return core.RunSympleTree(q, segments, conf)
 }
 
+// SympleOptions tunes the SYMPLE engines: a mapper-side combiner
+// (pre-composing each group's summaries before the shuffle) and tree
+// composition at reducers.
+type SympleOptions = core.SympleOptions
+
+// RunSympleOpts is RunSymple with explicit engine options.
+func RunSympleOpts[S State, E, R any](q *Query[S, E, R], segments []*Segment, conf Config, opt SympleOptions) (*Output[R], error) {
+	return core.RunSympleOpts(q, segments, conf, opt)
+}
+
 // ReadSegments loads ordered input segments from a directory of
 // newline-delimited files written by cmd/datagen.
 func ReadSegments(dir string) ([]*Segment, error) {
