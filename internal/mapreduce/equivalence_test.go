@@ -158,6 +158,41 @@ func TestStreamingExternalSortMatchesBarrier(t *testing.T) {
 	}
 }
 
+// TestStreamingExternalSortFallsBackWithoutSortBinary pins the Config
+// contract that ExternalSort falls back to the in-process sort when no
+// sort binary is on PATH. The map side skips its spill sort under
+// ExternalSort, so the streaming engine must do the full partition sort
+// reduce-side here — without it, the loser tree merges unsorted runs and
+// fragments each key into many Reduce calls. The barrier engine, which
+// has always honored the fallback, is the oracle.
+func TestStreamingExternalSortFallsBackWithoutSortBinary(t *testing.T) {
+	t.Setenv("PATH", "")
+	if externalSortAvailable() {
+		t.Fatal("sort binary still resolvable with empty PATH")
+	}
+	rng := rand.New(rand.NewSource(11))
+	segs := randomSegments(rng, 6, 80)
+	emits := func(rec []byte) []string {
+		return []string{fmt.Sprintf("key-%d", len(rec)%5)}
+	}
+	conf := Config{NumReducers: 2, ExternalSort: true, Parallelism: 4}
+	barrier := conf
+	barrier.BarrierShuffle = true
+	got, gm := captureJob(t, segs, conf, emits)
+	want, wm := captureJob(t, segs, barrier, emits)
+	if len(got) != len(want) {
+		t.Fatalf("%d reducers produced output, barrier %d", len(got), len(want))
+	}
+	for r, s := range want {
+		if got[r] != s {
+			t.Errorf("reducer %d: streams differ\nstreaming:\n%s\nbarrier:\n%s", r, got[r], s)
+		}
+	}
+	if gm.Groups != wm.Groups {
+		t.Errorf("groups = %d, barrier %d (fragmented groups?)", gm.Groups, wm.Groups)
+	}
+}
+
 // TestLoserTreeMerge checks the k-way merge against sort over the
 // concatenation, for assorted run shapes including empty runs and k not
 // a power of two.

@@ -140,7 +140,10 @@ func trimZeros(b []byte) string {
 	return string(t)
 }
 
-// sortPartition is the in-process shuffle order.
+// sortPartition is the in-process shuffle order. seq breaks the
+// (key, mapperID, recordID) ties a multi-emitting record can produce,
+// so the streaming engine's ExternalSort fallback reproduces emit order
+// exactly; barrier-engine records all carry seq 0 and are unaffected.
 func sortPartition(part []kvRec) {
 	sort.Slice(part, func(a, b int) bool {
 		ra, rb := &part[a], &part[b]
@@ -150,6 +153,9 @@ func sortPartition(part []kvRec) {
 		if ra.mapperID != rb.mapperID {
 			return ra.mapperID < rb.mapperID
 		}
-		return ra.recordID < rb.recordID
+		if ra.recordID != rb.recordID {
+			return ra.recordID < rb.recordID
+		}
+		return ra.seq < rb.seq
 	})
 }

@@ -52,9 +52,10 @@ func (s *Segment) Bytes() int64 {
 }
 
 // Emit sends one keyed record from a mapper into the shuffle. recordID
-// must be the record's position within the mapper's segment — and hence
-// nondecreasing across calls — so the reducer can restore input order
-// within each group.
+// is the record's position within the mapper's segment; the shuffle
+// orders each group by (mapperID, recordID), so reducers see input
+// order within a group regardless of the order of Emit calls —
+// monotonicity across calls is not required.
 type Emit func(key string, recordID int64, value []byte)
 
 // MapFunc processes one input segment. mapperID is the segment's ID.

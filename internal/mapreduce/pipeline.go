@@ -51,7 +51,7 @@ func (j *Job) runStreaming(conf Config, segments []*Segment) (*Metrics, error) {
 		rwg.Add(1)
 		go func(p int) {
 			defer rwg.Done()
-			runs, inBytes, active := collectRuns(runCh[p], conf.ExternalSort)
+			runs, inBytes, active := collectRuns(runCh[p], conf.ExternalSort, sem)
 			if aborted.Load() {
 				releaseRuns(runs)
 				return
@@ -181,10 +181,12 @@ func (j *Job) runStreaming(conf Config, segments []*Segment) (*Metrics, error) {
 // collectRuns drains one partition's channel until all mappers are done.
 // While the channel is open but momentarily empty — the reducer would
 // otherwise idle — it folds the two smallest pending runs into one,
-// overlapping merge work with still-running map tasks. Returns the
-// pending runs, total wire bytes received, and active (non-waiting)
-// time.
-func collectRuns(ch <-chan spillRun, external bool) (runs []spillRun, inBytes int64, active time.Duration) {
+// overlapping merge work with still-running map tasks. Folding is CPU
+// work and stays under the Parallelism cap: it runs only when a
+// semaphore slot is free right now (non-blocking try), never at the
+// expense of map progress. Returns the pending runs, total wire bytes
+// received, and active (non-waiting) time.
+func collectRuns(ch <-chan spillRun, external bool, sem chan struct{}) (runs []spillRun, inBytes int64, active time.Duration) {
 	for {
 		select {
 		case r, ok := <-ch:
@@ -195,10 +197,15 @@ func collectRuns(ch <-chan spillRun, external bool) (runs []spillRun, inBytes in
 			inBytes += r.bytes
 		default:
 			if !external && len(runs) >= premergeMinRuns {
-				t0 := time.Now()
-				runs = foldSmallest(runs)
-				active += time.Since(t0)
-				continue
+				select {
+				case sem <- struct{}{}:
+					t0 := time.Now()
+					runs = foldSmallest(runs)
+					active += time.Since(t0)
+					<-sem
+					continue
+				default:
+				}
 			}
 			r, ok := <-ch
 			if !ok {
@@ -237,9 +244,12 @@ func foldSmallest(runs []spillRun) []spillRun {
 // to the reduce function through a reusable buffer — no per-group slice
 // is materialized. Under ExternalSort the runs are concatenated and
 // piped through the system sort binary first (§6.2 baseline), then
-// streamed the same way as a single run.
+// streamed the same way as a single run. The map side skips its spill
+// sort under ExternalSort, so the concatenate-and-sort here must happen
+// unconditionally: when the sort binary is missing, externalSort falls
+// back to the in-process sortPartition, honoring the Config contract.
 func reducePartition(j *Job, p int, runs []spillRun, conf Config) (groups int64, err error) {
-	if conf.ExternalSort && externalSortAvailable() {
+	if conf.ExternalSort {
 		var n int
 		var bytes int64
 		for i := range runs {
