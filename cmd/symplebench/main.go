@@ -6,8 +6,12 @@
 //	symplebench -experiment fig5 -records 500000
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8, b1latency,
-// ablation, shuffle, all. See EXPERIMENTS.md for the paper-vs-measured
-// record; -experiment shuffle also writes BENCH_SHUFFLE.json.
+// ablation, shuffle, symexec, all. See EXPERIMENTS.md for the
+// paper-vs-measured record; -experiment shuffle also writes
+// BENCH_SHUFFLE.json and -experiment symexec writes BENCH_SYMEXEC.json.
+//
+// -memo-size and -map-parallelism tune the SYMPLE runtime knobs the
+// symexec experiment exercises (see README).
 package main
 
 import (
@@ -24,9 +28,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("symplebench: ")
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | fig8 | b1latency | ablation | shuffle | all")
+		experiment = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | fig8 | b1latency | ablation | shuffle | symexec | all")
 		records    = flag.Int("records", 200000, "records per generated corpus")
 		segments   = flag.Int("segments", 8, "input segments (measured mapper count)")
+		memoSize   = flag.Int("memo-size", 0, "record-transition memo entries per map chunk (0 default, <0 disables)")
+		mapPar     = flag.Int("map-parallelism", 0, "sub-chunks per map task for symexec (0 = min(4, GOMAXPROCS))")
 	)
 	flag.Parse()
 
@@ -60,6 +66,7 @@ func main() {
 		{"b1latency", func() (*bench.Table, error) { return bench.B1Latency(datasets()) }},
 		{"ablation", func() (*bench.Table, error) { return bench.AblationMerging(datasets()) }},
 		{"shuffle", func() (*bench.Table, error) { return bench.Shuffle(sc) }},
+		{"symexec", func() (*bench.Table, error) { return bench.SymExec(datasets(), *mapPar, *memoSize) }},
 	}
 	ran := 0
 	for _, e := range exps {

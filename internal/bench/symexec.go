@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/mapreduce"
+	"repro/internal/queries"
+)
+
+// SymExec measures the fast symbolic hot loop against the frozen seed
+// executor on all 12 queries and records the numbers to
+// BENCH_SYMEXEC.json. Three engines per query:
+//
+//   - seed: the pre-PR executor (reflective Fields() walks, no memo),
+//     kept verbatim as the baseline and equivalence oracle;
+//   - fast: compiled state schemas + record-transition memoization,
+//     single-threaded mappers;
+//   - parallel: fast plus intra-mapper sub-chunk parallelism
+//     (opt.MapParallelism = min(4, GOMAXPROCS)); on a single-core host
+//     this measures the stitching overhead, not a speedup.
+//
+// Every engine run is digest-checked against the sequential reference.
+// Two throughputs are recorded: exec records/sec (symbolic events over
+// the timed execution pass of the map chunks — the engine cost this PR
+// optimizes, and the basis of the "vs seed" column) and end-to-end map
+// records/sec (input records over map wall, which includes the record
+// parsing every engine shares and often dominates). Allocations are the
+// process-wide mallocs per input record.
+func SymExec(d *Datasets, parallelism, memoSize int) (*Table, error) {
+	if parallelism <= 0 {
+		parallelism = min(4, runtime.GOMAXPROCS(0))
+	}
+	t := &Table{
+		Title:  "SymExec: compiled schemas + transition memo vs seed executor",
+		Header: []string{"Query", "Engine", "exec rec/s", "map rec/s", "allocs/rec", "memo hit%", "vs seed"},
+		Notes: []string{
+			fmt.Sprintf("parallel = fast + MapParallelism %d (GOMAXPROCS %d)", parallelism, runtime.GOMAXPROCS(0)),
+			"exec rec/s: symbolic events / timed exec pass (engine cost; basis of 'vs seed')",
+			"map rec/s: input records / map wall (includes the parse cost all engines share)",
+			"best of 3, outputs digest-checked per run; written to BENCH_SYMEXEC.json",
+		},
+	}
+	rep := symExecReport{Parallelism: parallelism, MemoSize: memoSize, MaxProcs: runtime.GOMAXPROCS(0)}
+
+	for _, spec := range queries.All() {
+		segs, err := d.For(spec.Dataset, false)
+		if err != nil {
+			return nil, err
+		}
+		seq, err := spec.Sequential(segs)
+		if err != nil {
+			return nil, fmt.Errorf("symexec %s sequential: %w", spec.ID, err)
+		}
+		conf := mapreduce.Config{NumReducers: 2}
+		engines := []struct {
+			name string
+			opt  core.SympleOptions
+		}{
+			{"seed", core.SympleOptions{SeedExecutor: true}},
+			{"fast", core.SympleOptions{MemoSize: memoSize}},
+			{"parallel", core.SympleOptions{MemoSize: memoSize, MapParallelism: parallelism}},
+		}
+		q := symExecQuery{Query: spec.ID}
+		var seedRate float64
+		for _, eng := range engines {
+			m, err := measureSymExec(func() (*queries.Run, error) {
+				return spec.SympleOpts(segs, conf, eng.opt)
+			}, seq)
+			if err != nil {
+				return nil, fmt.Errorf("symexec %s %s: %w", spec.ID, eng.name, err)
+			}
+			m.Engine = eng.name
+			if eng.name == "seed" {
+				seedRate = m.ExecRecordsPerSec
+			}
+			if seedRate > 0 {
+				m.Speedup = m.ExecRecordsPerSec / seedRate
+			}
+			q.Engines = append(q.Engines, m)
+			t.Rows = append(t.Rows, []string{
+				spec.ID, eng.name,
+				fmt.Sprintf("%.0f", m.ExecRecordsPerSec),
+				fmt.Sprintf("%.0f", m.RecordsPerSec),
+				fmt.Sprintf("%.1f", m.AllocsPerRecord),
+				fmtMemoRate(m.MemoHitRate),
+				fmtFactor(m.Speedup),
+			})
+		}
+		rep.Queries = append(rep.Queries, q)
+	}
+
+	f, err := os.Create("BENCH_SYMEXEC.json")
+	if err != nil {
+		return nil, fmt.Errorf("symexec: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return nil, fmt.Errorf("symexec: %w", err)
+	}
+	return t, nil
+}
+
+type symExecEngine struct {
+	Engine            string  `json:"engine"`
+	ExecRecordsPerSec float64 `json:"exec_records_per_sec"`
+	RecordsPerSec     float64 `json:"records_per_sec"`
+	MapWallMs         float64 `json:"map_wall_ms"`
+	ExecWallMs        float64 `json:"exec_wall_ms"`
+	AllocsPerRecord   float64 `json:"allocs_per_record"`
+	MemoHitRate       float64 `json:"memo_hit_rate"`   // -1 when the memo saw no traffic
+	Speedup           float64 `json:"speedup_vs_seed"` // exec throughput vs seed
+}
+
+type symExecQuery struct {
+	Query   string          `json:"query"`
+	Engines []symExecEngine `json:"engines"`
+}
+
+type symExecReport struct {
+	Parallelism int            `json:"map_parallelism"`
+	MemoSize    int            `json:"memo_size"`
+	MaxProcs    int            `json:"gomaxprocs"`
+	Queries     []symExecQuery `json:"queries"`
+}
+
+// measureSymExec runs the engine three times, digest-checking each run
+// against the sequential reference, and keeps the best mapper
+// throughput and the lowest allocation count (both are noisy upward).
+func measureSymExec(run func() (*queries.Run, error), seq *queries.Run) (symExecEngine, error) {
+	var m symExecEngine
+	m.MemoHitRate = -1
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		r, err := run()
+		if err != nil {
+			return m, err
+		}
+		runtime.ReadMemStats(&after)
+		if r.Digest != seq.Digest || r.NumResults != seq.NumResults {
+			return m, fmt.Errorf("digest %x (%d results) != sequential %x (%d)",
+				r.Digest, r.NumResults, seq.Digest, seq.NumResults)
+		}
+		wall := r.Metrics.MapWall.Seconds()
+		if wall <= 0 {
+			continue
+		}
+		rate := float64(r.Metrics.InputRecords) / wall
+		if rate > m.RecordsPerSec {
+			m.RecordsPerSec = rate
+			m.MapWallMs = wall * 1e3
+		}
+		if ew := r.Sym.ExecWall.Seconds(); ew > 0 {
+			execRate := float64(r.Sym.Records) / ew
+			if execRate > m.ExecRecordsPerSec {
+				m.ExecRecordsPerSec = execRate
+				m.ExecWallMs = ew * 1e3
+			}
+		}
+		allocs := float64(after.Mallocs-before.Mallocs) / float64(r.Metrics.InputRecords)
+		if i == 0 || allocs < m.AllocsPerRecord {
+			m.AllocsPerRecord = allocs
+		}
+		if lookups := r.Sym.MemoHits + r.Sym.MemoMisses; lookups > 0 {
+			m.MemoHitRate = float64(r.Sym.MemoHits) / float64(lookups)
+		}
+	}
+	return m, nil
+}
+
+func fmtMemoRate(rate float64) string {
+	if rate < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", rate*100)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

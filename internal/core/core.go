@@ -84,6 +84,16 @@ type SymStats struct {
 	Merges    int
 	Restarts  int
 	Summaries int // summaries shuffled
+	// MemoHits/MemoMisses count records folded through the
+	// record-transition cache vs records that required path exploration
+	// (both zero when memoization is off).
+	MemoHits   int
+	MemoMisses int
+	// ExecWall is the wall time spent inside the symbolic-execution pass
+	// of the map chunks (feeding grouped events and finishing executors),
+	// excluding record parsing and grouping, summed across chunks. It
+	// isolates the engine cost from the parse cost every engine shares.
+	ExecWall time.Duration
 }
 
 // Output is the result of running a query under any engine.
@@ -222,6 +232,25 @@ type SympleOptions struct {
 	// binary tree (RunSympleTree's strategy) instead of applying them
 	// left-to-right onto the concrete state.
 	Tree bool
+	// MemoSize bounds the per-mapper record-transition cache: records
+	// whose projected event was seen before skip path exploration and
+	// fold their cached transition summary into the live paths by
+	// composition (§3.6), which is byte-identical to direct exploration.
+	// 0 uses sym.DefaultMemoSize; negative disables memoization.
+	MemoSize int
+	// MapParallelism splits each mapper's segment into that many
+	// contiguous sub-chunks executed symbolically in parallel and
+	// stitched back per key in chunk order — associativity of summary
+	// composition makes the concatenated per-key summary lists
+	// equivalent to the single-threaded run (§3.6), and the §5.4
+	// (key, mapperID, recordID) contract is preserved because each key's
+	// bundle keeps its global record order. 0 or 1 runs mappers
+	// single-threaded (classic behavior).
+	MapParallelism int
+	// SeedExecutor runs mappers on the frozen pre-optimization executor
+	// (sym.SeedExecutor): the equivalence oracle and the baseline the
+	// symexec benchmark measures against. Disables memoization.
+	SeedExecutor bool
 }
 
 // RunSymple executes the query with symbolic parallelism: each mapper
@@ -239,6 +268,13 @@ func RunSympleOpts[S sym.State, E, R any](q *Query[S, E, R], segments []*mapredu
 	if err := validateQuery(q); err != nil {
 		return nil, err
 	}
+	// One compiled schema serves the whole run: mapper executors, memo
+	// transitions, reducer decoding and summary application all draw
+	// path-state containers from its pool (it is concurrency-safe).
+	sc, err := sym.NewSchema(q.NewState)
+	if err != nil {
+		return nil, fmt.Errorf("core %q: %w", q.Name, err)
+	}
 	var mu sync.Mutex
 	results := make(map[string]R)
 	stats := SymStats{}
@@ -249,13 +285,16 @@ func RunSympleOpts[S sym.State, E, R any](q *Query[S, E, R], segments []*mapredu
 	reduce := func(_ int, key string, values []mapreduce.Shuffled) error {
 		// values arrive ordered by (mapperID, recordID): the order
 		// the chunks appear in the input.
-		sums, err := decodeSummaryBundles[S](q.NewState, values)
+		sums, err := decodeSummaryBundles(sc, values)
 		if err != nil {
 			return err
 		}
 		final, err := sym.ApplyAll(q.NewState(), sums)
 		if err != nil {
 			return fmt.Errorf("composing %d summaries: %w", len(sums), err)
+		}
+		for _, s := range sums {
+			s.Release()
 		}
 		r := q.Result(key, final)
 		mu.Lock()
@@ -264,11 +303,11 @@ func RunSympleOpts[S sym.State, E, R any](q *Query[S, E, R], segments []*mapredu
 		return nil
 	}
 	if opt.Tree {
-		reduce = treeReduceFunc(q, &mu, results)
+		reduce = treeReduceFunc(q, sc, &mu, results)
 	}
 	job := &mapreduce.Job{
 		Name:   name,
-		Map:    sympleMapFunc(q, &mu, &stats, opt.Combine),
+		Map:    sympleMapFunc(q, sc, &mu, &stats, opt),
 		Reduce: reduce,
 		Conf:   conf,
 	}

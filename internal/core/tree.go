@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/mapreduce"
 	"repro/internal/sym"
@@ -23,55 +24,223 @@ func RunSympleTree[S sym.State, E, R any](q *Query[S, E, R], segments []*mapredu
 	return RunSympleOpts(q, segments, conf, SympleOptions{Tree: true})
 }
 
+// chunkResult is one sub-chunk's symbolic output: per-key ordered
+// summary lists plus the work counters, produced by symExecChunk.
+type chunkResult[S sym.State] struct {
+	order   []string
+	sums    map[string][]*sym.Summary[S]
+	lastRec map[string]int64
+	stats   SymStats
+	err     error
+}
+
+// symExecChunk runs the symbolic per-key UDA loop over one contiguous
+// slice of a segment's records. base is the slice's offset within the
+// segment, so lastRec carries segment-global record indices and the §5.4
+// (key, mapperID, recordID) order survives sub-chunking.
+//
+// The chunk runs in two passes. Pass one parses: GroupBy every record
+// and batch the events per key, in record order. Pass two executes: one
+// executor per key consumes its batch in a tight Feed loop. Batching
+// keeps the per-record map lookups out of the symbolic hot loop and lets
+// the execution pass be timed on its own (stats.ExecWall), so engine
+// throughput can be compared net of the parse cost every engine shares.
+func symExecChunk[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], opt SympleOptions, records [][]byte, base int) chunkResult[S] {
+	out := chunkResult[S]{
+		sums:    make(map[string][]*sym.Summary[S]),
+		lastRec: make(map[string]int64),
+	}
+	type batch struct {
+		events []E
+		last   int64 // segment-global index of the key's last record
+	}
+	batches := make(map[string]*batch)
+	for i, rec := range records {
+		key, ev, ok := q.GroupBy(rec)
+		if !ok {
+			continue
+		}
+		b := batches[key]
+		if b == nil {
+			b = &batch{}
+			batches[key] = b
+			out.order = append(out.order, key)
+		}
+		b.events = append(b.events, ev)
+		b.last = int64(base + i)
+	}
+
+	// One memo serves every key of this chunk: transitions are built
+	// from the fully symbolic state, so they are key-independent. The
+	// memo is single-goroutine (each chunk owns its own); only the
+	// schema pool is shared across chunks.
+	var memo *sym.Memo[S, E]
+	if !opt.SeedExecutor && opt.MemoSize >= 0 {
+		memo = sym.NewMemo[S, E](sc, opt.MemoSize)
+	}
+	start := time.Now()
+	// One resettable executor serves every key of the chunk (its Stats
+	// accumulate across keys); the seed engine has no Reset and is
+	// constructed per key, as the pre-optimization mapper did.
+	var fast *sym.Executor[S, E]
+	if !opt.SeedExecutor {
+		fast = sym.NewSchemaExecutor(sc, q.Update, q.Options).WithMemo(memo)
+	}
+	for i, key := range out.order {
+		b := batches[key]
+		var sums []*sym.Summary[S]
+		var err error
+		if opt.SeedExecutor {
+			x := sym.NewSeedExecutor(q.NewState, q.Update, q.Options)
+			for _, ev := range b.events {
+				if err = x.Feed(ev); err != nil {
+					break
+				}
+			}
+			if err == nil {
+				sums, err = x.Finish()
+			}
+			if err == nil {
+				addStats(&out.stats, x.Stats())
+			}
+		} else {
+			if i > 0 {
+				fast.Reset()
+			}
+			if err = fast.FeedAll(b.events); err == nil {
+				sums, err = fast.Finish()
+			}
+		}
+		if err != nil {
+			out.err = fmt.Errorf("key %q: %w", key, err)
+			return out
+		}
+		out.sums[key] = sums
+		out.lastRec[key] = b.last
+	}
+	if fast != nil {
+		addStats(&out.stats, fast.Stats())
+	}
+	out.stats.ExecWall = time.Since(start)
+	if memo != nil {
+		memo.Release()
+	}
+	return out
+}
+
+// addStats folds one executor's counters into the chunk totals.
+func addStats(dst *SymStats, st sym.Stats) {
+	dst.Records += st.Records
+	dst.Runs += st.Runs
+	dst.Merges += st.Merges
+	dst.Restarts += st.Restarts
+	dst.MemoHits += st.MemoHits
+	dst.MemoMisses += st.MemoMisses
+}
+
+// splitChunks cuts n records into at most p contiguous chunks of
+// near-equal size, returning the start offsets (ascending, first 0).
+func splitChunks(n, p int) []int {
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	starts := make([]int, 0, p)
+	for i := 0; i < p; i++ {
+		starts = append(starts, i*n/p)
+	}
+	return starts
+}
+
 // sympleMapFunc is the shared SYMPLE mapper: groupby plus symbolic UDA
 // execution per group, emitting one summary bundle per group. With
-// combine set it acts as its own combiner, pre-composing the group's
+// opt.MapParallelism > 1 the segment is cut into contiguous sub-chunks
+// executed on their own goroutines and stitched back per key in chunk
+// order, so a single large segment no longer serializes one core. With
+// opt.Combine it acts as its own combiner, pre-composing each group's
 // summary list into one summary before the shuffle (falling back to the
 // uncombined list when composition fails).
-func sympleMapFunc[S sym.State, E, R any](q *Query[S, E, R], mu *sync.Mutex, stats *SymStats, combine bool) mapreduce.MapFunc {
+func sympleMapFunc[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], mu *sync.Mutex, stats *SymStats, opt SympleOptions) mapreduce.MapFunc {
 	return func(mapperID int, seg *mapreduce.Segment, emit mapreduce.Emit) error {
-		execs := make(map[string]*sym.Executor[S, E])
-		lastRec := make(map[string]int64)
-		var order []string
-		for i, rec := range seg.Records {
-			key, ev, ok := q.GroupBy(rec)
-			if !ok {
-				continue
+		p := opt.MapParallelism
+		if p < 1 {
+			p = 1
+		}
+		starts := splitChunks(len(seg.Records), p)
+		outs := make([]chunkResult[S], len(starts))
+		if len(starts) == 1 {
+			outs[0] = symExecChunk(q, sc, opt, seg.Records, 0)
+		} else {
+			var wg sync.WaitGroup
+			for ci, start := range starts {
+				end := len(seg.Records)
+				if ci+1 < len(starts) {
+					end = starts[ci+1]
+				}
+				wg.Add(1)
+				go func(ci, start, end int) {
+					defer wg.Done()
+					outs[ci] = symExecChunk(q, sc, opt, seg.Records[start:end], start)
+				}(ci, start, end)
 			}
-			x := execs[key]
-			if x == nil {
-				x = sym.NewExecutor(q.NewState, q.Update, q.Options)
-				execs[key] = x
-				order = append(order, key)
-			}
-			if err := x.Feed(ev); err != nil {
-				return fmt.Errorf("key %q: %w", key, err)
-			}
-			lastRec[key] = int64(i)
+			wg.Wait()
 		}
 		local := SymStats{}
-		for _, key := range order {
-			x := execs[key]
-			sums, err := x.Finish()
-			if err != nil {
-				return fmt.Errorf("key %q: %w", key, err)
+		for ci := range outs {
+			if err := outs[ci].err; err != nil {
+				return err
 			}
-			if combine && len(sums) > 1 {
+			local.Records += outs[ci].stats.Records
+			local.Runs += outs[ci].stats.Runs
+			local.Merges += outs[ci].stats.Merges
+			local.Restarts += outs[ci].stats.Restarts
+			local.MemoHits += outs[ci].stats.MemoHits
+			local.MemoMisses += outs[ci].stats.MemoMisses
+			local.ExecWall += outs[ci].stats.ExecWall
+		}
+
+		// Stitch: per key, concatenate the chunks' ordered summary lists
+		// in chunk order — record order within the key, so composing the
+		// bundle left-to-right reproduces the sequential semantics.
+		var order []string
+		keySums := make(map[string][]*sym.Summary[S])
+		keyLast := make(map[string]int64)
+		for ci := range outs {
+			for _, key := range outs[ci].order {
+				if _, seen := keySums[key]; !seen {
+					order = append(order, key)
+				}
+				keySums[key] = append(keySums[key], outs[ci].sums[key]...)
+				keyLast[key] = outs[ci].lastRec[key] // ascending ci → final value is the max
+			}
+		}
+
+		for _, key := range order {
+			sums := keySums[key]
+			if opt.Combine && len(sums) > 1 {
 				if composed, cerr := sym.ComposeAll(sums); cerr == nil {
+					for _, s := range sums {
+						s.Release()
+					}
 					sums = []*sym.Summary[S]{composed}
 				}
 			}
-			e := wire.NewEncoder(64)
+			e := wire.GetEncoder()
 			e.Uvarint(uint64(len(sums)))
 			for _, s := range sums {
 				s.Encode(e)
 			}
-			emit(key, lastRec[key], e.Bytes())
-			st := x.Stats()
-			local.Records += st.Records
-			local.Runs += st.Runs
-			local.Merges += st.Merges
-			local.Restarts += st.Restarts
+			// The shuffle retains emitted values, so hand it an
+			// exact-size copy and recycle the encoder buffer.
+			buf := make([]byte, e.Len())
+			copy(buf, e.Bytes())
+			wire.PutEncoder(e)
+			emit(key, keyLast[key], buf)
+			for _, s := range sums {
+				s.Release()
+			}
 			local.Summaries += len(sums)
 		}
 		mu.Lock()
@@ -80,6 +249,9 @@ func sympleMapFunc[S sym.State, E, R any](q *Query[S, E, R], mu *sync.Mutex, sta
 		stats.Merges += local.Merges
 		stats.Restarts += local.Restarts
 		stats.Summaries += local.Summaries
+		stats.MemoHits += local.MemoHits
+		stats.MemoMisses += local.MemoMisses
+		stats.ExecWall += local.ExecWall
 		mu.Unlock()
 		return nil
 	}
@@ -87,9 +259,9 @@ func sympleMapFunc[S sym.State, E, R any](q *Query[S, E, R], mu *sync.Mutex, sta
 
 // treeReduceFunc composes a group's summaries as a parallel binary tree
 // and applies the single result to the initial state.
-func treeReduceFunc[S sym.State, E, R any](q *Query[S, E, R], mu *sync.Mutex, results map[string]R) mapreduce.ReduceFunc {
+func treeReduceFunc[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], mu *sync.Mutex, results map[string]R) mapreduce.ReduceFunc {
 	return func(_ int, key string, values []mapreduce.Shuffled) error {
-		sums, err := decodeSummaryBundles[S](q.NewState, values)
+		sums, err := decodeSummaryBundles(sc, values)
 		if err != nil {
 			return err
 		}
@@ -101,6 +273,7 @@ func treeReduceFunc[S sym.State, E, R any](q *Query[S, E, R], mu *sync.Mutex, re
 		if err != nil {
 			return fmt.Errorf("key %q: %w", key, err)
 		}
+		composed.Release()
 		r := q.Result(key, final)
 		mu.Lock()
 		results[key] = r
@@ -109,8 +282,10 @@ func treeReduceFunc[S sym.State, E, R any](q *Query[S, E, R], mu *sync.Mutex, re
 	}
 }
 
-// decodeSummaryBundles decodes the ordered summary bundles of one group.
-func decodeSummaryBundles[S sym.State](newState func() S, values []mapreduce.Shuffled) ([]*sym.Summary[S], error) {
+// decodeSummaryBundles decodes the ordered summary bundles of one group
+// into pooled containers of the run's schema. The caller owns the
+// summaries and releases them once consumed.
+func decodeSummaryBundles[S sym.State](sc *sym.Schema[S], values []mapreduce.Shuffled) ([]*sym.Summary[S], error) {
 	var sums []*sym.Summary[S]
 	for _, v := range values {
 		d := wire.NewDecoder(v.Value)
@@ -119,7 +294,7 @@ func decodeSummaryBundles[S sym.State](newState func() S, values []mapreduce.Shu
 			return nil, err
 		}
 		for i := 0; i < n; i++ {
-			s, err := sym.DecodeSummary(newState, d)
+			s, err := sc.DecodeSummary(d)
 			if err != nil {
 				return nil, err
 			}
@@ -130,7 +305,9 @@ func decodeSummaryBundles[S sym.State](newState func() S, values []mapreduce.Shu
 }
 
 // composeTree reduces ordered summaries pairwise, level by level, with
-// the pairs of each level composed concurrently.
+// the pairs of each level composed concurrently. It consumes its input:
+// every input and intermediate summary except the returned one is
+// released (inputs may leak on error, falling to the GC as before).
 func composeTree[S sym.State](sums []*sym.Summary[S]) (*sym.Summary[S], error) {
 	if len(sums) == 0 {
 		return nil, fmt.Errorf("core: no summaries to compose")
@@ -148,7 +325,12 @@ func composeTree[S sym.State](sums []*sym.Summary[S]) (*sym.Summary[S], error) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				next[i/2], errs[i/2] = level[i].ComposeWith(level[i+1])
+				c, err := level[i].ComposeWith(level[i+1])
+				if err == nil {
+					level[i].Release()
+					level[i+1].Release()
+				}
+				next[i/2], errs[i/2] = c, err
 			}(i)
 		}
 		wg.Wait()

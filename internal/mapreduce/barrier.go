@@ -54,6 +54,7 @@ func (j *Job) runBarrier(conf Config, segments []*Segment) (*Metrics, error) {
 				task: TaskMetrics{
 					Duration:   time.Since(t0),
 					InputBytes: seg.Bytes(),
+					Records:    int64(len(seg.Records)),
 					OutBytes:   outBytes,
 				},
 				err: err,
@@ -133,7 +134,7 @@ func (j *Job) runBarrier(conf Config, segments []*Segment) (*Metrics, error) {
 				}
 				lo = hi
 			}
-			redTasks[p] = TaskMetrics{Duration: time.Since(t0), InputBytes: inBytes}
+			redTasks[p] = TaskMetrics{Duration: time.Since(t0), InputBytes: inBytes, Records: groupCounts[p]}
 		}(p)
 	}
 	rwg.Wait()

@@ -112,6 +112,10 @@ func (c Config) withDefaults() Config {
 type TaskMetrics struct {
 	Duration   time.Duration
 	InputBytes int64
+	// Records counts the task's input: segment records for map tasks,
+	// key groups for reduce tasks. Combined with Duration it yields the
+	// per-task records/sec the symexec experiment reports.
+	Records int64
 	// OutBytes is, for map tasks, the wire bytes destined to each
 	// reducer; for reduce tasks it is nil.
 	OutBytes []int64

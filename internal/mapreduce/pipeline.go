@@ -64,7 +64,7 @@ func (j *Job) runStreaming(conf Config, segments []*Segment) (*Metrics, error) {
 			t0 := time.Now()
 			groups, err := reducePartition(j, p, runs, conf)
 			redOuts[p] = redOut{
-				task:   TaskMetrics{Duration: active + time.Since(t0), InputBytes: inBytes},
+				task:   TaskMetrics{Duration: active + time.Since(t0), InputBytes: inBytes, Records: groups},
 				groups: groups,
 				err:    err,
 			}
@@ -124,6 +124,7 @@ func (j *Job) runStreaming(conf Config, segments []*Segment) (*Metrics, error) {
 				task: TaskMetrics{
 					Duration:   time.Since(t0),
 					InputBytes: seg.Bytes(),
+					Records:    int64(len(seg.Records)),
 					OutBytes:   outBytes,
 				},
 				emitted: emitted,

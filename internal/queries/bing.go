@@ -32,11 +32,12 @@ func B1() *Spec {
 	q := &core.Query[*b1State, int64, []int64]{
 		Name: "B1",
 		GroupBy: func(rec []byte) (string, int64, bool) {
-			ok, valid := data.ParseInt(data.Field(rec, 3))
+			tsRaw, okRaw := data.Field2(rec, 0, 3)
+			ok, valid := data.ParseInt(okRaw)
 			if !valid || ok != 1 {
 				return "", 0, false // only successful queries matter
 			}
-			ts, valid := data.ParseInt(data.Field(rec, 0))
+			ts, valid := data.ParseInt(tsRaw)
 			if !valid {
 				return "", 0, false
 			}
@@ -84,15 +85,16 @@ func B2() *Spec {
 	q := &core.Query[*b2State, int64, int64]{
 		Name: "B2",
 		GroupBy: func(rec []byte) (string, int64, bool) {
-			ok, valid := data.ParseInt(data.Field(rec, 3))
+			tsRaw, geo, okRaw := data.Field3(rec, 0, 2, 3)
+			ok, valid := data.ParseInt(okRaw)
 			if !valid || ok != 1 {
 				return "", 0, false
 			}
-			ts, valid := data.ParseInt(data.Field(rec, 0))
+			ts, valid := data.ParseInt(tsRaw)
 			if !valid {
 				return "", 0, false
 			}
-			return string(data.Field(rec, 2)), ts, true
+			return string(geo), ts, true
 		},
 		NewState: func() *b2State {
 			return &b2State{
@@ -143,11 +145,12 @@ func B3() *Spec {
 	q := &core.Query[*b3State, int64, []int64]{
 		Name: "B3",
 		GroupBy: func(rec []byte) (string, int64, bool) {
-			ts, valid := data.ParseInt(data.Field(rec, 0))
+			tsRaw, user := data.Field2(rec, 0, 1)
+			ts, valid := data.ParseInt(tsRaw)
 			if !valid {
 				return "", 0, false
 			}
-			return string(data.Field(rec, 1)), ts, true
+			return string(user), ts, true
 		},
 		NewState: func() *b3State {
 			return &b3State{

@@ -26,11 +26,12 @@ func G1() *Spec {
 	q := &core.Query[*g1State, int64, bool]{
 		Name: "G1",
 		GroupBy: func(rec []byte) (string, int64, bool) {
-			op := data.GithubOpFromName(data.Field(rec, 2))
+			repo, opName := data.Field2(rec, 1, 2)
+			op := data.GithubOpFromName(opName)
 			if op < 0 {
 				return "", 0, false
 			}
-			return string(data.Field(rec, 1)), int64(op), true
+			return string(repo), int64(op), true
 		},
 		NewState: func() *g1State { return &g1State{OnlyPush: sym.NewSymBool(true)} },
 		Update: func(_ *sym.Ctx, s *g1State, op int64) {
@@ -71,11 +72,12 @@ func G2() *Spec {
 	q := &core.Query[*g2State, int64, []int64]{
 		Name: "G2",
 		GroupBy: func(rec []byte) (string, int64, bool) {
-			op := data.GithubOpFromName(data.Field(rec, 2))
+			repo, opName := data.Field2(rec, 1, 2)
+			op := data.GithubOpFromName(opName)
 			if op < 0 {
 				return "", 0, false
 			}
-			return string(data.Field(rec, 1)), int64(op), true
+			return string(repo), int64(op), true
 		},
 		NewState: func() *g2State {
 			return &g2State{Prev: sym.NewSymEnum(data.NumGithubOps+1, g2Sentinel)}
@@ -127,11 +129,12 @@ func G3() *Spec {
 	q := &core.Query[*g3State, int64, []int64]{
 		Name: "G3",
 		GroupBy: func(rec []byte) (string, int64, bool) {
-			op := data.GithubOpFromName(data.Field(rec, 2))
+			repo, opName := data.Field2(rec, 1, 2)
+			op := data.GithubOpFromName(opName)
 			if op < 0 {
 				return "", 0, false
 			}
-			return string(data.Field(rec, 1)), int64(op), true
+			return string(repo), int64(op), true
 		},
 		NewState: func() *g3State {
 			return &g3State{InPull: sym.NewSymBool(false), Count: sym.NewSymInt(0)}
@@ -189,15 +192,16 @@ func G4() *Spec {
 	q := &core.Query[*g4State, g4Event, []int64]{
 		Name: "G4",
 		GroupBy: func(rec []byte) (string, g4Event, bool) {
-			op := data.GithubOpFromName(data.Field(rec, 2))
+			tsRaw, repo, opName := data.Field3(rec, 0, 1, 2)
+			op := data.GithubOpFromName(opName)
 			if op != data.OpBranchCreate && op != data.OpBranchDelete {
 				return "", g4Event{}, false
 			}
-			ts, ok := data.ParseInt(data.Field(rec, 0))
+			ts, ok := data.ParseInt(tsRaw)
 			if !ok {
 				return "", g4Event{}, false
 			}
-			return string(data.Field(rec, 1)), g4Event{Op: int64(op), Ts: ts}, true
+			return string(repo), g4Event{Op: int64(op), Ts: ts}, true
 		},
 		NewState: func() *g4State {
 			return &g4State{Deleted: sym.NewSymBool(false), DelTs: sym.NewSymInt(0)}

@@ -70,11 +70,12 @@ func R2() *Spec {
 	q := &core.Query[*r2State, int64, string]{
 		Name: "R2",
 		GroupBy: func(rec []byte) (string, int64, bool) {
-			cc := data.CountryIndex(data.Field(rec, 3))
+			adv, country := data.Field2(rec, 1, 3)
+			cc := data.CountryIndex(country)
 			if cc < 0 {
 				return "", 0, false
 			}
-			return string(data.Field(rec, 1)), int64(cc), true
+			return string(adv), int64(cc), true
 		},
 		NewState: func() *r2State {
 			return &r2State{
@@ -134,11 +135,12 @@ func R3() *Spec {
 	q := &core.Query[*r3State, int64, []int64]{
 		Name: "R3",
 		GroupBy: func(rec []byte) (string, int64, bool) {
-			t, err := time.Parse(redshiftLayout, string(data.Field(rec, 0)))
+			dt, adv := data.Field2(rec, 0, 1)
+			t, err := time.Parse(redshiftLayout, string(dt))
 			if err != nil {
 				return "", 0, false
 			}
-			return string(data.Field(rec, 1)), t.Unix(), true
+			return string(adv), t.Unix(), true
 		},
 		NewState: func() *r3State { return &r3State{LastTs: sym.NewSymInt(farFuture)} },
 		Update: func(ctx *sym.Ctx, s *r3State, ts int64) {
@@ -182,11 +184,12 @@ func R4() *Spec {
 	q := &core.Query[*r4State, int64, []int64]{
 		Name: "R4",
 		GroupBy: func(rec []byte) (string, int64, bool) {
-			c := data.CampaignIndex(data.Field(rec, 2))
+			adv, camp := data.Field2(rec, 1, 2)
+			c := data.CampaignIndex(camp)
 			if c < 0 {
 				return "", 0, false
 			}
-			return string(data.Field(rec, 1)), int64(c), true
+			return string(adv), int64(c), true
 		},
 		NewState: func() *r4State {
 			return &r4State{

@@ -52,6 +52,11 @@ type Spec struct {
 	// engine options (for the merging / path-cap ablations). Not safe to
 	// call concurrently with the other runners.
 	SympleWithOptions func(segs []*mapreduce.Segment, conf mapreduce.Config, opts sym.Options) (*Run, error)
+
+	// SympleOpts runs the SYMPLE engine with explicit runtime options
+	// (memoization, intra-mapper parallelism, combiner, tree reduce,
+	// seed-executor baseline).
+	SympleOpts func(segs []*mapreduce.Segment, conf mapreduce.Config, opt core.SympleOptions) (*Run, error)
 }
 
 // SymTypesString renders the Table 1 "Sym Types Used" cell.
@@ -124,6 +129,9 @@ func makeSpec[S sym.State, E, R any](
 			q.Options = opts
 			defer func() { q.Options = saved }()
 			return wrap(core.RunSymple(q, segs, conf))
+		},
+		SympleOpts: func(segs []*mapreduce.Segment, conf mapreduce.Config, opt core.SympleOptions) (*Run, error) {
+			return wrap(core.RunSympleOpts(q, segs, conf, opt))
 		},
 	}
 }

@@ -32,11 +32,12 @@ func T1() *Spec {
 	q := &core.Query[*t1State, int64, []int64]{
 		Name: "T1",
 		GroupBy: func(rec []byte) (string, int64, bool) {
-			spam, valid := data.ParseInt(data.Field(rec, 3))
+			tag, spamRaw := data.Field2(rec, 1, 3)
+			spam, valid := data.ParseInt(spamRaw)
 			if !valid || (spam != 0 && spam != 1) {
 				return "", 0, false
 			}
-			return string(data.Field(rec, 1)), spam, true
+			return string(tag), spam, true
 		},
 		NewState: func() *t1State {
 			return &t1State{

@@ -95,6 +95,36 @@ func BenchmarkEngineFeedSessionPred(b *testing.B) {
 	}
 }
 
+// BenchmarkSymExec is the symexec hot-loop benchmark the CI smoke
+// tracks: the per-record cost of the seed engine vs the compiled-schema
+// engine, bare and memoized, on the max UDA over a skewed event stream.
+func BenchmarkSymExec(b *testing.B) {
+	feedLoop := func(b *testing.B, x interface {
+		Feed(int64) error
+	}) {
+		b.Helper()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := x.Feed(int64(i % 512)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("seed", func(b *testing.B) {
+		feedLoop(b, NewSeedExecutor(newIntState(math.MinInt64), maxUpdate, DefaultOptions()))
+	})
+	b.Run("fast", func(b *testing.B) {
+		feedLoop(b, NewExecutor(newIntState(math.MinInt64), maxUpdate, DefaultOptions()))
+	})
+	b.Run("memo", func(b *testing.B) {
+		sc := newSchema(newIntState(math.MinInt64))
+		x := NewSchemaExecutor(sc, maxUpdate, DefaultOptions()).
+			WithMemo(NewMemo[*intState, int64](sc, DefaultMemoSize))
+		feedLoop(b, x)
+	})
+}
+
 func BenchmarkSummaryEncode(b *testing.B) {
 	x := NewExecutor(newFunnelState, funnelUpdate, DefaultOptions())
 	for i := 0; i < 200; i++ {

@@ -38,10 +38,16 @@ func (o Options) withDefaults() Options {
 // Stats counts the work an Executor performed.
 type Stats struct {
 	Records  int // records fed
-	Runs     int // Update invocations (≥ Records; the symbolic overhead)
+	Runs     int // Update invocations (≥ Records when unmemoized; the symbolic overhead)
 	MaxLive  int // peak live paths after merging
 	Merges   int // path pairs merged
 	Restarts int // summaries emitted due to the live-path cap
+	// MemoHits counts records folded through a cached record-transition
+	// summary instead of path exploration; MemoMisses counts records
+	// that had to explore (first sighting, eviction, or a record whose
+	// transition cannot be cached). Both stay zero without a memo.
+	MemoHits   int
+	MemoMisses int
 }
 
 // Executor runs a UDA's Update function over a stream of records,
@@ -49,27 +55,57 @@ type Stats struct {
 // incremented choice vector (paper §5.1) and maintaining the set of live
 // paths that constitutes the symbolic summary so far.
 //
+// The executor is driven by a compiled Schema: path states live in
+// pooled containers whose field slices are captured once, so the
+// per-record clone/merge/compose work runs with zero State.Fields calls
+// and no steady-state allocation. With a Memo attached (WithMemo),
+// records whose transition summary is already cached skip exploration
+// entirely and fold into every live path via summary composition
+// (§3.6) — byte-identical to direct exploration, pinned by the
+// seed-equivalence tests against SeedExecutor.
+//
 // The zero Executor is not usable; construct with NewExecutor (symbolic
-// start, for mappers) or NewConcreteExecutor (concrete start, for the
-// sequential baseline and single-chunk runs).
+// start, for mappers), NewConcreteExecutor (concrete start, for the
+// sequential baseline), or NewSchemaExecutor (symbolic start sharing a
+// schema across the executors of one mapper).
 type Executor[S State, E any] struct {
-	newState func() S
-	update   func(*Ctx, S, E)
-	opts     Options
-	ctx      Ctx
-	paths    []S
-	scratch  []S // recycled backing array for the next-paths slice
-	pool     []S // retired states recycled for clones (allocation-free hot path)
+	sc      *Schema[S]
+	update  func(*Ctx, S, E)
+	opts    Options
+	ctx     Ctx
+	paths   []*pathState[S]
+	scratch []*pathState[S] // recycled backing array for the next-paths slice
+	memo    *Memo[S, E]
+	senv    SymEnv // reused scratch for memo-fold composition
+	// noForkRun counts consecutive records whose processing produced no
+	// fork (every live path advanced to exactly one successor, whether by
+	// exploration or by memo composition — the two are byte-identical, so
+	// either observation is valid). Once the streak reaches
+	// memoQuietStreak the memo is bypassed: on a non-forking stream a
+	// single direct Update run is strictly cheaper than cloning and
+	// composing a cached transition, and even the cache lookup is pure
+	// overhead. Any fork resets the streak and re-engages the memo.
+	noForkRun int
+	// spare is a one-container cache in front of the schema pool. The
+	// dominant record shape retires exactly one container (the replaced
+	// path) and clones exactly one (its successor); handing the retired
+	// container straight to the next clone skips two sync.Pool crossings
+	// per record.
+	spare *pathState[S]
 	// fastConcrete caches "exactly one live path and it is fully
 	// concrete". Concreteness is monotone within a path (no operation
 	// reintroduces symbolic state; only a restart does), so once set the
-	// per-record Fields walk is skipped entirely — the native-speed
+	// per-record field walk is skipped entirely — the native-speed
 	// execution mode of a bound state (paper §4.1).
 	fastConcrete bool
 	done         []*Summary[S]
 	maxSeen      int
 	err          error
 	stats        Stats
+	// handedOff marks that Finish has transferred ownership of the
+	// current path containers to the returned summary, so Reset must
+	// drop them instead of recycling them.
+	handedOff bool
 }
 
 // NewExecutor returns an executor starting from a fresh symbolic state:
@@ -77,12 +113,19 @@ type Executor[S State, E any] struct {
 // receive. newState must return the user's initial aggregation state (its
 // concrete values are ignored here but used by summary application).
 func NewExecutor[S State, E any](newState func() S, update func(*Ctx, S, E), opts Options) *Executor[S, E] {
+	return NewSchemaExecutor(newSchema(newState), update, opts)
+}
+
+// NewSchemaExecutor is NewExecutor over a shared compiled schema: the
+// form mappers use, so every per-key executor of a map task draws from
+// one path-state pool and one field plan.
+func NewSchemaExecutor[S State, E any](sc *Schema[S], update func(*Ctx, S, E), opts Options) *Executor[S, E] {
 	x := &Executor[S, E]{
-		newState: newState,
-		update:   update,
-		opts:     opts.withDefaults(),
+		sc:     sc,
+		update: update,
+		opts:   opts.withDefaults(),
 	}
-	x.paths = []S{freshSymbolic(newState)}
+	x.paths = []*pathState[S]{sc.fresh()}
 	x.maxSeen = 1
 	x.stats.MaxLive = 1
 	return x
@@ -94,15 +137,30 @@ func NewExecutor[S State, E any](newState func() S, update func(*Ctx, S, E), opt
 // the same code path, used as the correctness oracle and the Sequential
 // baseline.
 func NewConcreteExecutor[S State, E any](newState func() S, update func(*Ctx, S, E), opts Options) *Executor[S, E] {
+	sc := newSchema(newState)
 	x := &Executor[S, E]{
-		newState: newState,
-		update:   update,
-		opts:     opts.withDefaults(),
+		sc:     sc,
+		update: update,
+		opts:   opts.withDefaults(),
 	}
-	x.paths = []S{newState()}
+	x.paths = []*pathState[S]{wrapState(sc.newState())}
 	x.maxSeen = 1
 	x.stats.MaxLive = 1
-	x.fastConcrete = allConcrete(x.paths[0])
+	x.fastConcrete = allConcreteFields(x.paths[0].fs)
+	return x
+}
+
+// WithMemo attaches a record-transition memo, which must have been built
+// over the same schema the executor runs on. It returns the executor for
+// chaining. Call before the first Feed.
+func (x *Executor[S, E]) WithMemo(m *Memo[S, E]) *Executor[S, E] {
+	if m == nil {
+		return x
+	}
+	if m.sc != x.sc {
+		panic("sym: memo schema does not match executor schema")
+	}
+	x.memo = m
 	return x
 }
 
@@ -126,45 +184,72 @@ func (x *Executor[S, E]) Feed(rec E) (err error) {
 	return nil
 }
 
+// FeedAll processes a batch of records with a single panic barrier and
+// no per-record interface indirection: the form the mapper's batched
+// per-key loop uses. Equivalent to calling Feed on each record.
+func (x *Executor[S, E]) FeedAll(recs []E) (err error) {
+	if x.err != nil {
+		return x.err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			f, ok := r.(failure)
+			if !ok {
+				panic(r)
+			}
+			x.err = f.err
+			err = f.err
+		}
+	}()
+	for _, rec := range recs {
+		x.feed(rec)
+	}
+	return nil
+}
+
 func (x *Executor[S, E]) feed(rec E) {
 	x.stats.Records++
 	if x.fastConcrete {
 		x.ctx.reset()
 		x.ctx.begin()
 		x.stats.Runs++
-		x.update(&x.ctx, x.paths[0], rec)
+		x.update(&x.ctx, x.paths[0].s, rec)
 		return
+	}
+	var tr *transition[S]
+	if x.memo != nil && x.memo.active() && x.noForkRun < memoQuietStreak {
+		tr = x.lookupTransition(rec)
 	}
 	next := x.scratch[:0]
 	for _, p := range x.paths {
-		if allConcrete(p) {
+		if allConcreteFields(p.fs) {
 			// Fast path: no field depends on symbolic input, so Update
 			// cannot fork and may run in place without cloning.
 			x.ctx.reset()
 			x.ctx.begin()
 			x.stats.Runs++
-			x.update(&x.ctx, p, rec)
+			x.update(&x.ctx, p.s, rec)
 			next = append(next, p)
 			continue
 		}
-		x.ctx.reset()
-		for {
-			x.ctx.begin()
-			x.stats.Runs++
-			if x.ctx.runs > x.opts.MaxRunsPerRecord {
-				fail(ErrPathExplosion)
-			}
-			run := x.clone(p)
-			x.update(&x.ctx, run, rec)
-			next = append(next, run)
-			if !x.ctx.advance() {
-				break
+		if tr != nil {
+			var ok bool
+			next, ok = x.composeOnto(next, p, tr)
+			if ok {
+				x.sc.put(p)
+				continue
 			}
 		}
+		next = x.explore(next, p, rec)
 		// p was replaced by its clones and is never referenced again;
 		// recycle it. Sharing through CopyFrom is pointer-level and
 		// copy-on-append, so reuse cannot alias live paths.
-		x.pool = append(x.pool, p)
+		x.recycle(p)
+	}
+	if len(next) > len(x.paths) {
+		x.noForkRun = 0
+	} else if x.noForkRun < memoQuietStreak {
+		x.noForkRun++
 	}
 	x.scratch = x.paths
 	x.paths = next
@@ -174,7 +259,7 @@ func (x *Executor[S, E]) feed(rec E) {
 	if len(x.paths) > x.maxSeen {
 		if !x.opts.DisableMerging {
 			var m int
-			x.paths, m = mergeAll(x.paths)
+			x.paths, m = mergePathStates(x.sc, x.paths)
 			x.stats.Merges += m
 		}
 		if len(x.paths) > x.maxSeen {
@@ -185,31 +270,157 @@ func (x *Executor[S, E]) feed(rec E) {
 		}
 	}
 	if len(x.paths) > x.opts.MaxLivePaths {
-		x.done = append(x.done, &Summary[S]{paths: x.paths, newState: x.newState})
-		x.paths = []S{freshSymbolic(x.newState)}
+		x.done = append(x.done, &Summary[S]{ps: x.paths, newState: x.sc.newState, sc: x.sc})
+		x.paths = []*pathState[S]{x.sc.fresh()}
 		x.maxSeen = 1
 		x.stats.Restarts++
 	}
-	x.fastConcrete = len(x.paths) == 1 && allConcrete(x.paths[0])
+	x.fastConcrete = len(x.paths) == 1 && allConcreteFields(x.paths[0].fs)
 }
 
-// clone deep-copies src into a pooled or fresh state.
-func (x *Executor[S, E]) clone(src S) S {
-	var dst S
-	if n := len(x.pool); n > 0 {
-		dst = x.pool[n-1]
-		x.pool = x.pool[:n-1]
+// explore runs the seed exploration loop for one symbolic path: one
+// Update invocation per feasible choice vector, each on a pooled clone.
+func (x *Executor[S, E]) explore(next []*pathState[S], p *pathState[S], rec E) []*pathState[S] {
+	x.ctx.reset()
+	for {
+		x.ctx.begin()
+		x.stats.Runs++
+		if x.ctx.runs > x.opts.MaxRunsPerRecord {
+			fail(ErrPathExplosion)
+		}
+		run := x.cloneOf(p)
+		x.update(&x.ctx, run.s, rec)
+		next = append(next, run)
+		if !x.ctx.advance() {
+			break
+		}
+	}
+	return next
+}
+
+// cloneOf deep-copies p into the spare container when one is held,
+// falling back to the schema pool.
+func (x *Executor[S, E]) cloneOf(p *pathState[S]) *pathState[S] {
+	sp := x.spare
+	if sp == nil {
+		return x.sc.cloneOf(p)
+	}
+	x.spare = nil
+	for i, f := range sp.fs {
+		f.CopyFrom(p.fs[i])
+	}
+	return sp
+}
+
+// recycle retires a container to the spare slot, overflowing to the
+// schema pool. Ownership rules are identical to sc.put: the container
+// must not be referenced by any live path.
+func (x *Executor[S, E]) recycle(p *pathState[S]) {
+	if x.spare == nil {
+		x.spare = p
+		return
+	}
+	x.sc.put(p)
+}
+
+// lookupTransition returns the record's cached transition summary,
+// building and caching it on first sight. nil means the record cannot be
+// folded through the memo (its transition failed to build) and must be
+// explored directly.
+func (x *Executor[S, E]) lookupTransition(rec E) *transition[S] {
+	tr, cached := x.memo.get(rec)
+	if !cached {
+		x.stats.MemoMisses++
+		if !x.memo.admit() {
+			return nil
+		}
+		tr = x.buildTransition(rec)
+		x.memo.add(rec, tr)
+		return tr
+	}
+	if tr != nil {
+		x.stats.MemoHits++
 	} else {
-		dst = x.newState()
+		x.stats.MemoMisses++
 	}
-	df, sf := dst.Fields(), src.Fields()
-	if len(df) != len(sf) {
-		fail(ErrStateMismatch)
+	return tr
+}
+
+// buildTransition explores the record once from a fresh symbolic state,
+// producing the record's transition summary T_rec: the map from any
+// pre-record state to the post-record state. Folding T_rec onto a live
+// path by composition is byte-identical to exploring the record from
+// that path (the decision procedures are exact, compositions are exact,
+// and filtering the fresh-state path enumeration by feasibility against
+// the live path preserves the lexicographic order the direct exploration
+// would produce).
+//
+// Exploration from an unconstrained state can fail where direct
+// exploration would not — more branches are feasible, so the
+// MaxRunsPerRecord cap bites earlier, and user code may read a value
+// that only the live path binds. Any such failure is swallowed here and
+// the record reported as non-memoizable (nil).
+func (x *Executor[S, E]) buildTransition(rec E) (tr *transition[S]) {
+	var built []*pathState[S]
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(failure); !ok {
+				panic(r)
+			}
+			for _, t := range built {
+				x.sc.put(t)
+			}
+			tr = nil
+		}
+	}()
+	base := x.sc.fresh()
+	built = x.explore(built[:0], base, rec)
+	x.sc.put(base)
+	return &transition[S]{ps: built}
+}
+
+// composeOnto folds the cached transition onto live path p: each
+// transition path is cloned from the pool and composed after p,
+// infeasible combinations dropped (paper §3.6). On any composition
+// failure (e.g. transfer-coefficient overflow that direct execution on
+// p's concrete values would not hit) it unwinds and reports ok=false so
+// the caller falls back to direct exploration; p is never mutated.
+func (x *Executor[S, E]) composeOnto(next []*pathState[S], p *pathState[S], tr *transition[S]) (out []*pathState[S], ok bool) {
+	base := len(next)
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isFailure := r.(failure); !isFailure {
+				panic(r)
+			}
+			for _, c := range next[base:] {
+				x.sc.put(c)
+			}
+			out, ok = next[:base], false
+		}
+	}()
+	x.sc.captureSymEnv(&x.senv, p.fs)
+	for _, t := range tr.ps {
+		cand := x.sc.cloneOf(t)
+		feasible := true
+		for i, f := range cand.fs {
+			if !f.ComposeAfter(p.fs[i], &x.senv) {
+				feasible = false
+				break
+			}
+		}
+		if feasible {
+			next = append(next, cand)
+		} else {
+			x.sc.put(cand)
+		}
 	}
-	for i := range df {
-		df[i].CopyFrom(sf[i])
+	if len(next) == base {
+		// A valid transition partitions the state space, so some path
+		// must admit p; reaching here means the composition could not
+		// represent the combination. Fall back to direct exploration.
+		return next, false
 	}
-	return dst
+	return next, true
 }
 
 // Finish returns the ordered symbolic summaries for everything fed so
@@ -219,10 +430,45 @@ func (x *Executor[S, E]) Finish() ([]*Summary[S], error) {
 	if x.err != nil {
 		return nil, x.err
 	}
+	if x.spare != nil {
+		x.sc.put(x.spare)
+		x.spare = nil
+	}
 	out := make([]*Summary[S], 0, len(x.done)+1)
 	out = append(out, x.done...)
-	out = append(out, &Summary[S]{paths: x.paths, newState: x.newState})
+	// The summary gets its own exact-size path list: the executor keeps
+	// the working slice's backing array for reuse after Reset.
+	ps := make([]*pathState[S], len(x.paths))
+	copy(ps, x.paths)
+	out = append(out, &Summary[S]{ps: ps, newState: x.sc.newState, sc: x.sc})
+	x.handedOff = true
 	return out, nil
+}
+
+// Reset returns the executor to a fresh symbolic start for a new input
+// stream, retaining its schema, memo, options, scratch buffers and
+// cumulative Stats. One resettable executor can serve every group of a
+// map chunk in turn — for high-cardinality queries the per-group
+// constructor cost, not the per-record cost, dominated the mapper's
+// symbolic-execution profile. Path containers not handed off by Finish
+// are recycled.
+func (x *Executor[S, E]) Reset() {
+	x.err = nil
+	if x.handedOff {
+		x.handedOff = false
+	} else {
+		for _, p := range x.paths {
+			x.sc.put(p)
+		}
+	}
+	x.done = x.done[:0]
+	x.paths = append(x.paths[:0], x.sc.fresh())
+	x.maxSeen = 1
+	x.fastConcrete = false
+	// noForkRun deliberately survives Reset: forking behavior is a
+	// property of the query's Update function and event mix, not of the
+	// group, so a quiet streak learned on one group's stream carries to
+	// the next. Any fork still re-engages the memo immediately.
 }
 
 // ConcreteState returns the single live state of a concrete execution.
@@ -232,11 +478,11 @@ func (x *Executor[S, E]) ConcreteState() (S, error) {
 	if x.err != nil {
 		return zero, x.err
 	}
-	if len(x.done) != 0 || len(x.paths) != 1 || !allConcrete(x.paths[0]) {
+	if len(x.done) != 0 || len(x.paths) != 1 || !allConcreteFields(x.paths[0].fs) {
 		return zero, fmt.Errorf("sym: executor state is symbolic (%d summaries, %d paths)",
 			len(x.done), len(x.paths))
 	}
-	return x.paths[0], nil
+	return x.paths[0].s, nil
 }
 
 // Stats returns the executor's work counters.

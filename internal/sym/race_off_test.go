@@ -1,0 +1,5 @@
+//go:build !race
+
+package sym
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package sym
+
+// raceEnabled lets pool-bound assertions stand down under the race
+// detector, where sync.Pool deliberately drops a fraction of Puts.
+const raceEnabled = true

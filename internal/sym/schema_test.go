@@ -1,0 +1,136 @@
+package sym
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSchemaCompilesFieldPlan(t *testing.T) {
+	sc, err := NewSchema(newPredState)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NumFields() != 3 {
+		t.Fatalf("NumFields = %d, want 3", sc.NumFields())
+	}
+	// The plan must classify fields once: SymInt is a scalar input with a
+	// scalar transfer; SymPred (black-box predicate) and SymIntVector are
+	// neither.
+	wantIn := []bool{false, true, false}
+	wantTr := []bool{false, true, false}
+	for i := 0; i < sc.NumFields(); i++ {
+		if sc.scalarIn[i] != wantIn[i] || sc.scalarTr[i] != wantTr[i] {
+			t.Fatalf("field %d: scalarIn=%v scalarTr=%v, want %v/%v",
+				i, sc.scalarIn[i], sc.scalarTr[i], wantIn[i], wantTr[i])
+		}
+	}
+}
+
+func TestSchemaPoolRoundTrip(t *testing.T) {
+	sc := newSchema(newIntState(5))
+	p := sc.get()
+	if len(p.fs) != 1 {
+		t.Fatalf("container has %d fields, want 1", len(p.fs))
+	}
+	p.s.V.Set(42)
+	c := sc.cloneOf(p)
+	if c.s.V.Get() != 42 {
+		t.Fatalf("clone value %d, want 42", c.s.V.Get())
+	}
+	c.s.V.Set(7)
+	if p.s.V.Get() != 42 {
+		t.Fatal("clone aliases its source")
+	}
+	f := sc.fresh()
+	if allConcreteFields(f.fs) {
+		t.Fatal("fresh container not reset to symbolic")
+	}
+	sc.put(p)
+	sc.put(c)
+	sc.put(f)
+}
+
+// TestSchemaPoolBoundedAcrossRuns: repeated executor runs over one
+// schema must recycle containers through the pool rather than allocate
+// per run.
+func TestSchemaPoolBoundedAcrossRuns(t *testing.T) {
+	sc := newSchema(newIntState(math.MinInt64))
+	run := func() {
+		x := NewSchemaExecutor(sc, maxUpdate, DefaultOptions())
+		for i := 0; i < 300; i++ {
+			if err := x.Feed(int64(i % 37)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sums, err := x.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range sums {
+			s.Release()
+		}
+	}
+	run()
+	after := sc.Allocated()
+	for i := 0; i < 100; i++ {
+		run()
+	}
+	if raceEnabled {
+		// The race detector makes sync.Pool drop Puts on purpose; the
+		// recycling bound only holds without it.
+		return
+	}
+	if grew := sc.Allocated() - after; grew > after*10 {
+		t.Fatalf("pool not recycling: %d containers after first run, %d more after 100 runs",
+			after, grew)
+	}
+}
+
+// TestStreamComposerBoundedLiveMemory is the regression test for the
+// composer releasing composed-out summaries: folding a long
+// out-of-order stream of chunks through one schema must keep the number
+// of live containers bounded — each chunk's summaries return to the
+// pool as they fold, instead of accumulating for the GC.
+func TestStreamComposerBoundedLiveMemory(t *testing.T) {
+	sc := newSchema(newIntState(math.MinInt64))
+	chunkSummaries := func(lo int64) []*Summary[*intState] {
+		x := NewSchemaExecutor(sc, maxUpdate, DefaultOptions())
+		for i := int64(0); i < 20; i++ {
+			if err := x.Feed(lo + i%13); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sums, err := x.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sums
+	}
+	c := NewStreamComposerSchema(sc)
+	const chunks = 400
+	// Deliver each adjacent pair out of order (1,0),(3,2),...: the
+	// composer always holds at most one pending chunk while the folded
+	// prefix keeps advancing.
+	for i := 0; i < chunks; i += 2 {
+		if _, err := c.Add(i+1, chunkSummaries(int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Add(i, chunkSummaries(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state, folded := c.Prefix()
+	if folded != chunks {
+		t.Fatalf("folded %d/%d chunks", folded, chunks)
+	}
+	if want := int64(chunks - 1 + 12); state.V.Get() != want {
+		t.Fatalf("prefix max = %d, want %d", state.V.Get(), want)
+	}
+	// The bound: live containers stay O(paths per chunk), not O(chunks).
+	// 400 chunks × ≥2 paths each would exceed 800 allocations if folded
+	// summaries leaked instead of returning to the pool. (Skipped under
+	// the race detector, which makes sync.Pool drop Puts on purpose.)
+	if got := sc.Allocated(); !raceEnabled && got > 200 {
+		t.Fatalf("allocated %d containers across %d chunks — composer leaks summaries", got, chunks)
+	}
+}

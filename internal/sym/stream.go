@@ -13,28 +13,43 @@ import (
 // ad-hoc querying"): results tighten as chunks land, without waiting for
 // a full barrier before composing.
 //
+// The composer takes ownership of the summaries handed to Add: once a
+// chunk folds into the prefix, its summaries' path states are released
+// back to the schema pool (and the superseded prefix state recycled), so
+// a long stream holds live memory proportional to the out-of-order
+// window, not to the number of chunks folded. Summaries still pending
+// behind a gap are retained untouched until they fold.
+//
 // Chunks are identified by a dense sequence number starting at 0 (e.g.
 // the (mapperID, recordID) order already used by the shuffle, flattened).
 // Add is not safe for concurrent use; wrap with a lock if needed.
 type StreamComposer[S State] struct {
-	newState func() S
-	state    S   // composed through chunks [0, next)
-	next     int // first missing sequence number
-	pending  map[int][]*Summary[S]
+	sc      *Schema[S]
+	state   *pathState[S] // composed through chunks [0, next)
+	next    int           // first missing sequence number
+	pending map[int][]*Summary[S]
 }
 
 // NewStreamComposer starts a composer from the initial concrete state.
 func NewStreamComposer[S State](newState func() S) *StreamComposer[S] {
+	return NewStreamComposerSchema(newSchema(newState))
+}
+
+// NewStreamComposerSchema starts a composer whose recycled states
+// circulate through sc's pool — share the schema of the executors that
+// produce the summaries so the whole stream runs on one arena.
+func NewStreamComposerSchema[S State](sc *Schema[S]) *StreamComposer[S] {
 	return &StreamComposer[S]{
-		newState: newState,
-		state:    newState(),
-		pending:  map[int][]*Summary[S]{},
+		sc:      sc,
+		state:   wrapState(sc.newState()),
+		pending: map[int][]*Summary[S]{},
 	}
 }
 
-// Add delivers the ordered summaries of chunk seq. It returns the number
-// of chunks newly folded into the prefix state (0 if seq leaves a gap).
-// Delivering the same sequence number twice is an error.
+// Add delivers the ordered summaries of chunk seq, taking ownership of
+// them. It returns the number of chunks newly folded into the prefix
+// state (0 if seq leaves a gap). Delivering the same sequence number
+// twice is an error.
 func (c *StreamComposer[S]) Add(seq int, sums []*Summary[S]) (int, error) {
 	if seq < c.next {
 		return 0, fmt.Errorf("sym: chunk %d already composed", seq)
@@ -49,12 +64,32 @@ func (c *StreamComposer[S]) Add(seq int, sums []*Summary[S]) (int, error) {
 		if !ok {
 			break
 		}
-		next, err := ApplyAll(c.state, sums)
-		if err != nil {
-			return folded, fmt.Errorf("sym: folding chunk %d: %w", c.next, err)
+		// Apply the chunk onto a working copy so an error leaves the
+		// prefix state untouched, then retire the superseded state and
+		// the consumed summaries to the pool.
+		cur := c.state
+		for i, s := range sums {
+			nxt, err := s.applyPS(cur)
+			if err != nil {
+				if cur != c.state {
+					c.sc.put(cur)
+				}
+				return folded, fmt.Errorf("sym: folding chunk %d summary %d/%d: %w",
+					c.next, i+1, len(sums), err)
+			}
+			if cur != c.state {
+				c.sc.put(cur)
+			}
+			cur = nxt
+		}
+		if cur != c.state {
+			c.sc.put(c.state)
+			c.state = cur
+		}
+		for _, s := range sums {
+			s.Release()
 		}
 		delete(c.pending, c.next)
-		c.state = next
 		c.next++
 		folded++
 	}
@@ -62,9 +97,10 @@ func (c *StreamComposer[S]) Add(seq int, sums []*Summary[S]) (int, error) {
 }
 
 // Prefix returns the state composed through the contiguous prefix and
-// the number of chunks it covers. The state must not be mutated.
+// the number of chunks it covers. The state must not be mutated and is
+// invalidated by the next Add that folds a chunk.
 func (c *StreamComposer[S]) Prefix() (S, int) {
-	return c.state, c.next
+	return c.state.s, c.next
 }
 
 // Pending returns the sequence numbers received but not yet foldable
@@ -78,14 +114,13 @@ func (c *StreamComposer[S]) Pending() []int {
 	return out
 }
 
-// Speculate returns the state that would result if the pending chunks
-// directly after the prefix gap-free region were... composed through
-// every received chunk in sequence order, skipping gaps. It answers
-// "what does the result look like so far" for interactive consumption;
-// the answer is exact once Pending is empty. The prefix state is not
+// Speculate returns the state composed through every received chunk in
+// sequence order, skipping gaps. It answers "what does the result look
+// like so far" for interactive consumption; the answer is exact once
+// Pending is empty. The prefix state and pending summaries are not
 // affected.
 func (c *StreamComposer[S]) Speculate() (S, error) {
-	cur := c.state
+	cur := c.state.s
 	for _, seq := range c.Pending() {
 		next, err := ApplyAll(cur, c.pending[seq])
 		if err != nil {

@@ -86,18 +86,19 @@ func TestStreamComposerOutOfOrder(t *testing.T) {
 }
 
 func TestStreamComposerRejectsDuplicates(t *testing.T) {
+	// Add takes ownership of the summaries it folds, so every delivery
+	// gets its own freshly built list.
 	c := NewStreamComposer(newIntState(math.MinInt64))
-	sums := maxChunkSummaries(t, []int64{1})
-	if _, err := c.Add(1, sums); err != nil {
+	if _, err := c.Add(1, maxChunkSummaries(t, []int64{1})); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Add(1, sums); err == nil {
+	if _, err := c.Add(1, maxChunkSummaries(t, []int64{1})); err == nil {
 		t.Fatal("duplicate pending accepted")
 	}
-	if _, err := c.Add(0, sums); err != nil {
+	if _, err := c.Add(0, maxChunkSummaries(t, []int64{1})); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Add(0, sums); err == nil {
+	if _, err := c.Add(0, maxChunkSummaries(t, []int64{1})); err == nil {
 		t.Fatal("already-composed chunk accepted")
 	}
 }

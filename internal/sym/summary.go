@@ -13,22 +13,56 @@ import (
 // function producing the final state (paper §3.2). A valid summary's path
 // constraints partition the initial-state space, so applying a summary to
 // any concrete state selects exactly one path.
+//
+// Paths are held in schema containers. A summary produced by an Executor
+// carries its schema, which lets Apply, ComposeWith and Encode run off
+// the captured field slices with pooled scratch, and lets Release return
+// the containers once the summary is consumed. Summaries built by
+// NewSummary or DecodeSummary have no schema and fall back to the
+// allocating paths.
 type Summary[S State] struct {
-	paths    []S
+	ps       []*pathState[S]
 	newState func() S
+	sc       *Schema[S] // nil for schemaless summaries
 }
 
 // NewSummary builds a summary from explored paths. Intended for tests and
 // extensions; executors produce summaries via Finish.
 func NewSummary[S State](newState func() S, paths []S) *Summary[S] {
-	return &Summary[S]{paths: paths, newState: newState}
+	ps := make([]*pathState[S], len(paths))
+	for i, p := range paths {
+		ps[i] = wrapState(p)
+	}
+	return &Summary[S]{ps: ps, newState: newState}
 }
 
 // NumPaths returns the number of paths.
-func (s *Summary[S]) NumPaths() int { return len(s.paths) }
+func (s *Summary[S]) NumPaths() int { return len(s.ps) }
 
-// Paths returns the underlying paths. They must not be mutated.
-func (s *Summary[S]) Paths() []S { return s.paths }
+// Paths returns the underlying paths. They must not be mutated. The
+// slice is rebuilt per call; this is a diagnostic/test accessor, not a
+// hot-path API.
+func (s *Summary[S]) Paths() []S {
+	out := make([]S, len(s.ps))
+	for i, p := range s.ps {
+		out[i] = p.s
+	}
+	return out
+}
+
+// Release returns the summary's path containers to the schema pool and
+// empties the summary. Call once the summary has been consumed (folded
+// into a state or composed away); no-op for schemaless summaries. The
+// summary must not be used afterwards.
+func (s *Summary[S]) Release() {
+	if s.sc == nil {
+		return
+	}
+	for _, p := range s.ps {
+		s.sc.put(p)
+	}
+	s.ps = nil
+}
 
 // Apply composes the summary onto the concrete state c: it selects the
 // path admitting c, applies the transfer functions, and resolves symbolic
@@ -43,13 +77,24 @@ func (s *Summary[S]) Apply(c S) (out S, err error) {
 			err = f.err
 		}
 	}()
-	for _, p := range s.paths {
-		if admits(p, c) {
-			return s.concretize(p, c), nil
+	res, aerr := s.applyPS(wrapState(c))
+	if aerr != nil {
+		var zero S
+		return zero, aerr
+	}
+	return res.s, nil
+}
+
+// applyPS is Apply over containers: the returned container is freshly
+// drawn from the schema pool (or GC-allocated without a schema) and owned
+// by the caller.
+func (s *Summary[S]) applyPS(cw *pathState[S]) (*pathState[S], error) {
+	for _, p := range s.ps {
+		if admitsFields(p.fs, cw.fs) {
+			return s.concretizePS(p, cw), nil
 		}
 	}
-	var zero S
-	return zero, ErrNoPath
+	return nil, ErrNoPath
 }
 
 // ApplyStrict is Apply plus a validity check: it errors if the number of
@@ -65,33 +110,41 @@ func (s *Summary[S]) ApplyStrict(c S) (out S, err error) {
 			err = f.err
 		}
 	}()
-	var chosen S
+	cw := wrapState(c)
+	var chosen *pathState[S]
 	n := 0
-	for _, p := range s.paths {
-		if admits(p, c) {
+	for _, p := range s.ps {
+		if admitsFields(p.fs, cw.fs) {
 			chosen = p
 			n++
 		}
 	}
 	if n != 1 {
 		var zero S
-		return zero, fmt.Errorf("%w: %d of %d paths admit the state", ErrNoPath, n, len(s.paths))
+		return zero, fmt.Errorf("%w: %d of %d paths admit the state", ErrNoPath, n, len(s.ps))
 	}
-	return s.concretize(chosen, c), nil
+	return s.concretizePS(chosen, cw).s, nil
 }
 
-func (s *Summary[S]) concretize(p, c S) S {
-	env := NewEnv(c)
-	out := cloneState(s.newState, p)
-	cf := c.Fields()
-	for i, f := range out.Fields() {
-		f.Concretize(cf[i], env)
+func (s *Summary[S]) concretizePS(p, cw *pathState[S]) *pathState[S] {
+	var env Env
+	captureEnvInto(&env, cw.fs)
+	var out *pathState[S]
+	if s.sc != nil {
+		out = s.sc.cloneOf(p)
+	} else {
+		out = wrapState(cloneState(s.newState, p.s))
+	}
+	for i, f := range out.fs {
+		f.Concretize(cw.fs[i], &env)
 	}
 	return out
 }
 
 // ApplyAll composes an ordered sequence of summaries onto the concrete
 // state c, the reducer-side evaluation S_n(…S_2(S_1(c))…) of paper §3.6.
+// The summaries are not consumed; see StreamComposer for the folding
+// consumer that recycles them.
 func ApplyAll[S State](c S, summaries []*Summary[S]) (S, error) {
 	cur := c
 	for i, s := range summaries {
@@ -109,7 +162,8 @@ func ApplyAll[S State](c S, summaries []*Summary[S]) (S, error) {
 // second, and the result maps s's input directly to next's output
 // (paper §3.6: function composition is associative, enabling parallel
 // reduction of summaries). The composition takes the cross product of
-// path pairs, eliminates infeasible combinations, and re-merges.
+// path pairs, eliminates infeasible combinations, and re-merges. Neither
+// input is consumed; release them separately if pooled.
 func (s *Summary[S]) ComposeWith(next *Summary[S]) (out *Summary[S], err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -120,34 +174,42 @@ func (s *Summary[S]) ComposeWith(next *Summary[S]) (out *Summary[S], err error) 
 			err = f.err
 		}
 	}()
-	var paths []S
-	for _, pa := range s.paths {
-		senv := NewSymEnv(pa)
-		paf := pa.Fields()
-		for _, pb := range next.paths {
-			cand := cloneState(s.newState, pb)
+	var senv SymEnv
+	var paths []*pathState[S]
+	for _, pa := range s.ps {
+		captureSymEnvInto(&senv, pa.fs)
+		for _, pb := range next.ps {
+			var cand *pathState[S]
+			if s.sc != nil {
+				cand = s.sc.cloneOf(pb)
+			} else {
+				cand = wrapState(cloneState(s.newState, pb.s))
+			}
 			feasible := true
-			for i, f := range cand.Fields() {
-				if !f.ComposeAfter(paf[i], senv) {
+			for i, f := range cand.fs {
+				if !f.ComposeAfter(pa.fs[i], &senv) {
 					feasible = false
 					break
 				}
 			}
 			if feasible {
 				paths = append(paths, cand)
+			} else if s.sc != nil {
+				s.sc.put(cand)
 			}
 		}
 	}
 	if len(paths) == 0 {
 		return nil, ErrInfeasible
 	}
-	paths, _ = mergeAll(paths)
-	return &Summary[S]{paths: paths, newState: s.newState}, nil
+	paths, _ = mergePathStates(s.sc, paths)
+	return &Summary[S]{ps: paths, newState: s.newState, sc: s.sc}, nil
 }
 
 // ComposeAll reduces an ordered list of summaries to a single summary by
 // left-to-right composition. With the associativity of composition this
-// could equally run as a parallel tree; see the ablation benchmarks.
+// could equally run as a parallel tree; see the ablation benchmarks. The
+// inputs are not consumed; intermediate results are recycled.
 func ComposeAll[S State](summaries []*Summary[S]) (*Summary[S], error) {
 	if len(summaries) == 0 {
 		return nil, fmt.Errorf("sym: ComposeAll of zero summaries")
@@ -158,6 +220,9 @@ func ComposeAll[S State](summaries []*Summary[S]) (*Summary[S], error) {
 		if err != nil {
 			return nil, err
 		}
+		if cur != summaries[0] {
+			cur.Release()
+		}
 		cur = next
 	}
 	return cur, nil
@@ -165,9 +230,9 @@ func ComposeAll[S State](summaries []*Summary[S]) (*Summary[S], error) {
 
 // Encode appends the summary's compact wire form to e.
 func (s *Summary[S]) Encode(e *wire.Encoder) {
-	e.Uvarint(uint64(len(s.paths)))
-	for _, p := range s.paths {
-		for _, f := range p.Fields() {
+	e.Uvarint(uint64(len(s.ps)))
+	for _, p := range s.ps {
+		for _, f := range p.fs {
 			f.Encode(e)
 		}
 	}
@@ -175,38 +240,68 @@ func (s *Summary[S]) Encode(e *wire.Encoder) {
 
 // EncodedSize returns the wire size of the summary in bytes.
 func (s *Summary[S]) EncodedSize() int {
-	e := wire.NewEncoder(256)
+	e := wire.GetEncoder()
 	s.Encode(e)
-	return e.Len()
+	n := e.Len()
+	wire.PutEncoder(e)
+	return n
 }
 
 // DecodeSummary reads a summary written by Encode. newState must build
 // states of the same shape (field order, enum domains, codecs) as the
 // encoding side.
 func DecodeSummary[S State](newState func() S, d *wire.Decoder) (*Summary[S], error) {
+	return decodeSummary[S](nil, newState, d)
+}
+
+// DecodeSummary reads a summary written by Encode into pooled containers
+// of the schema, so reducers that Release consumed summaries recycle
+// their path states instead of reallocating per summary.
+func (sc *Schema[S]) DecodeSummary(d *wire.Decoder) (*Summary[S], error) {
+	return decodeSummary(sc, sc.newState, d)
+}
+
+func decodeSummary[S State](sc *Schema[S], newState func() S, d *wire.Decoder) (*Summary[S], error) {
 	n := d.Length(d.Remaining() + 1)
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
-	paths := make([]S, n)
-	for i := range paths {
-		paths[i] = newState()
-		for _, f := range paths[i].Fields() {
+	ps := make([]*pathState[S], 0, n)
+	bail := func(i int, err error) (*Summary[S], error) {
+		if sc != nil {
+			for _, p := range ps {
+				sc.put(p)
+			}
+		}
+		return nil, fmt.Errorf("sym: decoding summary path %d: %w", i, err)
+	}
+	for i := 0; i < n; i++ {
+		var p *pathState[S]
+		if sc != nil {
+			// Every Value.Decode fully overwrites its receiver (scalars
+			// assigned, slices freshly made), so a recycled container
+			// needs no reset.
+			p = sc.get()
+		} else {
+			p = wrapState(newState())
+		}
+		ps = append(ps, p)
+		for _, f := range p.fs {
 			if err := f.Decode(d); err != nil {
-				return nil, fmt.Errorf("sym: decoding summary path %d: %w", i, err)
+				return bail(i, err)
 			}
 		}
 	}
-	return &Summary[S]{paths: paths, newState: newState}, nil
+	return &Summary[S]{ps: ps, newState: newState, sc: sc}, nil
 }
 
 // String renders the summary for diagnostics, one path per line.
 func (s *Summary[S]) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "summary(%d paths)\n", len(s.paths))
-	for _, p := range s.paths {
-		parts := make([]string, 0, len(p.Fields()))
-		for _, f := range p.Fields() {
+	fmt.Fprintf(&b, "summary(%d paths)\n", len(s.ps))
+	for _, p := range s.ps {
+		parts := make([]string, 0, len(p.fs))
+		for _, f := range p.fs {
 			parts = append(parts, f.String())
 		}
 		fmt.Fprintf(&b, "  %s\n", strings.Join(parts, " ∧ "))

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 )
 
 // ErrCorrupt is returned (wrapped) when a decoder reads malformed data.
@@ -42,6 +43,34 @@ func (e *Encoder) Len() int { return len(e.buf) }
 
 // Reset discards the encoded contents, retaining the buffer.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// encPool recycles encoders for transient encode work (summary bundling,
+// size computation). Buffers grow to their workload's high-water mark and
+// are reused instead of resized per call.
+var encPool = sync.Pool{
+	New: func() any { return NewEncoder(256) },
+}
+
+// maxPooledEncoder bounds the buffer capacity returned to the pool, so
+// one pathological summary does not pin megabytes for the process
+// lifetime.
+const maxPooledEncoder = 1 << 20
+
+// GetEncoder returns a reset pooled encoder. Pair with PutEncoder; the
+// encoder's Bytes are invalidated by the return, so copy them out first.
+func GetEncoder() *Encoder {
+	e := encPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// PutEncoder returns an encoder obtained from GetEncoder to the pool.
+func PutEncoder(e *Encoder) {
+	if e == nil || cap(e.buf) > maxPooledEncoder {
+		return
+	}
+	encPool.Put(e)
+}
 
 // Uvarint appends an unsigned varint.
 func (e *Encoder) Uvarint(v uint64) {

@@ -14,5 +14,5 @@ fi
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/mapreduce ./internal/core
+go test -race ./internal/sym ./internal/mapreduce ./internal/core ./internal/queries
 echo "verify: OK"
