@@ -6,9 +6,11 @@
 //	symplebench -experiment fig5 -records 500000
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8, b1latency,
-// ablation, shuffle, symexec, all. See EXPERIMENTS.md for the
+// ablation, shuffle, symexec, faults, all. See EXPERIMENTS.md for the
 // paper-vs-measured record; -experiment shuffle also writes
-// BENCH_SHUFFLE.json and -experiment symexec writes BENCH_SYMEXEC.json.
+// BENCH_SHUFFLE.json, -experiment symexec writes BENCH_SYMEXEC.json,
+// and -experiment faults writes BENCH_FAULTS.json (380-node replay
+// latency clean vs failures vs failures+speculation).
 //
 // -memo-size and -map-parallelism tune the SYMPLE runtime knobs the
 // symexec experiment exercises (see README).
@@ -28,7 +30,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("symplebench: ")
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | fig8 | b1latency | ablation | shuffle | symexec | all")
+		experiment = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | fig8 | b1latency | ablation | shuffle | symexec | faults | all")
 		records    = flag.Int("records", 200000, "records per generated corpus")
 		segments   = flag.Int("segments", 8, "input segments (measured mapper count)")
 		memoSize   = flag.Int("memo-size", 0, "record-transition memo entries per map chunk (0 default, <0 disables)")
@@ -67,6 +69,7 @@ func main() {
 		{"ablation", func() (*bench.Table, error) { return bench.AblationMerging(datasets()) }},
 		{"shuffle", func() (*bench.Table, error) { return bench.Shuffle(sc) }},
 		{"symexec", func() (*bench.Table, error) { return bench.SymExec(datasets(), *mapPar, *memoSize) }},
+		{"faults", func() (*bench.Table, error) { return bench.Faults(datasets()) }},
 	}
 	ran := 0
 	for _, e := range exps {

@@ -384,3 +384,34 @@ func TestSymExecShapes(t *testing.T) {
 		t.Errorf("report not written: %v", err)
 	}
 }
+
+func TestFaultsShapes(t *testing.T) {
+	t.Chdir(t.TempDir()) // BENCH_FAULTS.json goes to scratch space
+	tb, err := Faults(testDatasets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("%d rows, want 6 (3 queries x 2 engines)", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		clean, _ := strconv.ParseFloat(r[2], 64)
+		faulted, _ := strconv.ParseFloat(r[3], 64)
+		spec, _ := strconv.ParseFloat(r[4], 64)
+		if !(clean < faulted) {
+			t.Errorf("%s/%s: faults (%.0fs) should cost latency over clean (%.0fs)",
+				r[0], r[1], faulted, clean)
+		}
+		if !(spec < faulted) {
+			t.Errorf("%s/%s: speculation (%.0fs) should recover latency vs faults (%.0fs)",
+				r[0], r[1], spec, faulted)
+		}
+		if spec < clean {
+			t.Errorf("%s/%s: speculated run (%.0fs) cannot beat the clean run (%.0fs)",
+				r[0], r[1], spec, clean)
+		}
+	}
+	if _, err := os.Stat("BENCH_FAULTS.json"); err != nil {
+		t.Errorf("BENCH_FAULTS.json not written: %v", err)
+	}
+}

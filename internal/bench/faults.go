@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/dcsim"
+)
+
+// The fault-tolerance experiment: replay measured queries on the
+// 380-node cluster model under a failure regime — 5% of map tasks die
+// halfway and re-execute, every 10th task straggles 4x — and compare
+// end-to-end latency clean, with faults, and with faults plus
+// speculative re-execution. Speculation hides the failure-detection
+// timeout and caps straggler tails, at the price of duplicated work,
+// which the report charges as wasted CPU. Written to BENCH_FAULTS.json.
+
+// faultRegime is the injected failure/straggler environment. The 60s
+// detection delay stands in for Hadoop's task-timeout path; on a shared
+// batch cluster it is the dominant cost of an undetected dead task.
+func faultRegime(speculate bool) dcsim.Cluster {
+	c := cluster380()
+	c.StragglerEvery = 10
+	c.StragglerSlowdown = 4
+	c.FailEvery = 20
+	c.FailAtFraction = 0.5
+	c.RetryDelayS = 60
+	c.Speculate = speculate
+	return c
+}
+
+type faultEngine struct {
+	Engine           string  `json:"engine"`
+	CleanS           float64 `json:"clean_s"`
+	FaultsS          float64 `json:"faults_s"`
+	SpeculationS     float64 `json:"faults_speculation_s"`
+	Recovered        float64 `json:"recovered_fraction"` // of the fault-added latency
+	Failures         int     `json:"failures"`
+	Speculated       int     `json:"speculated"`
+	WastedCPUSeconds float64 `json:"wasted_cpu_s"`
+}
+
+type faultCase struct {
+	Query   string        `json:"query"`
+	Engines []faultEngine `json:"engines"`
+}
+
+type faultsReport struct {
+	Regime struct {
+		FailEvery         int     `json:"fail_every"`
+		FailAtFraction    float64 `json:"fail_at_fraction"`
+		RetryDelayS       float64 `json:"retry_delay_s"`
+		StragglerEvery    int     `json:"straggler_every"`
+		StragglerSlowdown float64 `json:"straggler_slowdown"`
+	} `json:"regime"`
+	Cases []faultCase `json:"cases"`
+}
+
+// Faults runs the fault-tolerance replay for a spread of queries: G1
+// (map-heavy GitHub), B1 (single hot reducer), T1 (largest input).
+func Faults(d *Datasets) (*Table, error) {
+	t := &Table{
+		Title: "Fault tolerance: 380-node replay, clean vs failures vs failures+speculation",
+		Header: []string{"Query", "Engine", "Clean (s)", "Faults (s)", "+Spec (s)",
+			"Recovered", "Wasted CPU (s)"},
+		Notes: []string{
+			"regime: 5% of map tasks fail at 50% progress (60s detection), every 10th task straggles 4x",
+			"speculation hides detection and caps stragglers at 2x, charging the duplicate work as wasted CPU",
+			"written to BENCH_FAULTS.json",
+		},
+	}
+	var rep faultsReport
+	regime := faultRegime(false)
+	rep.Regime.FailEvery = regime.FailEvery
+	rep.Regime.FailAtFraction = regime.FailAtFraction
+	rep.Regime.RetryDelayS = regime.RetryDelayS
+	rep.Regime.StragglerEvery = regime.StragglerEvery
+	rep.Regime.StragglerSlowdown = regime.StragglerSlowdown
+
+	for _, c := range cluster380Cases() {
+		switch c.id {
+		case "G1", "B1", "T1":
+		default:
+			continue
+		}
+		m, err := runPair(d, c.id, false, cluster380Reducers)
+		if err != nil {
+			return nil, err
+		}
+		ec := c.emr()
+		fc := faultCase{Query: c.id}
+		fBase := c.paperBytes / float64(m.baseline.Metrics.InputBytes)
+		jobs := []struct {
+			name string
+			job  dcsim.Job
+		}{
+			{"MapReduce", scaledJob(m.baseline.Metrics, ec, fBase, c.numMaps)},
+			{"SYMPLE", scaledJob(m.symple.Metrics, ec, sympleScale(m.symple.Metrics, ec, c.numMaps), c.numMaps)},
+		}
+		for _, jc := range jobs {
+			clean, err := dcsim.Simulate(cluster380(), jc.job)
+			if err != nil {
+				return nil, fmt.Errorf("faults %s %s clean: %w", c.id, jc.name, err)
+			}
+			faulted, err := dcsim.Simulate(faultRegime(false), jc.job)
+			if err != nil {
+				return nil, fmt.Errorf("faults %s %s faulted: %w", c.id, jc.name, err)
+			}
+			spec, err := dcsim.Simulate(faultRegime(true), jc.job)
+			if err != nil {
+				return nil, fmt.Errorf("faults %s %s speculated: %w", c.id, jc.name, err)
+			}
+			recovered := 0.0
+			if added := faulted.TotalS - clean.TotalS; added > 0 {
+				recovered = (faulted.TotalS - spec.TotalS) / added
+			}
+			fe := faultEngine{
+				Engine:           jc.name,
+				CleanS:           clean.TotalS,
+				FaultsS:          faulted.TotalS,
+				SpeculationS:     spec.TotalS,
+				Recovered:        recovered,
+				Failures:         spec.Failures,
+				Speculated:       spec.Speculated,
+				WastedCPUSeconds: spec.WastedCPUSeconds,
+			}
+			fc.Engines = append(fc.Engines, fe)
+			t.Rows = append(t.Rows, []string{
+				c.id, jc.name,
+				fmt.Sprintf("%.0f", fe.CleanS),
+				fmt.Sprintf("%.0f", fe.FaultsS),
+				fmt.Sprintf("%.0f", fe.SpeculationS),
+				fmt.Sprintf("%.0f%%", fe.Recovered*100),
+				fmt.Sprintf("%.0f", fe.WastedCPUSeconds),
+			})
+		}
+		rep.Cases = append(rep.Cases, fc)
+	}
+
+	f, err := os.Create("BENCH_FAULTS.json")
+	if err != nil {
+		return nil, fmt.Errorf("faults: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return nil, fmt.Errorf("faults: %w", err)
+	}
+	return t, nil
+}

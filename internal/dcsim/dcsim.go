@@ -66,14 +66,60 @@ type Cluster struct {
 	// one reducer"). Deterministic so simulations are repeatable.
 	StragglerEvery    int
 	StragglerSlowdown float64
+
+	// FailEvery, when positive, makes every k-th map task fail once: it
+	// runs FailAtFraction of its work, is detected and re-executed from
+	// scratch. The failed fraction is wasted CPU; re-reading the input
+	// is charged too. Deterministic, like the straggler model.
+	FailEvery int
+	// FailAtFraction is the progress point where a failing task dies,
+	// in (0, 1]. Zero defaults to 0.5.
+	FailAtFraction float64
+	// RetryDelayS is the failure-detection latency before the retry
+	// starts (Hadoop's task-timeout path). With Speculate set it is not
+	// charged: a backup launched at the straggler threshold is already
+	// running when the original dies.
+	RetryDelayS float64
+	// Speculate models speculative re-execution. For failed tasks it
+	// hides RetryDelayS (a proactively launched backup replaces
+	// timeout-based detection). For stragglers it bounds the effective
+	// slowdown at specCap — the backup recomputes at normal speed and
+	// wins — at the price of the duplicated work, counted in
+	// Result.WastedCPUSeconds.
+	Speculate bool
 }
 
-// taskCPU applies the straggler model to task index i.
-func (c Cluster) taskCPU(i int, cpu float64) float64 {
+// specCap is a speculated straggler's effective slowdown: the backup
+// launches once the task has run about one typical duration and redoes
+// the work from scratch at normal speed, finishing near 2x nominal.
+const specCap = 2.0
+
+// taskCost applies the straggler model to task index i, returning the
+// task's effective latency cost, any duplicated (wasted) CPU from a
+// speculative backup, and whether a backup launched.
+func (c Cluster) taskCost(i int, cpu float64) (eff, dup float64, speculated bool) {
 	if c.StragglerEvery > 0 && c.StragglerSlowdown > 1 && i%c.StragglerEvery == c.StragglerEvery-1 {
-		return cpu * c.StragglerSlowdown
+		if c.Speculate && c.StragglerSlowdown > specCap {
+			return cpu * specCap, cpu, true
+		}
+		return cpu * c.StragglerSlowdown, 0, false
 	}
-	return cpu
+	return cpu, 0, false
+}
+
+// mapFails reports whether map task i fails once under the failure
+// model.
+func (c Cluster) mapFails(i int) bool {
+	return c.FailEvery > 0 && i%c.FailEvery == c.FailEvery-1
+}
+
+// failFraction returns the clamped FailAtFraction.
+func (c Cluster) failFraction() float64 {
+	f := c.FailAtFraction
+	if f <= 0 || f > 1 {
+		return 0.5
+	}
+	return f
 }
 
 // MapTask is one map task's replayed cost.
@@ -104,6 +150,13 @@ type Result struct {
 	TotalS       float64
 	CPUSeconds   float64 // total compute consumed (map + reduce)
 	ShuffleBytes int64
+
+	// Failure/re-execution accounting. CPUSeconds includes
+	// WastedCPUSeconds: work burned by failed attempt fractions and by
+	// losing speculative backups, on top of the useful compute.
+	Failures         int
+	Speculated       int // backup attempts launched (stragglers + failures under Speculate)
+	WastedCPUSeconds float64
 }
 
 // Simulate runs the job on the cluster.
@@ -116,8 +169,40 @@ func Simulate(c Cluster, j Job) (Result, error) {
 	}
 	var res Result
 
+	// ---- Failure / straggler / speculation adjustment ----
+	// Each map task's effective latency cost is computed up front: the
+	// straggler multiplier (capped by a speculative backup when enabled),
+	// then the failure rework — a failing task burns FailAtFraction of
+	// its work, waits out detection (hidden under speculation), and
+	// re-runs from scratch, re-reading its input. The fluid simulation
+	// below then schedules the adjusted tasks unchanged. Simplification:
+	// the detection wait holds the task's slot, which slightly overstates
+	// slot pressure on small clusters.
+	effMaps := make([]MapTask, len(j.Maps))
+	for i, m := range j.Maps {
+		eff, dup, spec := c.taskCost(i, m.CPUSeconds)
+		io := float64(m.InputBytes)
+		if spec {
+			res.Speculated++
+		}
+		res.WastedCPUSeconds += dup
+		if c.mapFails(i) {
+			frac := c.failFraction()
+			res.Failures++
+			res.WastedCPUSeconds += frac * eff
+			detect := c.RetryDelayS
+			if c.Speculate {
+				detect = 0
+				res.Speculated++
+			}
+			eff = frac*eff + detect + eff
+			io *= 1 + frac
+		}
+		effMaps[i] = MapTask{InputBytes: int64(io), CPUSeconds: eff, OutBytes: m.OutBytes}
+	}
+
 	// ---- Map phase: fluid simulation with shared IO ----
-	res.MapPhaseS = simulateMapPhase(c, j.Maps)
+	res.MapPhaseS = simulateMapPhase(c, effMaps)
 
 	// ---- Shuffle ----
 	numReducers := len(j.Reduces)
@@ -153,14 +238,21 @@ func Simulate(c Cluster, j Job) (Result, error) {
 	res.ShuffleS = worst
 
 	// ---- Reduce phase: pure CPU on slots ----
-	res.ReducePhaseS = simulateCPUPhase(c, j.Reduces)
+	reduceS, reduceWaste, reduceSpec := simulateCPUPhase(c, j.Reduces)
+	res.ReducePhaseS = reduceS
+	res.WastedCPUSeconds += reduceWaste
+	res.Speculated += reduceSpec
 
+	// Total compute: the useful work plus everything burned on failed
+	// attempt fractions and losing backups. Straggler slowdown is lost
+	// time, not extra instructions, so it does not inflate CPUSeconds.
 	for _, m := range j.Maps {
 		res.CPUSeconds += m.CPUSeconds
 	}
 	for _, r := range j.Reduces {
 		res.CPUSeconds += r.CPUSeconds
 	}
+	res.CPUSeconds += res.WastedCPUSeconds
 	res.TotalS = c.SchedulingOverheadS + res.MapPhaseS + res.ShuffleS + res.ReducePhaseS
 	return res, nil
 }
@@ -208,7 +300,7 @@ func simulateMapPhase(c Cluster, maps []MapTask) float64 {
 			t := runningTask{
 				node:   node,
 				ioRem:  float64(maps[next].InputBytes),
-				cpuRem: c.taskCPU(next, maps[next].CPUSeconds),
+				cpuRem: maps[next].CPUSeconds, // pre-adjusted by Simulate
 			}
 			if t.ioRem > 0 {
 				readersOnNode[node]++
@@ -288,22 +380,28 @@ func simulateMapPhase(c Cluster, maps []MapTask) float64 {
 }
 
 // simulateCPUPhase packs pure-CPU tasks onto the cluster's slots (LPT
-// list scheduling) and returns the makespan.
-func simulateCPUPhase(c Cluster, tasks []ReduceTask) float64 {
+// list scheduling) and returns the makespan, plus the duplicated CPU
+// and backup count from speculated stragglers.
+func simulateCPUPhase(c Cluster, tasks []ReduceTask) (makespan, waste float64, speculated int) {
 	if len(tasks) == 0 {
-		return 0
+		return 0, 0, 0
 	}
 	slots := c.Nodes * c.Node.Cores
 	durs := make([]float64, len(tasks))
 	for i, t := range tasks {
-		durs[i] = c.taskCPU(i, t.CPUSeconds)
+		eff, dup, spec := c.taskCost(i, t.CPUSeconds)
+		durs[i] = eff
+		waste += dup
+		if spec {
+			speculated++
+		}
 	}
 	sort.Sort(sort.Reverse(sort.Float64Slice(durs)))
 	if len(durs) < slots {
 		slots = len(durs)
 	}
 	if slots == 0 {
-		return 0
+		return 0, waste, speculated
 	}
 	// Greedy longest-processing-time onto least-loaded slot.
 	loads := make([]float64, slots)
@@ -316,11 +414,10 @@ func simulateCPUPhase(c Cluster, tasks []ReduceTask) float64 {
 		}
 		loads[min] += d
 	}
-	var makespan float64
 	for _, l := range loads {
 		if l > makespan {
 			makespan = l
 		}
 	}
-	return makespan
+	return makespan, waste, speculated
 }

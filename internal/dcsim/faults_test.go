@@ -1,0 +1,133 @@
+package dcsim
+
+import "testing"
+
+func TestFailureReworkModel(t *testing.T) {
+	c := oneNode(4)
+	c.FailEvery = 2
+	c.FailAtFraction = 0.5
+	c.RetryDelayS = 3
+	// Task 1 fails at 50%: 2s of wasted work, a 3s detection wait, then
+	// a full 4s re-run → its slot is occupied 2+3+4 = 9s. Task 0 runs
+	// clean in 4s on a parallel core.
+	r, err := Simulate(c, Job{
+		Maps: []MapTask{{CPUSeconds: 4}, {CPUSeconds: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, r.MapPhaseS, 9, 0.01, "failed map rework + detection")
+	if r.Failures != 1 {
+		t.Errorf("Failures = %d, want 1", r.Failures)
+	}
+	approx(t, r.WastedCPUSeconds, 2, 0.01, "wasted half-attempt")
+	// CPUSeconds: 8 useful + 2 wasted (the detection wait is lost time,
+	// not instructions).
+	approx(t, r.CPUSeconds, 10, 0.01, "total cpu with rework")
+}
+
+func TestSpeculationHidesDetectionDelay(t *testing.T) {
+	c := oneNode(4)
+	c.FailEvery = 2
+	c.FailAtFraction = 0.5
+	c.RetryDelayS = 30
+	c.Speculate = true
+	// With speculation the backup is already running when the original
+	// dies: no detection wait, so the failed task resolves in
+	// 2 + 4 = 6s instead of 36s.
+	r, err := Simulate(c, Job{
+		Maps: []MapTask{{CPUSeconds: 4}, {CPUSeconds: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, r.MapPhaseS, 6, 0.01, "speculated failure")
+	if r.Speculated != 1 {
+		t.Errorf("Speculated = %d, want 1", r.Speculated)
+	}
+	approx(t, r.WastedCPUSeconds, 2, 0.01, "waste unchanged by speculation")
+}
+
+func TestFailureRereadsInput(t *testing.T) {
+	c := oneNode(1)
+	c.FailEvery = 1
+	c.FailAtFraction = 0.5
+	// IO-bound task: 1GB at 100MB/s = 10s. Failing at 50% re-reads the
+	// input from scratch: 1.5GB total = 15s, CPU negligible.
+	r, err := Simulate(c, Job{
+		Maps: []MapTask{{InputBytes: 1e9, CPUSeconds: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, r.MapPhaseS, 15, 0.1, "re-read on retry")
+}
+
+func TestSpeculationCapsStragglers(t *testing.T) {
+	c := oneNode(4)
+	c.StragglerEvery = 2
+	c.StragglerSlowdown = 10
+	base, err := Simulate(c, Job{
+		Reduces: []ReduceTask{{CPUSeconds: 4}, {CPUSeconds: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, base.ReducePhaseS, 40, 0.01, "unspeculated straggler")
+	if base.WastedCPUSeconds != 0 {
+		t.Errorf("no speculation, but WastedCPUSeconds = %.1f", base.WastedCPUSeconds)
+	}
+
+	c.Speculate = true
+	spec, err := Simulate(c, Job{
+		Reduces: []ReduceTask{{CPUSeconds: 4}, {CPUSeconds: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Backup caps the straggler at specCap x nominal; the duplicated
+	// work is charged as waste.
+	approx(t, spec.ReducePhaseS, 4*specCap, 0.01, "speculated straggler capped")
+	if spec.Speculated != 1 {
+		t.Errorf("Speculated = %d, want 1", spec.Speculated)
+	}
+	approx(t, spec.WastedCPUSeconds, 4, 0.01, "duplicated straggler work")
+	if spec.CPUSeconds <= base.CPUSeconds {
+		t.Errorf("speculation should trade CPU (%.1f) for latency, base %.1f",
+			spec.CPUSeconds, base.CPUSeconds)
+	}
+	// Mild straggler below the cap: speculation does nothing.
+	c.StragglerSlowdown = 1.5
+	mild, err := Simulate(c, Job{
+		Reduces: []ReduceTask{{CPUSeconds: 4}, {CPUSeconds: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, mild.ReducePhaseS, 6, 0.01, "mild straggler unspeculated")
+	if mild.Speculated != 0 || mild.WastedCPUSeconds != 0 {
+		t.Errorf("mild straggler should not speculate (spec=%d waste=%.1f)",
+			mild.Speculated, mild.WastedCPUSeconds)
+	}
+}
+
+func TestFaultKnobsOffMatchSeedModel(t *testing.T) {
+	// With every fault knob zero, the extended model must reproduce the
+	// original simulator exactly.
+	c := oneNode(4)
+	job := Job{
+		Maps: []MapTask{
+			{InputBytes: 5e8, CPUSeconds: 3, OutBytes: []int64{1e6, 2e6}},
+			{InputBytes: 5e8, CPUSeconds: 7, OutBytes: []int64{2e6, 1e6}},
+		},
+		Reduces: []ReduceTask{{CPUSeconds: 2}, {CPUSeconds: 3}},
+	}
+	r, err := Simulate(c, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Failures != 0 || r.Speculated != 0 || r.WastedCPUSeconds != 0 {
+		t.Errorf("clean run reports fault accounting: %+v", r)
+	}
+	approx(t, r.CPUSeconds, 15, 0.01, "clean cpu total")
+}

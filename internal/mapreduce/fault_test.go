@@ -1,0 +1,621 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// ---- shared harness ----
+
+// spillTestDir returns a fresh spill directory and registers a cleanup
+// asserting that no job left any file behind — failed and losing
+// attempts must remove their temp dirs, and a finished job must remove
+// its whole spill tree.
+func spillTestDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	t.Cleanup(func() {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Errorf("reading spill dir: %v", err)
+			return
+		}
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		if len(names) != 0 {
+			t.Errorf("spill dir not empty after test: %v", names)
+		}
+	})
+	return dir
+}
+
+// checkGoroutineLeaks snapshots the goroutine count and asserts at test
+// cleanup that it returns to the baseline — a hand-rolled goleak. The
+// poll loop tolerates goroutines still draining when the job returns.
+func checkGoroutineLeaks(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > base {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Errorf("goroutine leak: %d running, baseline %d\n%s",
+					runtime.NumGoroutine(), base, buf[:n])
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	})
+}
+
+// fastRetries keeps chaos-era retry backoffs out of the test budget.
+func fastRetries(conf Config) Config {
+	conf.RetryBackoff = 100 * time.Microsecond
+	conf.MaxRetryBackoff = time.Millisecond
+	return conf
+}
+
+// countingSegments builds numSegments segments of numbered records.
+func countingSegments(numSegments, perSeg int) []*Segment {
+	segs := make([]*Segment, numSegments)
+	for i := range segs {
+		segs[i] = &Segment{ID: i}
+		for r := 0; r < perSeg; r++ {
+			segs[i].Records = append(segs[i].Records, []byte(fmt.Sprintf("%d-%d", i, r)))
+		}
+	}
+	return segs
+}
+
+// runIdempotentCapture executes a deterministic multi-emit job whose
+// reduce side is idempotent (retry-safe): each group's delivered stream
+// is rendered to a string and stored keyed by (reducer, key), overwrite
+// on re-execution. The returned snapshot is a canonical rendering,
+// comparable byte for byte across engine configurations and fault
+// schedules.
+func runIdempotentCapture(t *testing.T, segs []*Segment, conf Config) (string, *Metrics) {
+	t.Helper()
+	var mu sync.Mutex
+	groups := map[string]string{}
+	job := &Job{
+		Name: "chaos-capture",
+		Map: func(id int, seg *Segment, emit Emit) error {
+			for i, rec := range seg.Records {
+				emit(fmt.Sprintf("key-%d", (len(rec)+int(rec[0]))%13), int64(i), rec)
+				if i%3 == 0 {
+					emit(fmt.Sprintf("key-%d", i%7), int64(i), rec)
+				}
+			}
+			return nil
+		},
+		Reduce: func(r int, key string, values []Shuffled) error {
+			var b strings.Builder
+			for _, v := range values {
+				fmt.Fprintf(&b, "%d:%d:%s ", v.MapperID, v.RecordID, v.Value)
+			}
+			mu.Lock()
+			groups[fmt.Sprintf("%d/%s", r, key)] = b.String()
+			mu.Unlock()
+			return nil
+		},
+		Conf: conf,
+	}
+	m, err := job.Run(segs)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s => %s\n", k, groups[k])
+	}
+	return b.String(), m
+}
+
+// ---- retry lifecycle ----
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	checkGoroutineLeaks(t)
+	const tasks = 4
+	var fails [tasks]atomic.Int32
+	var mu sync.Mutex
+	counts := map[string]int{}
+	job := &Job{
+		Name: "transient",
+		Map: func(id int, seg *Segment, emit Emit) error {
+			if fails[id].Add(1) <= 2 {
+				return fmt.Errorf("transient failure on task %d", id)
+			}
+			for i, rec := range seg.Records {
+				emit(string(rec), int64(i), nil)
+			}
+			return nil
+		},
+		Reduce: func(_ int, key string, values []Shuffled) error {
+			mu.Lock()
+			counts[key] = len(values)
+			mu.Unlock()
+			return nil
+		},
+		Conf: fastRetries(Config{NumReducers: 2, MaxAttempts: 3}),
+	}
+	m, err := job.Run(countingSegments(tasks, 5))
+	if err != nil {
+		t.Fatalf("job should have recovered: %v", err)
+	}
+	if len(counts) != tasks*5 {
+		t.Errorf("got %d keys, want %d", len(counts), tasks*5)
+	}
+	if m.MapAttempts != tasks*3 {
+		t.Errorf("MapAttempts = %d, want %d", m.MapAttempts, tasks*3)
+	}
+	if m.TaskRetries != tasks*2 {
+		t.Errorf("TaskRetries = %d, want %d", m.TaskRetries, tasks*2)
+	}
+	if len(m.MapTasks) != tasks {
+		t.Errorf("MapTasks = %d, want %d", len(m.MapTasks), tasks)
+	}
+}
+
+func TestRetriesExhaustedAggregateErrors(t *testing.T) {
+	checkGoroutineLeaks(t)
+	sentinelA := errors.New("task A keeps dying")
+	sentinelB := errors.New("task B keeps dying")
+	job := &Job{
+		Name: "doomed",
+		Map: func(id int, seg *Segment, emit Emit) error {
+			if id == 0 {
+				return sentinelA
+			}
+			return sentinelB
+		},
+		Reduce: func(int, string, []Shuffled) error { return nil },
+		Conf:   fastRetries(Config{MaxAttempts: 3}),
+	}
+	_, err := job.Run(countingSegments(2, 3))
+	if err == nil {
+		t.Fatal("job should have failed")
+	}
+	if !errors.Is(err, sentinelA) || !errors.Is(err, sentinelB) {
+		t.Errorf("aggregated error should carry both tasks' failures, got: %v", err)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("error should report the exhausted budget, got: %v", err)
+	}
+}
+
+func TestReduceRetryRecovers(t *testing.T) {
+	checkGoroutineLeaks(t)
+	var reduceFails atomic.Int32
+	var mu sync.Mutex
+	counts := map[string]int{}
+	job := &Job{
+		Name: "reduce-retry",
+		Map: func(id int, seg *Segment, emit Emit) error {
+			for i, rec := range seg.Records {
+				emit(string(rec), int64(i), rec)
+			}
+			return nil
+		},
+		Reduce: func(_ int, key string, values []Shuffled) error {
+			if reduceFails.Add(1) == 1 {
+				return errors.New("first reduce attempt dies")
+			}
+			mu.Lock()
+			counts[key] = len(values)
+			mu.Unlock()
+			return nil
+		},
+		Conf: fastRetries(Config{NumReducers: 1, MaxAttempts: 2}),
+	}
+	m, err := job.Run(countingSegments(3, 4))
+	if err != nil {
+		t.Fatalf("reduce retry should have recovered: %v", err)
+	}
+	if len(counts) != 12 {
+		t.Errorf("got %d keys, want 12", len(counts))
+	}
+	if m.ReduceAttempts != 2 {
+		t.Errorf("ReduceAttempts = %d, want 2", m.ReduceAttempts)
+	}
+}
+
+// ---- speculation ----
+
+func TestSpeculationFirstFinisherWins(t *testing.T) {
+	checkGoroutineLeaks(t)
+	const tasks, straggler = 8, 5
+	var calls [tasks]atomic.Int32
+	var mu sync.Mutex
+	counts := map[string]int{}
+	job := &Job{
+		Name: "speculate",
+		Map: func(id int, seg *Segment, emit Emit) error {
+			// The straggler's first attempt stalls long enough for the
+			// watchdog to launch a backup; the backup (second call for
+			// the same task) runs at full speed and must win the commit.
+			if id == straggler && calls[id].Add(1) == 1 {
+				time.Sleep(150 * time.Millisecond)
+			} else {
+				calls[id].Add(1)
+			}
+			for i, rec := range seg.Records {
+				emit(string(rec), int64(i), nil)
+			}
+			return nil
+		},
+		Reduce: func(_ int, key string, values []Shuffled) error {
+			mu.Lock()
+			counts[key] = len(values)
+			mu.Unlock()
+			return nil
+		},
+		Conf: Config{NumReducers: 2, Parallelism: 4, Speculation: true},
+	}
+	m, err := job.Run(countingSegments(tasks, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != tasks*6 {
+		t.Errorf("got %d keys, want %d", len(counts), tasks*6)
+	}
+	if m.SpeculativeTasks < 1 {
+		t.Errorf("no speculative attempt launched (SpeculativeTasks=%d)", m.SpeculativeTasks)
+	}
+	if m.SpeculativeWins < 1 {
+		t.Errorf("backup should have won the commit race (SpeculativeWins=%d)", m.SpeculativeWins)
+	}
+	if len(m.MapTasks) != tasks {
+		t.Errorf("MapTasks = %d, want %d (losing attempt's metrics must not double-count)",
+			len(m.MapTasks), tasks)
+	}
+}
+
+// ---- disk spill commit protocol ----
+
+func TestSpillModeMatchesMemoryMode(t *testing.T) {
+	checkGoroutineLeaks(t)
+	segs := countingSegments(6, 40)
+	memConf := Config{NumReducers: 3, Parallelism: 4}
+	spillConf := memConf
+	spillConf.SpillDir = spillTestDir(t)
+	got, gm := runIdempotentCapture(t, segs, spillConf)
+	want, wm := runIdempotentCapture(t, segs, memConf)
+	if got != want {
+		t.Errorf("disk-spill output differs from in-memory output:\nspill:\n%s\nmemory:\n%s", got, want)
+	}
+	if gm.ShuffleBytes != wm.ShuffleBytes || gm.ShuffleRecords != wm.ShuffleRecords || gm.Groups != wm.Groups {
+		t.Errorf("accounting diverged: spill %d/%d/%d, memory %d/%d/%d",
+			gm.ShuffleBytes, gm.ShuffleRecords, gm.Groups,
+			wm.ShuffleBytes, wm.ShuffleRecords, wm.Groups)
+	}
+}
+
+func TestFailedJobLeavesNoSpillFiles(t *testing.T) {
+	checkGoroutineLeaks(t)
+	dir := spillTestDir(t)
+	job := &Job{
+		Name: "doomed-spill",
+		Map: func(id int, seg *Segment, emit Emit) error {
+			for i, rec := range seg.Records {
+				emit(string(rec), int64(i), rec)
+			}
+			if id == 2 {
+				return errors.New("dies after emitting")
+			}
+			return nil
+		},
+		Reduce: func(int, string, []Shuffled) error { return nil },
+		Conf:   fastRetries(Config{NumReducers: 2, MaxAttempts: 2, SpillDir: dir}),
+	}
+	if _, err := job.Run(countingSegments(4, 20)); err == nil {
+		t.Fatal("job should have failed")
+	}
+	// The spillTestDir cleanup asserts the directory is empty.
+}
+
+func TestRunFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	recs := []kvRec{
+		{key: "", mapperID: 0, recordID: 0, seq: 0, value: nil},
+		{key: "k", mapperID: 3, recordID: 7, seq: 1, value: []byte("v")},
+		{key: strings.Repeat("long", 100), mapperID: 1 << 18, recordID: 1 << 40, seq: 9, value: make([]byte, 3000)},
+	}
+	for i := 0; i < 200; i++ {
+		recs = append(recs, kvRec{
+			key:      fmt.Sprintf("key-%d", i%17),
+			mapperID: i % 5,
+			recordID: int64(i),
+			seq:      int64(i),
+			value:    []byte(strconv.Itoa(i * 13)),
+		})
+	}
+	path := dir + "/round.run"
+	if err := encodeRunFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeRunFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		a, b := &recs[i], &got[i]
+		if a.key != b.key || a.mapperID != b.mapperID || a.recordID != b.recordID ||
+			a.seq != b.seq || string(a.value) != string(b.value) {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFileRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/bad.run"
+	if err := encodeRunFile(path, []kvRec{{key: "k", value: []byte("v")}}); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mutate := range []func([]byte) []byte{
+		func(b []byte) []byte { return b[:len(b)-1] },          // truncated
+		func(b []byte) []byte { b[0] ^= 0xFF; return b },       // bad magic
+		func(b []byte) []byte { return append(b, 0x00, 0x01) }, // trailing bytes
+	} {
+		bad := mutate(append([]byte(nil), buf...))
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := decodeRunFile(path); err == nil {
+			t.Error("corrupted run file decoded without error")
+		}
+	}
+}
+
+// ---- chaos differential at the engine level ----
+
+// TestChaosDifferentialEngine is the engine-level half of the chaos
+// suite: across seeds, inject kill/delay/error faults at every task
+// boundary and assert the delivered reduce streams are byte-identical
+// to the fault-free run. CHAOS_SEEDS widens the sweep (CI runs 100).
+func TestChaosDifferentialEngine(t *testing.T) {
+	checkGoroutineLeaks(t)
+	seeds := chaosSeedCount(t, 12)
+	segs := countingSegments(6, 60)
+	clean := Config{NumReducers: 3, Parallelism: 4}
+	want, wm := runIdempotentCapture(t, segs, clean)
+
+	var injected int64
+	for seed := 0; seed < seeds; seed++ {
+		plan := NewFaultPlan(int64(seed)).WithMaxDelay(time.Millisecond)
+		conf := fastRetries(Config{
+			NumReducers: 3,
+			Parallelism: 4,
+			MaxAttempts: 4,
+			Speculation: true,
+			Faults:      plan,
+		})
+		if seed%3 == 0 {
+			conf.SpillDir = spillTestDir(t)
+		}
+		got, gm := runIdempotentCapture(t, segs, conf)
+		if got != want {
+			t.Fatalf("seed %d: chaos run diverged from fault-free run\nchaos:\n%s\nclean:\n%s", seed, got, want)
+		}
+		if gm.Groups != wm.Groups || gm.ShuffleRecords != wm.ShuffleRecords || gm.ShuffleBytes != wm.ShuffleBytes {
+			t.Fatalf("seed %d: accounting diverged: chaos %d/%d/%d, clean %d/%d/%d", seed,
+				gm.Groups, gm.ShuffleRecords, gm.ShuffleBytes, wm.Groups, wm.ShuffleRecords, wm.ShuffleBytes)
+		}
+		injected += plan.Injected()
+	}
+	if injected == 0 {
+		t.Error("chaos sweep injected no faults — the harness is not arming")
+	}
+}
+
+// TestChaosKillsEveryAttemptFailsCleanly drives a job into exhaustion
+// under unsparing kill faults and asserts the failure is a clean
+// aggregated error, with nothing leaked.
+func TestChaosKillsEveryAttemptFailsCleanly(t *testing.T) {
+	checkGoroutineLeaks(t)
+	dir := spillTestDir(t)
+	plan := NewFaultPlan(7).
+		WithRate(1).
+		WithKinds(KindKill).
+		WithPoints(PointMapStart).
+		WithSpareFinal(false)
+	job := &Job{
+		Name: "all-killed",
+		Map: func(id int, seg *Segment, emit Emit) error {
+			emit("k", 0, nil)
+			return nil
+		},
+		Reduce: func(int, string, []Shuffled) error { return nil },
+		Conf:   fastRetries(Config{NumReducers: 2, MaxAttempts: 3, SpillDir: dir, Faults: plan}),
+	}
+	_, err := job.Run(countingSegments(3, 2))
+	if err == nil {
+		t.Fatal("job should have failed: every attempt killed")
+	}
+	if !strings.Contains(err.Error(), "killed") {
+		t.Errorf("error should surface the kill faults: %v", err)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("error should report the exhausted budget: %v", err)
+	}
+	if got := plan.InjectedAt(PointMapStart, KindKill); got < 3 {
+		t.Errorf("expected at least one kill per task, got %d", got)
+	}
+}
+
+// chaosSeedCount reads the CHAOS_SEEDS override used by the CI chaos
+// job and verify.sh; def is the default sweep width.
+func chaosSeedCount(t *testing.T, def int) int {
+	t.Helper()
+	if v := os.Getenv("CHAOS_SEEDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad CHAOS_SEEDS %q", v)
+		}
+		return n
+	}
+	if testing.Short() {
+		return max(def/4, 2)
+	}
+	return def
+}
+
+// ---- determinism of the plan itself ----
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a := NewFaultPlan(seed)
+		b := NewFaultPlan(seed)
+		other := NewFaultPlan(seed + 1)
+		same, diff := 0, 0
+		for _, pt := range AllFaultPoints() {
+			for task := 0; task < 20; task++ {
+				for attempt := 0; attempt < 4; attempt++ {
+					ka, da, oka := a.decide(pt, task, attempt, 5)
+					kb, db, okb := b.decide(pt, task, attempt, 5)
+					if oka != okb || ka != kb || da != db {
+						t.Fatalf("seed %d: decide(%v,%d,%d) not deterministic", seed, pt, task, attempt)
+					}
+					ko, do, oko := other.decide(pt, task, attempt, 5)
+					if oka == oko && ka == ko && da == do {
+						same++
+					} else {
+						diff++
+					}
+				}
+			}
+		}
+		if diff == 0 {
+			t.Errorf("seed %d and %d produce identical plans across %d coordinates", seed, seed+1, same)
+		}
+	}
+}
+
+func TestFaultPlanSparesFinalAttempt(t *testing.T) {
+	plan := NewFaultPlan(3).WithRate(1)
+	for _, pt := range AllFaultPoints() {
+		for task := 0; task < 50; task++ {
+			if _, _, ok := plan.decide(pt, task, 3, 4); ok {
+				t.Fatalf("final attempt faulted at %v task %d", pt, task)
+			}
+			found := false
+			for attempt := 0; attempt < 3; attempt++ {
+				if _, _, ok := plan.decide(pt, task, attempt, 4); ok {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("rate-1.0 plan never faulted %v task %d on non-final attempts", pt, task)
+			}
+		}
+	}
+}
+
+// ---- goroutine leaks on every exit path ----
+
+func TestNoGoroutineLeakOnSuccess(t *testing.T) {
+	checkGoroutineLeaks(t)
+	segs := countingSegments(5, 30)
+	if _, err := (&Job{
+		Name: "ok",
+		Map: func(id int, seg *Segment, emit Emit) error {
+			for i, rec := range seg.Records {
+				emit(string(rec), int64(i), nil)
+			}
+			return nil
+		},
+		Reduce: func(int, string, []Shuffled) error { return nil },
+		Conf:   Config{NumReducers: 3, Speculation: true},
+	}).Run(segs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoGoroutineLeakOnFailure(t *testing.T) {
+	checkGoroutineLeaks(t)
+	if _, err := (&Job{
+		Name:   "fail",
+		Map:    func(int, *Segment, Emit) error { return errors.New("boom") },
+		Reduce: func(int, string, []Shuffled) error { return nil },
+		Conf:   fastRetries(Config{NumReducers: 2, MaxAttempts: 3, Speculation: true}),
+	}).Run(countingSegments(4, 10)); err == nil {
+		t.Fatal("expected failure")
+	}
+}
+
+func TestNoGoroutineLeakOnCancel(t *testing.T) {
+	checkGoroutineLeaks(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	job := &Job{
+		Name: "cancelled",
+		Map: func(id int, seg *Segment, emit Emit) error {
+			once.Do(func() { close(started) })
+			time.Sleep(5 * time.Millisecond)
+			for i, rec := range seg.Records {
+				emit(string(rec), int64(i), nil)
+			}
+			return nil
+		},
+		Reduce: func(int, string, []Shuffled) error { return nil },
+		Conf:   Config{NumReducers: 2, Parallelism: 2, MaxAttempts: 3, Speculation: true},
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := job.RunContext(ctx, countingSegments(12, 5))
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("RunContext = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled job did not return")
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	job := &Job{
+		Name:   "precancel",
+		Map:    func(int, *Segment, Emit) error { t.Error("map ran"); return nil },
+		Reduce: func(int, string, []Shuffled) error { return nil },
+	}
+	if _, err := job.RunContext(ctx, countingSegments(2, 2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

@@ -28,6 +28,7 @@
 package mapreduce
 
 import (
+	"context"
 	"runtime"
 	"time"
 
@@ -72,7 +73,10 @@ type Shuffled struct {
 // ReduceFunc processes one key group. The values slice is a buffer the
 // engine reuses between groups: it is valid only for the duration of
 // the call and must not be retained (the Value payloads themselves are
-// stable).
+// stable). When Config.MaxAttempts allows retries, a failed reduce
+// attempt is re-executed over the same committed runs and Reduce is
+// re-invoked for every group, so its side effects must be idempotent
+// per key (e.g. overwriting a keyed result, as all in-tree engines do).
 type ReduceFunc func(reducerID int, key string, values []Shuffled) error
 
 // Config configures a job.
@@ -91,8 +95,44 @@ type Config struct {
 	// and fully re-sorted per partition, with a freshly allocated group
 	// slice per key. Kept as the equivalence oracle for the streaming
 	// shuffle and as the benchmark baseline; not intended for production
-	// runs.
+	// runs. The barrier engine predates the task lifecycle and ignores
+	// the fault-tolerance knobs below.
 	BarrierShuffle bool
+
+	// MaxAttempts is the per-task attempt budget: a failed map or reduce
+	// attempt is retried with capped exponential backoff until it
+	// succeeds or the budget is exhausted, after which the job fails
+	// with the task errors aggregated into one multi-error. Default 1
+	// (no retries — the pre-lifecycle behavior).
+	MaxAttempts int
+	// RetryBackoff is the delay before a task's second attempt; it
+	// doubles per further attempt, capped at MaxRetryBackoff. Defaults:
+	// 1ms base, 50ms cap — in-process tasks are sub-second, so the
+	// backoff curve is scaled to match.
+	RetryBackoff    time.Duration
+	MaxRetryBackoff time.Duration
+	// Speculation enables backup attempts for straggler map tasks: once
+	// at least half the map tasks have committed, any task still running
+	// after SpeculationMultiple times the median committed duration gets
+	// one speculative re-execution racing the original; the first
+	// attempt to commit wins and the loser's output is discarded.
+	// Requires Map to be deterministic over its segment (all in-tree
+	// engines are) for the winner's identity not to matter.
+	Speculation bool
+	// SpeculationMultiple is the straggler threshold multiplier.
+	// Default 3.
+	SpeculationMultiple float64
+	// SpillDir, when set, makes every map attempt write its sorted spill
+	// runs to disk under this directory and commit them by atomically
+	// renaming the attempt's temp dir — the durable variant of the
+	// first-finisher-wins protocol. Reducers then read runs only from
+	// committed task directories. Empty (the default) keeps runs in
+	// memory, with a per-task CAS as the commit arbiter.
+	SpillDir string
+	// Faults injects deterministic seeded faults at task boundaries for
+	// chaos testing. nil (the default) injects nothing and costs one nil
+	// check per boundary.
+	Faults *FaultPlan
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +141,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 1
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = time.Millisecond
+	}
+	if c.MaxRetryBackoff <= 0 {
+		c.MaxRetryBackoff = 50 * time.Millisecond
+	}
+	if c.SpeculationMultiple <= 1 {
+		c.SpeculationMultiple = 3
 	}
 	return c
 }
@@ -135,6 +187,15 @@ type Metrics struct {
 	MapTasks       []TaskMetrics
 	ReduceTasks    []TaskMetrics
 	Groups         int64
+
+	// Task-lifecycle counters (streaming engine). On a clean run with
+	// MaxAttempts 1 and no speculation: MapAttempts == map task count,
+	// ReduceAttempts == reduce task count, and the rest are zero.
+	MapAttempts      int64
+	ReduceAttempts   int64
+	TaskRetries      int64 // backoff retries, map and reduce
+	SpeculativeTasks int64 // backup attempts launched
+	SpeculativeWins  int64 // backup attempts that committed first
 }
 
 // kvRec is a shuffled record inside the engine. seq is the record's
@@ -172,11 +233,24 @@ type Job struct {
 
 // Run executes the job over the input segments and returns its metrics.
 func (j *Job) Run(segments []*Segment) (*Metrics, error) {
+	return j.RunContext(context.Background(), segments)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled, the
+// streaming engine stops launching attempts, wakes any attempt sleeping
+// in a backoff or injected delay, drains its task goroutines, and
+// returns ctx's error. A user Map or Reduce call already in flight runs
+// to completion first (the engine cannot preempt user code). The
+// barrier engine checks ctx only on entry.
+func (j *Job) RunContext(ctx context.Context, segments []*Segment) (*Metrics, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	conf := j.Conf.withDefaults()
 	if conf.BarrierShuffle {
 		return j.runBarrier(conf, segments)
 	}
-	return j.runStreaming(conf, segments)
+	return j.runStreaming(ctx, conf, segments)
 }
 
 // partition assigns a key to a reducer by FNV-1a hash, Hadoop's default

@@ -1,6 +1,8 @@
 package mapreduce
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -9,13 +11,18 @@ import (
 
 // The streaming engine. Map and reduce overlap: reduce tasks start
 // before any map task and consume sorted spill runs from per-partition
-// channels as mappers deliver them, pre-merging early arrivals while
+// channels as map attempts commit, pre-merging early arrivals while
 // later maps still run. User Reduce calls begin only once every run has
 // arrived — a k-way merge cannot know its smallest key earlier — but by
 // then most merge work is already done, off the critical path. The
 // (mapperID, recordID) composition order is unaffected: runs are sorted
 // at the mapper and merged under the same total order the barrier
 // engine sorts by.
+//
+// Fault tolerance layers on top (task.go): each task runs as retryable
+// attempts, and only a committed attempt's runs ever reach a reduce
+// channel, so retries and speculative re-execution cannot perturb the
+// merged stream.
 
 // premergeMinRuns is the pending-run count above which an idle reduce
 // task folds its two smallest runs into one while waiting for more map
@@ -23,21 +30,31 @@ import (
 // would only add copies.
 const premergeMinRuns = 4
 
-func (j *Job) runStreaming(conf Config, segments []*Segment) (*Metrics, error) {
+func (j *Job) runStreaming(ctx context.Context, conf Config, segments []*Segment) (*Metrics, error) {
 	m := &Metrics{}
 	start := time.Now()
-	sem := make(chan struct{}, conf.Parallelism)
-
-	// Per-partition run channels, buffered for one run per mapper so map
-	// tasks never block on reducers.
-	runCh := make([]chan spillRun, conf.NumReducers)
-	for p := range runCh {
-		runCh[p] = make(chan spillRun, len(segments))
+	env := &runEnv{
+		ctx:     ctx,
+		job:     j,
+		conf:    conf,
+		sem:     make(chan struct{}, conf.Parallelism),
+		aborted: &atomic.Bool{},
 	}
-	// aborted tells reduce tasks a map failed; they then drop their runs
-	// without invoking Reduce. It is set before the channels close, and
-	// channel close happens-before the post-drain load.
-	var aborted atomic.Bool
+	if conf.SpillDir != "" {
+		spill, err := newSpillStore(conf.SpillDir)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce %q: %w", j.Name, err)
+		}
+		env.spill = spill
+		defer spill.close()
+	}
+
+	// Per-partition run channels, buffered for one run per map task so
+	// committing attempts never block on reducers.
+	env.runCh = make([]chan spillRun, conf.NumReducers)
+	for p := range env.runCh {
+		env.runCh[p] = make(chan spillRun, len(segments))
+	}
 
 	// ---- Reduce tasks (launched first: there is no map barrier) ----
 	type redOut struct {
@@ -51,18 +68,21 @@ func (j *Job) runStreaming(conf Config, segments []*Segment) (*Metrics, error) {
 		rwg.Add(1)
 		go func(p int) {
 			defer rwg.Done()
-			runs, inBytes, active := collectRuns(runCh[p], conf.ExternalSort, sem)
-			if aborted.Load() {
+			runs, inBytes, active, lerr := collectRuns(env.runCh[p], conf.ExternalSort, env.sem)
+			if env.aborted.Load() || lerr != nil {
 				releaseRuns(runs)
+				if lerr != nil {
+					redOuts[p] = redOut{err: fmt.Errorf("mapreduce %q: reduce task %d: %w", j.Name, p, lerr)}
+				}
 				return
 			}
 			// The merge and the user reduce calls are CPU work; cap them
 			// like any other task. By now all maps are done, so their
 			// semaphore slots are free.
-			sem <- struct{}{}
-			defer func() { <-sem }()
+			env.sem <- struct{}{}
+			defer func() { <-env.sem }()
 			t0 := time.Now()
-			groups, err := reducePartition(j, p, runs, conf)
+			groups, err := env.runReduceTask(p, runs)
 			redOuts[p] = redOut{
 				task:   TaskMetrics{Duration: active + time.Since(t0), InputBytes: inBytes, Records: groups},
 				groups: groups,
@@ -71,106 +91,93 @@ func (j *Job) runStreaming(conf Config, segments []*Segment) (*Metrics, error) {
 		}(p)
 	}
 
-	// ---- Map tasks ----
+	// ---- Map tasks: one driver per task, attempts inside ----
 	mapStart := time.Now()
-	type mapOut struct {
-		task    TaskMetrics
-		emitted int64
-		err     error
-	}
-	outs := make([]mapOut, len(segments))
+	states := make([]*mapTask, len(segments))
 	var wg sync.WaitGroup
 	for i, seg := range segments {
+		states[i] = newMapTask(i, seg)
 		wg.Add(1)
-		go func(i int, seg *Segment) {
+		go func(st *mapTask) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			t0 := time.Now()
-			parts := make([][]kvRec, conf.NumReducers)
-			outBytes := make([]int64, conf.NumReducers)
-			var seq int64
-			emit := func(key string, recordID int64, value []byte) {
-				rec := kvRec{key: key, mapperID: seg.ID, recordID: recordID, seq: seq, value: value}
-				seq++
-				p := partition(key, conf.NumReducers)
-				buf := parts[p]
-				if buf == nil {
-					buf = kvBufs.get(0)
-				}
-				parts[p] = append(buf, rec)
-				outBytes[p] += rec.wireSize()
-			}
-			err := j.Map(seg.ID, seg, emit)
-			var emitted int64
-			for p := range parts {
-				if parts[p] == nil {
-					continue
-				}
-				if err != nil || len(parts[p]) == 0 {
-					kvBufs.put(parts[p])
-					continue
-				}
-				emitted += int64(len(parts[p]))
-				// The spill sort is map-side work, as in Hadoop — except
-				// under ExternalSort, where the §6.2 baseline pays for
-				// sorting in the reducer's Unix sort pipe.
-				if !conf.ExternalSort {
-					sortRun(parts[p])
-				}
-				runCh[p] <- spillRun{recs: parts[p], bytes: outBytes[p]}
-			}
-			outs[i] = mapOut{
-				task: TaskMetrics{
-					Duration:   time.Since(t0),
-					InputBytes: seg.Bytes(),
-					Records:    int64(len(seg.Records)),
-					OutBytes:   outBytes,
-				},
-				emitted: emitted,
-				err:     err,
-			}
-		}(i, seg)
+			env.driveMapTask(st)
+		}(states[i])
+	}
+	var watchdogDone chan struct{}
+	var watchdogStop chan struct{}
+	if conf.Speculation && len(segments) > 1 {
+		watchdogStop = make(chan struct{})
+		watchdogDone = make(chan struct{})
+		go env.speculationWatchdog(states, watchdogStop, watchdogDone)
 	}
 	wg.Wait()
+	if watchdogStop != nil {
+		close(watchdogStop)
+		<-watchdogDone
+	}
+	// Late speculative attempts may still be running (their task already
+	// resolved); wait so every commit or discard lands before the
+	// channels close.
+	env.specWG.Wait()
 	mapDone := time.Now()
 	m.MapWall = mapDone.Sub(mapStart)
 
-	// Collect map results, folding shuffle-byte and record summation
+	// Collect map outcomes, folding shuffle-byte and record summation
 	// into this single pass, then release the reducers by closing their
-	// channels.
-	var mapErr error
-	for i, o := range outs {
-		if o.err != nil && mapErr == nil {
-			mapErr = fmt.Errorf("mapreduce %q: map task %d: %w", j.Name, segments[i].ID, o.err)
+	// channels. Permanent task failures aggregate into one multi-error.
+	var taskFailures []error
+	for i, st := range states {
+		if st.failErr != nil {
+			taskFailures = append(taskFailures, st.failErr)
+			continue
 		}
-		m.MapTasks = append(m.MapTasks, o.task)
-		m.MapCPU += o.task.Duration
-		m.InputBytes += o.task.InputBytes
+		if !st.committed.Load() {
+			continue // stopped early: job aborting or cancelled
+		}
+		m.MapTasks = append(m.MapTasks, st.task)
+		m.MapCPU += st.task.Duration
+		m.InputBytes += st.task.InputBytes
 		m.InputRecords += int64(len(segments[i].Records))
-		m.ShuffleRecords += o.emitted
-		for _, b := range o.task.OutBytes {
+		m.ShuffleRecords += st.emitted
+		for _, b := range st.task.OutBytes {
 			m.ShuffleBytes += b
 		}
 	}
-	if mapErr != nil {
-		aborted.Store(true)
+	m.MapAttempts = env.mapAttempts.Load()
+	m.SpeculativeTasks = env.specLaunched.Load()
+	m.SpeculativeWins = env.specWins.Load()
+
+	var mapErr error
+	if err := ctx.Err(); err != nil {
+		mapErr = fmt.Errorf("mapreduce %q: %w", j.Name, err)
+	} else if len(taskFailures) > 0 {
+		mapErr = errors.Join(taskFailures...)
 	}
-	for p := range runCh {
-		close(runCh[p])
+	if mapErr != nil {
+		env.aborted.Store(true)
+	}
+	for p := range env.runCh {
+		close(env.runCh[p])
 	}
 	rwg.Wait()
+	m.ReduceAttempts = env.reduceAttempts.Load()
+	m.TaskRetries = env.retries.Load() // map and reduce retries
 	if mapErr != nil {
 		return nil, mapErr
 	}
 
+	var reduceFailures []error
 	for p := range redOuts {
 		if redOuts[p].err != nil {
-			return nil, redOuts[p].err
+			reduceFailures = append(reduceFailures, redOuts[p].err)
+			continue
 		}
 		m.ReduceTasks = append(m.ReduceTasks, redOuts[p].task)
 		m.ReduceCPU += redOuts[p].task.Duration
 		m.Groups += redOuts[p].groups
+	}
+	if len(reduceFailures) > 0 {
+		return nil, errors.Join(reduceFailures...)
 	}
 	// ReduceWall is the post-map tail: the part of reduce work left on
 	// the critical path after pipelining has overlapped the rest.
@@ -179,25 +186,41 @@ func (j *Job) runStreaming(conf Config, segments []*Segment) (*Metrics, error) {
 	return m, nil
 }
 
-// collectRuns drains one partition's channel until all mappers are done.
+// collectRuns drains one partition's channel until all map tasks are
+// resolved. Disk-backed runs are decoded into pooled buffers on arrival.
 // While the channel is open but momentarily empty — the reducer would
 // otherwise idle — it folds the two smallest pending runs into one,
 // overlapping merge work with still-running map tasks. Folding is CPU
 // work and stays under the Parallelism cap: it runs only when a
 // semaphore slot is free right now (non-blocking try), never at the
 // expense of map progress. Returns the pending runs, total wire bytes
-// received, and active (non-waiting) time.
-func collectRuns(ch <-chan spillRun, external bool, sem chan struct{}) (runs []spillRun, inBytes int64, active time.Duration) {
+// received, active (non-waiting) time, and the first run-load error.
+func collectRuns(ch <-chan spillRun, external bool, sem chan struct{}) (runs []spillRun, inBytes int64, active time.Duration, err error) {
+	add := func(r spillRun) {
+		if r.path != "" {
+			t0 := time.Now()
+			recs, derr := decodeRunFile(r.path)
+			active += time.Since(t0)
+			if derr != nil {
+				if err == nil {
+					err = derr
+				}
+				return
+			}
+			r = spillRun{recs: recs, bytes: r.bytes}
+		}
+		runs = append(runs, r)
+		inBytes += r.bytes
+	}
 	for {
 		select {
 		case r, ok := <-ch:
 			if !ok {
-				return runs, inBytes, active
+				return runs, inBytes, active, err
 			}
-			runs = append(runs, r)
-			inBytes += r.bytes
+			add(r)
 		default:
-			if !external && len(runs) >= premergeMinRuns {
+			if !external && err == nil && len(runs) >= premergeMinRuns {
 				select {
 				case sem <- struct{}{}:
 					t0 := time.Now()
@@ -210,10 +233,9 @@ func collectRuns(ch <-chan spillRun, external bool, sem chan struct{}) (runs []s
 			}
 			r, ok := <-ch
 			if !ok {
-				return runs, inBytes, active
+				return runs, inBytes, active, err
 			}
-			runs = append(runs, r)
-			inBytes += r.bytes
+			add(r)
 		}
 	}
 }
@@ -241,36 +263,11 @@ func foldSmallest(runs []spillRun) []spillRun {
 	return runs[:len(runs)-1]
 }
 
-// reducePartition merges the partition's runs and streams each key group
-// to the reduce function through a reusable buffer — no per-group slice
-// is materialized. Under ExternalSort the runs are concatenated and
-// piped through the system sort binary first (§6.2 baseline), then
-// streamed the same way as a single run. The map side skips its spill
-// sort under ExternalSort, so the concatenate-and-sort here must happen
-// unconditionally: when the sort binary is missing, externalSort falls
-// back to the in-process sortPartition, honoring the Config contract.
-func reducePartition(j *Job, p int, runs []spillRun, conf Config) (groups int64, err error) {
-	if conf.ExternalSort {
-		var n int
-		var bytes int64
-		for i := range runs {
-			n += len(runs[i].recs)
-			bytes += runs[i].bytes
-		}
-		flat := kvBufs.get(n)
-		for i := range runs {
-			flat = append(flat, runs[i].recs...)
-		}
-		releaseRuns(runs)
-		sorted := externalSort(flat)
-		if len(flat) > 0 && len(sorted) > 0 && &sorted[0] != &flat[0] {
-			// externalSort returned a fresh slice; recycle the scratch.
-			kvBufs.put(flat)
-		}
-		runs = []spillRun{{recs: sorted, bytes: bytes}}
-	}
-	defer releaseRuns(runs)
-
+// reduceMerge merges the partition's runs and streams each key group to
+// the reduce function through a reusable buffer — no per-group slice is
+// materialized. It never mutates the runs (the loser tree keeps its own
+// cursors), so a retrying reduce attempt re-merges identical inputs.
+func (j *Job) reduceMerge(p int, runs []spillRun) (groups int64, err error) {
 	tree := newLoserTree(runs)
 	group := make([]Shuffled, 0, 64)
 	for {

@@ -9,10 +9,13 @@ import (
 // A spillRun is one mapper's sorted output for one reduce partition: the
 // in-process analogue of a Hadoop spill file. Runs are immutable once
 // handed to the shuffle; their record buffers come from and return to
-// kvBufs.
+// kvBufs. Under Config.SpillDir a run arrives as a committed file
+// reference instead (path set, recs nil) and is decoded into a pooled
+// buffer by the reducer on receipt.
 type spillRun struct {
 	recs  []kvRec
-	bytes int64 // summed wireSize of recs
+	bytes int64  // summed wireSize of recs
+	path  string // committed run file (disk-spill mode), or ""
 }
 
 // sortRun key-sorts one mapper's partition in place into the shuffle

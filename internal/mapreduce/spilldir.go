@@ -1,0 +1,233 @@
+package mapreduce
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+
+	"repro/internal/wire"
+)
+
+// Disk-backed spill runs with an atomic commit protocol, enabled by
+// Config.SpillDir. Each map attempt writes its per-partition sorted runs
+// into a private temp directory:
+//
+//	<spillDir>/<job>/attempt-t<task>-a<attempt>.tmp/
+//	    MANIFEST            (attempt metadata; keeps the dir non-empty)
+//	    part-<p>.run        (one encoded run per non-empty partition)
+//
+// and commits by renaming the whole directory to task-<task>/ in one
+// rename(2) call. The rename is the cross-attempt arbiter: it fails with
+// EEXIST/ENOTEMPTY when another attempt already committed (the MANIFEST
+// guarantees committed dirs are never empty, so rename can never quietly
+// replace one), which makes first-finisher-wins atomic at the filesystem
+// level — a losing or dying attempt's runs can never be merged, because
+// reducers read runs only from committed task directories. Losing and
+// failed attempts remove their temp dirs; the whole job directory is
+// removed when the job finishes, so no run files outlive a job.
+
+// spillMagic leads every run file; a mismatch fails decoding loudly
+// instead of merging garbage.
+const spillMagic = "SPR1"
+
+// spillStore is one job's spill directory.
+type spillStore struct {
+	root string
+}
+
+// newSpillStore creates a fresh private directory for one job run under
+// base.
+func newSpillStore(base string) (*spillStore, error) {
+	if err := os.MkdirAll(base, 0o755); err != nil {
+		return nil, fmt.Errorf("mapreduce: spill dir: %w", err)
+	}
+	root, err := os.MkdirTemp(base, "job-*")
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: spill dir: %w", err)
+	}
+	return &spillStore{root: root}, nil
+}
+
+// close removes the job's entire spill directory, committed runs
+// included. Reducers have consumed (or dropped) every run by the time
+// the job returns, so nothing of value remains.
+func (s *spillStore) close() {
+	if s != nil {
+		_ = os.RemoveAll(s.root)
+	}
+}
+
+func (s *spillStore) attemptDir(task, attempt int) string {
+	return filepath.Join(s.root, fmt.Sprintf("attempt-t%04d-a%03d.tmp", task, attempt))
+}
+
+func (s *spillStore) taskDir(task int) string {
+	return filepath.Join(s.root, fmt.Sprintf("task-%04d", task))
+}
+
+// spillFile locates one committed-run-to-be inside an attempt dir.
+type spillFile struct {
+	part  int
+	name  string
+	bytes int64
+	recs  int
+}
+
+// writeAttempt encodes the attempt's non-empty partitions into its temp
+// dir and returns the run file index. The record buffers in parts are
+// returned to the pool on success; on error the caller still owns them
+// and the partial temp dir has been removed.
+func (s *spillStore) writeAttempt(task, attempt int, parts [][]kvRec, outBytes []int64) ([]spillFile, error) {
+	dir := s.attemptDir(task, attempt)
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("mapreduce: spill attempt dir: %w", err)
+	}
+	fail := func(err error) ([]spillFile, error) {
+		_ = os.RemoveAll(dir)
+		return nil, err
+	}
+	var files []spillFile
+	for p := range parts {
+		if len(parts[p]) == 0 {
+			continue
+		}
+		name := fmt.Sprintf("part-%03d.run", p)
+		if err := encodeRunFile(filepath.Join(dir, name), parts[p]); err != nil {
+			return fail(err)
+		}
+		files = append(files, spillFile{part: p, name: name, bytes: outBytes[p], recs: len(parts[p])})
+	}
+	manifest := fmt.Sprintf("task %d attempt %d runs %d\n", task, attempt, len(files))
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST"), []byte(manifest), 0o644); err != nil {
+		return fail(fmt.Errorf("mapreduce: spill manifest: %w", err))
+	}
+	for p := range parts {
+		if parts[p] != nil {
+			kvBufs.put(parts[p])
+			parts[p] = nil
+		}
+	}
+	return files, nil
+}
+
+// commitRename promotes the attempt's temp dir to the task's committed
+// directory. won=false with a nil error means another attempt committed
+// first and this attempt's dir was cleaned up; a non-nil error is an
+// unexpected filesystem failure (the temp dir is removed either way).
+func (s *spillStore) commitRename(task, attempt int) (won bool, err error) {
+	tmp := s.attemptDir(task, attempt)
+	err = os.Rename(tmp, s.taskDir(task))
+	if err == nil {
+		return true, nil
+	}
+	_ = os.RemoveAll(tmp)
+	if errors.Is(err, fs.ErrExist) || errors.Is(err, syscall.EEXIST) || errors.Is(err, syscall.ENOTEMPTY) {
+		return false, nil
+	}
+	return false, fmt.Errorf("mapreduce: committing spill attempt: %w", err)
+}
+
+// removeAttempt deletes a failed or losing attempt's temp dir — the
+// cleanup that keeps aborted attempts from leaking run files on disk.
+func (s *spillStore) removeAttempt(task, attempt int) {
+	if s != nil {
+		_ = os.RemoveAll(s.attemptDir(task, attempt))
+	}
+}
+
+// committedRunPath returns the path of one run file inside the task's
+// committed directory.
+func (s *spillStore) committedRunPath(task int, f spillFile) string {
+	return filepath.Join(s.taskDir(task), f.name)
+}
+
+// encodeRunFile writes one sorted run: magic, record count, then per
+// record the key, (mapperID, recordID, seq) ordering triple, and value.
+func encodeRunFile(path string, recs []kvRec) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mapreduce: spill run: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 64*1024)
+	e := wire.GetEncoder()
+	defer wire.PutEncoder(e)
+	e.Uvarint(uint64(len(recs)))
+	if _, err := w.WriteString(spillMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("mapreduce: spill run %s: %w", path, err)
+	}
+	if _, err := w.Write(e.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("mapreduce: spill run %s: %w", path, err)
+	}
+	for i := range recs {
+		r := &recs[i]
+		e.Reset()
+		e.String(r.key)
+		e.Uvarint(uint64(r.mapperID))
+		e.Uvarint(uint64(r.recordID))
+		e.Uvarint(uint64(r.seq))
+		e.BytesField(r.value)
+		if _, err := w.Write(e.Bytes()); err != nil {
+			f.Close()
+			return fmt.Errorf("mapreduce: spill run %s: %w", path, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("mapreduce: spill run %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("mapreduce: spill run %s: %w", path, err)
+	}
+	return nil
+}
+
+// decodeRunFile reads one committed run back into a pooled record
+// buffer. Values alias the file's read buffer, which the records keep
+// alive — the same stability contract in-memory runs provide.
+func decodeRunFile(path string) ([]kvRec, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: reading spill run: %w", err)
+	}
+	if len(buf) < len(spillMagic) || string(buf[:len(spillMagic)]) != spillMagic {
+		return nil, fmt.Errorf("mapreduce: spill run %s: bad magic", path)
+	}
+	d := wire.NewDecoder(buf[len(spillMagic):])
+	n := d.Length(len(buf))
+	recs := kvBufs.get(n)
+	for i := 0; i < n; i++ {
+		key := d.String()
+		mapperID := d.Uvarint()
+		recordID := d.Uvarint()
+		seq := d.Uvarint()
+		value := d.BytesField()
+		if d.Err() != nil {
+			break
+		}
+		if len(value) == 0 {
+			value = nil
+		}
+		recs = append(recs, kvRec{
+			key:      key,
+			mapperID: int(mapperID),
+			recordID: int64(recordID),
+			seq:      int64(seq),
+			value:    value,
+		})
+	}
+	if err := d.Err(); err != nil {
+		kvBufs.put(recs)
+		return nil, fmt.Errorf("mapreduce: spill run %s: %w", path, err)
+	}
+	if d.Remaining() != 0 {
+		kvBufs.put(recs)
+		return nil, fmt.Errorf("mapreduce: spill run %s: %d trailing bytes", path, d.Remaining())
+	}
+	return recs, nil
+}

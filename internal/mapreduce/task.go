@@ -1,0 +1,486 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task lifecycle: every map and reduce task runs as a sequence of
+// numbered attempts. A failed attempt is retried with capped exponential
+// backoff up to Config.MaxAttempts; straggling map tasks additionally
+// get one speculative backup attempt (Config.Speculation) racing the
+// original, first finisher wins. An attempt's output becomes visible to
+// reducers only when the attempt commits — a single CompareAndSwap per
+// task in memory mode, an atomic directory rename in spill mode — so a
+// losing or dying attempt's runs are never merged. This is safe for the
+// same reason the paper's summaries parallelize at all: a map attempt is
+// a deterministic recomputation over its segment, and reducers compose
+// whatever committed in (mapperID, recordID) order (§5.4).
+
+// speculationTick is the straggler watchdog's poll interval. It bounds
+// how quickly a backup attempt can launch; at in-process task durations
+// a sub-millisecond tick keeps speculation responsive without cost.
+const speculationTick = 500 * time.Microsecond
+
+// sleepCtx sleeps for d unless ctx is cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// backoffDelay returns the capped exponential delay before the given
+// retry (attempt ≥ 1 of the driver's budget).
+func backoffDelay(conf Config, retry int) time.Duration {
+	d := conf.RetryBackoff
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= conf.MaxRetryBackoff {
+			return conf.MaxRetryBackoff
+		}
+	}
+	return min(d, conf.MaxRetryBackoff)
+}
+
+// runEnv bundles the per-job scheduler state shared by task drivers,
+// attempts, and the speculation watchdog.
+type runEnv struct {
+	ctx     context.Context
+	job     *Job
+	conf    Config
+	sem     chan struct{}
+	runCh   []chan spillRun
+	spill   *spillStore
+	aborted *atomic.Bool
+
+	specWG sync.WaitGroup // in-flight speculative attempts
+
+	mapAttempts    atomic.Int64
+	reduceAttempts atomic.Int64
+	retries        atomic.Int64
+	specLaunched   atomic.Int64
+	specWins       atomic.Int64
+}
+
+// mapTask is one map task's lifecycle state, shared by its driver, any
+// speculative attempt, and the watchdog.
+type mapTask struct {
+	id  int
+	seg *Segment
+
+	committed  atomic.Bool
+	attemptSeq atomic.Int32 // next attempt ID
+	firstStart atomic.Int64 // unix nanos of the driver's first attempt
+	commitDur  atomic.Int64 // committed attempt's duration (nanos)
+
+	// Written once by the committing attempt (guarded by the commit CAS),
+	// read after all drivers and backups have finished.
+	task    TaskMetrics
+	emitted int64
+
+	mu       sync.Mutex
+	finished bool          // driver exhausted its budget (under mu)
+	backup   chan struct{} // closed when the speculative attempt ends; nil if none
+
+	failErr error // driver-final error, set before done closes
+	done    chan struct{}
+}
+
+func newMapTask(id int, seg *Segment) *mapTask {
+	return &mapTask{id: id, seg: seg, done: make(chan struct{})}
+}
+
+// attemptResult is one successful map attempt's output, pending commit.
+type attemptResult struct {
+	task    TaskMetrics
+	emitted int64
+	memRuns []spillRun  // memory mode: per-partition runs (nil entries empty)
+	attempt int         // spill mode: attempt ID owning dirTmp
+	files   []spillFile // spill mode: encoded runs awaiting rename
+	onDisk  bool
+}
+
+// discard releases a losing or unused attempt's output: buffers back to
+// the pool, temp dir off the disk.
+func (r *attemptResult) discard(taskID int, spill *spillStore) {
+	if r == nil {
+		return
+	}
+	for p := range r.memRuns {
+		if r.memRuns[p].recs != nil {
+			kvBufs.put(r.memRuns[p].recs)
+			r.memRuns[p].recs = nil
+		}
+	}
+	if r.onDisk {
+		spill.removeAttempt(taskID, r.attempt)
+	}
+}
+
+// driveMapTask runs the task's retry loop: attempts with capped
+// exponential backoff until one commits, the budget is exhausted, the
+// job aborts, or ctx is cancelled. If a speculative attempt is in
+// flight when the budget runs out, the driver waits for it before
+// declaring the task failed.
+func (env *runEnv) driveMapTask(st *mapTask) {
+	defer close(st.done)
+	st.firstStart.Store(time.Now().UnixNano())
+	var attemptErrs []error
+	for a := 0; a < env.conf.MaxAttempts; a++ {
+		if st.committed.Load() {
+			return // a speculative attempt won
+		}
+		if env.aborted.Load() || env.ctx.Err() != nil {
+			env.finishTask(st, nil)
+			return
+		}
+		if a > 0 {
+			env.retries.Add(1)
+			if err := sleepCtx(env.ctx, backoffDelay(env.conf, a)); err != nil {
+				env.finishTask(st, nil)
+				return
+			}
+		}
+		id := int(st.attemptSeq.Add(1) - 1)
+		res, err := env.runMapAttempt(st, id)
+		if err == nil {
+			won, cerr := env.commit(st, id, res)
+			if won {
+				return
+			}
+			res.discard(st.id, env.spill)
+			if cerr == nil {
+				return // lost the commit race to a backup
+			}
+			err = cerr // commit failed; counts against this attempt
+		}
+		if env.ctx.Err() != nil {
+			env.finishTask(st, nil)
+			return
+		}
+		attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: %w", id, err))
+	}
+	// Budget exhausted; a backup may still save the task.
+	st.mu.Lock()
+	st.finished = true
+	b := st.backup
+	st.mu.Unlock()
+	if b != nil {
+		<-b
+	}
+	if st.committed.Load() {
+		return
+	}
+	env.finishTask(st, fmt.Errorf("mapreduce %q: map task %d failed after %d attempts: %w",
+		env.job.Name, st.id, len(attemptErrs), errors.Join(attemptErrs...)))
+}
+
+// finishTask marks the driver done without a commit. err may be nil when
+// the task stopped because the job is already aborting or cancelled.
+func (env *runEnv) finishTask(st *mapTask, err error) {
+	st.mu.Lock()
+	st.finished = true
+	st.mu.Unlock()
+	st.failErr = err
+}
+
+// runMapAttempt executes one attempt: acquire a task slot, run the user
+// map with fault hooks armed, sort and (in spill mode) persist the spill
+// runs. The returned result is uncommitted.
+func (env *runEnv) runMapAttempt(st *mapTask, attempt int) (res *attemptResult, err error) {
+	env.mapAttempts.Add(1)
+	select {
+	case env.sem <- struct{}{}:
+	case <-env.ctx.Done():
+		return nil, env.ctx.Err()
+	}
+	defer func() { <-env.sem }()
+
+	conf := env.conf
+	seg := st.seg
+	t0 := time.Now()
+	parts := make([][]kvRec, conf.NumReducers)
+	outBytes := make([]int64, conf.NumReducers)
+	discardParts := func() {
+		for p := range parts {
+			if parts[p] != nil {
+				kvBufs.put(parts[p])
+				parts[p] = nil
+			}
+		}
+	}
+	// A kill or error fault inside the user map surfaces as a panic;
+	// recover it into the attempt's error, as if the worker died.
+	defer func() {
+		if r := recover(); r != nil {
+			ab, ok := r.(attemptAbort)
+			if !ok {
+				panic(r)
+			}
+			discardParts()
+			res, err = nil, ab.err
+		}
+	}()
+
+	if ferr := conf.Faults.fire(env.ctx, PointMapStart, st.id, attempt, conf.MaxAttempts); ferr != nil {
+		return nil, ferr
+	}
+	trigs := conf.Faults.emitTriggers(st.id, attempt, conf.MaxAttempts)
+	var seq int64
+	emit := func(key string, recordID int64, value []byte) {
+		if len(trigs) > 0 && seq == trigs[0].at {
+			tr := trigs[0]
+			trigs = trigs[1:]
+			conf.Faults.fireEmit(env.ctx, tr, st.id, attempt)
+		}
+		rec := kvRec{key: key, mapperID: seg.ID, recordID: recordID, seq: seq, value: value}
+		seq++
+		p := partition(key, conf.NumReducers)
+		buf := parts[p]
+		if buf == nil {
+			buf = kvBufs.get(0)
+		}
+		parts[p] = append(buf, rec)
+		outBytes[p] += rec.wireSize()
+	}
+	if err := env.job.Map(seg.ID, seg, emit); err != nil {
+		discardParts()
+		return nil, err
+	}
+
+	res = &attemptResult{
+		emitted: 0,
+		attempt: attempt,
+	}
+	// The spill sort is map-side work, as in Hadoop — except under
+	// ExternalSort, where the §6.2 baseline pays for sorting in the
+	// reducer's Unix sort pipe.
+	for p := range parts {
+		if parts[p] == nil {
+			continue
+		}
+		if len(parts[p]) == 0 {
+			kvBufs.put(parts[p])
+			parts[p] = nil
+			continue
+		}
+		res.emitted += int64(len(parts[p]))
+		if !conf.ExternalSort {
+			sortRun(parts[p])
+		}
+	}
+	if env.spill != nil {
+		files, werr := env.spill.writeAttempt(st.id, attempt, parts, outBytes)
+		if werr != nil {
+			discardParts()
+			return nil, werr
+		}
+		res.files = files
+		res.onDisk = true
+	} else {
+		res.memRuns = make([]spillRun, conf.NumReducers)
+		for p := range parts {
+			if parts[p] != nil {
+				res.memRuns[p] = spillRun{recs: parts[p], bytes: outBytes[p]}
+			}
+		}
+	}
+	if ferr := conf.Faults.fire(env.ctx, PointSpillWrite, st.id, attempt, conf.MaxAttempts); ferr != nil {
+		res.discard(st.id, env.spill)
+		return nil, ferr
+	}
+	res.task = TaskMetrics{
+		Duration:   time.Since(t0),
+		InputBytes: seg.Bytes(),
+		Records:    int64(len(seg.Records)),
+		OutBytes:   outBytes,
+	}
+	return res, nil
+}
+
+// commit makes one attempt's runs the task's output. In spill mode the
+// directory rename arbitrates between racing attempts; in memory mode
+// the CAS does. Exactly one attempt per task can win; the winner hands
+// its runs to the reducers' channels. won=false with nil error means
+// another attempt committed first (the caller discards); a non-nil error
+// is an unexpected commit failure counted against this attempt.
+func (env *runEnv) commit(st *mapTask, attempt int, res *attemptResult) (won bool, err error) {
+	if res.onDisk {
+		won, err = env.spill.commitRename(st.id, attempt)
+		if !won {
+			// The rename arbitrated: clear disk state so discard does not
+			// re-remove, and report the loss or the failure.
+			res.onDisk = false
+			return false, err
+		}
+	}
+	if !st.committed.CompareAndSwap(false, true) {
+		// Memory-mode loss. Unreachable in spill mode: only the rename
+		// winner reaches the CAS.
+		return false, nil
+	}
+	st.task = res.task
+	st.emitted = res.emitted
+	st.commitDur.Store(int64(res.task.Duration))
+	if res.onDisk {
+		for _, f := range res.files {
+			env.runCh[f.part] <- spillRun{path: env.spill.committedRunPath(st.id, f), bytes: f.bytes}
+		}
+	} else {
+		for p := range res.memRuns {
+			if res.memRuns[p].recs != nil {
+				env.runCh[p] <- res.memRuns[p]
+			}
+		}
+	}
+	return true, nil
+}
+
+// speculationWatchdog launches one backup attempt for any map task still
+// running after SpeculationMultiple times the median committed-task
+// duration, once at least half the tasks have committed. First finisher
+// wins at commit; the loser's output is discarded.
+func (env *runEnv) speculationWatchdog(states []*mapTask, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	tick := time.NewTicker(speculationTick)
+	defer tick.Stop()
+	durs := make([]int64, 0, len(states))
+	for {
+		select {
+		case <-stop:
+			return
+		case <-env.ctx.Done():
+			return
+		case <-tick.C:
+		}
+		durs = durs[:0]
+		for _, st := range states {
+			if d := st.commitDur.Load(); d > 0 {
+				durs = append(durs, d)
+			}
+		}
+		if len(durs)*2 < len(states) {
+			continue
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		median := durs[len(durs)/2]
+		threshold := time.Duration(float64(median) * env.conf.SpeculationMultiple)
+		if threshold < speculationTick {
+			threshold = speculationTick
+		}
+		now := time.Now().UnixNano()
+		for _, st := range states {
+			if st.committed.Load() {
+				continue
+			}
+			start := st.firstStart.Load()
+			if start == 0 || time.Duration(now-start) < threshold {
+				continue
+			}
+			st.mu.Lock()
+			if !st.finished && st.backup == nil && !st.committed.Load() {
+				b := make(chan struct{})
+				st.backup = b
+				env.specWG.Add(1)
+				env.specLaunched.Add(1)
+				go env.runBackup(st, b)
+			}
+			st.mu.Unlock()
+		}
+	}
+}
+
+// runBackup is one speculative map attempt racing the task's driver.
+func (env *runEnv) runBackup(st *mapTask, b chan struct{}) {
+	defer env.specWG.Done()
+	defer close(b)
+	id := int(st.attemptSeq.Add(1) - 1)
+	res, err := env.runMapAttempt(st, id)
+	if err != nil {
+		return // the driver's own attempts decide the task's fate
+	}
+	won, _ := env.commit(st, id, res)
+	if won {
+		env.specWins.Add(1)
+		return
+	}
+	res.discard(st.id, env.spill)
+}
+
+// runReduceTask merges one partition's committed runs and streams the
+// key groups to the user reduce function, with the same per-attempt
+// retry/backoff budget map tasks get. The merge never mutates the runs,
+// so a retry re-merges the identical committed inputs; a retried
+// attempt re-invokes Reduce for every group, which the ReduceFunc
+// contract requires to be idempotent.
+func (env *runEnv) runReduceTask(p int, runs []spillRun) (groups int64, err error) {
+	conf := env.conf
+	if conf.ExternalSort {
+		runs = externalSortRuns(runs)
+	}
+	defer releaseRuns(runs)
+	var attemptErrs []error
+	for a := 0; a < conf.MaxAttempts; a++ {
+		if env.ctx.Err() != nil {
+			return 0, env.ctx.Err()
+		}
+		if a > 0 {
+			env.retries.Add(1)
+			if serr := sleepCtx(env.ctx, backoffDelay(conf, a)); serr != nil {
+				return 0, serr
+			}
+		}
+		env.reduceAttempts.Add(1)
+		if ferr := conf.Faults.fire(env.ctx, PointReduceMerge, p, a, conf.MaxAttempts); ferr != nil {
+			attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: %w", a, ferr))
+			continue
+		}
+		groups, err = env.job.reduceMerge(p, runs)
+		if err == nil {
+			return groups, nil
+		}
+		if env.ctx.Err() != nil {
+			return 0, env.ctx.Err()
+		}
+		attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: %w", a, err))
+	}
+	return 0, fmt.Errorf("mapreduce %q: reduce task %d failed after %d attempts: %w",
+		env.job.Name, p, len(attemptErrs), errors.Join(attemptErrs...))
+}
+
+// externalSortRuns concatenates the partition's runs and sorts them via
+// the system sort binary (§6.2 baseline), falling back to the in-process
+// sort, returning a single sorted run. The map side skips its spill sort
+// under ExternalSort, so this must run unconditionally.
+func externalSortRuns(runs []spillRun) []spillRun {
+	var n int
+	var bytes int64
+	for i := range runs {
+		n += len(runs[i].recs)
+		bytes += runs[i].bytes
+	}
+	flat := kvBufs.get(n)
+	for i := range runs {
+		flat = append(flat, runs[i].recs...)
+	}
+	releaseRuns(runs)
+	sorted := externalSort(flat)
+	if len(flat) > 0 && len(sorted) > 0 && &sorted[0] != &flat[0] {
+		// externalSort returned a fresh slice; recycle the scratch.
+		kvBufs.put(flat)
+	}
+	return []spillRun{{recs: sorted, bytes: bytes}}
+}

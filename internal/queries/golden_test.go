@@ -1,0 +1,108 @@
+package queries
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate the golden digest file")
+
+// goldenPath holds the committed reference digests for all 12 queries
+// over the seeded small corpora. The data generators and the digest
+// (order-insensitive FNV-64a over formatted result lines) are both
+// deterministic, so these values are stable across machines; a change
+// means query or generator semantics changed and must be deliberate:
+//
+//	go test ./internal/queries -run TestGoldenDigests -update
+const goldenPath = "testdata/golden_digests.txt"
+
+// goldenSegments is the segment count the golden corpora are cut into.
+// It is part of the golden contract only via the generators' record
+// placement; the digests themselves are segmentation-independent (the
+// engines guarantee that, and TestAllQueriesEnginesAgree checks it).
+const goldenSegments = 6
+
+func TestGoldenDigests(t *testing.T) {
+	datasets := smallDatasets(goldenSegments)
+	type entry struct {
+		digest  uint64
+		results int
+	}
+	got := make(map[string]entry, 12)
+	var order []string
+	for _, spec := range All() {
+		run, err := spec.Sequential(datasets[spec.Dataset])
+		if err != nil {
+			t.Fatalf("%s: %v", spec.ID, err)
+		}
+		if run.NumResults == 0 {
+			t.Fatalf("%s: no results — golden digest would pin an empty output", spec.ID)
+		}
+		got[spec.ID] = entry{run.Digest, run.NumResults}
+		order = append(order, spec.ID)
+	}
+
+	if *update {
+		var b strings.Builder
+		b.WriteString("# Golden digests: <query> <digest-hex> <num-results>\n")
+		b.WriteString("# Sequential reference over the seeded small corpora (6 segments).\n")
+		b.WriteString("# Regenerate: go test ./internal/queries -run TestGoldenDigests -update\n")
+		for _, id := range order {
+			fmt.Fprintf(&b, "%s %016x %d\n", id, got[id].digest, got[id].results)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden digests to %s", len(order), goldenPath)
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	want := make(map[string]entry, 12)
+	for ln, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			t.Fatalf("%s:%d: malformed line %q", goldenPath, ln+1, line)
+		}
+		d, err := strconv.ParseUint(fields[1], 16, 64)
+		if err != nil {
+			t.Fatalf("%s:%d: bad digest %q: %v", goldenPath, ln+1, fields[1], err)
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil {
+			t.Fatalf("%s:%d: bad result count %q: %v", goldenPath, ln+1, fields[2], err)
+		}
+		want[fields[0]] = entry{d, n}
+	}
+
+	for _, id := range order {
+		w, ok := want[id]
+		if !ok {
+			t.Errorf("%s: missing from golden file (regenerate with -update)", id)
+			continue
+		}
+		if g := got[id]; g != w {
+			t.Errorf("%s: digest %016x (%d results), golden %016x (%d) — query or generator semantics changed",
+				id, g.digest, g.results, w.digest, w.results)
+		}
+	}
+	for id := range want {
+		if _, ok := got[id]; !ok {
+			t.Errorf("golden file has stale query %s", id)
+		}
+	}
+}

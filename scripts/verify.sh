@@ -15,4 +15,8 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/sym ./internal/mapreduce ./internal/core ./internal/queries
+# Short chaos sweep: seeded fault injection at every task boundary,
+# digests checked against the fault-free run. CI runs the wide sweep
+# (CHAOS_SEEDS=100) in its own job.
+CHAOS_SEEDS=6 go test -race -count=1 -run 'Chaos' ./internal/mapreduce ./internal/queries
 echo "verify: OK"
