@@ -29,6 +29,7 @@ func main() {
 		segments  = flag.Int("segments", 8, "input segments (mapper count)")
 		reducers  = flag.Int("reducers", 4, "reduce tasks")
 		condensed = flag.Bool("condensed", false, "use the condensed RedShift variant (R1c-R4c)")
+		compress  = flag.Bool("compress", false, "flate-compress shuffle segments (Config.CompressShuffle)")
 		input     = flag.String("input", "", "read segments from this directory (written by datagen) instead of generating")
 	)
 	flag.Parse()
@@ -67,7 +68,7 @@ func main() {
 	fmt.Printf("corpus: %d records, %.1f MB, %d segments\n\n",
 		inputRecords, float64(inputBytes)/1e6, len(segs))
 
-	conf := mapreduce.Config{NumReducers: *reducers}
+	conf := mapreduce.Config{NumReducers: *reducers, CompressShuffle: *compress}
 	type engineRun struct {
 		name string
 		run  func() (*queries.Run, error)
@@ -101,7 +102,8 @@ func main() {
 		fmt.Printf("  wall: %v  (map %v, reduce %v)\n", m.TotalWall.Round(1e6), m.MapWall.Round(1e6), m.ReduceWall.Round(1e6))
 		fmt.Printf("  throughput: %.0f MB/s\n", float64(m.InputBytes)/1e6/m.TotalWall.Seconds())
 		if e.name != "sequential" {
-			fmt.Printf("  shuffle: %d records, %.2f KB\n", m.ShuffleRecords, float64(m.ShuffleBytes)/1024)
+			fmt.Printf("  shuffle: %d records, %.2f KB wire (%.2f KB logical)\n",
+				m.ShuffleRecords, float64(m.ShuffleBytes)/1024, float64(m.ShuffleLogicalBytes)/1024)
 		}
 		if e.name == "symple" {
 			fmt.Printf("  symbolic: %d update runs over %d records (%.2fx), %d merges, %d restarts, %d summaries\n",

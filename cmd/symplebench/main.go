@@ -6,11 +6,13 @@
 //	symplebench -experiment fig5 -records 500000
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8, b1latency,
-// ablation, shuffle, symexec, faults, all. See EXPERIMENTS.md for the
-// paper-vs-measured record; -experiment shuffle also writes
-// BENCH_SHUFFLE.json, -experiment symexec writes BENCH_SYMEXEC.json,
-// and -experiment faults writes BENCH_FAULTS.json (380-node replay
-// latency clean vs failures vs failures+speculation).
+// ablation, shuffle, wire, symexec, faults, all. See EXPERIMENTS.md for
+// the paper-vs-measured record; -experiment shuffle also writes
+// BENCH_SHUFFLE.json, -experiment wire writes BENCH_WIRE.json (compact
+// shuffle encoding vs the seed framing across all 12 queries),
+// -experiment symexec writes BENCH_SYMEXEC.json, and -experiment faults
+// writes BENCH_FAULTS.json (380-node replay latency clean vs failures
+// vs failures+speculation).
 //
 // -memo-size and -map-parallelism tune the SYMPLE runtime knobs the
 // symexec experiment exercises (see README).
@@ -30,7 +32,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("symplebench: ")
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | fig8 | b1latency | ablation | shuffle | symexec | faults | all")
+		experiment = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | fig8 | b1latency | ablation | shuffle | wire | symexec | faults | all")
 		records    = flag.Int("records", 200000, "records per generated corpus")
 		segments   = flag.Int("segments", 8, "input segments (measured mapper count)")
 		memoSize   = flag.Int("memo-size", 0, "record-transition memo entries per map chunk (0 default, <0 disables)")
@@ -68,6 +70,7 @@ func main() {
 		{"b1latency", func() (*bench.Table, error) { return bench.B1Latency(datasets()) }},
 		{"ablation", func() (*bench.Table, error) { return bench.AblationMerging(datasets()) }},
 		{"shuffle", func() (*bench.Table, error) { return bench.Shuffle(sc) }},
+		{"wire", func() (*bench.Table, error) { return bench.Wire(datasets()) }},
 		{"symexec", func() (*bench.Table, error) { return bench.SymExec(datasets(), *mapPar, *memoSize) }},
 		{"faults", func() (*bench.Table, error) { return bench.Faults(datasets()) }},
 	}

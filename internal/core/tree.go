@@ -265,7 +265,10 @@ func treeReduceFunc[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S],
 		if err != nil {
 			return err
 		}
-		composed, err := composeTree(sums)
+		if len(sums) == 0 {
+			return fmt.Errorf("key %q: no summaries to compose", key)
+		}
+		composed, err := sym.ComposeAllParallel(sums)
 		if err != nil {
 			return fmt.Errorf("key %q: %w", key, err)
 		}
@@ -304,42 +307,6 @@ func decodeSummaryBundles[S sym.State](sc *sym.Schema[S], values []mapreduce.Shu
 	return sums, nil
 }
 
-// composeTree reduces ordered summaries pairwise, level by level, with
-// the pairs of each level composed concurrently. It consumes its input:
-// every input and intermediate summary except the returned one is
-// released (inputs may leak on error, falling to the GC as before).
-func composeTree[S sym.State](sums []*sym.Summary[S]) (*sym.Summary[S], error) {
-	if len(sums) == 0 {
-		return nil, fmt.Errorf("core: no summaries to compose")
-	}
-	level := sums
-	for len(level) > 1 {
-		next := make([]*sym.Summary[S], (len(level)+1)/2)
-		errs := make([]error, len(next))
-		var wg sync.WaitGroup
-		for i := 0; i < len(level); i += 2 {
-			if i+1 == len(level) {
-				next[i/2] = level[i]
-				continue
-			}
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				c, err := level[i].ComposeWith(level[i+1])
-				if err == nil {
-					level[i].Release()
-					level[i+1].Release()
-				}
-				next[i/2], errs[i/2] = c, err
-			}(i)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
-		level = next
-	}
-	return level[0], nil
-}
+// The pairwise tree reduction itself lives in the sym package
+// (sym.ComposeAllParallel), where StreamComposer and the combiner share
+// it; this file only wires it into the reducer.

@@ -81,7 +81,8 @@ func TestTreeEngineWithRestarts(t *testing.T) {
 }
 
 func TestComposeTreeOddCounts(t *testing.T) {
-	// composeTree must handle odd level sizes (carry the last summary).
+	// The tree reduction must handle odd level sizes (carry the last
+	// summary).
 	newState := func() *maxState { return &maxState{Max: sym.NewSymInt(0)} }
 	update := func(ctx *sym.Ctx, s *maxState, e int64) {
 		if s.Max.Lt(ctx, e) {
@@ -101,7 +102,7 @@ func TestComposeTreeOddCounts(t *testing.T) {
 			}
 			sums = append(sums, s...)
 		}
-		composed, err := composeTree(sums)
+		composed, err := sym.ComposeAllParallel(sums)
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -113,7 +114,7 @@ func TestComposeTreeOddCounts(t *testing.T) {
 			t.Fatalf("n=%d: max %d, want %d", n, got, want)
 		}
 	}
-	if _, err := composeTree[*maxState](nil); err == nil {
+	if _, err := sym.ComposeAllParallel[*maxState](nil); err == nil {
 		t.Fatal("expected error for zero summaries")
 	}
 }

@@ -67,6 +67,16 @@ type Cluster struct {
 	StragglerEvery    int
 	StragglerSlowdown float64
 
+	// CompressMBps and DecompressMBps, when positive, model the CPU cost
+	// of block-compressing the shuffle: each map task is charged its
+	// logical (pre-encoding) output bytes at CompressMBps, and each
+	// reduce task its logical ingress at DecompressMBps, as extra CPU
+	// seconds. Zero disables the charge. Set these when replaying a job
+	// that ran with Config.CompressShuffle, so the byte savings and the
+	// codec cost land in the same simulated latency.
+	CompressMBps   float64
+	DecompressMBps float64
+
 	// FailEvery, when positive, makes every k-th map task fail once: it
 	// runs FailAtFraction of its work, is detected and re-executed from
 	// scratch. The failed fraction is wasted CPU; re-reading the input
@@ -126,8 +136,28 @@ func (c Cluster) failFraction() float64 {
 type MapTask struct {
 	InputBytes int64
 	CPUSeconds float64
-	// OutBytes[r] is the shuffle payload destined to reducer r.
+	// OutBytes[r] is the shuffle payload destined to reducer r — the
+	// bytes that actually cross the network (compressed when the job
+	// compressed its shuffle).
 	OutBytes []int64
+	// LogicalOutBytes[r] is the pre-encoding payload for reducer r, the
+	// volume the (de)compression CPU model charges. Nil falls back to
+	// OutBytes.
+	LogicalOutBytes []int64
+}
+
+// logicalOut returns the logical payload for reducer r.
+func (m MapTask) logicalOut(r int) int64 {
+	if m.LogicalOutBytes != nil {
+		if r < len(m.LogicalOutBytes) {
+			return m.LogicalOutBytes[r]
+		}
+		return 0
+	}
+	if r < len(m.OutBytes) {
+		return m.OutBytes[r]
+	}
+	return 0
 }
 
 // ReduceTask is one reduce task's replayed cost. Its shuffle ingress is
@@ -178,9 +208,34 @@ func Simulate(c Cluster, j Job) (Result, error) {
 	// below then schedules the adjusted tasks unchanged. Simplification:
 	// the detection wait holds the task's slot, which slightly overstates
 	// slot pressure on small clusters.
+	// Compression is charged as a bandwidth-limited CPU pass over the
+	// logical bytes, folded into each task's CPU before the straggler and
+	// failure adjustments (a re-executed mapper re-compresses its spill).
+	mapCPU := make([]float64, len(j.Maps))
+	for i, m := range j.Maps {
+		mapCPU[i] = m.CPUSeconds
+		if c.CompressMBps > 0 {
+			for r := range m.OutBytes {
+				mapCPU[i] += float64(m.logicalOut(r)) / (c.CompressMBps * 1e6)
+			}
+		}
+	}
+	reduces := j.Reduces
+	if c.DecompressMBps > 0 && len(j.Reduces) > 0 {
+		reduces = make([]ReduceTask, len(j.Reduces))
+		copy(reduces, j.Reduces)
+		for _, m := range j.Maps {
+			for r := range m.OutBytes {
+				if r < len(reduces) {
+					reduces[r].CPUSeconds += float64(m.logicalOut(r)) / (c.DecompressMBps * 1e6)
+				}
+			}
+		}
+	}
+
 	effMaps := make([]MapTask, len(j.Maps))
 	for i, m := range j.Maps {
-		eff, dup, spec := c.taskCost(i, m.CPUSeconds)
+		eff, dup, spec := c.taskCost(i, mapCPU[i])
 		io := float64(m.InputBytes)
 		if spec {
 			res.Speculated++
@@ -238,18 +293,19 @@ func Simulate(c Cluster, j Job) (Result, error) {
 	res.ShuffleS = worst
 
 	// ---- Reduce phase: pure CPU on slots ----
-	reduceS, reduceWaste, reduceSpec := simulateCPUPhase(c, j.Reduces)
+	reduceS, reduceWaste, reduceSpec := simulateCPUPhase(c, reduces)
 	res.ReducePhaseS = reduceS
 	res.WastedCPUSeconds += reduceWaste
 	res.Speculated += reduceSpec
 
-	// Total compute: the useful work plus everything burned on failed
-	// attempt fractions and losing backups. Straggler slowdown is lost
-	// time, not extra instructions, so it does not inflate CPUSeconds.
-	for _, m := range j.Maps {
-		res.CPUSeconds += m.CPUSeconds
+	// Total compute: the useful work (including the codec passes) plus
+	// everything burned on failed attempt fractions and losing backups.
+	// Straggler slowdown is lost time, not extra instructions, so it does
+	// not inflate CPUSeconds.
+	for _, cpu := range mapCPU {
+		res.CPUSeconds += cpu
 	}
-	for _, r := range j.Reduces {
+	for _, r := range reduces {
 		res.CPUSeconds += r.CPUSeconds
 	}
 	res.CPUSeconds += res.WastedCPUSeconds

@@ -52,10 +52,11 @@ func (j *Job) runBarrier(conf Config, segments []*Segment) (*Metrics, error) {
 			outs[i] = mapOut{
 				parts: parts,
 				task: TaskMetrics{
-					Duration:   time.Since(t0),
-					InputBytes: seg.Bytes(),
-					Records:    int64(len(seg.Records)),
-					OutBytes:   outBytes,
+					Duration:        time.Since(t0),
+					InputBytes:      seg.Bytes(),
+					Records:         int64(len(seg.Records)),
+					OutBytes:        outBytes,
+					LogicalOutBytes: outBytes,
 				},
 				err: err,
 			}
@@ -83,6 +84,9 @@ func (j *Job) runBarrier(conf Config, segments []*Segment) (*Metrics, error) {
 			m.ShuffleBytes += b
 		}
 	}
+	// The barrier engine ships the legacy framing verbatim, so its wire
+	// and logical volumes coincide.
+	m.ShuffleLogicalBytes = m.ShuffleBytes
 	for p := range partitions {
 		m.ShuffleRecords += int64(len(partitions[p]))
 	}

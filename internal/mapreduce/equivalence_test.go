@@ -99,10 +99,18 @@ func TestStreamingMatchesBarrier(t *testing.T) {
 				t.Errorf("seed %d reducer %d: streams differ\nstreaming:\n%s\nbarrier:\n%s", seed, r, got[r], s)
 			}
 		}
-		if gm.ShuffleBytes != wm.ShuffleBytes || gm.ShuffleRecords != wm.ShuffleRecords ||
+		// The streaming engine ships compact segments, so its wire bytes
+		// differ from the barrier's legacy framing — but the logical
+		// volume (the framing both engines agree on) must match exactly,
+		// and the segment encoding must never inflate past it.
+		if gm.ShuffleLogicalBytes != wm.ShuffleBytes || gm.ShuffleRecords != wm.ShuffleRecords ||
 			gm.Groups != wm.Groups || gm.InputBytes != wm.InputBytes ||
 			gm.InputRecords != wm.InputRecords {
 			t.Errorf("seed %d: accounting diverged: streaming %+v barrier %+v", seed, gm, wm)
+		}
+		if gm.ShuffleBytes > gm.ShuffleLogicalBytes {
+			t.Errorf("seed %d: segment encoding inflated the shuffle: wire %d > logical %d",
+				seed, gm.ShuffleBytes, gm.ShuffleLogicalBytes)
 		}
 	}
 }

@@ -333,65 +333,74 @@ func TestFailedJobLeavesNoSpillFiles(t *testing.T) {
 }
 
 func TestRunFileRoundTrip(t *testing.T) {
-	dir := t.TempDir()
+	// One run is one mapper's output: mapperID is constant, encoded once
+	// per segment (the codec panics on a mixed run).
+	const mapper = 1 << 18
 	recs := []kvRec{
-		{key: "", mapperID: 0, recordID: 0, seq: 0, value: nil},
-		{key: "k", mapperID: 3, recordID: 7, seq: 1, value: []byte("v")},
-		{key: strings.Repeat("long", 100), mapperID: 1 << 18, recordID: 1 << 40, seq: 9, value: make([]byte, 3000)},
+		{key: "", mapperID: mapper, recordID: 0, seq: 0, value: nil},
+		{key: "k", mapperID: mapper, recordID: 7, seq: 1, value: []byte("v")},
+		{key: strings.Repeat("long", 100), mapperID: mapper, recordID: 1 << 40, seq: 9, value: make([]byte, 3000)},
 	}
 	for i := 0; i < 200; i++ {
 		recs = append(recs, kvRec{
 			key:      fmt.Sprintf("key-%d", i%17),
-			mapperID: i % 5,
+			mapperID: mapper,
 			recordID: int64(i),
 			seq:      int64(i),
 			value:    []byte(strconv.Itoa(i * 13)),
 		})
 	}
-	path := dir + "/round.run"
-	if err := encodeRunFile(path, recs); err != nil {
-		t.Fatal(err)
-	}
-	got, err := decodeRunFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got) != len(recs) {
-		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
-	}
-	for i := range recs {
-		a, b := &recs[i], &got[i]
-		if a.key != b.key || a.mapperID != b.mapperID || a.recordID != b.recordID ||
-			a.seq != b.seq || string(a.value) != string(b.value) {
-			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+	for _, compress := range []bool{false, true} {
+		dir := t.TempDir()
+		path := dir + "/round.run"
+		if err := writeRunFile(path, encodeSegment(recs, compress)); err != nil {
+			t.Fatal(err)
 		}
-	}
-	if err := os.Remove(path); err != nil {
-		t.Fatal(err)
+		got, err := decodeRunFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("compress=%v: decoded %d records, want %d", compress, len(got), len(recs))
+		}
+		for i := range recs {
+			a, b := &recs[i], &got[i]
+			if a.key != b.key || a.mapperID != b.mapperID || a.recordID != b.recordID ||
+				a.seq != b.seq || string(a.value) != string(b.value) {
+				t.Fatalf("compress=%v: record %d: got %+v want %+v", compress, i, got[i], recs[i])
+			}
+		}
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 
 func TestRunFileRejectsCorruption(t *testing.T) {
 	dir := t.TempDir()
-	path := dir + "/bad.run"
-	if err := encodeRunFile(path, []kvRec{{key: "k", value: []byte("v")}}); err != nil {
-		t.Fatal(err)
-	}
-	buf, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, mutate := range []func([]byte) []byte{
-		func(b []byte) []byte { return b[:len(b)-1] },          // truncated
-		func(b []byte) []byte { b[0] ^= 0xFF; return b },       // bad magic
-		func(b []byte) []byte { return append(b, 0x00, 0x01) }, // trailing bytes
-	} {
-		bad := mutate(append([]byte(nil), buf...))
-		if err := os.WriteFile(path, bad, 0o644); err != nil {
+	for _, compress := range []bool{false, true} {
+		path := dir + "/bad.run"
+		seg := encodeSegment([]kvRec{{key: "k", value: []byte("v")}}, compress)
+		if err := writeRunFile(path, seg); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := decodeRunFile(path); err == nil {
-			t.Error("corrupted run file decoded without error")
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mutate := range []func([]byte) []byte{
+			func(b []byte) []byte { return b[:len(b)-1] },          // truncated
+			func(b []byte) []byte { b[0] ^= 0xFF; return b },       // bad magic
+			func(b []byte) []byte { b[4] ^= 0xF0; return b },       // bad segment flags
+			func(b []byte) []byte { return append(b, 0x00, 0x01) }, // trailing bytes
+		} {
+			bad := mutate(append([]byte(nil), buf...))
+			if err := os.WriteFile(path, bad, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := decodeRunFile(path); err == nil {
+				t.Errorf("corrupted run file decoded without error (compress=%v)", compress)
+			}
 		}
 	}
 }
@@ -408,6 +417,14 @@ func TestChaosDifferentialEngine(t *testing.T) {
 	segs := countingSegments(6, 60)
 	clean := Config{NumReducers: 3, Parallelism: 4}
 	want, wm := runIdempotentCapture(t, segs, clean)
+	// A second fault-free baseline with the compressed wire path: the
+	// output must be identical, only the accounting (wire bytes) differs.
+	cleanC := clean
+	cleanC.CompressShuffle = true
+	wantC, wmC := runIdempotentCapture(t, segs, cleanC)
+	if wantC != want {
+		t.Fatalf("CompressShuffle changed the fault-free output:\ncompressed:\n%s\nraw:\n%s", wantC, want)
+	}
 
 	var injected int64
 	for seed := 0; seed < seeds; seed++ {
@@ -422,13 +439,20 @@ func TestChaosDifferentialEngine(t *testing.T) {
 		if seed%3 == 0 {
 			conf.SpillDir = spillTestDir(t)
 		}
-		got, gm := runIdempotentCapture(t, segs, conf)
-		if got != want {
-			t.Fatalf("seed %d: chaos run diverged from fault-free run\nchaos:\n%s\nclean:\n%s", seed, got, want)
+		// Half the sweep exercises the flate wire path, so retried and
+		// speculative attempts re-encode compressed frames too.
+		refOut, refM := want, wm
+		if seed%2 == 0 {
+			conf.CompressShuffle = true
+			refOut, refM = wantC, wmC
 		}
-		if gm.Groups != wm.Groups || gm.ShuffleRecords != wm.ShuffleRecords || gm.ShuffleBytes != wm.ShuffleBytes {
+		got, gm := runIdempotentCapture(t, segs, conf)
+		if got != refOut {
+			t.Fatalf("seed %d: chaos run diverged from fault-free run\nchaos:\n%s\nclean:\n%s", seed, got, refOut)
+		}
+		if gm.Groups != refM.Groups || gm.ShuffleRecords != refM.ShuffleRecords || gm.ShuffleBytes != refM.ShuffleBytes {
 			t.Fatalf("seed %d: accounting diverged: chaos %d/%d/%d, clean %d/%d/%d", seed,
-				gm.Groups, gm.ShuffleRecords, gm.ShuffleBytes, wm.Groups, wm.ShuffleRecords, wm.ShuffleBytes)
+				gm.Groups, gm.ShuffleRecords, gm.ShuffleBytes, refM.Groups, refM.ShuffleRecords, refM.ShuffleBytes)
 		}
 		injected += plan.Injected()
 	}

@@ -98,6 +98,13 @@ type Config struct {
 	// runs. The barrier engine predates the task lifecycle and ignores
 	// the fault-tolerance knobs below.
 	BarrierShuffle bool
+	// CompressShuffle flate-compresses every shuffle segment (spill-run
+	// files and in-memory runs alike) at the map side; reducers inflate
+	// segments as they collect them. Metrics.ShuffleBytes then counts
+	// the compressed wire bytes while ShuffleLogicalBytes keeps the
+	// uncompressed logical volume. The barrier oracle ignores this knob
+	// (it predates segment encoding).
+	CompressShuffle bool
 
 	// MaxAttempts is the per-task attempt budget: a failed map or reduce
 	// attempt is retried with capped exponential backoff until it
@@ -169,16 +176,33 @@ type TaskMetrics struct {
 	// per-task records/sec the symexec experiment reports.
 	Records int64
 	// OutBytes is, for map tasks, the wire bytes destined to each
-	// reducer; for reduce tasks it is nil.
+	// reducer — the encoded (and, under CompressShuffle, compressed)
+	// segment sizes actually shipped; for reduce tasks it is nil.
 	OutBytes []int64
+	// LogicalOutBytes is, for map tasks, the per-reducer logical volume:
+	// the records' legacy Hadoop-style framing before dictionary/delta
+	// encoding and compression. The cluster simulator charges
+	// (de)compression CPU against this and transfer time against
+	// OutBytes. Nil for reduce tasks.
+	LogicalOutBytes []int64
 }
 
 // Metrics aggregates a job run.
 type Metrics struct {
-	InputBytes     int64
-	InputRecords   int64
-	ShuffleBytes   int64
-	ShuffleRecords int64
+	InputBytes   int64
+	InputRecords int64
+	// ShuffleBytes counts the bytes actually crossing the map→reduce
+	// boundary: the sum of encoded segment sizes, compressed when
+	// Config.CompressShuffle is set. Derived from encoder output, never
+	// estimated.
+	ShuffleBytes int64
+	// ShuffleLogicalBytes is the same traffic in the legacy per-record
+	// framing (length-prefixed key and value plus the ordering pair) — the
+	// quantity a stock Hadoop shuffle would move, and the baseline the
+	// wire experiment's reduction ratios divide by. Equal to ShuffleBytes
+	// under the barrier oracle, which still ships that framing.
+	ShuffleLogicalBytes int64
+	ShuffleRecords      int64
 	MapWall        time.Duration
 	ReduceWall     time.Duration
 	TotalWall      time.Duration
@@ -211,9 +235,13 @@ type kvRec struct {
 	value    []byte
 }
 
-// wireSize is the record's cost on the wire: the same framing a Hadoop
+// wireSize is the record's logical cost: the framing a Hadoop
 // intermediate file would use (length-prefixed key and value plus the
-// ordering pair as varints). Computed arithmetically — this runs once
+// ordering pair as varints). Since the segment codec (segcodec.go) this
+// is no longer what ships — it defines Metrics.ShuffleLogicalBytes, the
+// uncompressed baseline the wire experiment compares against, and it is
+// still the exact wire size of the barrier oracle's shuffle (pinned by
+// TestWireSizeMatchesEncoder). Computed arithmetically — this runs once
 // per emitted record, so it must not touch an encoder.
 func (r *kvRec) wireSize() int64 {
 	return int64(wire.UvarintLen(uint64(len(r.key))) +

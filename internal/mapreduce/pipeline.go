@@ -142,6 +142,9 @@ func (j *Job) runStreaming(ctx context.Context, conf Config, segments []*Segment
 		for _, b := range st.task.OutBytes {
 			m.ShuffleBytes += b
 		}
+		for _, b := range st.task.LogicalOutBytes {
+			m.ShuffleLogicalBytes += b
+		}
 	}
 	m.MapAttempts = env.mapAttempts.Load()
 	m.SpeculativeTasks = env.specLaunched.Load()
@@ -197,9 +200,15 @@ func (j *Job) runStreaming(ctx context.Context, conf Config, segments []*Segment
 // received, active (non-waiting) time, and the first run-load error.
 func collectRuns(ch <-chan spillRun, external bool, sem chan struct{}) (runs []spillRun, inBytes int64, active time.Duration, err error) {
 	add := func(r spillRun) {
-		if r.path != "" {
+		if r.path != "" || r.seg != nil {
 			t0 := time.Now()
-			recs, derr := decodeRunFile(r.path)
+			var recs []kvRec
+			var derr error
+			if r.path != "" {
+				recs, derr = decodeRunFile(r.path)
+			} else {
+				recs, derr = decodeSegment(r.seg)
+			}
 			active += time.Since(t0)
 			if derr != nil {
 				if err == nil {

@@ -9,12 +9,15 @@ import (
 // A spillRun is one mapper's sorted output for one reduce partition: the
 // in-process analogue of a Hadoop spill file. Runs are immutable once
 // handed to the shuffle; their record buffers come from and return to
-// kvBufs. Under Config.SpillDir a run arrives as a committed file
-// reference instead (path set, recs nil) and is decoded into a pooled
-// buffer by the reducer on receipt.
+// kvBufs. A run crosses the map→reduce boundary in encoded segment form
+// (segcodec.go): in memory mode seg holds the encoded bytes, under
+// Config.SpillDir path references a committed run file. Either way the
+// reducer decodes into a pooled record buffer on receipt, after which
+// only recs is set.
 type spillRun struct {
 	recs  []kvRec
-	bytes int64  // summed wireSize of recs
+	bytes int64  // encoded segment size (wire bytes)
+	seg   []byte // encoded segment (memory mode), or nil
 	path  string // committed run file (disk-spill mode), or ""
 }
 

@@ -1,15 +1,12 @@
 package mapreduce
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"syscall"
-
-	"repro/internal/wire"
 )
 
 // Disk-backed spill runs with an atomic commit protocol, enabled by
@@ -31,8 +28,10 @@ import (
 // removed when the job finishes, so no run files outlive a job.
 
 // spillMagic leads every run file; a mismatch fails decoding loudly
-// instead of merging garbage.
-const spillMagic = "SPR1"
+// instead of merging garbage. SPR2 is the segment format (segcodec.go):
+// magic followed by one encoded segment. SPR1 (per-record framing) is
+// gone — run files never outlive a job, so there is no migration story.
+const spillMagic = "SPR2"
 
 // spillStore is one job's spill directory.
 type spillStore struct {
@@ -78,10 +77,12 @@ type spillFile struct {
 }
 
 // writeAttempt encodes the attempt's non-empty partitions into its temp
-// dir and returns the run file index. The record buffers in parts are
+// dir and returns the run file index, with each file's wire byte count
+// (the segment size, excluding the magic — the same number memory mode
+// reports for the identical records). The record buffers in parts are
 // returned to the pool on success; on error the caller still owns them
 // and the partial temp dir has been removed.
-func (s *spillStore) writeAttempt(task, attempt int, parts [][]kvRec, outBytes []int64) ([]spillFile, error) {
+func (s *spillStore) writeAttempt(task, attempt int, parts [][]kvRec, compress bool) ([]spillFile, error) {
 	dir := s.attemptDir(task, attempt)
 	if err := os.Mkdir(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("mapreduce: spill attempt dir: %w", err)
@@ -96,10 +97,11 @@ func (s *spillStore) writeAttempt(task, attempt int, parts [][]kvRec, outBytes [
 			continue
 		}
 		name := fmt.Sprintf("part-%03d.run", p)
-		if err := encodeRunFile(filepath.Join(dir, name), parts[p]); err != nil {
+		seg := encodeSegment(parts[p], compress)
+		if err := writeRunFile(filepath.Join(dir, name), seg); err != nil {
 			return fail(err)
 		}
-		files = append(files, spillFile{part: p, name: name, bytes: outBytes[p], recs: len(parts[p])})
+		files = append(files, spillFile{part: p, name: name, bytes: int64(len(seg)), recs: len(parts[p])})
 	}
 	manifest := fmt.Sprintf("task %d attempt %d runs %d\n", task, attempt, len(files))
 	if err := os.WriteFile(filepath.Join(dir, "MANIFEST"), []byte(manifest), 0o644); err != nil {
@@ -145,39 +147,18 @@ func (s *spillStore) committedRunPath(task int, f spillFile) string {
 	return filepath.Join(s.taskDir(task), f.name)
 }
 
-// encodeRunFile writes one sorted run: magic, record count, then per
-// record the key, (mapperID, recordID, seq) ordering triple, and value.
-func encodeRunFile(path string, recs []kvRec) error {
+// writeRunFile writes one encoded run segment: magic, then the segment
+// bytes exactly as produced by encodeSegment.
+func writeRunFile(path string, seg []byte) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("mapreduce: spill run: %w", err)
 	}
-	w := bufio.NewWriterSize(f, 64*1024)
-	e := wire.GetEncoder()
-	defer wire.PutEncoder(e)
-	e.Uvarint(uint64(len(recs)))
-	if _, err := w.WriteString(spillMagic); err != nil {
+	if _, err := f.WriteString(spillMagic); err != nil {
 		f.Close()
 		return fmt.Errorf("mapreduce: spill run %s: %w", path, err)
 	}
-	if _, err := w.Write(e.Bytes()); err != nil {
-		f.Close()
-		return fmt.Errorf("mapreduce: spill run %s: %w", path, err)
-	}
-	for i := range recs {
-		r := &recs[i]
-		e.Reset()
-		e.String(r.key)
-		e.Uvarint(uint64(r.mapperID))
-		e.Uvarint(uint64(r.recordID))
-		e.Uvarint(uint64(r.seq))
-		e.BytesField(r.value)
-		if _, err := w.Write(e.Bytes()); err != nil {
-			f.Close()
-			return fmt.Errorf("mapreduce: spill run %s: %w", path, err)
-		}
-	}
-	if err := w.Flush(); err != nil {
+	if _, err := f.Write(seg); err != nil {
 		f.Close()
 		return fmt.Errorf("mapreduce: spill run %s: %w", path, err)
 	}
@@ -188,8 +169,9 @@ func encodeRunFile(path string, recs []kvRec) error {
 }
 
 // decodeRunFile reads one committed run back into a pooled record
-// buffer. Values alias the file's read buffer, which the records keep
-// alive — the same stability contract in-memory runs provide.
+// buffer. Values alias the file's read buffer (raw segments) or a fresh
+// inflated buffer (compressed), which the records keep alive — the same
+// stability contract in-memory runs provide.
 func decodeRunFile(path string) ([]kvRec, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -198,36 +180,9 @@ func decodeRunFile(path string) ([]kvRec, error) {
 	if len(buf) < len(spillMagic) || string(buf[:len(spillMagic)]) != spillMagic {
 		return nil, fmt.Errorf("mapreduce: spill run %s: bad magic", path)
 	}
-	d := wire.NewDecoder(buf[len(spillMagic):])
-	n := d.Length(len(buf))
-	recs := kvBufs.get(n)
-	for i := 0; i < n; i++ {
-		key := d.String()
-		mapperID := d.Uvarint()
-		recordID := d.Uvarint()
-		seq := d.Uvarint()
-		value := d.BytesField()
-		if d.Err() != nil {
-			break
-		}
-		if len(value) == 0 {
-			value = nil
-		}
-		recs = append(recs, kvRec{
-			key:      key,
-			mapperID: int(mapperID),
-			recordID: int64(recordID),
-			seq:      int64(seq),
-			value:    value,
-		})
-	}
-	if err := d.Err(); err != nil {
-		kvBufs.put(recs)
+	recs, err := decodeSegment(buf[len(spillMagic):])
+	if err != nil {
 		return nil, fmt.Errorf("mapreduce: spill run %s: %w", path, err)
-	}
-	if d.Remaining() != 0 {
-		kvBufs.put(recs)
-		return nil, fmt.Errorf("mapreduce: spill run %s: %d trailing bytes", path, d.Remaining())
 	}
 	return recs, nil
 }

@@ -124,6 +124,7 @@ func (r *attemptResult) discard(taskID int, spill *spillStore) {
 			kvBufs.put(r.memRuns[p].recs)
 			r.memRuns[p].recs = nil
 		}
+		r.memRuns[p].seg = nil // encoded segments are plain heap bytes
 	}
 	if r.onDisk {
 		spill.removeAttempt(taskID, r.attempt)
@@ -282,20 +283,33 @@ func (env *runEnv) runMapAttempt(st *mapTask, attempt int) (res *attemptResult, 
 			sortRun(parts[p])
 		}
 	}
+	// Encode each non-empty partition into its wire segment (segcodec.go).
+	// Both modes ship encoded segments — memory mode included — so
+	// OutBytes is always real encoder output and compression acts on the
+	// actual shuffle path, not a model of it.
+	wireOut := make([]int64, conf.NumReducers)
 	if env.spill != nil {
-		files, werr := env.spill.writeAttempt(st.id, attempt, parts, outBytes)
+		files, werr := env.spill.writeAttempt(st.id, attempt, parts, conf.CompressShuffle)
 		if werr != nil {
 			discardParts()
 			return nil, werr
+		}
+		for _, f := range files {
+			wireOut[f.part] = f.bytes
 		}
 		res.files = files
 		res.onDisk = true
 	} else {
 		res.memRuns = make([]spillRun, conf.NumReducers)
 		for p := range parts {
-			if parts[p] != nil {
-				res.memRuns[p] = spillRun{recs: parts[p], bytes: outBytes[p]}
+			if parts[p] == nil {
+				continue
 			}
+			sg := encodeSegment(parts[p], conf.CompressShuffle)
+			wireOut[p] = int64(len(sg))
+			res.memRuns[p] = spillRun{seg: sg, bytes: int64(len(sg))}
+			kvBufs.put(parts[p])
+			parts[p] = nil
 		}
 	}
 	if ferr := conf.Faults.fire(env.ctx, PointSpillWrite, st.id, attempt, conf.MaxAttempts); ferr != nil {
@@ -303,10 +317,11 @@ func (env *runEnv) runMapAttempt(st *mapTask, attempt int) (res *attemptResult, 
 		return nil, ferr
 	}
 	res.task = TaskMetrics{
-		Duration:   time.Since(t0),
-		InputBytes: seg.Bytes(),
-		Records:    int64(len(seg.Records)),
-		OutBytes:   outBytes,
+		Duration:        time.Since(t0),
+		InputBytes:      seg.Bytes(),
+		Records:         int64(len(seg.Records)),
+		OutBytes:        wireOut,
+		LogicalOutBytes: outBytes,
 	}
 	return res, nil
 }
@@ -341,7 +356,7 @@ func (env *runEnv) commit(st *mapTask, attempt int, res *attemptResult) (won boo
 		}
 	} else {
 		for p := range res.memRuns {
-			if res.memRuns[p].recs != nil {
+			if res.memRuns[p].seg != nil {
 				env.runCh[p] <- res.memRuns[p]
 			}
 		}

@@ -117,6 +117,9 @@ func TestChaosQueriesDifferential(t *testing.T) {
 				if seed%4 == 1 {
 					conf.SpillDir = chaosSpillDir(t)
 				}
+				// Half the sweep ships flate-compressed segments, so fault
+				// recovery and the compressed wire path are tested together.
+				conf.CompressShuffle = seed%2 == 0
 				got, err := spec.Symple(segs, conf)
 				if err != nil {
 					t.Fatalf("seed %d: chaos run failed (final attempts are spared; this must succeed): %v", seed, err)

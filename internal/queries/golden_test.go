@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/mapreduce"
 )
 
 var update = flag.Bool("update", false, "regenerate the golden digest file")
@@ -26,13 +28,46 @@ const goldenPath = "testdata/golden_digests.txt"
 // engines guarantee that, and TestAllQueriesEnginesAgree checks it).
 const goldenSegments = 6
 
+// goldenEntry is one line of the golden file: a query's reference digest
+// and result count.
+type goldenEntry struct {
+	digest  uint64
+	results int
+}
+
+// readGoldenFile parses the committed reference digests.
+func readGoldenFile(t *testing.T) map[string]goldenEntry {
+	t.Helper()
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	want := make(map[string]goldenEntry, 12)
+	for ln, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			t.Fatalf("%s:%d: malformed line %q", goldenPath, ln+1, line)
+		}
+		d, err := strconv.ParseUint(fields[1], 16, 64)
+		if err != nil {
+			t.Fatalf("%s:%d: bad digest %q: %v", goldenPath, ln+1, fields[1], err)
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil {
+			t.Fatalf("%s:%d: bad result count %q: %v", goldenPath, ln+1, fields[2], err)
+		}
+		want[fields[0]] = goldenEntry{d, n}
+	}
+	return want
+}
+
 func TestGoldenDigests(t *testing.T) {
 	datasets := smallDatasets(goldenSegments)
-	type entry struct {
-		digest  uint64
-		results int
-	}
-	got := make(map[string]entry, 12)
+	got := make(map[string]goldenEntry, 12)
 	var order []string
 	for _, spec := range All() {
 		run, err := spec.Sequential(datasets[spec.Dataset])
@@ -42,7 +77,7 @@ func TestGoldenDigests(t *testing.T) {
 		if run.NumResults == 0 {
 			t.Fatalf("%s: no results — golden digest would pin an empty output", spec.ID)
 		}
-		got[spec.ID] = entry{run.Digest, run.NumResults}
+		got[spec.ID] = goldenEntry{run.Digest, run.NumResults}
 		order = append(order, spec.ID)
 	}
 
@@ -64,31 +99,7 @@ func TestGoldenDigests(t *testing.T) {
 		return
 	}
 
-	raw, err := os.ReadFile(goldenPath)
-	if err != nil {
-		t.Fatalf("reading golden file (regenerate with -update): %v", err)
-	}
-	want := make(map[string]entry, 12)
-	for ln, line := range strings.Split(string(raw), "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) != 3 {
-			t.Fatalf("%s:%d: malformed line %q", goldenPath, ln+1, line)
-		}
-		d, err := strconv.ParseUint(fields[1], 16, 64)
-		if err != nil {
-			t.Fatalf("%s:%d: bad digest %q: %v", goldenPath, ln+1, fields[1], err)
-		}
-		n, err := strconv.Atoi(fields[2])
-		if err != nil {
-			t.Fatalf("%s:%d: bad result count %q: %v", goldenPath, ln+1, fields[2], err)
-		}
-		want[fields[0]] = entry{d, n}
-	}
-
+	want := readGoldenFile(t)
 	for _, id := range order {
 		w, ok := want[id]
 		if !ok {
@@ -104,5 +115,41 @@ func TestGoldenDigests(t *testing.T) {
 		if _, ok := got[id]; !ok {
 			t.Errorf("golden file has stale query %s", id)
 		}
+	}
+}
+
+// TestGoldenDigestsCompressShuffle runs every golden-digest query through
+// the SYMPLE engine with CompressShuffle off and on and checks both
+// against the committed reference digests. The wire encoding — segment
+// compaction, and the flate layer in particular — must be invisible to
+// query semantics; any divergence here is a codec bug, not a query
+// change, so there is no -update escape hatch.
+func TestGoldenDigestsCompressShuffle(t *testing.T) {
+	datasets := smallDatasets(goldenSegments)
+	want := readGoldenFile(t)
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			w, ok := want[spec.ID]
+			if !ok {
+				t.Fatalf("missing from golden file (regenerate with -update)")
+			}
+			segs := datasets[spec.Dataset]
+			for _, compress := range []bool{false, true} {
+				run, err := spec.Symple(segs, mapreduce.Config{
+					NumReducers: 3, CompressShuffle: compress})
+				if err != nil {
+					t.Fatalf("compress=%v: %v", compress, err)
+				}
+				if run.Digest != w.digest || run.NumResults != w.results {
+					t.Errorf("compress=%v: digest %016x (%d results), golden %016x (%d)",
+						compress, run.Digest, run.NumResults, w.digest, w.results)
+				}
+				if compress && run.Metrics.ShuffleBytes > run.Metrics.ShuffleLogicalBytes*2 {
+					t.Errorf("compressed shuffle %d bytes vs %d logical — codec is inflating badly",
+						run.Metrics.ShuffleBytes, run.Metrics.ShuffleLogicalBytes)
+				}
+			}
+		})
 	}
 }

@@ -215,6 +215,40 @@ func BenchmarkSummaryComposeWith(b *testing.B) {
 	}
 }
 
+// BenchmarkComposeTree measures the balanced pairwise tree reduction the
+// reducers run over a key's mapper summaries (ComposeAll, the
+// non-consuming sequential variant — the parallel variant's per-level
+// goroutine cost is scheduling, not composition, and would only add
+// noise to the smoke check).
+func BenchmarkComposeTree(b *testing.B) {
+	mk := func(lo int64) *Summary[*intState] {
+		x := NewExecutor(newIntState(math.MinInt64), maxUpdate, DefaultOptions())
+		for i := int64(0); i < 100; i++ {
+			if err := x.Feed(lo + i%37); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sums, err := x.Finish()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sums[0]
+	}
+	sums := make([]*Summary[*intState], 64)
+	for i := range sums {
+		sums[i] = mk(int64(i * 3))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := ComposeAll(sums)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Release()
+	}
+}
+
 func BenchmarkMergeAll(b *testing.B) {
 	// Build eight paths with identical transfers and adjacent
 	// constraints, the merge-friendly worst case.

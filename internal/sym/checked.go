@@ -43,6 +43,38 @@ func mulChecked(a, b int64) int64 {
 	return p
 }
 
+// add64 and mul64 are non-panicking variants for callers outside a
+// symbolic execution (no fail/recover in scope), e.g. Compact running on
+// the encode path of a mapper goroutine.
+
+func add64(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+func mul64(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if a == math.MinInt64 || b == math.MinInt64 {
+		if a == 1 {
+			return b, true
+		}
+		if b == 1 {
+			return a, true
+		}
+		return 0, false
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
 // floorDiv returns ⌊a/b⌋ for b ≠ 0 (Go's / truncates toward zero).
 // MinInt64/-1 is the one quotient not representable in int64 (Go defines
 // it to wrap); it aborts the path instead.

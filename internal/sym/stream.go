@@ -30,6 +30,11 @@ type StreamComposer[S State] struct {
 	pending map[int][]*Summary[S]
 }
 
+// streamTreeFoldMin is the bundle length above which Add pre-composes a
+// chunk's summaries as a balanced tree before applying them, instead of
+// applying one by one. Short bundles aren't worth the cross products.
+const streamTreeFoldMin = 4
+
 // NewStreamComposer starts a composer from the initial concrete state.
 func NewStreamComposer[S State](newState func() S) *StreamComposer[S] {
 	return NewStreamComposerSchema(newSchema(newState))
@@ -63,6 +68,28 @@ func (c *StreamComposer[S]) Add(seq int, sums []*Summary[S]) (int, error) {
 		sums, ok := c.pending[c.next]
 		if !ok {
 			break
+		}
+		// A long bundle folds cheaper as a tree: pre-compose the chunk's
+		// summaries pairwise (ComposeAll keeps the §5.4 order and leaves
+		// the inputs intact), then apply the single result. Falls back to
+		// the sequential walk when composition fails — applyPS to a
+		// concrete state is total where symbolic composition may not be.
+		if len(sums) > streamTreeFoldMin {
+			if composed, err := ComposeAll(sums); err == nil {
+				nxt, aerr := composed.applyPS(c.state)
+				composed.Release()
+				if aerr == nil {
+					for _, s := range sums {
+						s.Release()
+					}
+					c.sc.put(c.state)
+					c.state = nxt
+					delete(c.pending, c.next)
+					c.next++
+					folded++
+					continue
+				}
+			}
 		}
 		// Apply the chunk onto a working copy so an error leaves the
 		// prefix state untouched, then retire the superseded state and

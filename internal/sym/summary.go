@@ -3,6 +3,7 @@ package sym
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/wire"
 )
@@ -206,34 +207,141 @@ func (s *Summary[S]) ComposeWith(next *Summary[S]) (out *Summary[S], err error) 
 	return &Summary[S]{ps: paths, newState: s.newState, sc: s.sc}, nil
 }
 
-// ComposeAll reduces an ordered list of summaries to a single summary by
-// left-to-right composition. With the associativity of composition this
-// could equally run as a parallel tree; see the ablation benchmarks. The
-// inputs are not consumed; intermediate results are recycled.
+// ComposeAll reduces an ordered list of summaries to a single summary.
+// Composition is associative (paper §3.6), so instead of a left-to-right
+// fold the reduction runs as a balanced pairwise tree: adjacent
+// summaries compose first and the list halves per level. Every
+// ComposeWith still pairs a summary with its immediate successor, so the
+// §5.4 order is preserved at every node. The balanced shape matters for
+// cost, not just depth — a skewed fold drags one ever-growing
+// accumulator through every step, while the tree composes like-sized
+// summaries whose path products stay small. The inputs are not consumed;
+// intermediate results are recycled. With a single input, that input
+// itself is returned.
 func ComposeAll[S State](summaries []*Summary[S]) (*Summary[S], error) {
 	if len(summaries) == 0 {
 		return nil, fmt.Errorf("sym: ComposeAll of zero summaries")
 	}
-	cur := summaries[0]
-	for _, s := range summaries[1:] {
-		next, err := cur.ComposeWith(s)
-		if err != nil {
-			return nil, err
+	level := append([]*Summary[S](nil), summaries...)
+	owned := make([]bool, len(level)) // inputs are borrowed, intermediates owned
+	for len(level) > 1 {
+		w := 0
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				level[w], owned[w] = level[i], owned[i]
+				w++
+				break
+			}
+			c, err := level[i].ComposeWith(level[i+1])
+			if err != nil {
+				for j, s := range level {
+					if s != nil && owned[j] {
+						s.Release()
+					}
+				}
+				return nil, err
+			}
+			if owned[i] {
+				level[i].Release()
+			}
+			if owned[i+1] {
+				level[i+1].Release()
+			}
+			level[i], level[i+1] = nil, nil
+			level[w], owned[w] = c, true
+			w++
 		}
-		if cur != summaries[0] {
-			cur.Release()
-		}
-		cur = next
+		level, owned = level[:w], owned[:w]
 	}
-	return cur, nil
+	return level[0], nil
 }
 
-// Encode appends the summary's compact wire form to e.
+// ComposeAllParallel is ComposeAll for wide fan-ins: the pairs of each
+// tree level compose on their own goroutines. It CONSUMES its input —
+// every input and intermediate summary except the returned one is
+// released (on error the not-yet-composed summaries fall to the GC).
+// Narrow levels compose inline; goroutines only pay off once a level has
+// several cross products to overlap.
+func ComposeAllParallel[S State](summaries []*Summary[S]) (*Summary[S], error) {
+	if len(summaries) == 0 {
+		return nil, fmt.Errorf("sym: ComposeAll of zero summaries")
+	}
+	const minParallelPairs = 4
+	level := summaries
+	for len(level) > 1 {
+		next := make([]*Summary[S], (len(level)+1)/2)
+		errs := make([]error, len(next))
+		compose := func(i int) {
+			c, err := level[i].ComposeWith(level[i+1])
+			if err == nil {
+				level[i].Release()
+				level[i+1].Release()
+			}
+			next[i/2], errs[i/2] = c, err
+		}
+		if len(level)/2 < minParallelPairs {
+			for i := 0; i+1 < len(level); i += 2 {
+				compose(i)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for i := 0; i+1 < len(level); i += 2 {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					compose(i)
+				}(i)
+			}
+			wg.Wait()
+		}
+		if len(level)%2 == 1 {
+			next[len(next)-1] = level[len(level)-1]
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		level = next
+	}
+	return level[0], nil
+}
+
+// summaryTagless is the header bit marking a summary whose fields are
+// encoded without per-field tags: every field's tag equals its position
+// in the state, so the schema's field order is the tag dictionary. The
+// header is Uvarint(numPaths<<1 | taglessBit).
+const summaryTagless = 1
+
+// Encode appends the summary's compact wire form to e. The summary is
+// Compacted first (idempotent), so what ships is the canonical deduped
+// path set.
 func (s *Summary[S]) Encode(e *wire.Encoder) {
-	e.Uvarint(uint64(len(s.ps)))
+	s.Compact()
+	tagless := true
+	for _, p := range s.ps {
+		for i, f := range p.fs {
+			if tc, ok := f.(taglessCodec); !ok || !tc.tagMatches(i) {
+				tagless = false
+				break
+			}
+		}
+		if !tagless {
+			break
+		}
+	}
+	h := uint64(len(s.ps)) << 1
+	if tagless {
+		h |= summaryTagless
+	}
+	e.Uvarint(h)
 	for _, p := range s.ps {
 		for _, f := range p.fs {
-			f.Encode(e)
+			if tagless {
+				f.(taglessCodec).encodeTagless(e)
+			} else {
+				f.Encode(e)
+			}
 		}
 	}
 }
@@ -262,10 +370,16 @@ func (sc *Schema[S]) DecodeSummary(d *wire.Decoder) (*Summary[S], error) {
 }
 
 func decodeSummary[S State](sc *Schema[S], newState func() S, d *wire.Decoder) (*Summary[S], error) {
-	n := d.Length(d.Remaining() + 1)
+	h := d.Uvarint()
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
+	tagless := h&summaryTagless != 0
+	if h>>1 > uint64(d.Remaining()+1) {
+		return nil, fmt.Errorf("%w: summary claims %d paths with %d bytes left",
+			wire.ErrCorrupt, h>>1, d.Remaining())
+	}
+	n := int(h >> 1)
 	ps := make([]*pathState[S], 0, n)
 	bail := func(i int, err error) (*Summary[S], error) {
 		if sc != nil {
@@ -286,8 +400,17 @@ func decodeSummary[S State](sc *Schema[S], newState func() S, d *wire.Decoder) (
 			p = wrapState(newState())
 		}
 		ps = append(ps, p)
-		for _, f := range p.fs {
-			if err := f.Decode(d); err != nil {
+		for fi, f := range p.fs {
+			if tagless {
+				tc, ok := f.(taglessCodec)
+				if !ok {
+					return bail(i, fmt.Errorf("%w: tagless summary but field %d cannot decode tagless",
+						wire.ErrCorrupt, fi))
+				}
+				if err := tc.decodeTagless(d, fi); err != nil {
+					return bail(i, err)
+				}
+			} else if err := f.Decode(d); err != nil {
 				return bail(i, err)
 			}
 		}

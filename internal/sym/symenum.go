@@ -238,20 +238,41 @@ func (v *SymEnum) transfer() (bool, int64, int64) {
 }
 
 // Encode implements Value.
-func (v *SymEnum) Encode(e *wire.Encoder) {
+func (v *SymEnum) Encode(e *wire.Encoder) { v.encodeBody(e, true) }
+
+// tagMatches implements taglessCodec.
+func (v *SymEnum) tagMatches(pos int) bool { return v.id == pos }
+
+// encodeTagless implements taglessCodec.
+func (v *SymEnum) encodeTagless(e *wire.Encoder) { v.encodeBody(e, false) }
+
+func (v *SymEnum) encodeBody(e *wire.Encoder, withTag bool) {
 	e.Bool(v.bound)
-	e.Uvarint(uint64(v.id))
+	if withTag {
+		e.Uvarint(uint64(v.id))
+	}
 	e.Uvarint(uint64(v.n))
 	if v.bound {
 		e.Varint(v.c)
 	}
-	e.Uint64(uint64(v.set))
+	// Enum domains are small in practice, so the constraint bitset fits
+	// a one- or two-byte uvarint far more often than a fixed 8 bytes.
+	e.Uvarint(uint64(v.set))
 }
 
 // Decode implements Value.
-func (v *SymEnum) Decode(d *wire.Decoder) error {
+func (v *SymEnum) Decode(d *wire.Decoder) error { return v.decodeBody(d, -1) }
+
+// decodeTagless implements taglessCodec.
+func (v *SymEnum) decodeTagless(d *wire.Decoder, pos int) error { return v.decodeBody(d, pos) }
+
+func (v *SymEnum) decodeBody(d *wire.Decoder, pos int) error {
 	v.bound = d.Bool()
-	v.id = d.Length(maxFieldID)
+	if pos >= 0 {
+		v.id = pos
+	} else {
+		v.id = d.Length(maxFieldID)
+	}
 	n := d.Length(maxEnumDomain)
 	if err := d.Err(); err != nil {
 		return err
@@ -264,7 +285,7 @@ func (v *SymEnum) Decode(d *wire.Decoder) error {
 	} else {
 		v.c = 0
 	}
-	v.set = bitset(d.Uint64())
+	v.set = bitset(d.Uvarint())
 	if err := d.Err(); err != nil {
 		return err
 	}
@@ -293,4 +314,5 @@ var (
 	_ Value          = (*SymEnum)(nil)
 	_ scalarInput    = (*SymEnum)(nil)
 	_ scalarTransfer = (*SymEnum)(nil)
+	_ taglessCodec   = (*SymEnum)(nil)
 )

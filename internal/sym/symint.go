@@ -313,6 +313,30 @@ func (v *SymInt) ComposeAfter(prev Value, _ *SymEnv) bool {
 	return true
 }
 
+// canonicalize implements canonicalizer: an unbound SymInt over a
+// single-point constraint computes a constant, but stores its transfer
+// as (a, b) — so two paths reaching the same constant through different
+// affine routes never compare equal. Rewriting to the bound form (the
+// constraint stays) makes the equivalence syntactic without changing
+// Admits, Concretize, ComposeAfter or transfer(), all of which already
+// treat the two forms identically. Skipped when the constant would
+// overflow: such a path fails on any concrete read anyway, and Compact
+// must not abort the whole summary for it.
+func (v *SymInt) canonicalize() {
+	if v.bound || v.lb != v.ub {
+		return
+	}
+	p, ok := mul64(v.a, v.lb)
+	if !ok {
+		return
+	}
+	s, ok := add64(p, v.b)
+	if !ok {
+		return
+	}
+	v.b, v.a, v.bound = s, 0, true
+}
+
 // concreteInput implements scalarInput.
 func (v *SymInt) concreteInput() (int64, bool) { return v.concreteVal() }
 
@@ -333,7 +357,15 @@ const (
 )
 
 // Encode implements Value.
-func (v *SymInt) Encode(e *wire.Encoder) {
+func (v *SymInt) Encode(e *wire.Encoder) { v.encodeBody(e, true) }
+
+// tagMatches implements taglessCodec.
+func (v *SymInt) tagMatches(pos int) bool { return v.id == pos }
+
+// encodeTagless implements taglessCodec.
+func (v *SymInt) encodeTagless(e *wire.Encoder) { v.encodeBody(e, false) }
+
+func (v *SymInt) encodeBody(e *wire.Encoder, withTag bool) {
 	var flags byte
 	if v.bound {
 		flags |= intFlagBound
@@ -345,7 +377,9 @@ func (v *SymInt) Encode(e *wire.Encoder) {
 		flags |= intFlagHasUB
 	}
 	e.Byte(flags)
-	e.Uvarint(uint64(v.id))
+	if withTag {
+		e.Uvarint(uint64(v.id))
+	}
 	e.Varint(v.b)
 	if !v.bound {
 		e.Varint(v.a)
@@ -354,14 +388,31 @@ func (v *SymInt) Encode(e *wire.Encoder) {
 		e.Varint(v.lb)
 	}
 	if v.ub != noUB {
-		e.Varint(v.ub)
+		if v.lb != noLB {
+			// Doubly-bounded intervals are common and narrow (often a
+			// single point); ship the width ub−lb instead of the
+			// absolute upper bound. lb ≤ ub on every live path, so the
+			// width is a small non-negative uvarint, exact mod 2⁶⁴.
+			e.Uvarint(uint64(v.ub) - uint64(v.lb))
+		} else {
+			e.Varint(v.ub)
+		}
 	}
 }
 
 // Decode implements Value.
-func (v *SymInt) Decode(d *wire.Decoder) error {
+func (v *SymInt) Decode(d *wire.Decoder) error { return v.decodeBody(d, -1) }
+
+// decodeTagless implements taglessCodec.
+func (v *SymInt) decodeTagless(d *wire.Decoder, pos int) error { return v.decodeBody(d, pos) }
+
+func (v *SymInt) decodeBody(d *wire.Decoder, pos int) error {
 	flags := d.Byte()
-	v.id = d.Length(maxFieldID)
+	if pos >= 0 {
+		v.id = pos
+	} else {
+		v.id = d.Length(maxFieldID)
+	}
 	v.b = d.Varint()
 	v.bound = flags&intFlagBound != 0
 	if v.bound {
@@ -374,13 +425,20 @@ func (v *SymInt) Decode(d *wire.Decoder) error {
 		v.lb = d.Varint()
 	}
 	if flags&intFlagHasUB != 0 {
-		v.ub = d.Varint()
+		if flags&intFlagHasLB != 0 {
+			v.ub = int64(uint64(v.lb) + d.Uvarint())
+		} else {
+			v.ub = d.Varint()
+		}
 	}
 	if err := d.Err(); err != nil {
 		return err
 	}
 	if !v.bound && v.a == 0 {
 		return fmt.Errorf("%w: symbolic SymInt with zero coefficient", wire.ErrCorrupt)
+	}
+	if v.lb != noLB && v.ub != noUB && v.ub < v.lb {
+		return fmt.Errorf("%w: SymInt constraint [%d,%d] is empty", wire.ErrCorrupt, v.lb, v.ub)
 	}
 	return nil
 }
@@ -408,4 +466,6 @@ var (
 	_ Value          = (*SymInt)(nil)
 	_ scalarInput    = (*SymInt)(nil)
 	_ scalarTransfer = (*SymInt)(nil)
+	_ taglessCodec   = (*SymInt)(nil)
+	_ canonicalizer  = (*SymInt)(nil)
 )

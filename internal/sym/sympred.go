@@ -177,9 +177,19 @@ func (v *SymPred[T]) ComposeAfter(prev Value, _ *SymEnv) bool {
 }
 
 // Encode implements Value.
-func (v *SymPred[T]) Encode(e *wire.Encoder) {
+func (v *SymPred[T]) Encode(e *wire.Encoder) { v.encodeBody(e, true) }
+
+// tagMatches implements taglessCodec.
+func (v *SymPred[T]) tagMatches(pos int) bool { return v.id == pos }
+
+// encodeTagless implements taglessCodec.
+func (v *SymPred[T]) encodeTagless(e *wire.Encoder) { v.encodeBody(e, false) }
+
+func (v *SymPred[T]) encodeBody(e *wire.Encoder, withTag bool) {
 	e.Bool(v.bound)
-	e.Uvarint(uint64(v.id))
+	if withTag {
+		e.Uvarint(uint64(v.id))
+	}
 	if v.bound {
 		v.codec.Encode(e, v.val)
 	}
@@ -192,12 +202,21 @@ func (v *SymPred[T]) Encode(e *wire.Encoder) {
 
 // Decode implements Value. The receiver must have been constructed with
 // the predicate and codec (they are code, not data, and do not travel).
-func (v *SymPred[T]) Decode(d *wire.Decoder) error {
+func (v *SymPred[T]) Decode(d *wire.Decoder) error { return v.decodeBody(d, -1) }
+
+// decodeTagless implements taglessCodec.
+func (v *SymPred[T]) decodeTagless(d *wire.Decoder, pos int) error { return v.decodeBody(d, pos) }
+
+func (v *SymPred[T]) decodeBody(d *wire.Decoder, pos int) error {
 	if v.pred == nil || v.codec.Decode == nil {
 		return fmt.Errorf("sym: decoding SymPred without predicate/codec")
 	}
 	v.bound = d.Bool()
-	v.id = d.Length(maxFieldID)
+	if pos >= 0 {
+		v.id = pos
+	} else {
+		v.id = d.Length(maxFieldID)
+	}
 	var zero T
 	v.val = zero
 	if v.bound {
@@ -228,4 +247,7 @@ func (v *SymPred[T]) String() string {
 	return fmt.Sprintf("%s ⇒ x%d", s, v.id)
 }
 
-var _ Value = (*SymPred[int64])(nil)
+var (
+	_ Value        = (*SymPred[int64])(nil)
+	_ taglessCodec = (*SymPred[int64])(nil)
+)

@@ -108,6 +108,19 @@ func (v *SymVector[T]) Encode(e *wire.Encoder) {
 	}
 }
 
+// SymVector's wire form carries no field tag to elide, so the tagless
+// form is the tagged one; implementing taglessCodec keeps a vector field
+// from forcing the whole summary back to tagged encoding.
+
+// tagMatches implements taglessCodec.
+func (v *SymVector[T]) tagMatches(int) bool { return true }
+
+// encodeTagless implements taglessCodec.
+func (v *SymVector[T]) encodeTagless(e *wire.Encoder) { v.Encode(e) }
+
+// decodeTagless implements taglessCodec.
+func (v *SymVector[T]) decodeTagless(d *wire.Decoder, _ int) error { return v.Decode(d) }
+
 // Decode implements Value.
 func (v *SymVector[T]) Decode(d *wire.Decoder) error {
 	if v.codec.Decode == nil {
@@ -296,6 +309,15 @@ func (v *SymIntVector) Encode(e *wire.Encoder) {
 	}
 }
 
+// tagMatches implements taglessCodec (no tag to elide; see SymVector).
+func (v *SymIntVector) tagMatches(int) bool { return true }
+
+// encodeTagless implements taglessCodec.
+func (v *SymIntVector) encodeTagless(e *wire.Encoder) { v.Encode(e) }
+
+// decodeTagless implements taglessCodec.
+func (v *SymIntVector) decodeTagless(d *wire.Decoder, _ int) error { return v.Decode(d) }
+
 // Decode implements Value.
 func (v *SymIntVector) Decode(d *wire.Decoder) error {
 	n := d.Length(d.Remaining())
@@ -324,6 +346,8 @@ func (v *SymIntVector) String() string {
 }
 
 var (
-	_ Value = (*SymVector[string])(nil)
-	_ Value = (*SymIntVector)(nil)
+	_ Value        = (*SymVector[string])(nil)
+	_ Value        = (*SymIntVector)(nil)
+	_ taglessCodec = (*SymVector[string])(nil)
+	_ taglessCodec = (*SymIntVector)(nil)
 )

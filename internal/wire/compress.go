@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Block compression for shuffle segments. A compressed block is framed as
+//
+//	uvarint rawLen | uvarint compLen | compLen bytes of DEFLATE stream
+//
+// so a decoder can validate both lengths before allocating or inflating
+// anything: compLen is checked against the remaining input, and rawLen
+// against the maximum expansion DEFLATE permits (stored blocks cost ~5
+// bytes of header per 64 KiB, so a compressed stream can never inflate
+// by more than ~1032x plus a small constant). Truncated or corrupt
+// blocks surface as ErrCorrupt-wrapped errors, never as panics or
+// unbounded allocations.
+
+// maxInflateRatio bounds rawLen relative to compLen: DEFLATE emits at
+// least one bit per byte produced, so a forged header claiming a larger
+// expansion is rejected before any allocation.
+const maxInflateRatio = 1032
+
+// flateLevel is the compression level for shuffle segments. BestSpeed:
+// the shuffle is latency-sensitive and segment payloads (varint columns,
+// dictionary strings) are highly redundant, so the cheap level already
+// captures most of the win.
+const flateLevel = flate.BestSpeed
+
+// flateWriters pools *flate.Writer — constructing one allocates its
+// whole match-finder state (~64 KiB), far too expensive per segment.
+var flateWriters = sync.Pool{
+	New: func() any {
+		w, err := flate.NewWriter(io.Discard, flateLevel)
+		if err != nil {
+			panic(err) // unreachable: flateLevel is a valid constant level
+		}
+		return w
+	},
+}
+
+// flateReaders pools inflater state via flate's Resetter interface.
+var flateReaders = sync.Pool{
+	New: func() any { return flate.NewReader(bytes.NewReader(nil)) },
+}
+
+// compressBufs pools the scratch buffers compression streams into before
+// the framed copy into the encoder.
+var compressBufs = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// CompressedBlock appends payload as a framed DEFLATE block. The payload
+// is compressed first so the frame can carry both lengths up front.
+func (e *Encoder) CompressedBlock(payload []byte) {
+	buf := compressBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	fw := flateWriters.Get().(*flate.Writer)
+	fw.Reset(buf)
+	// Writes to a bytes.Buffer cannot fail.
+	_, _ = fw.Write(payload)
+	_ = fw.Close()
+	flateWriters.Put(fw)
+	e.Uvarint(uint64(len(payload)))
+	e.Uvarint(uint64(buf.Len()))
+	e.buf = append(e.buf, buf.Bytes()...)
+	compressBufs.Put(buf)
+}
+
+// CompressedBlock reads a framed DEFLATE block written by
+// Encoder.CompressedBlock, returning the decompressed payload in a fresh
+// buffer. Both frame lengths are validated before any allocation; a
+// truncated stream, forged length, or corrupt DEFLATE body returns an
+// error wrapping ErrCorrupt.
+func (d *Decoder) CompressedBlock() ([]byte, error) {
+	rawLen := d.Uvarint()
+	compLen := d.Uvarint()
+	if err := d.err; err != nil {
+		return nil, err
+	}
+	if compLen > uint64(d.Remaining()) {
+		d.fail("compressed block body")
+		return nil, d.err
+	}
+	if rawLen > compLen*maxInflateRatio+64 {
+		d.err = fmt.Errorf("%w: compressed block claims %d bytes from %d (beyond max expansion)",
+			ErrCorrupt, rawLen, compLen)
+		return nil, d.err
+	}
+	comp := d.buf[d.off : d.off+int(compLen)]
+	d.off += int(compLen)
+
+	fr := flateReaders.Get().(io.ReadCloser)
+	defer flateReaders.Put(fr)
+	if err := fr.(flate.Resetter).Reset(bytes.NewReader(comp), nil); err != nil {
+		d.err = fmt.Errorf("%w: resetting inflater: %v", ErrCorrupt, err)
+		return nil, d.err
+	}
+	out := make([]byte, rawLen)
+	if _, err := io.ReadFull(fr, out); err != nil {
+		d.err = fmt.Errorf("%w: inflating block: %v", ErrCorrupt, err)
+		return nil, d.err
+	}
+	// The stream must end exactly at rawLen: trailing compressed data
+	// means the frame header lied.
+	var tail [1]byte
+	if n, _ := fr.Read(tail[:]); n != 0 {
+		d.err = fmt.Errorf("%w: compressed block longer than declared %d bytes", ErrCorrupt, rawLen)
+		return nil, d.err
+	}
+	return out, nil
+}
+
+// StringDict appends a length-prefixed string dictionary: entry count,
+// then each entry length-prefixed. Decoders reference entries by index,
+// so a repeated string costs one varint per use instead of its bytes.
+func (e *Encoder) StringDict(dict []string) {
+	e.Uvarint(uint64(len(dict)))
+	for _, s := range dict {
+		e.String(s)
+	}
+}
+
+// StringDict reads a dictionary written by Encoder.StringDict. The entry
+// count is validated against maxEntries and the remaining input before
+// allocation; each entry's length is validated by String. One string is
+// allocated per distinct entry — the decode-side win of dictionary
+// encoding over per-record keys.
+func (d *Decoder) StringDict(maxEntries int) []string {
+	n := d.Length(min(maxEntries, d.Remaining()))
+	if d.err != nil {
+		return nil
+	}
+	dict := make([]string, n)
+	for i := range dict {
+		dict[i] = d.String()
+		if d.err != nil {
+			return nil
+		}
+	}
+	return dict
+}

@@ -34,6 +34,9 @@ func FuzzWireRoundTrip(f *testing.F) {
 		6, 0x00, // empty string
 		6, 0x04, 'k', 'e', 'y', '!', // string
 		7, 0x03, 0x00, 0x01, 0x02, // bytes field
+		8, 0x05, 'a', 'a', 'a', 'a', 'a', // compressed block
+		8, 0x00, // empty compressed block
+		9, 0x02, 0x03, 'k', 'e', 'y', 0x00, // string dict {"key", ""}
 	}
 	f.Add(seed)
 	f.Add([]byte{})
@@ -46,13 +49,14 @@ func FuzzWireRoundTrip(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, in []byte) {
 		type item struct {
-			op byte
-			u  uint64 // uvarint / fixed uint64 / float64 bits
-			i  int64
-			b  bool
-			by byte
-			s  string
-			bs []byte
+			op   byte
+			u    uint64 // uvarint / fixed uint64 / float64 bits
+			i    int64
+			b    bool
+			by   byte
+			s    string
+			bs   []byte
+			dict []string
 		}
 		pos := 0
 		take := func(n int) []byte {
@@ -74,7 +78,7 @@ func FuzzWireRoundTrip(f *testing.F) {
 		var items []item
 		e := wire.NewEncoder(0)
 		for pos < len(in) && len(items) < 512 {
-			it := item{op: in[pos] % 8}
+			it := item{op: in[pos] % 10}
 			pos++
 			switch it.op {
 			case 0:
@@ -113,6 +117,27 @@ func FuzzWireRoundTrip(f *testing.F) {
 				}
 				it.bs = append([]byte(nil), take(n)...)
 				e.BytesField(it.bs)
+			case 8:
+				var n int
+				if b := take(1); len(b) > 0 {
+					n = int(b[0]) % 65
+				}
+				it.bs = append([]byte(nil), take(n)...)
+				e.CompressedBlock(it.bs)
+			case 9:
+				var n int
+				if b := take(1); len(b) > 0 {
+					n = int(b[0]) % 9
+				}
+				it.dict = make([]string, 0, n)
+				for j := 0; j < n; j++ {
+					var l int
+					if b := take(1); len(b) > 0 {
+						l = int(b[0]) % 17
+					}
+					it.dict = append(it.dict, string(take(l)))
+				}
+				e.StringDict(it.dict)
 			}
 			items = append(items, it)
 		}
@@ -154,6 +179,24 @@ func FuzzWireRoundTrip(f *testing.F) {
 			case 7:
 				if got := d.BytesField(); string(got) != string(it.bs) {
 					t.Fatalf("op %d: BytesField %q, want %q", idx, got, it.bs)
+				}
+			case 8:
+				got, err := d.CompressedBlock()
+				if err != nil {
+					t.Fatalf("op %d: CompressedBlock: %v", idx, err)
+				}
+				if string(got) != string(it.bs) {
+					t.Fatalf("op %d: CompressedBlock %q, want %q", idx, got, it.bs)
+				}
+			case 9:
+				got := d.StringDict(len(it.dict))
+				if len(got) != len(it.dict) {
+					t.Fatalf("op %d: StringDict %d entries, want %d", idx, len(got), len(it.dict))
+				}
+				for j := range got {
+					if got[j] != it.dict[j] {
+						t.Fatalf("op %d: StringDict[%d] %q, want %q", idx, j, got[j], it.dict[j])
+					}
 				}
 			}
 		}

@@ -15,6 +15,7 @@ OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT
 
 go test -run '^$' -bench 'BenchmarkSymExec$' -benchtime 200000x ./internal/sym | tee -a "$OUT"
+go test -run '^$' -bench 'BenchmarkSummaryEncode$|BenchmarkSummaryDecode$|BenchmarkComposeTree$' -benchtime 20000x ./internal/sym | tee -a "$OUT"
 go test -run '^$' -bench 'BenchmarkEmitHotPath$' -benchtime 200000x ./internal/mapreduce | tee -a "$OUT"
 
 awk -v slack="$SLACK" '

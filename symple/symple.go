@@ -145,9 +145,16 @@ func ApplyAll[S State](c S, summaries []*Summary[S]) (S, error) {
 	return sym.ApplyAll(c, summaries)
 }
 
-// ComposeAll reduces ordered summaries to one by composition (§3.6).
+// ComposeAll reduces ordered summaries to one by composition (§3.6),
+// folding them as a balanced pairwise tree. The inputs are not consumed.
 func ComposeAll[S State](summaries []*Summary[S]) (*Summary[S], error) {
 	return sym.ComposeAll(summaries)
+}
+
+// ComposeAllParallel is ComposeAll with each tree level's pairs composed
+// concurrently, for wide fan-ins. It consumes its input summaries.
+func ComposeAllParallel[S State](summaries []*Summary[S]) (*Summary[S], error) {
+	return sym.ComposeAllParallel(summaries)
 }
 
 // RunSequential executes a query sequentially (the reference semantics).
