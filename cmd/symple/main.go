@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/queries"
 )
 
@@ -31,6 +32,8 @@ func main() {
 		condensed = flag.Bool("condensed", false, "use the condensed RedShift variant (R1c-R4c)")
 		compress  = flag.Bool("compress", false, "flate-compress shuffle segments (Config.CompressShuffle)")
 		input     = flag.String("input", "", "read segments from this directory (written by datagen) instead of generating")
+		tracePath = flag.String("trace", "", "write structured JSONL task spans to this file and verify trace invariants")
+		profile   = flag.String("profile", "", "write a CPU profile covering each engine run to this file")
 	)
 	flag.Parse()
 
@@ -68,7 +71,20 @@ func main() {
 	fmt.Printf("corpus: %d records, %.1f MB, %d segments\n\n",
 		inputRecords, float64(inputBytes)/1e6, len(segs))
 
-	conf := mapreduce.Config{NumReducers: *reducers, CompressShuffle: *compress}
+	conf := mapreduce.Config{NumReducers: *reducers, CompressShuffle: *compress,
+		Profile: *profile}
+	var mem *obs.MemSink
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jsink := obs.NewJSONLSink(f) // Close flushes and closes f
+		defer jsink.Close()
+		mem = obs.NewMemSink()
+		conf.Trace = obs.NewTrace(obs.MultiSink{jsink, mem})
+		conf.Registry = obs.NewRegistry()
+	}
 	type engineRun struct {
 		name string
 		run  func() (*queries.Run, error)
@@ -122,6 +138,16 @@ func main() {
 	}
 	if len(digests) > 1 {
 		fmt.Println("all engines agree ✓")
+	}
+	if mem != nil {
+		spans := mem.Spans()
+		if err := (obs.Verifier{}).Check(spans); err != nil {
+			log.Fatalf("trace verification: %v", err)
+		}
+		if err := conf.Registry.SelfCheck(); err != nil {
+			log.Fatalf("metrics self-check: %v", err)
+		}
+		fmt.Printf("trace: %d spans → %s, invariants hold ✓\n", len(spans), *tracePath)
 	}
 }
 

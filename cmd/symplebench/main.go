@@ -6,16 +6,19 @@
 //	symplebench -experiment fig5 -records 500000
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8, b1latency,
-// ablation, shuffle, wire, symexec, faults, all. See EXPERIMENTS.md for
-// the paper-vs-measured record; -experiment shuffle also writes
+// ablation, shuffle, wire, symexec, faults, obs, all. See EXPERIMENTS.md
+// for the paper-vs-measured record; -experiment shuffle also writes
 // BENCH_SHUFFLE.json, -experiment wire writes BENCH_WIRE.json (compact
 // shuffle encoding vs the seed framing across all 12 queries),
-// -experiment symexec writes BENCH_SYMEXEC.json, and -experiment faults
+// -experiment symexec writes BENCH_SYMEXEC.json, -experiment faults
 // writes BENCH_FAULTS.json (380-node replay latency clean vs failures
-// vs failures+speculation).
+// vs failures+speculation), and -experiment obs writes BENCH_OBS.json
+// (traced-vs-untraced overhead on the hot-loop queries; target ≤3%).
 //
 // -memo-size and -map-parallelism tune the SYMPLE runtime knobs the
-// symexec experiment exercises (see README).
+// symexec experiment exercises (see README). -trace streams every
+// engine run's spans to a JSONL file and -profile captures a CPU
+// profile over the whole invocation.
 package main
 
 import (
@@ -26,19 +29,45 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("symplebench: ")
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | fig8 | b1latency | ablation | shuffle | wire | symexec | faults | all")
+		experiment = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | fig8 | b1latency | ablation | shuffle | wire | symexec | faults | obs | all")
 		records    = flag.Int("records", 200000, "records per generated corpus")
 		segments   = flag.Int("segments", 8, "input segments (measured mapper count)")
 		memoSize   = flag.Int("memo-size", 0, "record-transition memo entries per map chunk (0 default, <0 disables)")
 		mapPar     = flag.Int("map-parallelism", 0, "sub-chunks per map task for symexec (0 = min(4, GOMAXPROCS))")
+		tracePath  = flag.String("trace", "", "stream every engine run's spans to this JSONL file")
+		profile    = flag.String("profile", "", "write a CPU profile covering the whole invocation to this file")
 	)
 	flag.Parse()
+
+	if *profile != "" {
+		stop, err := obs.CPUProfile(*profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jsink := obs.NewJSONLSink(f) // Close flushes and closes f
+		defer jsink.Close()
+		bench.Trace = obs.NewTrace(jsink)
+		bench.Registry = obs.NewRegistry()
+		defer func() {
+			if err := bench.Registry.SelfCheck(); err != nil {
+				log.Fatalf("metrics self-check: %v", err)
+			}
+		}()
+	}
 
 	sc := bench.Scale{Records: *records, Segments: *segments}
 	want := map[string]bool{}
@@ -73,6 +102,7 @@ func main() {
 		{"wire", func() (*bench.Table, error) { return bench.Wire(datasets()) }},
 		{"symexec", func() (*bench.Table, error) { return bench.SymExec(datasets(), *mapPar, *memoSize) }},
 		{"faults", func() (*bench.Table, error) { return bench.Faults(datasets()) }},
+		{"obs", func() (*bench.Table, error) { return bench.Obs(datasets()) }},
 	}
 	ran := 0
 	for _, e := range exps {

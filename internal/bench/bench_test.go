@@ -6,6 +6,10 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/mapreduce"
+	"repro/internal/obs"
+	"repro/internal/queries"
 )
 
 // testScale keeps experiment tests fast while preserving the paper's
@@ -151,23 +155,85 @@ func TestFig8Shapes(t *testing.T) {
 	}
 }
 
+// TestB1LatencyShape pins the hot-reducer shape on traced span
+// cardinalities instead of wall clocks. The earlier form asserted the
+// simulated speedup ratio, which is driven by a sub-millisecond measured
+// reduce duration and swings ±40% with allocator state; the structural
+// fact behind the paper's 49x — the baseline funnels every record
+// through one reduce group while SYMPLE hands that group one summary
+// bundle per mapper — is exact in the trace and identical on every run.
 func TestB1LatencyShape(t *testing.T) {
-	// The simulated speedup is driven by the baseline hot reducer's
-	// measured duration, which is sub-millisecond at test scale and
-	// swings ±40% with allocator/GC state, putting the ratio anywhere in
-	// 2x–3x. Assert the shape — SYMPLE clearly wins the hot-reducer case
-	// — with a threshold outside that noise band, best of a few attempts.
-	var sp float64
-	for attempt := 0; attempt < 5; attempt++ {
-		tb, err := B1Latency(testDatasets())
-		if err != nil {
-			t.Fatal(err)
-		}
-		if sp = numCell(t, tb, "Speedup", 1); sp >= 2 {
-			return
+	d := testDatasets()
+	spec := queries.ByID("B1")
+	segs, err := d.For(spec.Dataset, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	baseSink := obs.NewMemSink()
+	if _, err := spec.Baseline(segs, mapreduce.Config{
+		NumReducers: 4, Trace: obs.NewTrace(baseSink)}); err != nil {
+		t.Fatal(err)
+	}
+	sympSink := obs.NewMemSink()
+	if _, err := spec.Symple(segs, mapreduce.Config{
+		NumReducers: 4, Trace: obs.NewTrace(sympSink)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline: one reduce_group span consumes every parsed record.
+	var hotValues, groups int64
+	for _, sp := range baseSink.Spans() {
+		if sp.Kind == obs.KindReduceGroup {
+			groups++
+			if v := sp.Attr(obs.AttrValues); v > hotValues {
+				hotValues = v
+			}
 		}
 	}
-	t.Errorf("B1 speedup %.0fx, want ≥ 2x (paper: ~49x)", sp)
+	if groups != 1 {
+		t.Fatalf("B1 baseline reduced %d groups, want exactly 1", groups)
+	}
+	if hotValues < int64(testScale.Records)/2 {
+		t.Errorf("hot reduce group consumed %d values, want records-scale (%d)",
+			hotValues, testScale.Records)
+	}
+
+	// SYMPLE: the same group composes a handful of summaries — bounded by
+	// a small constant per mapper, not by the record count.
+	var summaries int64
+	composeSpans := 0
+	for _, sp := range sympSink.Spans() {
+		if sp.Kind == obs.KindCompose {
+			composeSpans++
+			summaries += sp.Attr(obs.AttrSummaries)
+		}
+	}
+	if composeSpans != 1 {
+		t.Fatalf("B1 symple composed %d groups, want exactly 1", composeSpans)
+	}
+	if summaries < int64(testScale.Segments) {
+		t.Errorf("compose saw %d summaries, want ≥ one per mapper (%d)",
+			summaries, testScale.Segments)
+	}
+	if lim := int64(8 * testScale.Segments); summaries > lim {
+		t.Errorf("compose saw %d summaries for %d mappers — bundle size is not bounded",
+			summaries, testScale.Segments)
+	}
+	if ratio := hotValues / summaries; ratio < 100 {
+		t.Errorf("reducer work ratio %dx (hot %d values vs %d summaries), want ≥ 100x",
+			ratio, hotValues, summaries)
+	}
+
+	// Sanity on the simulated end-to-end claim, without leaning on the
+	// noisy magnitude: SYMPLE must win.
+	tb, err := B1Latency(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := numCell(t, tb, "Speedup", 1); sp <= 1 {
+		t.Errorf("B1 simulated speedup %.2fx, want > 1x (paper: ~49x)", sp)
+	}
 }
 
 func TestAblations(t *testing.T) {
@@ -413,5 +479,39 @@ func TestFaultsShapes(t *testing.T) {
 	}
 	if _, err := os.Stat("BENCH_FAULTS.json"); err != nil {
 		t.Errorf("BENCH_FAULTS.json not written: %v", err)
+	}
+}
+
+func TestObsShapes(t *testing.T) {
+	t.Chdir(t.TempDir()) // BENCH_OBS.json goes to scratch space
+	tb, err := Obs(testDatasets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("%d rows, want 3 (G1, R1, B2)", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		spans, err := strconv.Atoi(r[4])
+		if err != nil || spans <= 0 {
+			t.Errorf("%s: span count %q, want a positive integer", r[0], r[4])
+		}
+		if r[5] != "yes" {
+			t.Errorf("%s: traced run not verified", r[0])
+		}
+		// The 3% acceptance target is asserted on the real symplebench
+		// run, not here: at test scale a run is sub-millisecond, so the
+		// relative overhead is dominated by scheduler noise. Just require
+		// the traced run to stay in the same order of magnitude.
+		oh, err := strconv.ParseFloat(strings.TrimSuffix(r[3], "%"), 64)
+		if err != nil {
+			t.Fatalf("%s: overhead cell %q not numeric", r[0], r[3])
+		}
+		if oh > 900 {
+			t.Errorf("%s: tracing overhead %+.1f%% even at noisy test scale", r[0], oh)
+		}
+	}
+	if _, err := os.Stat("BENCH_OBS.json"); err != nil {
+		t.Errorf("BENCH_OBS.json not written: %v", err)
 	}
 }

@@ -35,7 +35,8 @@ func runPair(d *Datasets, id string, condensed bool, reducers int) (*measured, e
 	if err != nil {
 		return nil, err
 	}
-	conf := mapreduce.Config{NumReducers: reducers, BarrierShuffle: true}
+	conf := mapreduce.Config{NumReducers: reducers, BarrierShuffle: true,
+		Trace: Trace, Registry: Registry}
 	base, err := spec.Baseline(segs, conf)
 	if err != nil {
 		return nil, fmt.Errorf("bench %s baseline: %w", id, err)

@@ -28,8 +28,21 @@ import (
 	"time"
 
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/sym"
 	"repro/internal/wire"
+)
+
+// Registry metric names observed by the core engines, alongside the
+// engine-level metrics in package mapreduce.
+const (
+	// MetricSummaryBytes is a histogram of encoded summary-bundle sizes
+	// as shipped to the shuffle, one observation per (mapper, group).
+	MetricSummaryBytes = "summary_bytes"
+	// MetricMemoHits / MetricMemoMisses count records folded through the
+	// record-transition cache vs records that required path exploration.
+	MetricMemoHits   = "memo_hits"
+	MetricMemoMisses = "memo_misses"
 )
 
 // Query is a groupby-aggregate query over raw input records.
@@ -167,11 +180,16 @@ func RunBaseline[S sym.State, E, R any](q *Query[S, E, R], segments []*mapreduce
 	if q.EncodeEvent == nil || q.DecodeEvent == nil {
 		return nil, fmt.Errorf("core %q: the baseline engine requires EncodeEvent/DecodeEvent", q.Name)
 	}
+	finish := obsAutoVerify(&conf)
+	trace := conf.Trace
 	var mu sync.Mutex
 	results := make(map[string]R)
 	job := &mapreduce.Job{
 		Name: q.Name + "/baseline",
 		Map: func(mapperID int, seg *mapreduce.Segment, emit mapreduce.Emit) error {
+			span := trace.Start(obs.KindMapParse, fmt.Sprintf("parse-%d", mapperID)).
+				Attr(obs.AttrTask, int64(mapperID))
+			emitted := int64(0)
 			for i, rec := range seg.Records {
 				key, ev, ok := q.GroupBy(rec)
 				if !ok {
@@ -180,10 +198,15 @@ func RunBaseline[S sym.State, E, R any](q *Query[S, E, R], segments []*mapreduce
 				e := wire.NewEncoder(16)
 				q.EncodeEvent(e, ev)
 				emit(key, int64(i), e.Bytes())
+				emitted++
 			}
+			span.Attr(obs.AttrRecords, int64(len(seg.Records))).
+				Attr(obs.AttrValues, emitted).End()
 			return nil
 		},
 		Reduce: func(_ int, key string, values []mapreduce.Shuffled) error {
+			span := trace.Start(obs.KindReduceGroup, key).
+				Attr(obs.AttrValues, int64(len(values)))
 			x := sym.NewConcreteExecutor(q.NewState, q.Update, q.Options)
 			for _, v := range values {
 				ev, err := q.DecodeEvent(wire.NewDecoder(v.Value))
@@ -199,6 +222,7 @@ func RunBaseline[S sym.State, E, R any](q *Query[S, E, R], segments []*mapreduce
 				return err
 			}
 			r := q.Result(key, s)
+			span.End()
 			mu.Lock()
 			results[key] = r
 			mu.Unlock()
@@ -207,7 +231,7 @@ func RunBaseline[S sym.State, E, R any](q *Query[S, E, R], segments []*mapreduce
 		Conf: conf,
 	}
 	metrics, err := job.Run(segments)
-	if err != nil {
+	if err := finish(err); err != nil {
 		return nil, err
 	}
 	return &Output[R]{Results: results, Metrics: metrics}, nil
@@ -275,6 +299,8 @@ func RunSympleOpts[S sym.State, E, R any](q *Query[S, E, R], segments []*mapredu
 	if err != nil {
 		return nil, fmt.Errorf("core %q: %w", q.Name, err)
 	}
+	finish := obsAutoVerify(&conf)
+	trace := conf.Trace
 	var mu sync.Mutex
 	results := make(map[string]R)
 	stats := SymStats{}
@@ -282,12 +308,25 @@ func RunSympleOpts[S sym.State, E, R any](q *Query[S, E, R], segments []*mapredu
 	if opt.Tree {
 		name = q.Name + "/symple-tree"
 	}
+	agg := &composeAgg{}
 	reduce := func(_ int, key string, values []mapreduce.Shuffled) error {
 		// values arrive ordered by (mapperID, recordID): the order
 		// the chunks appear in the input.
 		sums, err := decodeSummaryBundles(sc, values)
 		if err != nil {
 			return err
+		}
+		// The classic path folds summaries onto the concrete state one
+		// by one: n applies, zero summary∘summary compositions. The
+		// compose span records both so the verifier's compose-count
+		// invariant (composes + applies = summaries) covers this path
+		// as well as the tree path.
+		var t0 time.Time
+		timed := false
+		if trace != nil {
+			if timed = agg.admit(); timed {
+				t0 = time.Now()
+			}
 		}
 		final, err := sym.ApplyAll(q.NewState(), sums)
 		if err != nil {
@@ -297,22 +336,30 @@ func RunSympleOpts[S sym.State, E, R any](q *Query[S, E, R], segments []*mapredu
 			s.Release()
 		}
 		r := q.Result(key, final)
+		if timed {
+			emitComposeSpan(trace, key, t0, time.Now(), int64(len(sums)), 0, int64(len(sums)))
+		} else if trace != nil {
+			agg.addOverflow(int64(len(sums)), 0, int64(len(sums)))
+		}
 		mu.Lock()
 		results[key] = r
 		mu.Unlock()
 		return nil
 	}
 	if opt.Tree {
-		reduce = treeReduceFunc(q, sc, &mu, results)
+		reduce = treeReduceFunc(q, sc, &mu, results, trace, agg)
 	}
 	job := &mapreduce.Job{
 		Name:   name,
-		Map:    sympleMapFunc(q, sc, &mu, &stats, opt),
+		Map:    sympleMapFunc(q, sc, &mu, &stats, opt, trace, conf.Registry),
 		Reduce: reduce,
 		Conf:   conf,
 	}
 	metrics, err := job.Run(segments)
-	if err != nil {
+	if err == nil && trace != nil {
+		agg.flush(trace)
+	}
+	if err := finish(err); err != nil {
 		return nil, err
 	}
 	return &Output[R]{Results: results, Metrics: metrics, Sym: stats}, nil

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/sym"
 	"repro/internal/wire"
 )
@@ -45,7 +46,7 @@ type chunkResult[S sym.State] struct {
 // keeps the per-record map lookups out of the symbolic hot loop and lets
 // the execution pass be timed on its own (stats.ExecWall), so engine
 // throughput can be compared net of the parse cost every engine shares.
-func symExecChunk[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], opt SympleOptions, records [][]byte, base int) chunkResult[S] {
+func symExecChunk[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], opt SympleOptions, records [][]byte, base int, trace *obs.Trace, mapperID, chunk int) chunkResult[S] {
 	out := chunkResult[S]{
 		sums:    make(map[string][]*sym.Summary[S]),
 		lastRec: make(map[string]int64),
@@ -54,6 +55,9 @@ func symExecChunk[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], o
 		events []E
 		last   int64 // segment-global index of the key's last record
 	}
+	parseSpan := trace.Start(obs.KindMapParse, fmt.Sprintf("parse-%d.%d", mapperID, chunk)).
+		Attr(obs.AttrTask, int64(mapperID)).Attr(obs.AttrChunk, int64(chunk)).
+		Attr(obs.AttrRecords, int64(len(records)))
 	batches := make(map[string]*batch)
 	for i, rec := range records {
 		key, ev, ok := q.GroupBy(rec)
@@ -69,6 +73,7 @@ func symExecChunk[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], o
 		b.events = append(b.events, ev)
 		b.last = int64(base + i)
 	}
+	parseSpan.Attr(obs.AttrGroups, int64(len(out.order))).End()
 
 	// One memo serves every key of this chunk: transitions are built
 	// from the fully symbolic state, so they are key-independent. The
@@ -79,6 +84,9 @@ func symExecChunk[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], o
 		memo = sym.NewMemo[S, E](sc, opt.MemoSize)
 	}
 	start := time.Now()
+	execSpan := trace.Start(obs.KindMapExec, fmt.Sprintf("exec-%d.%d", mapperID, chunk)).
+		Attr(obs.AttrTask, int64(mapperID)).Attr(obs.AttrChunk, int64(chunk)).
+		Attr(obs.AttrGroups, int64(len(out.order)))
 	// One resettable executor serves every key of the chunk (its Stats
 	// accumulate across keys); the seed engine has no Reset and is
 	// constructed per key, as the pre-optimization mapper did.
@@ -113,6 +121,7 @@ func symExecChunk[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], o
 		}
 		if err != nil {
 			out.err = fmt.Errorf("key %q: %w", key, err)
+			execSpan.Tag("outcome", "error").End()
 			return out
 		}
 		out.sums[key] = sums
@@ -122,6 +131,7 @@ func symExecChunk[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], o
 		addStats(&out.stats, fast.Stats())
 	}
 	out.stats.ExecWall = time.Since(start)
+	execSpan.End()
 	if memo != nil {
 		memo.Release()
 	}
@@ -162,7 +172,7 @@ func splitChunks(n, p int) []int {
 // opt.Combine it acts as its own combiner, pre-composing each group's
 // summary list into one summary before the shuffle (falling back to the
 // uncombined list when composition fails).
-func sympleMapFunc[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], mu *sync.Mutex, stats *SymStats, opt SympleOptions) mapreduce.MapFunc {
+func sympleMapFunc[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], mu *sync.Mutex, stats *SymStats, opt SympleOptions, trace *obs.Trace, reg *obs.Registry) mapreduce.MapFunc {
 	return func(mapperID int, seg *mapreduce.Segment, emit mapreduce.Emit) error {
 		p := opt.MapParallelism
 		if p < 1 {
@@ -171,7 +181,7 @@ func sympleMapFunc[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], 
 		starts := splitChunks(len(seg.Records), p)
 		outs := make([]chunkResult[S], len(starts))
 		if len(starts) == 1 {
-			outs[0] = symExecChunk(q, sc, opt, seg.Records, 0)
+			outs[0] = symExecChunk(q, sc, opt, seg.Records, 0, trace, mapperID, 0)
 		} else {
 			var wg sync.WaitGroup
 			for ci, start := range starts {
@@ -182,7 +192,7 @@ func sympleMapFunc[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], 
 				wg.Add(1)
 				go func(ci, start, end int) {
 					defer wg.Done()
-					outs[ci] = symExecChunk(q, sc, opt, seg.Records[start:end], start)
+					outs[ci] = symExecChunk(q, sc, opt, seg.Records[start:end], start, trace, mapperID, ci)
 				}(ci, start, end)
 			}
 			wg.Wait()
@@ -217,10 +227,26 @@ func sympleMapFunc[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], 
 			}
 		}
 
+		// Observe into a task-local registry and merge once at task end:
+		// the job registry's histogram mutex would otherwise be hammered
+		// once per bundle by every mapper in parallel.
+		var lreg *obs.Registry
+		var sumBytes *obs.Histogram
+		if reg != nil {
+			lreg = obs.NewRegistry()
+			sumBytes = lreg.Histogram(MetricSummaryBytes)
+		}
 		for _, key := range order {
 			sums := keySums[key]
 			if opt.Combine && len(sums) > 1 {
-				if composed, cerr := sym.ComposeAll(sums); cerr == nil {
+				// The combine span is emitted only when composition
+				// succeeds: a fallback to the uncombined list did no
+				// combining, and a half-open span is never flushed.
+				span := trace.Start(obs.KindCombine, fmt.Sprintf("combine-%d/%s", mapperID, key)).
+					Attr(obs.AttrTask, int64(mapperID))
+				if composed, n, cerr := sym.ComposeAllCounted(sums); cerr == nil {
+					span.Attr(obs.AttrSummaries, int64(len(sums))).
+						Attr(obs.AttrComposes, int64(n)).End()
 					for _, s := range sums {
 						s.Release()
 					}
@@ -237,11 +263,17 @@ func sympleMapFunc[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], 
 			buf := make([]byte, e.Len())
 			copy(buf, e.Bytes())
 			wire.PutEncoder(e)
+			sumBytes.Observe(int64(len(buf)))
 			emit(key, keyLast[key], buf)
 			for _, s := range sums {
 				s.Release()
 			}
 			local.Summaries += len(sums)
+		}
+		if reg != nil {
+			lreg.Counter(MetricMemoHits).Add(int64(local.MemoHits))
+			lreg.Counter(MetricMemoMisses).Add(int64(local.MemoMisses))
+			lreg.MergeInto(reg)
 		}
 		mu.Lock()
 		stats.Records += local.Records
@@ -259,7 +291,7 @@ func sympleMapFunc[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], 
 
 // treeReduceFunc composes a group's summaries as a parallel binary tree
 // and applies the single result to the initial state.
-func treeReduceFunc[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], mu *sync.Mutex, results map[string]R) mapreduce.ReduceFunc {
+func treeReduceFunc[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], mu *sync.Mutex, results map[string]R, trace *obs.Trace, agg *composeAgg) mapreduce.ReduceFunc {
 	return func(_ int, key string, values []mapreduce.Shuffled) error {
 		sums, err := decodeSummaryBundles(sc, values)
 		if err != nil {
@@ -268,7 +300,18 @@ func treeReduceFunc[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S],
 		if len(sums) == 0 {
 			return fmt.Errorf("key %q: no summaries to compose", key)
 		}
-		composed, err := sym.ComposeAllParallel(sums)
+		// n summaries tree-compose with exactly n-1 pairwise compositions
+		// and a single apply — the count the span carries is measured by
+		// ComposeAllParallelCounted, not assumed, so the verifier's
+		// compose-count invariant checks the tree actually did its job.
+		var t0 time.Time
+		timed := false
+		if trace != nil {
+			if timed = agg.admit(); timed {
+				t0 = time.Now()
+			}
+		}
+		composed, n, err := sym.ComposeAllParallelCounted(sums)
 		if err != nil {
 			return fmt.Errorf("key %q: %w", key, err)
 		}
@@ -278,6 +321,11 @@ func treeReduceFunc[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S],
 		}
 		composed.Release()
 		r := q.Result(key, final)
+		if timed {
+			emitComposeSpan(trace, key, t0, time.Now(), int64(len(sums)), int64(n), 1)
+		} else if trace != nil {
+			agg.addOverflow(int64(len(sums)), int64(n), 1)
+		}
 		mu.Lock()
 		results[key] = r
 		mu.Unlock()

@@ -32,6 +32,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // NodeSpec describes one machine.
@@ -97,6 +99,15 @@ type Cluster struct {
 	// wins — at the price of the duplicated work, counted in
 	// Result.WastedCPUSeconds.
 	Speculate bool
+
+	// Trace, when non-nil, receives a synthetic replay of the simulated
+	// schedule: a job span covering [0, TotalS] plus one span per
+	// map/reduce task at its simulated start/end, all on a nanosecond
+	// clock anchored at epoch zero (simulated seconds × 1e9) and tagged
+	// sim=1. Emission happens after the simulation completes, so tracing
+	// charges zero simulated cost; replayed traces satisfy the same
+	// obs.Verifier invariants as live engine traces.
+	Trace *obs.Trace
 }
 
 // specCap is a speculated straggler's effective slowdown: the backup
@@ -257,7 +268,8 @@ func Simulate(c Cluster, j Job) (Result, error) {
 	}
 
 	// ---- Map phase: fluid simulation with shared IO ----
-	res.MapPhaseS = simulateMapPhase(c, effMaps)
+	mapS, mapIv := simulateMapPhase(c, effMaps)
+	res.MapPhaseS = mapS
 
 	// ---- Shuffle ----
 	numReducers := len(j.Reduces)
@@ -293,7 +305,7 @@ func Simulate(c Cluster, j Job) (Result, error) {
 	res.ShuffleS = worst
 
 	// ---- Reduce phase: pure CPU on slots ----
-	reduceS, reduceWaste, reduceSpec := simulateCPUPhase(c, reduces)
+	reduceS, reduceWaste, reduceSpec, redIv := simulateCPUPhase(c, reduces)
 	res.ReducePhaseS = reduceS
 	res.WastedCPUSeconds += reduceWaste
 	res.Speculated += reduceSpec
@@ -310,12 +322,67 @@ func Simulate(c Cluster, j Job) (Result, error) {
 	}
 	res.CPUSeconds += res.WastedCPUSeconds
 	res.TotalS = c.SchedulingOverheadS + res.MapPhaseS + res.ShuffleS + res.ReducePhaseS
+	c.emitSimTrace(j, res, mapIv, redIv)
 	return res, nil
+}
+
+// interval is one simulated task's lifetime within its phase, in
+// seconds relative to the phase start.
+type interval struct {
+	start, end float64
+}
+
+// emitSimTrace replays the simulated schedule as trace spans (see
+// Cluster.Trace). Map intervals are offset by the scheduling overhead
+// and reduce intervals additionally by the map and shuffle phases, so
+// every task span nests inside the job span exactly as a live trace
+// would.
+func (c Cluster) emitSimTrace(j Job, res Result, mapIv, redIv []interval) {
+	tr := c.Trace
+	if tr == nil {
+		return
+	}
+	const ns = 1e9
+	jobID := tr.NewID()
+	tr.EmitRaw(&obs.Span{
+		ID: jobID, Kind: obs.KindJob, Name: "dcsim",
+		Start: 0, End: int64(res.TotalS * ns),
+		Attrs: map[string]int64{
+			obs.AttrParallelism:  int64(c.Nodes * c.Node.Cores),
+			obs.AttrWireBytes:    res.ShuffleBytes,
+			obs.AttrLogicalBytes: res.ShuffleBytes,
+		},
+		Tags: map[string]string{"sim": "1", "outcome": "ok"},
+	})
+	mapOff := c.SchedulingOverheadS
+	for i, iv := range mapIv {
+		tr.EmitRaw(&obs.Span{
+			Parent: jobID, Kind: obs.KindMapAttempt, Name: fmt.Sprintf("map-%d", i),
+			Start: int64((mapOff + iv.start) * ns), End: int64((mapOff + iv.end) * ns),
+			Attrs: map[string]int64{
+				obs.AttrTask:    int64(i),
+				obs.AttrAttempt: 0,
+				obs.AttrBytes:   j.Maps[i].InputBytes,
+			},
+			Tags: map[string]string{"sim": "1", "outcome": "ok"},
+		})
+	}
+	redOff := mapOff + res.MapPhaseS + res.ShuffleS
+	for i, iv := range redIv {
+		tr.EmitRaw(&obs.Span{
+			Parent: jobID, Kind: obs.KindReduceAttempt, Name: fmt.Sprintf("reduce-%d", i),
+			Start: int64((redOff + iv.start) * ns), End: int64((redOff + iv.end) * ns),
+			Attrs: map[string]int64{obs.AttrTask: int64(i), obs.AttrAttempt: 0},
+			Tags:  map[string]string{"sim": "1", "outcome": "ok"},
+		})
+	}
 }
 
 // runningTask is a map task in flight during the fluid simulation.
 type runningTask struct {
+	idx    int
 	node   int
+	start  float64 // schedule time, for the trace replay
 	ioRem  float64 // bytes left to read
 	cpuRem float64 // seconds left to compute
 }
@@ -324,10 +391,12 @@ type runningTask struct {
 // a fluid model where each running task's IO rate is its equal share of
 // its node's read bandwidth (and of the aggregate remote cap), and its
 // CPU rate is one dedicated core. A task completes when both resources
-// are drained (read and compute are pipelined).
-func simulateMapPhase(c Cluster, maps []MapTask) float64 {
+// are drained (read and compute are pipelined). The returned intervals
+// give each task's scheduled lifetime, indexed like maps.
+func simulateMapPhase(c Cluster, maps []MapTask) (float64, []interval) {
+	iv := make([]interval, len(maps))
 	if len(maps) == 0 {
-		return 0
+		return 0, iv
 	}
 	perNodeRead := c.Node.DiskMBps * 1e6
 	if c.RemoteReadMBps > 0 {
@@ -354,7 +423,9 @@ func simulateMapPhase(c Cluster, maps []MapTask) float64 {
 			}
 			slotsFree[node]--
 			t := runningTask{
+				idx:    next,
 				node:   node,
+				start:  now,
 				ioRem:  float64(maps[next].InputBytes),
 				cpuRem: maps[next].CPUSeconds, // pre-adjusted by Simulate
 			}
@@ -425,6 +496,7 @@ func simulateMapPhase(c Cluster, maps []MapTask) float64 {
 			}
 			if t.ioRem == 0 && t.cpuRem == 0 {
 				slotsFree[t.node]++
+				iv[t.idx] = interval{start: t.start, end: now}
 			} else {
 				alive = append(alive, t)
 			}
@@ -432,32 +504,38 @@ func simulateMapPhase(c Cluster, maps []MapTask) float64 {
 		running = alive
 		schedule()
 	}
-	return now
+	return now, iv
 }
 
 // simulateCPUPhase packs pure-CPU tasks onto the cluster's slots (LPT
-// list scheduling) and returns the makespan, plus the duplicated CPU
-// and backup count from speculated stragglers.
-func simulateCPUPhase(c Cluster, tasks []ReduceTask) (makespan, waste float64, speculated int) {
+// list scheduling) and returns the makespan, the duplicated CPU and
+// backup count from speculated stragglers, and each task's scheduled
+// interval (indexed like tasks).
+func simulateCPUPhase(c Cluster, tasks []ReduceTask) (makespan, waste float64, speculated int, iv []interval) {
+	iv = make([]interval, len(tasks))
 	if len(tasks) == 0 {
-		return 0, 0, 0
+		return 0, 0, 0, iv
 	}
 	slots := c.Nodes * c.Node.Cores
-	durs := make([]float64, len(tasks))
+	type job struct {
+		idx int
+		dur float64
+	}
+	durs := make([]job, len(tasks))
 	for i, t := range tasks {
 		eff, dup, spec := c.taskCost(i, t.CPUSeconds)
-		durs[i] = eff
+		durs[i] = job{idx: i, dur: eff}
 		waste += dup
 		if spec {
 			speculated++
 		}
 	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(durs)))
+	sort.SliceStable(durs, func(a, b int) bool { return durs[a].dur > durs[b].dur })
 	if len(durs) < slots {
 		slots = len(durs)
 	}
 	if slots == 0 {
-		return 0, waste, speculated
+		return 0, waste, speculated, iv
 	}
 	// Greedy longest-processing-time onto least-loaded slot.
 	loads := make([]float64, slots)
@@ -468,12 +546,13 @@ func simulateCPUPhase(c Cluster, tasks []ReduceTask) (makespan, waste float64, s
 				min = s
 			}
 		}
-		loads[min] += d
+		iv[d.idx] = interval{start: loads[min], end: loads[min] + d.dur}
+		loads[min] += d.dur
 	}
 	for _, l := range loads {
 		if l > makespan {
 			makespan = l
 		}
 	}
-	return makespan, waste, speculated
+	return makespan, waste, speculated, iv
 }

@@ -1,0 +1,60 @@
+package fuzzseed
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestUpdateLoadRoundTrip exercises the corpus store against a scratch
+// module root (a temp dir with a fake go.mod, entered via Chdir so the
+// upward go.mod walk lands there instead of the real repository).
+func TestUpdateLoadRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module scratch\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	nested := filepath.Join(root, "internal", "pkg")
+	if err := os.MkdirAll(nested, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(nested)
+
+	in := []Seed{
+		{Name: "b-second.bin", Data: []byte{1, 2, 3}},
+		{Name: "a-first.bin", Data: nil},
+	}
+	if err := Update("demo", in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "a-first.bin" || got[1].Name != "b-second.bin" {
+		t.Fatalf("loaded %+v, want the two seeds in name order", got)
+	}
+	if !bytes.Equal(got[1].Data, []byte{1, 2, 3}) {
+		t.Fatalf("seed data %v, want [1 2 3]", got[1].Data)
+	}
+
+	// Update replaces: a dropped entry must not linger.
+	if err := Update("demo", in[:1]); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Load("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "b-second.bin" {
+		t.Fatalf("after shrink loaded %+v, want only b-second.bin", got)
+	}
+
+	if _, err := Load("missing"); err == nil {
+		t.Fatal("loading a missing subcorpus must error")
+	}
+	if err := Update("demo", []Seed{{Name: "../escape", Data: nil}}); err == nil {
+		t.Fatal("path-traversing seed name must be rejected")
+	}
+}

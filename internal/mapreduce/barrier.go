@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -19,9 +20,28 @@ import (
 // benchmarks can report speedup and allocation reduction against a live
 // baseline rather than a number in a commit message.
 
-func (j *Job) runBarrier(conf Config, segments []*Segment) (*Metrics, error) {
+func (j *Job) runBarrier(conf Config, segments []*Segment) (_ *Metrics, err error) {
 	m := &Metrics{}
 	start := time.Now()
+
+	// The barrier engine predates the task lifecycle (no attempts, no
+	// commits, no spill runs), but it still emits job and per-task spans
+	// so traced baseline runs are verifiable: every task is attempt 0,
+	// committing unconditionally, with no run traffic to match.
+	trace := conf.Trace
+	jobSpan := trace.StartJob(j.Name)
+	defer func() {
+		if err != nil {
+			jobSpan.Tag("outcome", "error")
+		} else {
+			jobSpan.Tag("outcome", "ok")
+		}
+		jobSpan.Attr(obs.AttrParallelism, int64(conf.Parallelism)).
+			Attr(obs.AttrWireBytes, m.ShuffleBytes).
+			Attr(obs.AttrLogicalBytes, m.ShuffleLogicalBytes).
+			Attr(obs.AttrGroups, m.Groups).
+			End()
+	}()
 
 	// ---- Map phase (global barrier at the end) ----
 	mapStart := time.Now()
@@ -39,6 +59,9 @@ func (j *Job) runBarrier(conf Config, segments []*Segment) (*Metrics, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			span := trace.Start(obs.KindMapAttempt, fmt.Sprintf("map-%d", i)).
+				Attr(obs.AttrTask, int64(i)).Attr(obs.AttrAttempt, 0).
+				Attr(obs.AttrRecords, int64(len(seg.Records)))
 			t0 := time.Now()
 			parts := make([][]kvRec, conf.NumReducers)
 			outBytes := make([]int64, conf.NumReducers)
@@ -49,6 +72,14 @@ func (j *Job) runBarrier(conf Config, segments []*Segment) (*Metrics, error) {
 				outBytes[p] += legacyWireSize(&rec)
 			}
 			err := j.Map(seg.ID, seg, emit)
+			if err != nil {
+				span.Tag("outcome", "error").End()
+			} else {
+				span.Tag("outcome", "ok").End()
+				trace.Start(obs.KindCommit, fmt.Sprintf("map-%d", i)).
+					Attr(obs.AttrTask, int64(i)).Attr(obs.AttrAttempt, 0).
+					Tag("phase", "map").End()
+			}
 			outs[i] = mapOut{
 				parts: parts,
 				task: TaskMetrics{
@@ -103,6 +134,18 @@ func (j *Job) runBarrier(conf Config, segments []*Segment) (*Metrics, error) {
 			defer rwg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			span := trace.Start(obs.KindReduceAttempt, fmt.Sprintf("reduce-%d", p)).
+				Attr(obs.AttrTask, int64(p)).Attr(obs.AttrAttempt, 0)
+			defer func() {
+				if redErrs[p] != nil {
+					span.Tag("outcome", "error").End()
+					return
+				}
+				span.Tag("outcome", "ok").Attr(obs.AttrGroups, groupCounts[p]).End()
+				trace.Start(obs.KindCommit, fmt.Sprintf("reduce-%d", p)).
+					Attr(obs.AttrTask, int64(p)).Attr(obs.AttrAttempt, 0).
+					Tag("phase", "reduce").End()
+			}()
 			t0 := time.Now()
 			part := partitions[p]
 			// The full re-sort of the partition is reducer work in this

@@ -1,0 +1,110 @@
+package mapreduce
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/fuzzseed"
+	"repro/internal/wire"
+)
+
+var updateFuzzSeeds = flag.Bool("update-fuzz-seeds", false,
+	"regenerate testdata/fuzz-seeds/segments from the current encoder")
+
+// segSeedCorpus builds the committed segment corpus: genuine encoder
+// output in both framings plus one seed per corruption class the decoder
+// must reject (the classes TestDecodeSegmentRejectsCorruption pins).
+// Names are load-bearing: corrupt-* seeds are asserted rejected by
+// TestFuzzSeedSegmentCorpus, valid-* asserted accepted.
+func segSeedCorpus() []fuzzseed.Seed {
+	recs := segSeedRecs()
+	raw := encodeSegment(recs, false)
+	comp := encodeSegment(recs, true)
+
+	badFlags := append([]byte(nil), raw...)
+	badFlags[0] = 0x7C
+	badFlagsComp := append([]byte(nil), comp...)
+	badFlagsComp[0] = 0x7C
+
+	// Out-of-range dictionary index: one record, empty dictionary.
+	e := wire.NewEncoder(0)
+	e.Uvarint(1)
+	e.Uvarint(0)
+	e.StringDict(nil)
+	e.Varint(5)
+	e.Varint(0)
+	e.Varint(0)
+	e.BytesField([]byte{})
+	badDict := append([]byte{segRaw}, e.Bytes()...)
+
+	// Valid flate frame whose decompressed payload is garbage.
+	ge := wire.NewEncoder(0)
+	ge.Byte(segFlate)
+	ge.CompressedBlock([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+
+	return []fuzzseed.Seed{
+		{Name: "valid-raw.bin", Data: raw},
+		{Name: "valid-flate.bin", Data: comp},
+		{Name: "valid-empty-raw.bin", Data: encodeSegment(nil, false)},
+		{Name: "valid-empty-flate.bin", Data: encodeSegment(nil, true)},
+		{Name: "corrupt-truncated-raw.bin", Data: raw[:len(raw)/2]},
+		{Name: "corrupt-truncated-raw-tail.bin", Data: raw[:len(raw)-1]},
+		{Name: "corrupt-truncated-flate.bin", Data: comp[:len(comp)/2]},
+		{Name: "corrupt-truncated-flate-tail.bin", Data: comp[:len(comp)-1]},
+		{Name: "corrupt-flags.bin", Data: badFlags},
+		{Name: "corrupt-flags-flate.bin", Data: badFlagsComp},
+		{Name: "corrupt-dict-index.bin", Data: badDict},
+		{Name: "corrupt-trailing.bin", Data: append(append([]byte(nil), raw...), 0xAA, 0xBB)},
+		{Name: "corrupt-flate-garbage-payload.bin", Data: ge.Bytes()},
+		{Name: "corrupt-flate-hugelen.bin", Data: []byte{segFlate, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}},
+	}
+}
+
+// TestUpdateFuzzSeeds regenerates the committed corpus when run with
+// -update-fuzz-seeds; otherwise it only checks the generator still
+// produces every corruption class.
+func TestUpdateFuzzSeeds(t *testing.T) {
+	corpus := segSeedCorpus()
+	if !*updateFuzzSeeds {
+		t.Skipf("generator healthy (%d seeds); pass -update-fuzz-seeds to rewrite testdata/fuzz-seeds/segments", len(corpus))
+	}
+	if err := fuzzseed.Update("segments", corpus); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzSeedSegmentCorpus is the regression net over the committed
+// corpus: every corrupt-* seed must be rejected by decodeSegment and
+// every valid-* seed accepted — independent of how the seed was built,
+// so decoder regressions against historical corruptions surface even if
+// the generator drifts.
+func TestFuzzSeedSegmentCorpus(t *testing.T) {
+	seeds, err := fuzzseed.Load("segments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var valid, corrupt int
+	for _, s := range seeds {
+		got, err := decodeSegment(s.Data)
+		switch {
+		case strings.HasPrefix(s.Name, "corrupt-"):
+			corrupt++
+			if err == nil {
+				t.Errorf("%s: corrupt seed accepted (%d records)", s.Name, len(got))
+			}
+		case strings.HasPrefix(s.Name, "valid-"):
+			valid++
+			if err != nil {
+				t.Errorf("%s: valid seed rejected: %v", s.Name, err)
+			} else {
+				kvBufs.put(got)
+			}
+		default:
+			t.Errorf("%s: seed name must start with valid- or corrupt-", s.Name)
+		}
+	}
+	if valid < 2 || corrupt < 8 {
+		t.Fatalf("corpus too small: %d valid / %d corrupt seeds", valid, corrupt)
+	}
+}

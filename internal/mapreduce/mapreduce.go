@@ -32,6 +32,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -140,6 +141,21 @@ type Config struct {
 	// chaos testing. nil (the default) injects nothing and costs one nil
 	// check per boundary.
 	Faults *FaultPlan
+
+	// Trace, when set, emits structured spans for the job and every task
+	// attempt, commit, spill-run decode, and merge to the trace's sink
+	// (see internal/obs). nil (the default) costs one nil check per span
+	// site. Spans are per task / per segment / per group, never per
+	// record.
+	Trace *obs.Trace
+	// Registry, when set, receives the job's typed metrics merged in
+	// after the run. The engine always instruments a fresh private
+	// registry per job — the legacy Metrics struct is derived from it —
+	// so cross-job aggregation happens only when the caller asks.
+	Registry *obs.Registry
+	// Profile, when set, writes a CPU profile covering the job to this
+	// path. Skipped quietly if another profile is already active.
+	Profile string
 }
 
 func (c Config) withDefaults() Config {
@@ -187,7 +203,32 @@ type TaskMetrics struct {
 	LogicalOutBytes []int64
 }
 
-// Metrics aggregates a job run.
+// Registry instrument names the streaming engine populates. The engine
+// observes into a fresh per-job obs.Registry at the instrumentation
+// sites; Metrics is derived from it after the run, and the whole
+// registry merges into Config.Registry when set.
+const (
+	MetricMapAttempts    = "map_attempts"
+	MetricReduceAttempts = "reduce_attempts"
+	MetricTaskRetries    = "task_retries"
+	MetricSpecTasks      = "speculative_tasks"
+	MetricSpecWins       = "speculative_wins"
+	MetricShuffleBytes   = "shuffle_bytes"
+	MetricShuffleLogical = "shuffle_logical_bytes"
+	MetricShuffleRecords = "shuffle_records"
+	MetricInputBytes     = "input_bytes"
+	MetricInputRecords   = "input_records"
+	MetricGroups         = "groups"
+	MetricMapTaskNS      = "map_task_ns"    // histogram: committed map attempt durations
+	MetricReduceTaskNS   = "reduce_task_ns" // histogram: reduce attempt durations
+	MetricRunBytes       = "run_bytes"      // histogram: committed spill-run wire sizes
+	MetricGroupValues    = "group_values"   // histogram: records per reduced key group
+)
+
+// Metrics aggregates a job run. Under the streaming engine it is a
+// derived view over the job's obs.Registry (see the Metric* names); the
+// struct is kept because the simulator, benchmarks, and tests consume
+// it as a typed snapshot.
 type Metrics struct {
 	InputBytes   int64
 	InputRecords int64
@@ -203,14 +244,14 @@ type Metrics struct {
 	// under the barrier oracle, which still ships that framing.
 	ShuffleLogicalBytes int64
 	ShuffleRecords      int64
-	MapWall        time.Duration
-	ReduceWall     time.Duration
-	TotalWall      time.Duration
-	MapCPU         time.Duration // summed task durations
-	ReduceCPU      time.Duration
-	MapTasks       []TaskMetrics
-	ReduceTasks    []TaskMetrics
-	Groups         int64
+	MapWall             time.Duration
+	ReduceWall          time.Duration
+	TotalWall           time.Duration
+	MapCPU              time.Duration // summed task durations
+	ReduceCPU           time.Duration
+	MapTasks            []TaskMetrics
+	ReduceTasks         []TaskMetrics
+	Groups              int64
 
 	// Task-lifecycle counters (streaming engine). On a clean run with
 	// MaxAttempts 1 and no speculation: MapAttempts == map task count,
@@ -275,6 +316,13 @@ func (j *Job) RunContext(ctx context.Context, segments []*Segment) (*Metrics, er
 		return nil, err
 	}
 	conf := j.Conf.withDefaults()
+	if conf.Profile != "" {
+		stop, err := obs.CPUProfile(conf.Profile)
+		if err != nil {
+			return nil, err
+		}
+		defer stop()
+	}
 	if conf.BarrierShuffle {
 		return j.runBarrier(conf, segments)
 	}

@@ -1,0 +1,182 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// obsTestJob is a small multi-segment wordcount-style job used by the
+// tracing tests; emits enough keys to populate every reducer.
+func obsTestJob(reducers int) (*Job, []*Segment) {
+	var lines []string
+	for i := 0; i < 120; i++ {
+		lines = append(lines, fmt.Sprintf("key%02d value-%d", i%17, i))
+	}
+	segs := segmentsFromLines(lines, 6)
+	var mu sync.Mutex
+	seen := map[string]int{}
+	job := &Job{
+		Name: "obs-test",
+		Map: func(id int, seg *Segment, emit Emit) error {
+			for i, rec := range seg.Records {
+				fields := strings.Fields(string(rec))
+				emit(fields[0], int64(i), []byte(fields[1]))
+			}
+			return nil
+		},
+		Reduce: func(_ int, key string, values []Shuffled) error {
+			mu.Lock()
+			seen[key] = len(values)
+			mu.Unlock()
+			return nil
+		},
+		Conf: Config{NumReducers: reducers},
+	}
+	return job, segs
+}
+
+// TestTracedJobVerifies runs the streaming engine under every mode
+// combination (compression, spill dir, external sort) with a trace
+// attached, and requires the resulting trace to pass every obs.Verifier
+// invariant — the engine's commit protocol, run accounting, and byte
+// accounting proven on a live run, not asserted by construction.
+func TestTracedJobVerifies(t *testing.T) {
+	cases := []struct {
+		name string
+		conf func(t *testing.T) Config
+	}{
+		{"memory", func(t *testing.T) Config { return Config{NumReducers: 3} }},
+		{"compressed", func(t *testing.T) Config { return Config{NumReducers: 3, CompressShuffle: true} }},
+		{"spill", func(t *testing.T) Config { return Config{NumReducers: 3, SpillDir: t.TempDir()} }},
+		{"spill-compressed", func(t *testing.T) Config {
+			return Config{NumReducers: 3, SpillDir: t.TempDir(), CompressShuffle: true}
+		}},
+		{"external-sort", func(t *testing.T) Config { return Config{NumReducers: 2, ExternalSort: true} }},
+		{"barrier", func(t *testing.T) Config { return Config{NumReducers: 3, BarrierShuffle: true} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			job, segs := obsTestJob(3)
+			sink := obs.NewMemSink()
+			conf := tc.conf(t)
+			conf.NumReducers = max(conf.NumReducers, 1)
+			conf.Trace = obs.NewTrace(sink)
+			conf.Registry = obs.NewRegistry()
+			job.Conf = conf
+			m, err := job.Run(segs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spans := sink.Spans()
+			if err := (obs.Verifier{}).Check(spans); err != nil {
+				t.Fatalf("trace failed verification: %v", err)
+			}
+			var jobSpan *obs.Span
+			attempts := 0
+			for _, sp := range spans {
+				switch sp.Kind {
+				case obs.KindJob:
+					jobSpan = sp
+				case obs.KindMapAttempt:
+					attempts++
+				}
+			}
+			if jobSpan == nil {
+				t.Fatal("no job span")
+			}
+			if got := jobSpan.Attr(obs.AttrWireBytes); got != m.ShuffleBytes {
+				t.Errorf("job span wire bytes %d, Metrics %d", got, m.ShuffleBytes)
+			}
+			if got := jobSpan.Attr(obs.AttrGroups); got != m.Groups {
+				t.Errorf("job span groups %d, Metrics %d", got, m.Groups)
+			}
+			if attempts != len(segs) {
+				t.Errorf("%d map attempt spans, want %d", attempts, len(segs))
+			}
+			if err := conf.Registry.SelfCheck(); err != nil {
+				t.Errorf("merged registry self-check: %v", err)
+			}
+		})
+	}
+}
+
+// TestTracedChaosJobVerifies injects kill/error faults with retries
+// enabled and requires the trace to still verify: failed attempts carry
+// error outcomes, only winners commit, and every committed run is merged
+// exactly once despite the retries.
+func TestTracedChaosJobVerifies(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			job, segs := obsTestJob(2)
+			sink := obs.NewMemSink()
+			job.Conf = Config{
+				NumReducers: 2,
+				MaxAttempts: 4,
+				Speculation: true,
+				Faults:      NewFaultPlan(seed).WithRate(0.4).WithMaxDelay(2 * time.Millisecond),
+				Trace:       obs.NewTrace(sink),
+			}
+			if _, err := job.Run(segs); err != nil {
+				t.Fatalf("chaos job failed (final attempts are spared): %v", err)
+			}
+			if err := (obs.Verifier{}).Check(sink.Spans()); err != nil {
+				t.Fatalf("chaos trace failed verification: %v", err)
+			}
+		})
+	}
+}
+
+// TestMetricsDerivedFromRegistry pins the derived-view contract: the
+// legacy Metrics scalars must equal the registry instruments the engine
+// observed, and the per-job registry must merge into Config.Registry.
+func TestMetricsDerivedFromRegistry(t *testing.T) {
+	job, segs := obsTestJob(3)
+	reg := obs.NewRegistry()
+	job.Conf.Registry = reg
+	m, err := job.Run(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	checks := map[string]int64{
+		MetricMapAttempts:    m.MapAttempts,
+		MetricReduceAttempts: m.ReduceAttempts,
+		MetricShuffleBytes:   m.ShuffleBytes,
+		MetricShuffleLogical: m.ShuffleLogicalBytes,
+		MetricShuffleRecords: m.ShuffleRecords,
+		MetricInputBytes:     m.InputBytes,
+		MetricInputRecords:   m.InputRecords,
+		MetricGroups:         m.Groups,
+	}
+	for name, want := range checks {
+		if snap[name] != want {
+			t.Errorf("registry %s = %d, Metrics says %d", name, snap[name], want)
+		}
+	}
+	if snap[MetricMapTaskNS+".count"] != m.MapAttempts {
+		t.Errorf("map task duration histogram has %d observations, want %d",
+			snap[MetricMapTaskNS+".count"], m.MapAttempts)
+	}
+	if snap[MetricGroupValues+".count"] != m.Groups {
+		t.Errorf("group size histogram has %d observations, want %d groups",
+			snap[MetricGroupValues+".count"], m.Groups)
+	}
+	if err := reg.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUntracedJobEmitsNothing guards the off switch: with no trace and
+// no registry configured the job must run exactly as before (the
+// engine's private registry never escapes).
+func TestUntracedJobEmitsNothing(t *testing.T) {
+	job, segs := obsTestJob(2)
+	if _, err := job.Run(segs); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // The streaming engine. Map and reduce overlap: reduce tasks start
@@ -30,16 +32,42 @@ import (
 // would only add copies.
 const premergeMinRuns = 4
 
-func (j *Job) runStreaming(ctx context.Context, conf Config, segments []*Segment) (*Metrics, error) {
+func (j *Job) runStreaming(ctx context.Context, conf Config, segments []*Segment) (_ *Metrics, err error) {
 	m := &Metrics{}
 	start := time.Now()
+	reg := obs.NewRegistry()
 	env := &runEnv{
 		ctx:     ctx,
 		job:     j,
 		conf:    conf,
 		sem:     make(chan struct{}, conf.Parallelism),
 		aborted: &atomic.Bool{},
+		trace:   conf.Trace,
+		reg:     reg,
+
+		mapAttempts:    reg.Counter(MetricMapAttempts),
+		reduceAttempts: reg.Counter(MetricReduceAttempts),
+		retries:        reg.Counter(MetricTaskRetries),
+		specLaunched:   reg.Counter(MetricSpecTasks),
+		specWins:       reg.Counter(MetricSpecWins),
 	}
+	// The job root span: every task span parents to it, and its closing
+	// attrs carry the whole-job quantities the trace verifier checks
+	// (wire vs logical bytes, the cpu-bound parallelism cap).
+	jobSpan := env.trace.StartJob(j.Name)
+	defer func() {
+		if err != nil {
+			jobSpan.Tag("outcome", "error")
+		} else {
+			jobSpan.Tag("outcome", "ok")
+		}
+		jobSpan.Attr(obs.AttrParallelism, int64(conf.Parallelism)).
+			Attr(obs.AttrWireBytes, m.ShuffleBytes).
+			Attr(obs.AttrLogicalBytes, m.ShuffleLogicalBytes).
+			Attr(obs.AttrGroups, m.Groups).
+			End()
+		env.reg.MergeInto(conf.Registry)
+	}()
 	if conf.SpillDir != "" {
 		spill, err := newSpillStore(conf.SpillDir)
 		if err != nil {
@@ -68,7 +96,7 @@ func (j *Job) runStreaming(ctx context.Context, conf Config, segments []*Segment
 		rwg.Add(1)
 		go func(p int) {
 			defer rwg.Done()
-			runs, inBytes, active, lerr := collectRuns(env.runCh[p], conf.ExternalSort, env.sem)
+			runs, inBytes, active, lerr := env.collectRuns(p)
 			if env.aborted.Load() || lerr != nil {
 				releaseRuns(runs)
 				if lerr != nil {
@@ -122,9 +150,11 @@ func (j *Job) runStreaming(ctx context.Context, conf Config, segments []*Segment
 	mapDone := time.Now()
 	m.MapWall = mapDone.Sub(mapStart)
 
-	// Collect map outcomes, folding shuffle-byte and record summation
-	// into this single pass, then release the reducers by closing their
-	// channels. Permanent task failures aggregate into one multi-error.
+	// Collect map outcomes into the job registry, then release the
+	// reducers by closing their channels. Permanent task failures
+	// aggregate into one multi-error. The scalar Metrics fields are read
+	// back from the registry below — the registry is the system of
+	// record, Metrics the derived view.
 	var taskFailures []error
 	for i, st := range states {
 		if st.failErr != nil {
@@ -136,19 +166,24 @@ func (j *Job) runStreaming(ctx context.Context, conf Config, segments []*Segment
 		}
 		m.MapTasks = append(m.MapTasks, st.task)
 		m.MapCPU += st.task.Duration
-		m.InputBytes += st.task.InputBytes
-		m.InputRecords += int64(len(segments[i].Records))
-		m.ShuffleRecords += st.emitted
+		env.reg.Counter(MetricInputBytes).Add(st.task.InputBytes)
+		env.reg.Counter(MetricInputRecords).Add(int64(len(segments[i].Records)))
+		env.reg.Counter(MetricShuffleRecords).Add(st.emitted)
 		for _, b := range st.task.OutBytes {
-			m.ShuffleBytes += b
+			env.reg.Counter(MetricShuffleBytes).Add(b)
 		}
 		for _, b := range st.task.LogicalOutBytes {
-			m.ShuffleLogicalBytes += b
+			env.reg.Counter(MetricShuffleLogical).Add(b)
 		}
 	}
-	m.MapAttempts = env.mapAttempts.Load()
-	m.SpeculativeTasks = env.specLaunched.Load()
-	m.SpeculativeWins = env.specWins.Load()
+	m.InputBytes = env.reg.Counter(MetricInputBytes).Value()
+	m.InputRecords = env.reg.Counter(MetricInputRecords).Value()
+	m.ShuffleRecords = env.reg.Counter(MetricShuffleRecords).Value()
+	m.ShuffleBytes = env.reg.Counter(MetricShuffleBytes).Value()
+	m.ShuffleLogicalBytes = env.reg.Counter(MetricShuffleLogical).Value()
+	m.MapAttempts = env.mapAttempts.Value()
+	m.SpeculativeTasks = env.specLaunched.Value()
+	m.SpeculativeWins = env.specWins.Value()
 
 	var mapErr error
 	if err := ctx.Err(); err != nil {
@@ -163,8 +198,8 @@ func (j *Job) runStreaming(ctx context.Context, conf Config, segments []*Segment
 		close(env.runCh[p])
 	}
 	rwg.Wait()
-	m.ReduceAttempts = env.reduceAttempts.Load()
-	m.TaskRetries = env.retries.Load() // map and reduce retries
+	m.ReduceAttempts = env.reduceAttempts.Value()
+	m.TaskRetries = env.retries.Value() // map and reduce retries
 	if mapErr != nil {
 		return nil, mapErr
 	}
@@ -177,8 +212,9 @@ func (j *Job) runStreaming(ctx context.Context, conf Config, segments []*Segment
 		}
 		m.ReduceTasks = append(m.ReduceTasks, redOuts[p].task)
 		m.ReduceCPU += redOuts[p].task.Duration
-		m.Groups += redOuts[p].groups
+		env.reg.Counter(MetricGroups).Add(redOuts[p].groups)
 	}
+	m.Groups = env.reg.Counter(MetricGroups).Value()
 	if len(reduceFailures) > 0 {
 		return nil, errors.Join(reduceFailures...)
 	}
@@ -198,9 +234,17 @@ func (j *Job) runStreaming(ctx context.Context, conf Config, segments []*Segment
 // semaphore slot is free right now (non-blocking try), never at the
 // expense of map progress. Returns the pending runs, total wire bytes
 // received, active (non-waiting) time, and the first run-load error.
-func collectRuns(ch <-chan spillRun, external bool, sem chan struct{}) (runs []spillRun, inBytes int64, active time.Duration, err error) {
+//
+// Each successful decode emits a seg_decode span carrying the run's
+// producer identity — the consumption record the trace verifier joins
+// against run_commit events for the merged-exactly-once invariant.
+func (env *runEnv) collectRuns(p int) (runs []spillRun, inBytes int64, active time.Duration, err error) {
+	ch, external := env.runCh[p], env.conf.ExternalSort
 	add := func(r spillRun) {
 		if r.path != "" || r.seg != nil {
+			span := env.trace.Start(obs.KindSegDecode, fmt.Sprintf("part-%d", p)).
+				Attr(obs.AttrTask, int64(r.task)).Attr(obs.AttrAttempt, int64(r.attempt)).
+				Attr(obs.AttrPart, int64(r.part)).Attr(obs.AttrBytes, r.bytes)
 			t0 := time.Now()
 			var recs []kvRec
 			var derr error
@@ -211,11 +255,13 @@ func collectRuns(ch <-chan spillRun, external bool, sem chan struct{}) (runs []s
 			}
 			active += time.Since(t0)
 			if derr != nil {
+				span.Tag("outcome", "error").End()
 				if err == nil {
 					err = derr
 				}
 				return
 			}
+			span.End()
 			r = spillRun{recs: recs, bytes: r.bytes}
 		}
 		runs = append(runs, r)
@@ -231,11 +277,14 @@ func collectRuns(ch <-chan spillRun, external bool, sem chan struct{}) (runs []s
 		default:
 			if !external && err == nil && len(runs) >= premergeMinRuns {
 				select {
-				case sem <- struct{}{}:
+				case env.sem <- struct{}{}:
+					span := env.trace.Start(obs.KindMerge, fmt.Sprintf("part-%d", p)).
+						Attr(obs.AttrPart, int64(p)).Attr(obs.AttrRuns, int64(len(runs)))
 					t0 := time.Now()
 					runs = foldSmallest(runs)
 					active += time.Since(t0)
-					<-sem
+					span.End()
+					<-env.sem
 					continue
 				default:
 				}
@@ -276,7 +325,9 @@ func foldSmallest(runs []spillRun) []spillRun {
 // the reduce function through a reusable buffer — no per-group slice is
 // materialized. It never mutates the runs (the loser tree keeps its own
 // cursors), so a retrying reduce attempt re-merges identical inputs.
-func (j *Job) reduceMerge(p int, runs []spillRun) (groups int64, err error) {
+func (env *runEnv) reduceMerge(p int, runs []spillRun) (groups int64, err error) {
+	j := env.job
+	groupHist := env.reg.Histogram(MetricGroupValues)
 	tree := newLoserTree(runs)
 	group := make([]Shuffled, 0, 64)
 	for {
@@ -295,6 +346,7 @@ func (j *Job) reduceMerge(p int, runs []spillRun) (groups int64, err error) {
 			tree.advance()
 		}
 		groups++
+		groupHist.Observe(int64(len(group)))
 		if err := j.Reduce(p, key, group); err != nil {
 			return groups, fmt.Errorf("mapreduce %q: reduce task %d key %q: %w", j.Name, p, key, err)
 		}

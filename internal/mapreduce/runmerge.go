@@ -19,6 +19,14 @@ type spillRun struct {
 	bytes int64  // encoded segment size (wire bytes)
 	seg   []byte // encoded segment (memory mode), or nil
 	path  string // committed run file (disk-spill mode), or ""
+
+	// Producer identity, carried so the reducer's decode span matches the
+	// winning attempt's run_commit event — the trace verifier's
+	// run-merged-once invariant joins on (task, attempt, part). Zeroed
+	// once runs are folded together (a merged run has no single producer).
+	task    int
+	attempt int
+	part    int
 }
 
 // sortRun key-sorts one mapper's partition in place into the shuffle

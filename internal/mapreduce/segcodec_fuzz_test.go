@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/fuzzseed"
 	"repro/internal/wire"
 )
 
@@ -38,22 +39,18 @@ func segSeedRecs() []kvRec {
 // under test: malformed input — truncated flate frames, forged record
 // counts, out-of-range dictionary indexes, trailing garbage — returns an
 // error, never panics and never over-allocates; input it accepts must
-// survive a re-encode/decode round trip unchanged. Seeds are genuine
-// encoder output (raw and compressed) over query-like records, so
-// mutations start one bit-flip away from the interesting paths.
+// survive a re-encode/decode round trip unchanged. Seeds come from the
+// committed corpus in testdata/fuzz-seeds/segments — genuine encoder
+// output plus one entry per corruption class — so mutations start one
+// bit-flip away from the interesting paths.
 func FuzzSegmentDecode(f *testing.F) {
-	recs := segSeedRecs()
-	raw := encodeSegment(recs, false)
-	comp := encodeSegment(recs, true)
-	f.Add(raw)
-	f.Add(comp)
-	f.Add(encodeSegment(nil, false))
-	f.Add(encodeSegment(nil, true))
-	// Truncated frames and a corrupt dictionary (dict length byte bumped
-	// past the payload) — these must already error at seed time.
-	f.Add(raw[:len(raw)/2])
-	f.Add(comp[:len(comp)/2])
-	f.Add([]byte{segFlate, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}) // huge rawLen, no body
+	seeds, err := fuzzseed.Load("segments")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, s := range seeds {
+		f.Add(s.Data)
+	}
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, in []byte) {
@@ -117,12 +114,12 @@ func TestDecodeSegmentRejectsCorruption(t *testing.T) {
 	// Corrupt dictionary: a key index pointing outside the dictionary.
 	// Build the payload by hand — one record, empty dictionary.
 	e := wire.NewEncoder(0)
-	e.Uvarint(1)          // one record
-	e.Uvarint(0)          // mapperID
-	e.StringDict(nil)     // empty dictionary
-	e.Varint(5)           // key index 5 — out of range
-	e.Varint(0)           // recordID delta
-	e.Varint(0)           // seq delta
+	e.Uvarint(1)           // one record
+	e.Uvarint(0)           // mapperID
+	e.StringDict(nil)      // empty dictionary
+	e.Varint(5)            // key index 5 — out of range
+	e.Varint(0)            // recordID delta
+	e.Varint(0)            // seq delta
 	e.BytesField([]byte{}) // value
 	buf := append([]byte{segRaw}, e.Bytes()...)
 	if _, err := decodeSegment(buf); err == nil {

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Task lifecycle: every map and reduce task runs as a sequence of
@@ -66,13 +68,19 @@ type runEnv struct {
 	spill   *spillStore
 	aborted *atomic.Bool
 
+	// trace is Config.Trace (possibly nil — span calls are nil-safe).
+	// reg is the job's private metrics registry; lifecycle counters and
+	// task histograms are observed here and Metrics is derived from it.
+	trace *obs.Trace
+	reg   *obs.Registry
+
 	specWG sync.WaitGroup // in-flight speculative attempts
 
-	mapAttempts    atomic.Int64
-	reduceAttempts atomic.Int64
-	retries        atomic.Int64
-	specLaunched   atomic.Int64
-	specWins       atomic.Int64
+	mapAttempts    *obs.Counter
+	reduceAttempts *obs.Counter
+	retries        *obs.Counter
+	specLaunched   *obs.Counter
+	specWins       *obs.Counter
 }
 
 // mapTask is one map task's lifecycle state, shared by its driver, any
@@ -156,7 +164,7 @@ func (env *runEnv) driveMapTask(st *mapTask) {
 			}
 		}
 		id := int(st.attemptSeq.Add(1) - 1)
-		res, err := env.runMapAttempt(st, id)
+		res, err := env.runMapAttempt(st, id, false)
 		if err == nil {
 			won, cerr := env.commit(st, id, res)
 			if won {
@@ -201,7 +209,7 @@ func (env *runEnv) finishTask(st *mapTask, err error) {
 // runMapAttempt executes one attempt: acquire a task slot, run the user
 // map with fault hooks armed, sort and (in spill mode) persist the spill
 // runs. The returned result is uncommitted.
-func (env *runEnv) runMapAttempt(st *mapTask, attempt int) (res *attemptResult, err error) {
+func (env *runEnv) runMapAttempt(st *mapTask, attempt int, spec bool) (res *attemptResult, err error) {
 	env.mapAttempts.Add(1)
 	select {
 	case env.sem <- struct{}{}:
@@ -209,6 +217,23 @@ func (env *runEnv) runMapAttempt(st *mapTask, attempt int) (res *attemptResult, 
 		return nil, env.ctx.Err()
 	}
 	defer func() { <-env.sem }()
+
+	// The attempt span opens after the semaphore, so summed attempt spans
+	// stay bounded by wall × Parallelism (the verifier's cpu-bound
+	// invariant); it closes on every exit with the attempt's outcome.
+	span := env.trace.Start(obs.KindMapAttempt, fmt.Sprintf("map-%d", st.id)).
+		Attr(obs.AttrTask, int64(st.id)).Attr(obs.AttrAttempt, int64(attempt))
+	if spec {
+		span.Tag("speculative", "1")
+	}
+	defer func() {
+		if err == nil && res != nil {
+			span.Tag("outcome", "ok").Attr(obs.AttrRecords, res.task.Records)
+		} else {
+			span.Tag("outcome", "error")
+		}
+		span.End()
+	}()
 
 	conf := env.conf
 	seg := st.seg
@@ -288,9 +313,12 @@ func (env *runEnv) runMapAttempt(st *mapTask, attempt int) (res *attemptResult, 
 	// OutBytes is always real encoder output and compression acts on the
 	// actual shuffle path, not a model of it.
 	wireOut := make([]int64, conf.NumReducers)
+	encSpan := env.trace.Start(obs.KindSpillEncode, fmt.Sprintf("map-%d", st.id)).
+		Attr(obs.AttrTask, int64(st.id)).Attr(obs.AttrAttempt, int64(attempt))
 	if env.spill != nil {
 		files, werr := env.spill.writeAttempt(st.id, attempt, parts, conf.CompressShuffle)
 		if werr != nil {
+			encSpan.Tag("outcome", "error").End()
 			discardParts()
 			return nil, werr
 		}
@@ -307,11 +335,17 @@ func (env *runEnv) runMapAttempt(st *mapTask, attempt int) (res *attemptResult, 
 			}
 			sg := encodeSegment(parts[p], conf.CompressShuffle)
 			wireOut[p] = int64(len(sg))
-			res.memRuns[p] = spillRun{seg: sg, bytes: int64(len(sg))}
+			res.memRuns[p] = spillRun{seg: sg, bytes: int64(len(sg)),
+				task: st.id, attempt: attempt, part: p}
 			kvBufs.put(parts[p])
 			parts[p] = nil
 		}
 	}
+	var encBytes int64
+	for _, b := range wireOut {
+		encBytes += b
+	}
+	encSpan.Attr(obs.AttrBytes, encBytes).End()
 	if ferr := conf.Faults.fire(env.ctx, PointSpillWrite, st.id, attempt, conf.MaxAttempts); ferr != nil {
 		res.discard(st.id, env.spill)
 		return nil, ferr
@@ -350,13 +384,27 @@ func (env *runEnv) commit(st *mapTask, attempt int, res *attemptResult) (won boo
 	st.task = res.task
 	st.emitted = res.emitted
 	st.commitDur.Store(int64(res.task.Duration))
+	env.reg.Histogram(MetricMapTaskNS).Observe(int64(res.task.Duration))
+	env.trace.Start(obs.KindCommit, fmt.Sprintf("map-%d", st.id)).
+		Attr(obs.AttrTask, int64(st.id)).Attr(obs.AttrAttempt, int64(attempt)).
+		Tag("phase", "map").End()
+	runCommit := func(r spillRun) {
+		env.reg.Histogram(MetricRunBytes).Observe(r.bytes)
+		env.trace.Start(obs.KindRunCommit, fmt.Sprintf("map-%d", st.id)).
+			Attr(obs.AttrTask, int64(r.task)).Attr(obs.AttrAttempt, int64(r.attempt)).
+			Attr(obs.AttrPart, int64(r.part)).Attr(obs.AttrBytes, r.bytes).End()
+	}
 	if res.onDisk {
 		for _, f := range res.files {
-			env.runCh[f.part] <- spillRun{path: env.spill.committedRunPath(st.id, f), bytes: f.bytes}
+			r := spillRun{path: env.spill.committedRunPath(st.id, f), bytes: f.bytes,
+				task: st.id, attempt: attempt, part: f.part}
+			runCommit(r)
+			env.runCh[f.part] <- r
 		}
 	} else {
 		for p := range res.memRuns {
 			if res.memRuns[p].seg != nil {
+				runCommit(res.memRuns[p])
 				env.runCh[p] <- res.memRuns[p]
 			}
 		}
@@ -423,7 +471,7 @@ func (env *runEnv) runBackup(st *mapTask, b chan struct{}) {
 	defer env.specWG.Done()
 	defer close(b)
 	id := int(st.attemptSeq.Add(1) - 1)
-	res, err := env.runMapAttempt(st, id)
+	res, err := env.runMapAttempt(st, id, true)
 	if err != nil {
 		return // the driver's own attempts decide the task's fate
 	}
@@ -459,14 +507,24 @@ func (env *runEnv) runReduceTask(p int, runs []spillRun) (groups int64, err erro
 			}
 		}
 		env.reduceAttempts.Add(1)
+		span := env.trace.Start(obs.KindReduceAttempt, fmt.Sprintf("reduce-%d", p)).
+			Attr(obs.AttrTask, int64(p)).Attr(obs.AttrAttempt, int64(a))
+		t0 := time.Now()
 		if ferr := conf.Faults.fire(env.ctx, PointReduceMerge, p, a, conf.MaxAttempts); ferr != nil {
+			span.Tag("outcome", "error").End()
 			attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: %w", a, ferr))
 			continue
 		}
-		groups, err = env.job.reduceMerge(p, runs)
+		groups, err = env.reduceMerge(p, runs)
 		if err == nil {
+			env.reg.Histogram(MetricReduceTaskNS).Observe(int64(time.Since(t0)))
+			span.Tag("outcome", "ok").Attr(obs.AttrGroups, groups).End()
+			env.trace.Start(obs.KindCommit, fmt.Sprintf("reduce-%d", p)).
+				Attr(obs.AttrTask, int64(p)).Attr(obs.AttrAttempt, int64(a)).
+				Tag("phase", "reduce").End()
 			return groups, nil
 		}
+		span.Tag("outcome", "error").End()
 		if env.ctx.Err() != nil {
 			return 0, env.ctx.Err()
 		}

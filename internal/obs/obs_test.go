@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilTraceIsSafe pins the nil-safety contract the engine relies on:
+// every Trace/ActiveSpan method must be a no-op on a nil receiver so
+// call sites need no guards.
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	job := tr.StartJob("nil-job")
+	sp := tr.Start(KindMapAttempt, "t0")
+	sp.Attr(AttrTask, 1).Tag("outcome", "ok").End()
+	job.End()
+	tr.Event(KindCommit, "t0")
+	tr.EmitRaw(&Span{Kind: KindJob})
+	if id := tr.NewID(); id != 0 {
+		t.Fatalf("nil trace issued id %d", id)
+	}
+	if id := sp.ID(); id != 0 {
+		t.Fatalf("nil span has id %d", id)
+	}
+}
+
+func TestTraceParentsSpansToJob(t *testing.T) {
+	sink := NewMemSink()
+	tr := NewTrace(sink)
+	job := tr.StartJob("j")
+	tr.Start(KindMapAttempt, "t0").
+		Attr(AttrTask, 0).Attr(AttrAttempt, 1).Tag("outcome", "ok").End()
+	tr.Start(KindCommit, "t0").
+		Attr(AttrTask, 0).Attr(AttrAttempt, 1).Tag("phase", "map").End()
+	job.Attr(AttrParallelism, 2).End()
+
+	spans := sink.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	var root *Span
+	for _, sp := range spans {
+		if sp.Kind == KindJob {
+			root = sp
+		}
+	}
+	if root == nil {
+		t.Fatal("no job span emitted")
+	}
+	for _, sp := range spans {
+		if sp.Kind != KindJob && sp.Parent != root.ID {
+			t.Errorf("%s span parented to %d, want job %d", sp.Kind, sp.Parent, root.ID)
+		}
+		if sp.End < sp.Start {
+			t.Errorf("%s span ends before it starts", sp.Kind)
+		}
+	}
+	if err := (Verifier{}).Check(spans); err != nil {
+		t.Fatalf("trivial trace fails verification: %v", err)
+	}
+}
+
+// TestJSONLSinkOutput checks the hand-rolled encoder against the real
+// JSON parser: every line must round-trip into the same Span, with
+// deterministic key order and proper escaping of hostile group keys.
+func TestJSONLSinkOutput(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := NewTrace(sink)
+	job := tr.StartJob("job with \"quotes\" and\nnewline")
+	tr.Start(KindCompose, `group"key`+"\x01\\end").
+		Attr(AttrSummaries, 3).Attr(AttrComposes, 2).Attr(AttrApplies, 1).
+		Tag("engine", "symple").End()
+	job.End()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		var sp Span
+		if err := json.Unmarshal([]byte(line), &sp); err != nil {
+			t.Fatalf("line is not valid JSON: %v\n%s", err, line)
+		}
+		if sp.ID == 0 || sp.Kind == "" || sp.End < sp.Start {
+			t.Fatalf("decoded span malformed: %+v", sp)
+		}
+	}
+	var got Span
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindCompose || got.Attrs[AttrSummaries] != 3 || got.Tags["engine"] != "symple" {
+		t.Fatalf("compose span did not round-trip: %+v", got)
+	}
+	if got.Name != `group"key`+"\x01\\end" {
+		t.Fatalf("hostile group key mangled: %q", got.Name)
+	}
+}
+
+func TestMultiSinkFansOut(t *testing.T) {
+	a, b := NewMemSink(), NewMemSink()
+	tr := NewTrace(MultiSink{a, b})
+	tr.StartJob("j").End()
+	if len(a.Spans()) != 1 || len(b.Spans()) != 1 {
+		t.Fatalf("fan-out failed: %d / %d spans", len(a.Spans()), len(b.Spans()))
+	}
+}
+
+// TestTraceConcurrentEmit exercises the sink and ID allocation from many
+// goroutines; run under -race this is the data-race check for the whole
+// span path.
+func TestTraceConcurrentEmit(t *testing.T) {
+	sink := NewMemSink()
+	tr := NewTrace(sink)
+	job := tr.StartJob("race")
+	var wg sync.WaitGroup
+	const workers, each = 8, 50
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr.Start(KindMapAttempt, "t").
+					Attr(AttrTask, int64(w)).Attr(AttrAttempt, int64(i)).End()
+			}
+		}()
+	}
+	wg.Wait()
+	job.End()
+	spans := sink.Spans()
+	if len(spans) != workers*each+1 {
+		t.Fatalf("got %d spans, want %d", len(spans), workers*each+1)
+	}
+	ids := make(map[int64]bool, len(spans))
+	for _, sp := range spans {
+		if ids[sp.ID] {
+			t.Fatalf("duplicate span id %d", sp.ID)
+		}
+		ids[sp.ID] = true
+	}
+}
+
+func TestCPUProfile(t *testing.T) {
+	path := t.TempDir() + "/cpu.pprof"
+	stop, err := CPUProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second profile while one is active must be skipped, not fail.
+	stop2, err := CPUProfile(t.TempDir() + "/cpu2.pprof")
+	if err != nil {
+		t.Fatalf("nested profile errored: %v", err)
+	}
+	stop2()
+	stop()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("profile file is empty")
+	}
+}

@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime/pprof"
+)
+
+// CPUProfile starts a CPU profile writing to path and returns a stop
+// function that finishes the profile and closes the file. If another
+// profile is already active (Go allows one per process), CPUProfile
+// skips quietly and the stop function is a no-op — so a per-job
+// Config.Profile composes with a process-wide -profile flag instead of
+// erroring.
+func CPUProfile(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: create cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		// Profile already in progress: leave it alone.
+		f.Close()
+		os.Remove(path)
+		return func() {}, nil
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// goodTrace builds a minimal but complete healthy trace: one job with
+// two map tasks (task 1 speculated — attempt 1 won, the backup attempt 2
+// ran but never committed), one reduce task, two committed runs each
+// decoded once, and two composed groups. Every breaker in the table
+// below starts from a copy of this and breaks exactly one invariant.
+func goodTrace() []*Span {
+	base := int64(1_000_000_000)
+	ms := int64(time.Millisecond)
+	sp := func(id, parent int64, kind, name string, startMS, endMS int64, attrs map[string]int64, tags map[string]string) *Span {
+		return &Span{ID: id, Parent: parent, Kind: kind, Name: name,
+			Start: base + startMS*ms, End: base + endMS*ms, Attrs: attrs, Tags: tags}
+	}
+	return []*Span{
+		sp(1, 0, KindJob, "test-job", 0, 100,
+			map[string]int64{AttrParallelism: 4, AttrWireBytes: 900, AttrLogicalBytes: 1000}, nil),
+		// Map task 0: one clean attempt, committed, one run for part 0.
+		sp(2, 1, KindMapAttempt, "map-0", 1, 30,
+			map[string]int64{AttrTask: 0, AttrAttempt: 1, AttrRecords: 10}, map[string]string{"outcome": "ok"}),
+		sp(3, 1, KindCommit, "map-0", 30, 30,
+			map[string]int64{AttrTask: 0, AttrAttempt: 1}, map[string]string{"phase": "map"}),
+		sp(4, 1, KindRunCommit, "map-0", 30, 30,
+			map[string]int64{AttrTask: 0, AttrAttempt: 1, AttrPart: 0, AttrBytes: 450}, nil),
+		// Map task 1: attempt 1 won; speculative attempt 2 finished later
+		// and lost the commit race — it has a span but no commit.
+		sp(5, 1, KindMapAttempt, "map-1", 1, 40,
+			map[string]int64{AttrTask: 1, AttrAttempt: 1, AttrRecords: 12}, map[string]string{"outcome": "ok"}),
+		sp(6, 1, KindMapAttempt, "map-1", 20, 60,
+			map[string]int64{AttrTask: 1, AttrAttempt: 2, AttrRecords: 12},
+			map[string]string{"outcome": "ok", "speculative": "1"}),
+		sp(7, 1, KindCommit, "map-1", 40, 40,
+			map[string]int64{AttrTask: 1, AttrAttempt: 1}, map[string]string{"phase": "map"}),
+		sp(8, 1, KindRunCommit, "map-1", 40, 40,
+			map[string]int64{AttrTask: 1, AttrAttempt: 1, AttrPart: 0, AttrBytes: 450}, nil),
+		// Reduce task 0: decodes both committed runs exactly once and
+		// composes two groups.
+		sp(9, 1, KindSegDecode, "part-0", 45, 46,
+			map[string]int64{AttrTask: 0, AttrAttempt: 1, AttrPart: 0, AttrBytes: 450}, nil),
+		sp(10, 1, KindSegDecode, "part-0", 46, 47,
+			map[string]int64{AttrTask: 1, AttrAttempt: 1, AttrPart: 0, AttrBytes: 450}, nil),
+		sp(11, 1, KindReduceAttempt, "reduce-0", 45, 90,
+			map[string]int64{AttrTask: 0, AttrAttempt: 1, AttrGroups: 2}, map[string]string{"outcome": "ok"}),
+		sp(12, 1, KindCommit, "reduce-0", 90, 90,
+			map[string]int64{AttrTask: 0, AttrAttempt: 1}, map[string]string{"phase": "reduce"}),
+		// Group "alpha": tree path — 3 summaries, 2 composes, 1 apply.
+		sp(13, 1, KindCompose, "alpha", 50, 60,
+			map[string]int64{AttrSummaries: 3, AttrComposes: 2, AttrApplies: 1}, nil),
+		// Group "beta": apply path — 2 summaries replayed individually.
+		sp(14, 1, KindCompose, "beta", 60, 70,
+			map[string]int64{AttrSummaries: 2, AttrComposes: 0, AttrApplies: 2}, nil),
+		// Mapper-side combiner folded 4 summaries with 3 composes.
+		sp(15, 1, KindCombine, "map-1/alpha", 10, 12,
+			map[string]int64{AttrSummaries: 4, AttrComposes: 3}, nil),
+	}
+}
+
+func TestVerifierAcceptsHealthyTrace(t *testing.T) {
+	if err := (Verifier{}).Check(goodTrace()); err != nil {
+		t.Fatalf("healthy trace rejected: %v", err)
+	}
+}
+
+func TestVerifierAcceptsEmptyTrace(t *testing.T) {
+	if viols := (Verifier{}).Verify(nil); viols != nil {
+		t.Fatalf("empty trace produced violations: %v", viols)
+	}
+}
+
+// TestVerifierCatchesBrokenTraces is the hand-broken trace table: each
+// breaker corrupts a healthy trace in one specific way and must trip
+// exactly the named invariant.
+func TestVerifierCatchesBrokenTraces(t *testing.T) {
+	ms := int64(time.Millisecond)
+	cases := []struct {
+		name      string
+		invariant string
+		breaker   func([]*Span) []*Span
+	}{
+		{"double-merged run", InvRunMergedOnce, func(s []*Span) []*Span {
+			// Reducer decodes map-0's committed run a second time.
+			dup := *s[9]
+			dup.ID = 99
+			return append(s, &dup)
+		}},
+		{"committed run never merged", InvRunMergedOnce, func(s []*Span) []*Span {
+			// Drop the seg_decode of map-1's run (id 10).
+			return append(s[:9:9], s[10:]...)
+		}},
+		{"decode of unknown run", InvRunUnknown, func(s []*Span) []*Span {
+			ghost := *s[9]
+			ghost.ID = 99
+			ghost.Attrs = map[string]int64{AttrTask: 7, AttrAttempt: 1, AttrPart: 0, AttrBytes: 10}
+			return append(s, &ghost)
+		}},
+		{"orphan span", InvOrphanSpan, func(s []*Span) []*Span {
+			s[13].Parent = 424242
+			return s
+		}},
+		{"bytes inflation", InvWireBytes, func(s []*Span) []*Span {
+			s[0].Attrs[AttrWireBytes] = s[0].Attrs[AttrLogicalBytes]*2 + 4096
+			return s
+		}},
+		{"speculation loser commits", InvSingleCommit, func(s []*Span) []*Span {
+			// The losing backup attempt (task 1 attempt 2) also commits.
+			c := *s[6]
+			c.ID = 99
+			c.Kind = KindCommit
+			c.Attrs = map[string]int64{AttrTask: 1, AttrAttempt: 2}
+			c.Tags = map[string]string{"phase": "map"}
+			return append(s, &c)
+		}},
+		{"commit without attempt", InvCommitNoAttempt, func(s []*Span) []*Span {
+			s[2].Attrs[AttrAttempt] = 9
+			return s
+		}},
+		{"commit of failed attempt", InvCommitNoAttempt, func(s []*Span) []*Span {
+			s[1].Tags["outcome"] = "error"
+			return s
+		}},
+		{"compose count short", InvComposeCount, func(s []*Span) []*Span {
+			s[12].Attrs[AttrComposes] = 1 // 3 summaries, 1 compose + 1 apply
+			return s
+		}},
+		{"combiner count short", InvComposeCount, func(s []*Span) []*Span {
+			s[14].Attrs[AttrComposes] = 2 // 4 summaries need 3
+			return s
+		}},
+		{"group composed twice", InvGroupOnce, func(s []*Span) []*Span {
+			dup := *s[12]
+			dup.ID = 99
+			return append(s, &dup)
+		}},
+		{"clock runs backwards", InvSpanClock, func(s []*Span) []*Span {
+			s[1].Start, s[1].End = s[1].End, s[1].Start
+			return s
+		}},
+		{"span escapes job interval", InvSpanContainment, func(s []*Span) []*Span {
+			s[10].End = s[0].End + 50*ms
+			return s
+		}},
+		{"task time exceeds cluster", InvCPUBound, func(s []*Span) []*Span {
+			// One attempt claims 10× the whole job's wall-clock budget.
+			s[0].Attrs[AttrParallelism] = 1
+			s[1].Start = s[0].Start
+			s[1].End = s[0].Start + 10*(s[0].End-s[0].Start)
+			s[0].End = s[1].End + ms // keep containment satisfied
+			return s
+		}},
+		{"duplicate span id", InvDuplicateSpan, func(s []*Span) []*Span {
+			s[13].ID = s[12].ID
+			return s
+		}},
+		{"spans without a job", InvJobMissing, func(s []*Span) []*Span {
+			return s[1:]
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spans := tc.breaker(goodTrace())
+			viols := (Verifier{}).Verify(spans)
+			if len(viols) == 0 {
+				t.Fatalf("broken trace passed verification")
+			}
+			for _, v := range viols {
+				if v.Invariant == tc.invariant {
+					return
+				}
+			}
+			t.Fatalf("expected %s violation, got: %v", tc.invariant, viols)
+		})
+	}
+}
+
+// TestVerifierToleratesRetriedReduce pins the group-once gate: when a
+// reduce task ran two attempts (retry or speculation), the same group
+// legitimately appears in two compose spans and must not be flagged.
+func TestVerifierToleratesRetriedReduce(t *testing.T) {
+	spans := goodTrace()
+	// Second reduce attempt for task 0 (failed first, clean second), plus
+	// the duplicate compose it performed.
+	retry := *spans[10]
+	retry.ID = 90
+	retry.Attrs = map[string]int64{AttrTask: 0, AttrAttempt: 2, AttrGroups: 2}
+	retry.Tags = map[string]string{"outcome": "ok"}
+	spans[10].Tags["outcome"] = "error"
+	spans[11].Attrs[AttrAttempt] = 2 // commit belongs to the clean attempt
+	dup := *spans[12]
+	dup.ID = 91
+	spans = append(spans, &retry, &dup)
+	if err := (Verifier{}).Check(spans); err != nil {
+		t.Fatalf("retried reduce flagged: %v", err)
+	}
+}
+
+func TestCheckErrorNamesInvariant(t *testing.T) {
+	spans := goodTrace()
+	spans[0].Attrs[AttrWireBytes] = 1 << 40
+	err := (Verifier{}).Check(spans)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), InvWireBytes) {
+		t.Fatalf("error does not name the invariant: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 )
 
 var update = flag.Bool("update", false, "regenerate the golden digest file")
@@ -123,7 +124,10 @@ func TestGoldenDigests(t *testing.T) {
 // against the committed reference digests. The wire encoding — segment
 // compaction, and the flate layer in particular — must be invisible to
 // query semantics; any divergence here is a codec bug, not a query
-// change, so there is no -update escape hatch.
+// change, so there is no -update escape hatch. Each run is traced and
+// the trace must pass every obs.Verifier invariant, so the golden runs
+// double as end-to-end observability checks on all 12 queries in both
+// codec modes.
 func TestGoldenDigestsCompressShuffle(t *testing.T) {
 	datasets := smallDatasets(goldenSegments)
 	want := readGoldenFile(t)
@@ -136,8 +140,11 @@ func TestGoldenDigestsCompressShuffle(t *testing.T) {
 			}
 			segs := datasets[spec.Dataset]
 			for _, compress := range []bool{false, true} {
+				sink := obs.NewMemSink()
+				reg := obs.NewRegistry()
 				run, err := spec.Symple(segs, mapreduce.Config{
-					NumReducers: 3, CompressShuffle: compress})
+					NumReducers: 3, CompressShuffle: compress,
+					Trace: obs.NewTrace(sink), Registry: reg})
 				if err != nil {
 					t.Fatalf("compress=%v: %v", compress, err)
 				}
@@ -148,6 +155,12 @@ func TestGoldenDigestsCompressShuffle(t *testing.T) {
 				if compress && run.Metrics.ShuffleBytes > run.Metrics.ShuffleLogicalBytes*2 {
 					t.Errorf("compressed shuffle %d bytes vs %d logical — codec is inflating badly",
 						run.Metrics.ShuffleBytes, run.Metrics.ShuffleLogicalBytes)
+				}
+				if err := (obs.Verifier{}).Check(sink.Spans()); err != nil {
+					t.Errorf("compress=%v: trace failed verification: %v", compress, err)
+				}
+				if err := reg.SelfCheck(); err != nil {
+					t.Errorf("compress=%v: registry self-check: %v", compress, err)
 				}
 			}
 		})

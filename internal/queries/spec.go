@@ -57,6 +57,23 @@ type Spec struct {
 	// (memoization, intra-mapper parallelism, combiner, tree reduce,
 	// seed-executor baseline).
 	SympleOpts func(segs []*mapreduce.Segment, conf mapreduce.Config, opt core.SympleOptions) (*Run, error)
+
+	// ComposeCheck runs the metamorphic composition properties over this
+	// query's schema on real summaries: associativity of summary
+	// composition (§3.6) and ComposeAll/ComposeAllParallel equivalence
+	// with the sequential apply fold. splits controls how many mapper
+	// slices each group's event stream is cut into (more slices → more
+	// summaries per group).
+	ComposeCheck func(segs []*mapreduce.Segment, splits int) (*ComposeReport, error)
+}
+
+// ComposeReport counts the work a ComposeCheck actually did, so tests
+// can reject vacuous passes (no groups, no associativity triples).
+type ComposeReport struct {
+	Keys      int // groups checked
+	Summaries int // summaries folded across all groups
+	Triples   int // associativity triples compared
+	Skipped   int // groups skipped because composition hit a path cap
 }
 
 // SymTypesString renders the Table 1 "Sym Types Used" cell.
@@ -133,7 +150,201 @@ func makeSpec[S sym.State, E, R any](
 		SympleOpts: func(segs []*mapreduce.Segment, conf mapreduce.Config, opt core.SympleOptions) (*Run, error) {
 			return wrap(core.RunSympleOpts(q, segs, conf, opt))
 		},
+		ComposeCheck: func(segs []*mapreduce.Segment, splits int) (*ComposeReport, error) {
+			return composeCheck(q, format, segs, splits)
+		},
 	}
+}
+
+// composeCheck verifies the algebra the SYMPLE engines lean on, on real
+// summaries produced from real records (not synthetic states):
+//
+//  1. Compose(Compose(a,b),c) ≡ Compose(a,Compose(b,c)) — associativity,
+//     which licenses the combiner and the parallel tree reduce (§3.6);
+//  2. ComposeAll(sums) then one apply ≡ the sequential left-to-right
+//     ApplyAll fold — the classic reducer and the combined reducer agree;
+//  3. ComposeAllParallel likewise, and both counted variants perform
+//     exactly n−1 pairwise compositions.
+//
+// Equivalence is judged on the formatted query result after applying to
+// the initial state — the observable output, which is what the paper's
+// §5.4 determinism contract promises. Groups whose composition trips a
+// path cap are skipped (the engines fall back to uncombined lists there)
+// and counted in the report.
+func composeCheck[S sym.State, E, R any](
+	q *core.Query[S, E, R],
+	format func(key string, r R) string,
+	segs []*mapreduce.Segment,
+	splits int,
+) (*ComposeReport, error) {
+	sc, err := sym.NewSchema(q.NewState)
+	if err != nil {
+		return nil, err
+	}
+	if splits < 1 {
+		splits = 1
+	}
+	// Group events per key across all segments in (segment, record)
+	// order — the §5.4 shuffle order the reducers see.
+	events := make(map[string][]E)
+	var order []string
+	for _, seg := range segs {
+		for _, rec := range seg.Records {
+			key, ev, ok := q.GroupBy(rec)
+			if !ok {
+				continue
+			}
+			if _, seen := events[key]; !seen {
+				order = append(order, key)
+			}
+			events[key] = append(events[key], ev)
+		}
+	}
+	rep := &ComposeReport{}
+	x := sym.NewSchemaExecutor(sc, q.Update, q.Options)
+	fresh := true
+	for _, key := range order {
+		evs := events[key]
+		// Cut the group's event stream into contiguous slices, one
+		// executor run per slice, and concatenate the summary lists —
+		// exactly what `splits` independent mappers would shuffle.
+		var sums []*sym.Summary[S]
+		p := splits
+		if p > len(evs) {
+			p = len(evs)
+		}
+		for i := 0; i < p; i++ {
+			lo, hi := i*len(evs)/p, (i+1)*len(evs)/p
+			if !fresh {
+				x.Reset()
+			}
+			fresh = false
+			if err := x.FeedAll(evs[lo:hi]); err != nil {
+				return nil, fmt.Errorf("key %q: %w", key, err)
+			}
+			ss, err := x.Finish()
+			if err != nil {
+				return nil, fmt.Errorf("key %q: %w", key, err)
+			}
+			sums = append(sums, ss...)
+		}
+		if len(sums) == 0 {
+			continue
+		}
+
+		// Reference: the sequential fold the classic reducer performs.
+		seqState, err := sym.ApplyAll(q.NewState(), sums)
+		if err != nil {
+			return nil, fmt.Errorf("key %q: ApplyAll: %w", key, err)
+		}
+		want := format(key, q.Result(key, seqState))
+
+		// Property 2: fold everything into one summary sequentially.
+		// ComposeAllCounted borrows its inputs, so sums stay live for
+		// the checks below.
+		folded, n, err := sym.ComposeAllCounted(sums)
+		if err != nil {
+			rep.Skipped++ // path cap: the engines fall back here too
+			releaseAll(sums)
+			continue
+		}
+		if n != len(sums)-1 {
+			return nil, fmt.Errorf("key %q: ComposeAll did %d composes for %d summaries, want %d",
+				key, n, len(sums), len(sums)-1)
+		}
+		err = checkApplied(q, format, key, folded, nil, want, "ComposeAll")
+		// With a single input ComposeAll returns that input itself, still
+		// borrowed — releasing it here would free a summary sums still
+		// references.
+		if len(sums) > 1 {
+			folded.Release()
+		}
+		if err != nil {
+			return nil, err
+		}
+
+		// Property 1: associativity on the group's leading triple, with
+		// the remaining summaries folded on top so the comparison runs
+		// through the full observable result. ComposeWith borrows both
+		// operands.
+		if len(sums) >= 3 {
+			a, b, c := sums[0], sums[1], sums[2]
+			ab, err1 := a.ComposeWith(b)
+			bc, err2 := b.ComposeWith(c)
+			if err1 == nil && err2 == nil {
+				left, errL := ab.ComposeWith(c)
+				right, errR := a.ComposeWith(bc)
+				if errL == nil && errR == nil {
+					errA := checkApplied(q, format, key, left, sums[3:], want, "left-assoc")
+					if errA == nil {
+						errA = checkApplied(q, format, key, right, sums[3:], want, "right-assoc")
+					}
+					left.Release()
+					right.Release()
+					if errA != nil {
+						return nil, errA
+					}
+					rep.Triples++
+				} else {
+					releaseAll([]*sym.Summary[S]{left, right})
+				}
+			}
+			releaseAll([]*sym.Summary[S]{ab, bc})
+		}
+
+		// Property 3: the parallel tree fold agrees too. It CONSUMES its
+		// inputs, so it must run after every other use of sums.
+		pfolded, pn, err := sym.ComposeAllParallelCounted(sums)
+		if err != nil {
+			return nil, fmt.Errorf("key %q: parallel compose failed where sequential succeeded: %w", key, err)
+		}
+		if pn != len(sums)-1 {
+			return nil, fmt.Errorf("key %q: ComposeAllParallel did %d composes for %d summaries, want %d",
+				key, pn, len(sums), len(sums)-1)
+		}
+		err = checkApplied(q, format, key, pfolded, nil, want, "ComposeAllParallel")
+		pfolded.Release()
+		if err != nil {
+			return nil, err
+		}
+		rep.Keys++
+		rep.Summaries += len(sums)
+	}
+	return rep, nil
+}
+
+// releaseAll releases every non-nil summary in the slice.
+func releaseAll[S sym.State](sums []*sym.Summary[S]) {
+	for _, s := range sums {
+		if s != nil {
+			s.Release()
+		}
+	}
+}
+
+// checkApplied applies head then rest to the initial state and compares
+// the formatted result against want.
+func checkApplied[S sym.State, E, R any](
+	q *core.Query[S, E, R],
+	format func(key string, r R) string,
+	key string,
+	head *sym.Summary[S],
+	rest []*sym.Summary[S],
+	want, label string,
+) error {
+	s, err := head.Apply(q.NewState())
+	if err != nil {
+		return fmt.Errorf("key %q: %s apply: %w", key, label, err)
+	}
+	if len(rest) > 0 {
+		if s, err = sym.ApplyAll(s, rest); err != nil {
+			return fmt.Errorf("key %q: %s tail fold: %w", key, label, err)
+		}
+	}
+	if got := format(key, q.Result(key, s)); got != want {
+		return fmt.Errorf("key %q: %s result %q, sequential fold %q", key, label, got, want)
+	}
+	return nil
 }
 
 // formatInts renders an int64 slice compactly.

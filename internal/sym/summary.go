@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/wire"
 )
@@ -219,8 +220,19 @@ func (s *Summary[S]) ComposeWith(next *Summary[S]) (out *Summary[S], err error) 
 // intermediate results are recycled. With a single input, that input
 // itself is returned.
 func ComposeAll[S State](summaries []*Summary[S]) (*Summary[S], error) {
+	s, _, err := ComposeAllCounted(summaries)
+	return s, err
+}
+
+// ComposeAllCounted is ComposeAll returning the number of pairwise
+// ComposeWith calls actually performed. Folding n summaries takes
+// exactly n−1 composes however the tree is shaped — the count is
+// measured, not derived, so the observability layer can assert that
+// algebraic identity on real runs rather than trust it by construction.
+func ComposeAllCounted[S State](summaries []*Summary[S]) (*Summary[S], int, error) {
+	composes := 0
 	if len(summaries) == 0 {
-		return nil, fmt.Errorf("sym: ComposeAll of zero summaries")
+		return nil, 0, fmt.Errorf("sym: ComposeAll of zero summaries")
 	}
 	level := append([]*Summary[S](nil), summaries...)
 	owned := make([]bool, len(level)) // inputs are borrowed, intermediates owned
@@ -233,13 +245,14 @@ func ComposeAll[S State](summaries []*Summary[S]) (*Summary[S], error) {
 				break
 			}
 			c, err := level[i].ComposeWith(level[i+1])
+			composes++
 			if err != nil {
 				for j, s := range level {
 					if s != nil && owned[j] {
 						s.Release()
 					}
 				}
-				return nil, err
+				return nil, composes, err
 			}
 			if owned[i] {
 				level[i].Release()
@@ -253,7 +266,7 @@ func ComposeAll[S State](summaries []*Summary[S]) (*Summary[S], error) {
 		}
 		level, owned = level[:w], owned[:w]
 	}
-	return level[0], nil
+	return level[0], composes, nil
 }
 
 // ComposeAllParallel is ComposeAll for wide fan-ins: the pairs of each
@@ -263,16 +276,26 @@ func ComposeAll[S State](summaries []*Summary[S]) (*Summary[S], error) {
 // Narrow levels compose inline; goroutines only pay off once a level has
 // several cross products to overlap.
 func ComposeAllParallel[S State](summaries []*Summary[S]) (*Summary[S], error) {
+	s, _, err := ComposeAllParallelCounted(summaries)
+	return s, err
+}
+
+// ComposeAllParallelCounted is ComposeAllParallel returning the number
+// of pairwise composes performed (n−1 on success; see
+// ComposeAllCounted).
+func ComposeAllParallelCounted[S State](summaries []*Summary[S]) (*Summary[S], int, error) {
 	if len(summaries) == 0 {
-		return nil, fmt.Errorf("sym: ComposeAll of zero summaries")
+		return nil, 0, fmt.Errorf("sym: ComposeAll of zero summaries")
 	}
 	const minParallelPairs = 4
+	var composes atomic.Int64
 	level := summaries
 	for len(level) > 1 {
 		next := make([]*Summary[S], (len(level)+1)/2)
 		errs := make([]error, len(next))
 		compose := func(i int) {
 			c, err := level[i].ComposeWith(level[i+1])
+			composes.Add(1)
 			if err == nil {
 				level[i].Release()
 				level[i+1].Release()
@@ -299,12 +322,12 @@ func ComposeAllParallel[S State](summaries []*Summary[S]) (*Summary[S], error) {
 		}
 		for _, err := range errs {
 			if err != nil {
-				return nil, err
+				return nil, int(composes.Load()), err
 			}
 		}
 		level = next
 	}
-	return level[0], nil
+	return level[0], int(composes.Load()), nil
 }
 
 // summaryTagless is the header bit marking a summary whose fields are

@@ -1,30 +1,27 @@
 package wire_test
 
 import (
+	"flag"
+	"fmt"
 	"math"
 	"testing"
 
 	"repro/internal/data"
+	"repro/internal/fuzzseed"
 	"repro/internal/wire"
 )
 
-// FuzzWireRoundTrip checks the encoder/decoder pair property-style: the
-// fuzz input is interpreted as an op stream — each op picks a primitive
-// type and carries its value — which is encoded and then decoded under
-// the identical schema. Every value must survive unchanged, the decoder
-// must report no error, and no bytes may be left over. This is the
-// complement of FuzzDecoder, which feeds the decoder garbage; here the
-// stream is valid by construction, so any mismatch is an encoding bug.
-//
-// The seed corpus mixes hand-built op streams with real query-traffic
-// records from the seeded corpora generators, whose delimiter-heavy
-// layout steers the mutator toward realistic string/length patterns.
-// Runs as part of `go test`; fuzz continuously with
-// `go test -fuzz=FuzzWireRoundTrip ./internal/wire`.
-func FuzzWireRoundTrip(f *testing.F) {
-	// One op of each kind, with awkward values: max uvarint, negative
-	// varint, NaN float bits, empty and non-empty strings.
-	seed := []byte{
+var updateFuzzSeeds = flag.Bool("update-fuzz-seeds", false,
+	"regenerate testdata/fuzz-seeds/records from the current generators")
+
+// recordSeedCorpus builds the committed record corpus: one hand-built op
+// stream exercising every primitive with awkward values (max uvarint,
+// negative varint, NaN float bits, empty and non-empty strings), plus
+// real query-traffic records from the seeded corpora generators, whose
+// delimiter-heavy layout steers the mutator toward realistic
+// string/length patterns.
+func recordSeedCorpus() []fuzzseed.Seed {
+	opstream := []byte{
 		0, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, // uvarint 2^64-1
 		1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, // varint -1
 		2, 0x01, // bool true
@@ -38,14 +35,51 @@ func FuzzWireRoundTrip(f *testing.F) {
 		8, 0x00, // empty compressed block
 		9, 0x02, 0x03, 'k', 'e', 'y', 0x00, // string dict {"key", ""}
 	}
-	f.Add(seed)
-	f.Add([]byte{})
-	// Real query traffic: records from the seeded corpora generators.
+	seeds := []fuzzseed.Seed{{Name: "opstream.bin", Data: opstream}}
 	gh := data.GenGithub(data.GithubConfig{Records: 40, Repos: 6, Segments: 1, Seed: 7})
 	bing := data.GenBing(data.BingConfig{Records: 40, Users: 8, Geos: 3, Segments: 1, Seed: 8, Outages: 2})
-	for _, segs := range [][]byte{gh[0].Records[0], gh[0].Records[7], bing[0].Records[0], bing[0].Records[5]} {
-		f.Add(append([]byte(nil), segs...))
+	for i, rec := range [][]byte{gh[0].Records[0], gh[0].Records[7], bing[0].Records[0], bing[0].Records[5]} {
+		seeds = append(seeds, fuzzseed.Seed{
+			Name: fmt.Sprintf("traffic-%d.bin", i),
+			Data: append([]byte(nil), rec...),
+		})
 	}
+	return seeds
+}
+
+// TestUpdateFuzzSeeds regenerates the committed record corpus when run
+// with -update-fuzz-seeds.
+func TestUpdateFuzzSeeds(t *testing.T) {
+	corpus := recordSeedCorpus()
+	if !*updateFuzzSeeds {
+		t.Skipf("generator healthy (%d seeds); pass -update-fuzz-seeds to rewrite testdata/fuzz-seeds/records", len(corpus))
+	}
+	if err := fuzzseed.Update("records", corpus); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzWireRoundTrip checks the encoder/decoder pair property-style: the
+// fuzz input is interpreted as an op stream — each op picks a primitive
+// type and carries its value — which is encoded and then decoded under
+// the identical schema. Every value must survive unchanged, the decoder
+// must report no error, and no bytes may be left over. This is the
+// complement of FuzzDecoder, which feeds the decoder garbage; here the
+// stream is valid by construction, so any mismatch is an encoding bug.
+//
+// Seeds come from the committed corpus in testdata/fuzz-seeds/records
+// (see recordSeedCorpus for its construction). Runs as part of
+// `go test`; fuzz continuously with
+// `go test -fuzz=FuzzWireRoundTrip ./internal/wire`.
+func FuzzWireRoundTrip(f *testing.F) {
+	seeds, err := fuzzseed.Load("records")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, s := range seeds {
+		f.Add(s.Data)
+	}
+	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, in []byte) {
 		type item struct {

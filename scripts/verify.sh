@@ -19,4 +19,9 @@ go test -race ./internal/sym ./internal/mapreduce ./internal/core ./internal/que
 # digests checked against the fault-free run. CI runs the wide sweep
 # (CHAOS_SEEDS=100) in its own job.
 CHAOS_SEEDS=6 go test -race -count=1 -run 'Chaos' ./internal/mapreduce ./internal/queries
+# Traced leg: every engine run auto-attaches a trace; the run fails if
+# the completed trace breaks an obs.Verifier invariant or the metrics
+# registry fails its self-check. CI's `traced` job runs the wide form
+# (-count=2 -shuffle=on).
+OBS_VERIFY=1 go test -count=1 ./internal/mapreduce ./internal/core ./internal/queries
 echo "verify: OK"
