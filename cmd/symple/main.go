@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/data"
 	"repro/internal/mapreduce"
 	"repro/internal/obs"
 	"repro/internal/queries"
@@ -31,6 +32,7 @@ func main() {
 		reducers  = flag.Int("reducers", 4, "reduce tasks")
 		condensed = flag.Bool("condensed", false, "use the condensed RedShift variant (R1c-R4c)")
 		compress  = flag.Bool("compress", false, "flate-compress shuffle segments (Config.CompressShuffle)")
+		columnar  = flag.Bool("columnar", false, "attach columnar segment form and run SYMPLE on the batched execution path (SympleOptions.Columnar)")
 		input     = flag.String("input", "", "read segments from this directory (written by datagen) instead of generating")
 		tracePath = flag.String("trace", "", "write structured JSONL task spans to this file and verify trace invariants")
 		profile   = flag.String("profile", "", "write a CPU profile covering each engine run to this file")
@@ -62,6 +64,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+	symple := spec.Symple
+	if *columnar {
+		plan := data.ColSpecFor(spec.Dataset)
+		if plan == nil {
+			log.Fatalf("no column plan for dataset %q", spec.Dataset)
+		}
+		data.Columnarize(segs, plan)
+		symple = spec.SympleColumnar
 	}
 	var inputBytes, inputRecords int64
 	for _, s := range segs {
@@ -96,12 +107,12 @@ func main() {
 	case "baseline":
 		engines = append(engines, engineRun{"baseline", func() (*queries.Run, error) { return spec.Baseline(segs, conf) }})
 	case "symple":
-		engines = append(engines, engineRun{"symple", func() (*queries.Run, error) { return spec.Symple(segs, conf) }})
+		engines = append(engines, engineRun{"symple", func() (*queries.Run, error) { return symple(segs, conf) }})
 	case "all":
 		engines = append(engines,
 			engineRun{"sequential", func() (*queries.Run, error) { return spec.Sequential(segs) }},
 			engineRun{"baseline", func() (*queries.Run, error) { return spec.Baseline(segs, conf) }},
-			engineRun{"symple", func() (*queries.Run, error) { return spec.Symple(segs, conf) }})
+			engineRun{"symple", func() (*queries.Run, error) { return symple(segs, conf) }})
 	default:
 		log.Fatalf("unknown engine %q", *engine)
 	}

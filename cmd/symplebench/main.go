@@ -6,14 +6,17 @@
 //	symplebench -experiment fig5 -records 500000
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8, b1latency,
-// ablation, shuffle, wire, symexec, faults, obs, all. See EXPERIMENTS.md
-// for the paper-vs-measured record; -experiment shuffle also writes
-// BENCH_SHUFFLE.json, -experiment wire writes BENCH_WIRE.json (compact
-// shuffle encoding vs the seed framing across all 12 queries),
-// -experiment symexec writes BENCH_SYMEXEC.json, -experiment faults
-// writes BENCH_FAULTS.json (380-node replay latency clean vs failures
-// vs failures+speculation), and -experiment obs writes BENCH_OBS.json
-// (traced-vs-untraced overhead on the hot-loop queries; target ≤3%).
+// ablation, shuffle, wire, symexec, faults, obs, columnar, all. See
+// EXPERIMENTS.md for the paper-vs-measured record; -experiment shuffle
+// also writes BENCH_SHUFFLE.json, -experiment wire writes
+// BENCH_WIRE.json (compact shuffle encoding vs the seed framing across
+// all 12 queries), -experiment symexec writes BENCH_SYMEXEC.json,
+// -experiment faults writes BENCH_FAULTS.json (380-node replay latency
+// clean vs failures vs failures+speculation), -experiment obs writes
+// BENCH_OBS.json (traced-vs-untraced overhead on the hot-loop queries;
+// target ≤3%), and -experiment columnar writes BENCH_COLUMNAR.json
+// (batched columnar execution vs the scalar fast engine on the
+// hot-loop queries; target ≥2x exec-pass throughput).
 //
 // -memo-size and -map-parallelism tune the SYMPLE runtime knobs the
 // symexec experiment exercises (see README). -trace streams every
@@ -36,7 +39,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("symplebench: ")
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | fig8 | b1latency | ablation | shuffle | wire | symexec | faults | obs | all")
+		experiment = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | fig8 | b1latency | ablation | shuffle | wire | symexec | faults | obs | columnar | all")
 		records    = flag.Int("records", 200000, "records per generated corpus")
 		segments   = flag.Int("segments", 8, "input segments (measured mapper count)")
 		memoSize   = flag.Int("memo-size", 0, "record-transition memo entries per map chunk (0 default, <0 disables)")
@@ -103,6 +106,7 @@ func main() {
 		{"symexec", func() (*bench.Table, error) { return bench.SymExec(datasets(), *mapPar, *memoSize) }},
 		{"faults", func() (*bench.Table, error) { return bench.Faults(datasets()) }},
 		{"obs", func() (*bench.Table, error) { return bench.Obs(datasets()) }},
+		{"columnar", func() (*bench.Table, error) { return bench.Columnar(datasets(), *memoSize) }},
 	}
 	ran := 0
 	for _, e := range exps {

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/mapreduce"
+	"repro/internal/queries"
+)
+
+// colRounds is the paired-round count: each round runs the scalar fast
+// engine and the columnar batch engine back to back (order alternating)
+// and records the ratio of their exec-pass throughputs, so scheduler
+// and GC drift land on both sides and cancel. Odd, so the median is one
+// round's honest ratio.
+const colRounds = 15
+
+// Columnar measures the batched execution path — vectorized GroupBy
+// over segment columns, fork-free windows, run-length transition probes
+// — against the scalar fast engine on the hot-loop queries (G1, R1,
+// B2). Both engines run with the same memo configuration over the same
+// segments; the columnar runs read the columns attached to those
+// segments. Every run is digest-checked against the sequential
+// reference, so the speedup is only reported for byte-identical output.
+// Results go to BENCH_COLUMNAR.json; the per-query target for this
+// optimization is ≥2x exec-pass throughput.
+func Columnar(d *Datasets, memoSize int) (*Table, error) {
+	t := &Table{
+		Title:  "Columnar batch execution vs scalar fast engine",
+		Header: []string{"Query", "scalar rec/s", "columnar rec/s", "speedup", "run probes", "batch grouped"},
+		Notes: []string{
+			fmt.Sprintf("rec/s: symbolic events / timed exec pass, best of %d; speedup: median of per-round paired ratios", colRounds),
+			"identical memo config both sides; outputs digest-checked against the sequential reference every run",
+			"run probes: runs of identical events folded through one transition probe (powering)",
+			"written to BENCH_COLUMNAR.json",
+		},
+	}
+	rep := colReport{Rounds: colRounds, MemoSize: memoSize, MaxProcs: runtime.GOMAXPROCS(0)}
+
+	for _, id := range []string{"G1", "R1", "B2"} {
+		spec := queries.ByID(id)
+		segs, err := d.For(spec.Dataset, false)
+		if err != nil {
+			return nil, err
+		}
+		// Attach the columnar form once; it is inert for the scalar runs
+		// (they read Records), so both sides execute the same segments.
+		if segs[0].Columns == nil {
+			data.Columnarize(segs, data.ColSpecFor(spec.Dataset))
+		}
+		seq, err := spec.Sequential(segs)
+		if err != nil {
+			return nil, fmt.Errorf("columnar %s sequential: %w", id, err)
+		}
+		conf := mapreduce.Config{NumReducers: 2}
+		runEngine := func(columnar bool) (*queries.Run, error) {
+			runtime.GC()
+			r, err := spec.SympleOpts(segs, conf, core.SympleOptions{
+				MemoSize: memoSize, Columnar: columnar})
+			if err != nil {
+				return nil, err
+			}
+			if r.Digest != seq.Digest || r.NumResults != seq.NumResults {
+				return nil, fmt.Errorf("digest %x (%d results) != sequential %x (%d)",
+					r.Digest, r.NumResults, seq.Digest, seq.NumResults)
+			}
+			if r.Sym.ExecWall <= 0 || r.Sym.Records == 0 {
+				return nil, fmt.Errorf("no exec-pass accounting (records %d, wall %v)",
+					r.Sym.Records, r.Sym.ExecWall)
+			}
+			return r, nil
+		}
+		// Warm up pools and caches so neither side is charged for them.
+		if _, err := runEngine(false); err != nil {
+			return nil, fmt.Errorf("columnar %s warmup: %w", id, err)
+		}
+		if _, err := runEngine(true); err != nil {
+			return nil, fmt.Errorf("columnar %s warmup: %w", id, err)
+		}
+
+		q := colQuery{Query: id}
+		execRate := func(r *queries.Run) float64 {
+			return float64(r.Sym.Records) / r.Sym.ExecWall.Seconds()
+		}
+		ratios := make([]float64, 0, colRounds)
+		for round := 0; round < colRounds; round++ {
+			// Alternate which engine goes first so the first run's debris
+			// (GC debt, cache eviction) doesn't always land on one side.
+			var scalar, col *queries.Run
+			var err error
+			if round%2 == 0 {
+				if scalar, err = runEngine(false); err == nil {
+					col, err = runEngine(true)
+				}
+			} else {
+				if col, err = runEngine(true); err == nil {
+					scalar, err = runEngine(false)
+				}
+			}
+			if err != nil {
+				return nil, fmt.Errorf("columnar %s round %d: %w", id, round, err)
+			}
+			sr, cr := execRate(scalar), execRate(col)
+			ratios = append(ratios, cr/sr)
+			q.ScalarExecRecordsPerSec = math.Max(q.ScalarExecRecordsPerSec, sr)
+			q.ColumnarExecRecordsPerSec = math.Max(q.ColumnarExecRecordsPerSec, cr)
+			q.RunProbes = col.Sym.RunProbes
+			q.Records = col.Sym.Records
+		}
+		sort.Float64s(ratios)
+		q.Speedup = ratios[len(ratios)/2]
+		rep.Queries = append(rep.Queries, q)
+		t.Rows = append(t.Rows, []string{
+			id,
+			fmt.Sprintf("%.0f", q.ScalarExecRecordsPerSec),
+			fmt.Sprintf("%.0f", q.ColumnarExecRecordsPerSec),
+			fmtFactor(q.Speedup),
+			fmt.Sprintf("%d", q.RunProbes),
+			fmt.Sprintf("%d", q.Records),
+		})
+	}
+
+	f, err := os.Create("BENCH_COLUMNAR.json")
+	if err != nil {
+		return nil, fmt.Errorf("columnar: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return nil, fmt.Errorf("columnar: %w", err)
+	}
+	return t, nil
+}
+
+type colQuery struct {
+	Query                     string  `json:"query"`
+	ScalarExecRecordsPerSec   float64 `json:"scalar_exec_records_per_sec"`
+	ColumnarExecRecordsPerSec float64 `json:"columnar_exec_records_per_sec"`
+	// Speedup is the median of per-round paired exec-throughput ratios
+	// (columnar / scalar).
+	Speedup float64 `json:"speedup_vs_scalar"`
+	// RunProbes counts event runs folded through a single transition
+	// probe in one columnar run; Records is the symbolic events executed.
+	RunProbes int `json:"run_probes"`
+	Records   int `json:"records"`
+}
+
+type colReport struct {
+	Rounds   int        `json:"rounds"`
+	MemoSize int        `json:"memo_size"`
+	MaxProcs int        `json:"gomaxprocs"`
+	Queries  []colQuery `json:"queries"`
+}

@@ -113,8 +113,11 @@ type symExecEngine struct {
 	MapWallMs         float64 `json:"map_wall_ms"`
 	ExecWallMs        float64 `json:"exec_wall_ms"`
 	AllocsPerRecord   float64 `json:"allocs_per_record"`
-	MemoHitRate       float64 `json:"memo_hit_rate"`   // -1 when the memo saw no traffic
-	Speedup           float64 `json:"speedup_vs_seed"` // exec throughput vs seed
+	// MemoHitRate is omitted entirely when the memo saw no traffic
+	// (disabled, or the engine never consulted it) — a sentinel value
+	// would read as a misleading rate.
+	MemoHitRate *float64 `json:"memo_hit_rate,omitempty"`
+	Speedup     float64  `json:"speedup_vs_seed"` // exec throughput vs seed
 }
 
 type symExecQuery struct {
@@ -134,7 +137,6 @@ type symExecReport struct {
 // throughput and the lowest allocation count (both are noisy upward).
 func measureSymExec(run func() (*queries.Run, error), seq *queries.Run) (symExecEngine, error) {
 	var m symExecEngine
-	m.MemoHitRate = -1
 	for i := 0; i < 3; i++ {
 		runtime.GC()
 		var before, after runtime.MemStats
@@ -169,17 +171,18 @@ func measureSymExec(run func() (*queries.Run, error), seq *queries.Run) (symExec
 			m.AllocsPerRecord = allocs
 		}
 		if lookups := r.Sym.MemoHits + r.Sym.MemoMisses; lookups > 0 {
-			m.MemoHitRate = float64(r.Sym.MemoHits) / float64(lookups)
+			rate := float64(r.Sym.MemoHits) / float64(lookups)
+			m.MemoHitRate = &rate
 		}
 	}
 	return m, nil
 }
 
-func fmtMemoRate(rate float64) string {
-	if rate < 0 {
+func fmtMemoRate(rate *float64) string {
+	if rate == nil {
 		return "-"
 	}
-	return fmt.Sprintf("%.0f%%", rate*100)
+	return fmt.Sprintf("%.0f%%", *rate*100)
 }
 
 func min(a, b int) int {

@@ -43,6 +43,9 @@ const (
 	// record-transition cache vs records that required path exploration.
 	MetricMemoHits   = "memo_hits"
 	MetricMemoMisses = "memo_misses"
+	// MetricMemoRunProbes counts runs of identical events the batch path
+	// handled with a single transition probe (SympleOptions.Columnar).
+	MetricMemoRunProbes = "memo_run_probes"
 )
 
 // Query is a groupby-aggregate query over raw input records.
@@ -55,6 +58,17 @@ type Query[S sym.State, E, R any] struct {
 	// Only fields the UDA needs should be propagated into E — the same
 	// hand-optimization the paper applies to its baseline.
 	GroupBy func(record []byte) (key string, event E, ok bool)
+
+	// GroupByBatch, when set, vectorizes GroupBy over a columnar segment:
+	// it fills out with the kept rows of [lo, hi) — key indexes, row
+	// numbers and events — reading the typed columns directly and routing
+	// ragged rows through the scalar GroupBy. It must keep exactly the
+	// rows GroupBy keeps, produce identical keys and events, and intern
+	// keys in first-use order. Returning false (columns don't match the
+	// shape the query expects) makes the engine rebuild the batch with
+	// the scalar GroupBy, so the field is purely an optimization; nil is
+	// always valid.
+	GroupByBatch func(cols *mapreduce.Columnar, lo, hi int, out *Batch[E]) bool
 
 	// NewState returns the initial aggregation state.
 	NewState func() S
@@ -102,6 +116,9 @@ type SymStats struct {
 	// (both zero when memoization is off).
 	MemoHits   int
 	MemoMisses int
+	// RunProbes counts runs of identical events the batch path folded
+	// through a single transition probe (zero outside Columnar runs).
+	RunProbes int
 	// ExecWall is the wall time spent inside the symbolic-execution pass
 	// of the map chunks (feeding grouped events and finishing executors),
 	// excluding record parsing and grouping, summed across chunks. It
@@ -275,6 +292,14 @@ type SympleOptions struct {
 	// (sym.SeedExecutor): the equivalence oracle and the baseline the
 	// symexec benchmark measures against. Disables memoization.
 	SeedExecutor bool
+	// Columnar runs mappers on the batched execution path: vectorized
+	// grouping (Query.GroupByBatch over Segment.Columns, with a scalar
+	// fallback), counting-sorted per-key event vectors, and the
+	// executor's batch API with run-length transition probes. Results
+	// are byte-identical to the scalar path — the batch boundary cannot
+	// change summaries because composition is associative and exact
+	// (§3.6); only the work profile changes.
+	Columnar bool
 }
 
 // RunSymple executes the query with symbolic parallelism: each mapper

@@ -26,13 +26,26 @@ func RunSympleTree[S sym.State, E, R any](q *Query[S, E, R], segments []*mapredu
 }
 
 // chunkResult is one sub-chunk's symbolic output: per-key ordered
-// summary lists plus the work counters, produced by symExecChunk.
+// summary lists plus the work counters, produced by symExecChunk. The
+// per-key data is order-aligned slices, not maps — the executors emit
+// keys in a known order, so the timed execution pass appends instead of
+// hashing, and the stitcher walks the arena by offset.
 type chunkResult[S sym.State] struct {
-	order   []string
-	sums    map[string][]*sym.Summary[S]
-	lastRec map[string]int64
+	order []string
+	// sums holds every key's summaries back to back; key i's summaries
+	// are sums[sumOff[i]:sumOff[i+1]] (sumOff has len(order)+1 entries).
+	sums   []*sym.Summary[S]
+	sumOff []int32
+	// lastRec holds, per key in order, the segment-global index of the
+	// key's last record.
+	lastRec []int64
 	stats   SymStats
 	err     error
+}
+
+// keySums returns key i's summary list (a sub-slice of the arena).
+func (c *chunkResult[S]) keySums(i int) []*sym.Summary[S] {
+	return c.sums[c.sumOff[i]:c.sumOff[i+1]]
 }
 
 // symExecChunk runs the symbolic per-key UDA loop over one contiguous
@@ -47,10 +60,7 @@ type chunkResult[S sym.State] struct {
 // the execution pass be timed on its own (stats.ExecWall), so engine
 // throughput can be compared net of the parse cost every engine shares.
 func symExecChunk[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], opt SympleOptions, records [][]byte, base int, trace *obs.Trace, mapperID, chunk int) chunkResult[S] {
-	out := chunkResult[S]{
-		sums:    make(map[string][]*sym.Summary[S]),
-		lastRec: make(map[string]int64),
-	}
+	out := chunkResult[S]{}
 	type batch struct {
 		events []E
 		last   int64 // segment-global index of the key's last record
@@ -74,6 +84,9 @@ func symExecChunk[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], o
 		b.last = int64(base + i)
 	}
 	parseSpan.Attr(obs.AttrGroups, int64(len(out.order))).End()
+	out.sums = make([]*sym.Summary[S], 0, len(out.order))
+	out.sumOff = make([]int32, 1, len(out.order)+1)
+	out.lastRec = make([]int64, 0, len(out.order))
 
 	// One memo serves every key of this chunk: transitions are built
 	// from the fully symbolic state, so they are key-independent. The
@@ -96,7 +109,6 @@ func symExecChunk[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], o
 	}
 	for i, key := range out.order {
 		b := batches[key]
-		var sums []*sym.Summary[S]
 		var err error
 		if opt.SeedExecutor {
 			x := sym.NewSeedExecutor(q.NewState, q.Update, q.Options)
@@ -105,10 +117,12 @@ func symExecChunk[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], o
 					break
 				}
 			}
+			var sums []*sym.Summary[S]
 			if err == nil {
 				sums, err = x.Finish()
 			}
 			if err == nil {
+				out.sums = append(out.sums, sums...)
 				addStats(&out.stats, x.Stats())
 			}
 		} else {
@@ -116,7 +130,7 @@ func symExecChunk[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], o
 				fast.Reset()
 			}
 			if err = fast.FeedAll(b.events); err == nil {
-				sums, err = fast.Finish()
+				out.sums, err = fast.FinishInto(out.sums)
 			}
 		}
 		if err != nil {
@@ -124,8 +138,8 @@ func symExecChunk[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], o
 			execSpan.Tag("outcome", "error").End()
 			return out
 		}
-		out.sums[key] = sums
-		out.lastRec[key] = b.last
+		out.sumOff = append(out.sumOff, int32(len(out.sums)))
+		out.lastRec = append(out.lastRec, b.last)
 	}
 	if fast != nil {
 		addStats(&out.stats, fast.Stats())
@@ -146,6 +160,7 @@ func addStats(dst *SymStats, st sym.Stats) {
 	dst.Restarts += st.Restarts
 	dst.MemoHits += st.MemoHits
 	dst.MemoMisses += st.MemoMisses
+	dst.RunProbes += st.RunProbes
 }
 
 // splitChunks cuts n records into at most p contiguous chunks of
@@ -173,6 +188,14 @@ func splitChunks(n, p int) []int {
 // summary list into one summary before the shuffle (falling back to the
 // uncombined list when composition fails).
 func sympleMapFunc[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], mu *sync.Mutex, stats *SymStats, opt SympleOptions, trace *obs.Trace, reg *obs.Registry) mapreduce.MapFunc {
+	// One executor/memo pool for the whole engine run: memoized
+	// transitions depend only on the schema and update function, so the
+	// memo built by early chunks answers probes for every later chunk,
+	// and reused executors keep identity caches and summary blocks warm.
+	var pool *batchExecPool[S, E]
+	if opt.Columnar && !opt.SeedExecutor {
+		pool = &batchExecPool[S, E]{}
+	}
 	return func(mapperID int, seg *mapreduce.Segment, emit mapreduce.Emit) error {
 		p := opt.MapParallelism
 		if p < 1 {
@@ -180,8 +203,14 @@ func sympleMapFunc[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], 
 		}
 		starts := splitChunks(len(seg.Records), p)
 		outs := make([]chunkResult[S], len(starts))
+		runChunk := func(ci, start, end int) chunkResult[S] {
+			if opt.Columnar {
+				return symExecChunkBatch(q, sc, opt, pool, seg, start, end, trace, mapperID, ci)
+			}
+			return symExecChunk(q, sc, opt, seg.Records[start:end], start, trace, mapperID, ci)
+		}
 		if len(starts) == 1 {
-			outs[0] = symExecChunk(q, sc, opt, seg.Records, 0, trace, mapperID, 0)
+			outs[0] = runChunk(0, 0, len(seg.Records))
 		} else {
 			var wg sync.WaitGroup
 			for ci, start := range starts {
@@ -192,7 +221,7 @@ func sympleMapFunc[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], 
 				wg.Add(1)
 				go func(ci, start, end int) {
 					defer wg.Done()
-					outs[ci] = symExecChunk(q, sc, opt, seg.Records[start:end], start, trace, mapperID, ci)
+					outs[ci] = runChunk(ci, start, end)
 				}(ci, start, end)
 			}
 			wg.Wait()
@@ -208,6 +237,7 @@ func sympleMapFunc[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], 
 			local.Restarts += outs[ci].stats.Restarts
 			local.MemoHits += outs[ci].stats.MemoHits
 			local.MemoMisses += outs[ci].stats.MemoMisses
+			local.RunProbes += outs[ci].stats.RunProbes
 			local.ExecWall += outs[ci].stats.ExecWall
 		}
 
@@ -218,12 +248,13 @@ func sympleMapFunc[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], 
 		keySums := make(map[string][]*sym.Summary[S])
 		keyLast := make(map[string]int64)
 		for ci := range outs {
-			for _, key := range outs[ci].order {
+			o := &outs[ci]
+			for i, key := range o.order {
 				if _, seen := keySums[key]; !seen {
 					order = append(order, key)
 				}
-				keySums[key] = append(keySums[key], outs[ci].sums[key]...)
-				keyLast[key] = outs[ci].lastRec[key] // ascending ci → final value is the max
+				keySums[key] = append(keySums[key], o.keySums(i)...)
+				keyLast[key] = o.lastRec[i] // ascending ci → final value is the max
 			}
 		}
 
@@ -273,6 +304,9 @@ func sympleMapFunc[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], 
 		if reg != nil {
 			lreg.Counter(MetricMemoHits).Add(int64(local.MemoHits))
 			lreg.Counter(MetricMemoMisses).Add(int64(local.MemoMisses))
+			if local.RunProbes > 0 {
+				lreg.Counter(MetricMemoRunProbes).Add(int64(local.RunProbes))
+			}
 			lreg.MergeInto(reg)
 		}
 		mu.Lock()
@@ -283,6 +317,7 @@ func sympleMapFunc[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S], 
 		stats.Summaries += local.Summaries
 		stats.MemoHits += local.MemoHits
 		stats.MemoMisses += local.MemoMisses
+		stats.RunProbes += local.RunProbes
 		stats.ExecWall += local.ExecWall
 		mu.Unlock()
 		return nil

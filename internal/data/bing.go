@@ -29,6 +29,8 @@ type BingConfig struct {
 	// successful query). Regional outages are injected per geo at twice
 	// the rate.
 	Outages int
+
+	Columnar bool // also attach the columnar form to each segment
 }
 
 // DefaultBingConfig returns a laptop-scale configuration.
@@ -96,5 +98,9 @@ func GenBing(cfg BingConfig) []*mapreduce.Segment {
 		b.field(pad)
 		records = append(records, b.bytes())
 	}
-	return segmented(records, cfg.Segments)
+	segs := segmented(records, cfg.Segments)
+	if cfg.Columnar {
+		Columnarize(segs, ColSpecFor("bing"))
+	}
+	return segs
 }

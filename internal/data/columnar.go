@@ -1,0 +1,127 @@
+package data
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+
+	"repro/internal/mapreduce"
+)
+
+// Record→columnar conversion (ROADMAP item 4). A column plan assigns a
+// mapreduce.ColKind to each leading field of a dataset's tab-separated
+// schema, with a mandatory trailing ColTail that captures the raw
+// remainder (filler, free text, extra fields). Rows that don't fit the
+// plan — too few fields, or an integer field whose bytes are not the
+// canonical decimal rendering — fall back to raw ragged storage, so
+// conversion is total and reconstruction stays byte-exact.
+
+// ColSpecFor returns the column plan for one of the bench datasets, or
+// nil for an unknown name. The typed prefix covers exactly the fields
+// the 12 queries read; everything past it is tail.
+func ColSpecFor(dataset string) []mapreduce.ColKind {
+	switch dataset {
+	case "github": // ts repo op actor payload…
+		return []mapreduce.ColKind{mapreduce.ColInt, mapreduce.ColDict, mapreduce.ColDict, mapreduce.ColDict, mapreduce.ColTail}
+	case "bing": // ts user geo ok query…
+		return []mapreduce.ColKind{mapreduce.ColInt, mapreduce.ColDict, mapreduce.ColDict, mapreduce.ColInt, mapreduce.ColTail}
+	case "twitter": // ts hashtag user spam text…
+		return []mapreduce.ColKind{mapreduce.ColInt, mapreduce.ColDict, mapreduce.ColDict, mapreduce.ColInt, mapreduce.ColTail}
+	case "redshift": // datetime advertiser campaign country [imp url …]
+		return []mapreduce.ColKind{mapreduce.ColStr, mapreduce.ColDict, mapreduce.ColDict, mapreduce.ColDict, mapreduce.ColTail}
+	}
+	return nil
+}
+
+// ToColumnar converts records to the columnar form under spec. The
+// plan's last column must be ColTail and the typed prefix must fit the
+// shared splitter; both are programmer errors, not data errors (rows
+// that merely fail the plan become ragged). Ragged rows alias records.
+func ToColumnar(records [][]byte, spec []mapreduce.ColKind) *mapreduce.Columnar {
+	typed := len(spec) - 1
+	if typed < 0 || spec[typed] != mapreduce.ColTail {
+		panic("data: column plan must end with ColTail")
+	}
+	if typed >= maxFieldSpans {
+		panic(fmt.Sprintf("data: column plan has %d typed fields, max %d", typed, maxFieldSpans-1))
+	}
+	c := &mapreduce.Columnar{Rows: len(records), Cols: make([]mapreduce.Col, len(spec))}
+	dicts := make([]map[string]uint32, typed)
+	for i, k := range spec {
+		col := &c.Cols[i]
+		col.Kind = k
+		switch k {
+		case mapreduce.ColStr, mapreduce.ColTail:
+			col.Offs = append(col.Offs, 0)
+		case mapreduce.ColDict:
+			dicts[i] = make(map[string]uint32, 64)
+		case mapreduce.ColInt:
+		default:
+			panic(fmt.Sprintf("data: bad column kind %d", k))
+		}
+		if k == mapreduce.ColTail && i != typed {
+			panic("data: ColTail before the last column")
+		}
+	}
+
+	var spans [maxFieldSpans][2]int32
+	var ints [maxFieldSpans]int64
+	var scratch [20]byte
+	for ri, rec := range records {
+		n, stop := fieldSpans(rec, typed, &spans)
+		ok := n == typed
+		for f := 0; ok && f < typed; f++ {
+			if spec[f] != mapreduce.ColInt {
+				continue
+			}
+			fb := rec[spans[f][0]:spans[f][1]]
+			v, valid := ParseInt(fb)
+			// Canonical rendering only: a row whose integer bytes carry
+			// leading zeros (or overflowed the parse) would not survive
+			// reconstruction, so it stays raw.
+			if !valid || !bytes.Equal(fb, strconv.AppendInt(scratch[:0], v, 10)) {
+				ok = false
+				break
+			}
+			ints[f] = v
+		}
+		if !ok {
+			c.Ragged = append(c.Ragged, int32(ri))
+			c.RaggedRecs = append(c.RaggedRecs, rec)
+			continue
+		}
+		for f := 0; f < typed; f++ {
+			col := &c.Cols[f]
+			fb := rec[spans[f][0]:spans[f][1]]
+			switch spec[f] {
+			case mapreduce.ColInt:
+				col.Ints = append(col.Ints, ints[f])
+			case mapreduce.ColDict:
+				code, seen := dicts[f][string(fb)]
+				if !seen {
+					code = uint32(len(col.Dict))
+					s := string(fb)
+					col.Dict = append(col.Dict, s)
+					dicts[f][s] = code
+				}
+				col.Codes = append(col.Codes, code)
+			case mapreduce.ColStr:
+				col.Blob = append(col.Blob, fb...)
+				col.Offs = append(col.Offs, uint32(len(col.Blob)))
+			}
+		}
+		tail := &c.Cols[typed]
+		tail.Blob = append(tail.Blob, rec[stop:]...)
+		tail.Offs = append(tail.Offs, uint32(len(tail.Blob)))
+	}
+	return c
+}
+
+// Columnarize attaches the columnar form to every segment in place and
+// returns segs for chaining. Records remain authoritative.
+func Columnarize(segs []*mapreduce.Segment, spec []mapreduce.ColKind) []*mapreduce.Segment {
+	for _, s := range segs {
+		s.Columns = ToColumnar(s.Records, spec)
+	}
+	return segs
+}

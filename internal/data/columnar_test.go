@@ -1,0 +1,164 @@
+package data
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mapreduce"
+)
+
+// The converter's contract: Materialize(ToColumnar(recs)) == recs, byte
+// for byte, for every generator corpus and for adversarial rows that
+// must go ragged. The columnar golden digests pin the same property end
+// to end through the query engines.
+
+// genAll returns every bench corpus with columns attached, keyed by
+// dataset name.
+func genAll(t *testing.T) map[string][]*mapreduce.Segment {
+	t.Helper()
+	return map[string][]*mapreduce.Segment{
+		"github": GenGithub(GithubConfig{
+			Records: 5000, Repos: 150, Segments: 4, Filler: 8, Seed: 71, Columnar: true}),
+		"bing": GenBing(BingConfig{
+			Records: 5000, Users: 250, Geos: 10, Segments: 4,
+			Filler: 8, Seed: 72, Outages: 4, Columnar: true}),
+		"twitter": GenTwitter(TwitterConfig{
+			Records: 5000, Hashtags: 120, Users: 300, Segments: 4,
+			Filler: 8, Seed: 73, Columnar: true}),
+		"redshift": GenRedshift(RedshiftConfig{
+			Records: 5000, Advertisers: 30, Segments: 4,
+			Seed: 74, DarkWindows: 2, Columnar: true}),
+	}
+}
+
+func TestColumnarMaterializeIdentityAllDatasets(t *testing.T) {
+	for name, segs := range genAll(t) {
+		var rows, dense int
+		for _, seg := range segs {
+			if seg.Columns == nil {
+				t.Fatalf("%s: generator did not attach columns", name)
+			}
+			got := seg.Columns.Materialize(nil)
+			if len(got) != len(seg.Records) {
+				t.Fatalf("%s segment %d: materialized %d records, want %d",
+					name, seg.ID, len(got), len(seg.Records))
+			}
+			for i := range got {
+				if !bytes.Equal(got[i], seg.Records[i]) {
+					t.Fatalf("%s segment %d record %d:\n got %q\nwant %q",
+						name, seg.ID, i, got[i], seg.Records[i])
+				}
+			}
+			rows += seg.Columns.Rows
+			dense += seg.Columns.Dense()
+		}
+		if rows == 0 {
+			t.Fatalf("%s: no rows", name)
+		}
+		// The generators emit schema-conformant records, so the typed
+		// plan must actually engage — a converter that shunts everything
+		// to ragged storage would still pass the identity check.
+		if dense < rows/2 {
+			t.Errorf("%s: only %d of %d rows dense — plan is not matching the generator schema", name, dense, rows)
+		}
+	}
+}
+
+func TestToColumnarRaggedRows(t *testing.T) {
+	spec := ColSpecFor("github")
+	records := [][]byte{
+		[]byte("100\trepo/a\tpush\tactor\tpayload"),
+		[]byte("short"),                             // too few fields
+		[]byte("0100\trepo/a\tpush\tactor\tpl"),     // leading zero: not canonical
+		[]byte("-0\trepo/a\tpush\tactor\tpl"),       // negative zero: not canonical
+		[]byte("99999999999999999999\ta\tb\tc\td"),  // overflows int64
+		[]byte("101\trepo/b\tdelete\tactor2\t"),     // empty trailing field
+		[]byte("102\trepo/a\tpush\tactor\tx\ty\tz"), // extra fields land in tail
+		[]byte(""), // empty record
+		[]byte("103\trepo/c\tpush\tactor3\tpayload"), // dense again after ragged
+	}
+	c := ToColumnar(records, spec)
+	if c.Rows != len(records) {
+		t.Fatalf("rows %d, want %d", c.Rows, len(records))
+	}
+	wantRagged := []int32{1, 2, 3, 4, 7}
+	if len(c.Ragged) != len(wantRagged) {
+		t.Fatalf("ragged rows %v, want %v", c.Ragged, wantRagged)
+	}
+	for i, r := range wantRagged {
+		if c.Ragged[i] != r {
+			t.Fatalf("ragged rows %v, want %v", c.Ragged, wantRagged)
+		}
+	}
+	got := c.Materialize(nil)
+	for i := range records {
+		if !bytes.Equal(got[i], records[i]) {
+			t.Fatalf("record %d: got %q want %q", i, got[i], records[i])
+		}
+	}
+	// Dictionary codes must dedupe in first-use order.
+	repos := c.Cols[1].Dict
+	if len(repos) != 3 || repos[0] != "repo/a" || repos[1] != "repo/b" || repos[2] != "repo/c" {
+		t.Fatalf("repo dictionary %v, want first-use order [repo/a repo/b repo/c]", repos)
+	}
+}
+
+func TestToColumnarCodecRoundTripOnGeneratedData(t *testing.T) {
+	// The generator corpus through the wire codec: the form a multi-node
+	// shuffle would ship must still materialize identically.
+	for name, segs := range genAll(t) {
+		seg := segs[0]
+		for _, compress := range []bool{false, true} {
+			dec, err := mapreduce.DecodeColumnar(mapreduce.EncodeColumnar(seg.Columns, compress))
+			if err != nil {
+				t.Fatalf("%s compress=%v: %v", name, compress, err)
+			}
+			got := dec.Materialize(nil)
+			if len(got) != len(seg.Records) {
+				t.Fatalf("%s compress=%v: %d records, want %d", name, compress, len(got), len(seg.Records))
+			}
+			for i := range got {
+				if !bytes.Equal(got[i], seg.Records[i]) {
+					t.Fatalf("%s compress=%v record %d diverges", name, compress, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFieldSpansMatchesFieldAdapters(t *testing.T) {
+	recs := [][]byte{
+		[]byte("a\tb\tc\td"),
+		[]byte("a"),
+		[]byte(""),
+		[]byte("\t\t"),
+		[]byte("one\ttwo"),
+	}
+	for _, rec := range recs {
+		for i := 0; i < 4; i++ {
+			var spans [maxFieldSpans][2]int32
+			n, _ := fieldSpans(rec, i+1, &spans)
+			want := Field(rec, i)
+			got := span(rec, &spans, n, i)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("rec %q field %d: fieldSpans %q, Field %q", rec, i, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkColumnarParse measures the converter — the ingestion-side
+// cost the columnar experiment's parse pass pays once per segment.
+func BenchmarkColumnarParse(b *testing.B) {
+	segs := GenGithub(GithubConfig{
+		Records: 20000, Repos: 300, Segments: 1, Filler: 8, Seed: 75})
+	spec := ColSpecFor("github")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := ToColumnar(segs[0].Records, spec)
+		if c.Dense() == 0 {
+			b.Fatal("no dense rows")
+		}
+	}
+}

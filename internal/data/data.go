@@ -81,69 +81,64 @@ func filler(r *rand.Rand, n int) string {
 	return string(b)
 }
 
-// Field extracts the i-th tab-separated field of rec without allocating.
-// It returns nil when the field does not exist.
-func Field(rec []byte, i int) []byte {
-	start := 0
-	for f := 0; ; f++ {
+// maxFieldSpans bounds the leading fields the shared splitter can
+// resolve in one scan; every query and column plan stays well under it.
+const maxFieldSpans = 8
+
+// fieldSpans is the one tab-splitter implementation behind both the
+// scalar Field accessors and the columnar converter: it scans rec once,
+// recording [start, end) for each of the first upto fields (upto ≤
+// maxFieldSpans). It returns the number of fields found and the offset
+// where the scan stopped — for a fully resolved record that is the end
+// of field upto−1, so rec[stop:] is the raw tail (including its leading
+// tab) that the columnar form stores verbatim.
+func fieldSpans(rec []byte, upto int, spans *[maxFieldSpans][2]int32) (n, stop int) {
+	start, f := 0, 0
+	for f < upto {
 		end := start
 		for end < len(rec) && rec[end] != '\t' {
 			end++
 		}
-		if f == i {
-			return rec[start:end]
-		}
-		if end == len(rec) {
-			return nil
+		spans[f] = [2]int32{int32(start), int32(end)}
+		f++
+		if end == len(rec) || f == upto {
+			return f, end
 		}
 		start = end + 1
 	}
+	return f, 0
+}
+
+// span returns the field's bytes, nil when it was not found.
+func span(rec []byte, spans *[maxFieldSpans][2]int32, n, i int) []byte {
+	if i >= n {
+		return nil
+	}
+	return rec[spans[i][0]:spans[i][1]]
+}
+
+// Field extracts the i-th tab-separated field of rec without allocating.
+// It returns nil when the field does not exist.
+func Field(rec []byte, i int) []byte {
+	var spans [maxFieldSpans][2]int32
+	n, _ := fieldSpans(rec, i+1, &spans)
+	return span(rec, &spans, n, i)
 }
 
 // Field2 extracts fields i and j (i < j) in a single scan of rec.
 // Missing fields come back nil. GroupBy functions are the mapper's
 // per-record parse cost, so one pass instead of two matters there.
 func Field2(rec []byte, i, j int) (fi, fj []byte) {
-	start := 0
-	for f := 0; ; f++ {
-		end := start
-		for end < len(rec) && rec[end] != '\t' {
-			end++
-		}
-		switch f {
-		case i:
-			fi = rec[start:end]
-		case j:
-			return fi, rec[start:end]
-		}
-		if end == len(rec) {
-			return fi, fj
-		}
-		start = end + 1
-	}
+	var spans [maxFieldSpans][2]int32
+	n, _ := fieldSpans(rec, j+1, &spans)
+	return span(rec, &spans, n, i), span(rec, &spans, n, j)
 }
 
 // Field3 extracts fields i, j and k (i < j < k) in a single scan.
 func Field3(rec []byte, i, j, k int) (fi, fj, fk []byte) {
-	start := 0
-	for f := 0; ; f++ {
-		end := start
-		for end < len(rec) && rec[end] != '\t' {
-			end++
-		}
-		switch f {
-		case i:
-			fi = rec[start:end]
-		case j:
-			fj = rec[start:end]
-		case k:
-			return fi, fj, rec[start:end]
-		}
-		if end == len(rec) {
-			return fi, fj, fk
-		}
-		start = end + 1
-	}
+	var spans [maxFieldSpans][2]int32
+	n, _ := fieldSpans(rec, k+1, &spans)
+	return span(rec, &spans, n, i), span(rec, &spans, n, j), span(rec, &spans, n, k)
 }
 
 // ParseInt parses a decimal int64 field; ok=false on malformed input.

@@ -51,6 +51,7 @@ type GithubConfig struct {
 	Segments int
 	Filler   int // payload bytes per record (complete-variant realism)
 	Seed     int64
+	Columnar bool // also attach the columnar form to each segment
 }
 
 // DefaultGithubConfig returns a laptop-scale configuration preserving the
@@ -112,5 +113,9 @@ func GenGithub(cfg GithubConfig) []*mapreduce.Segment {
 		b.field(pad)
 		records = append(records, b.bytes())
 	}
-	return segmented(records, cfg.Segments)
+	segs := segmented(records, cfg.Segments)
+	if cfg.Columnar {
+		Columnarize(segs, ColSpecFor("github"))
+	}
+	return segs
 }

@@ -41,6 +41,8 @@ type RedshiftConfig struct {
 	// DarkWindows injects, per advertiser, windows longer than one hour
 	// with no impressions (R3's pattern).
 	DarkWindows int
+
+	Columnar bool // also attach the columnar form to each segment
 }
 
 // DefaultRedshiftConfig returns a laptop-scale complete-variant config.
@@ -122,7 +124,11 @@ func GenRedshift(cfg RedshiftConfig) []*mapreduce.Segment {
 		}
 		records = append(records, b.bytes())
 	}
-	return segmented(records, cfg.Segments)
+	segs := segmented(records, cfg.Segments)
+	if cfg.Columnar {
+		Columnarize(segs, ColSpecFor("redshift"))
+	}
+	return segs
 }
 
 // CountryIndex maps a country code to its enum value; -1 when unknown.

@@ -24,6 +24,7 @@ type TwitterConfig struct {
 	Segments int
 	Filler   int
 	Seed     int64
+	Columnar bool // also attach the columnar form to each segment
 }
 
 // DefaultTwitterConfig returns a laptop-scale configuration.
@@ -74,5 +75,9 @@ func GenTwitter(cfg TwitterConfig) []*mapreduce.Segment {
 		b.field(pad)
 		records = append(records, b.bytes())
 	}
-	return segmented(records, cfg.Segments)
+	segs := segmented(records, cfg.Segments)
+	if cfg.Columnar {
+		Columnarize(segs, ColSpecFor("twitter"))
+	}
+	return segs
 }

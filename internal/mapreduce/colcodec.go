@@ -1,0 +1,227 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/wire"
+)
+
+// Columnar segment codec: the wire form of a Columnar, using the same
+// framing discipline as the shuffle segment codec (segcodec.go) so map
+// tasks can ship columns with the machinery that already ships summary
+// runs:
+//
+//	flags byte             colRaw | colFlate
+//	[flate frame]          only under colFlate (wire.CompressedBlock)
+//	payload:
+//	  uvarint rows
+//	  uvarint raggedCount          dense = rows − raggedCount
+//	  uvarint ncols
+//	  per column:
+//	    byte kind
+//	    ColInt:          dense × varint Δ value (zig-zag delta)
+//	    ColDict:         string dictionary (wire.StringDict),
+//	                     dense × varint Δ code
+//	    ColStr/ColTail:  dense × uvarint length, bytes blob
+//	  per ragged row:
+//	    uvarint row gap            strictly ascending row indexes
+//	    bytes  record
+//
+// Like the segment codec, malformed input — bad flags, forged counts,
+// out-of-range dictionary codes, truncation anywhere — returns an error
+// wrapping wire.ErrCorrupt; it never panics.
+const (
+	colRaw   = 0x01
+	colFlate = 0x02
+)
+
+// maxColumnarCols bounds the column-count claim of a corrupt header; no
+// dataset plan comes near it.
+const maxColumnarCols = 64
+
+// EncodeColumnar encodes one columnar segment into a fresh buffer.
+func EncodeColumnar(c *Columnar, compress bool) []byte {
+	pe := wire.GetEncoder()
+	defer wire.PutEncoder(pe)
+	dense := c.Dense()
+	pe.Uvarint(uint64(c.Rows))
+	pe.Uvarint(uint64(len(c.Ragged)))
+	pe.Uvarint(uint64(len(c.Cols)))
+	for i := range c.Cols {
+		col := &c.Cols[i]
+		pe.Byte(byte(col.Kind))
+		switch col.Kind {
+		case ColInt:
+			var prev int64
+			for _, v := range col.Ints {
+				pe.Varint(int64(uint64(v) - uint64(prev)))
+				prev = v
+			}
+		case ColDict:
+			pe.StringDict(col.Dict)
+			var prev int64
+			for _, code := range col.Codes {
+				pe.Varint(int64(code) - prev)
+				prev = int64(code)
+			}
+		case ColStr, ColTail:
+			for d := 0; d < dense; d++ {
+				pe.Uvarint(uint64(len(col.Str(d))))
+			}
+			pe.BytesField(col.Blob[:col.Offs[dense]])
+		default:
+			panic(fmt.Sprintf("mapreduce: encode columnar: bad column kind %d", col.Kind))
+		}
+	}
+	prevRow := -1
+	for i, row := range c.Ragged {
+		pe.Uvarint(uint64(int(row) - prevRow - 1))
+		pe.BytesField(c.RaggedRecs[i])
+		prevRow = int(row)
+	}
+
+	if !compress {
+		out := make([]byte, 1+pe.Len())
+		out[0] = colRaw
+		copy(out[1:], pe.Bytes())
+		return out
+	}
+	oe := wire.GetEncoder()
+	oe.Byte(colFlate)
+	oe.CompressedBlock(pe.Bytes())
+	out := make([]byte, oe.Len())
+	copy(out, oe.Bytes())
+	wire.PutEncoder(oe)
+	return out
+}
+
+// DecodeColumnar decodes a columnar segment. Blobs and ragged records
+// alias the payload (for compressed input, the freshly inflated buffer),
+// which the returned Columnar keeps alive.
+func DecodeColumnar(buf []byte) (*Columnar, error) {
+	d := wire.NewDecoder(buf)
+	var payload []byte
+	switch flags := d.Byte(); flags {
+	case colRaw:
+		payload = buf[1:]
+	case colFlate:
+		p, err := d.CompressedBlock()
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: columnar: %w", err)
+		}
+		if d.Remaining() != 0 {
+			return nil, fmt.Errorf("%w: %d bytes after compressed columnar frame",
+				wire.ErrCorrupt, d.Remaining())
+		}
+		payload = p
+	default:
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("mapreduce: columnar: %w", err)
+		}
+		return nil, fmt.Errorf("%w: unknown columnar flags %#x", wire.ErrCorrupt, flags)
+	}
+
+	d = wire.NewDecoder(payload)
+	rows := d.Length(math.MaxInt32)
+	ragged := d.Length(rows)
+	ncols := d.Length(maxColumnarCols)
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("mapreduce: columnar header: %w", err)
+	}
+	dense := rows - ragged
+	// A dense row is typed column entries by definition, so it needs at
+	// least one column (real plans always carry the tail), and it costs
+	// at least one payload byte in every column representation. Both
+	// checks run before the typed vectors (up to 8 bytes per entry) are
+	// allocated, so a forged row count cannot over-allocate — or hand a
+	// consumer a shape whose materialization is unbounded.
+	if dense > 0 && ncols == 0 {
+		return nil, fmt.Errorf("%w: columnar claims %d dense rows with no columns",
+			wire.ErrCorrupt, dense)
+	}
+	if ncols > 0 && dense > d.Remaining() {
+		return nil, fmt.Errorf("%w: columnar claims %d dense rows with %d bytes left",
+			wire.ErrCorrupt, dense, d.Remaining())
+	}
+	c := &Columnar{Rows: rows, Cols: make([]Col, ncols)}
+	for ci := 0; ci < ncols; ci++ {
+		col := &c.Cols[ci]
+		kind := d.Byte()
+		if d.Err() == nil && ColKind(kind) >= numColKinds {
+			return nil, fmt.Errorf("%w: unknown column kind %d", wire.ErrCorrupt, kind)
+		}
+		col.Kind = ColKind(kind)
+		switch col.Kind {
+		case ColInt:
+			col.Ints = make([]int64, 0, min(dense, d.Remaining()))
+			var cur int64
+			for r := 0; r < dense && d.Err() == nil; r++ {
+				cur = int64(uint64(cur) + uint64(d.Varint()))
+				col.Ints = append(col.Ints, cur)
+			}
+		case ColDict:
+			col.Dict = d.StringDict(dense + 1)
+			col.Codes = make([]uint32, 0, min(dense, d.Remaining()))
+			var cur int64
+			for r := 0; r < dense; r++ {
+				cur += d.Varint()
+				if d.Err() != nil {
+					break
+				}
+				if cur < 0 || cur >= int64(len(col.Dict)) {
+					return nil, fmt.Errorf("%w: columnar dict code %d outside dictionary of %d",
+						wire.ErrCorrupt, cur, len(col.Dict))
+				}
+				col.Codes = append(col.Codes, uint32(cur))
+			}
+		case ColStr, ColTail:
+			col.Offs = make([]uint32, 1, min(dense, d.Remaining())+1)
+			var total uint64
+			for r := 0; r < dense && d.Err() == nil; r++ {
+				total += d.Uvarint()
+				if total > uint64(d.Remaining()) {
+					return nil, fmt.Errorf("%w: columnar blob lengths claim %d of %d bytes",
+						wire.ErrCorrupt, total, d.Remaining())
+				}
+				col.Offs = append(col.Offs, uint32(total))
+			}
+			col.Blob = d.BytesField()
+			if d.Err() == nil && uint64(len(col.Blob)) != total {
+				return nil, fmt.Errorf("%w: columnar blob is %d bytes, lengths sum to %d",
+					wire.ErrCorrupt, len(col.Blob), total)
+			}
+		}
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("mapreduce: columnar column %d: %w", ci, err)
+		}
+	}
+	if ragged > 0 {
+		c.Ragged = make([]int32, 0, min(ragged, d.Remaining()))
+		c.RaggedRecs = make([][]byte, 0, min(ragged, d.Remaining()))
+		prevRow := -1
+		for i := 0; i < ragged; i++ {
+			gap := d.Uvarint()
+			rec := d.BytesField()
+			if d.Err() != nil {
+				break
+			}
+			if gap >= uint64(rows) || prevRow+1+int(gap) >= rows {
+				return nil, fmt.Errorf("%w: ragged row gap %d outside %d rows",
+					wire.ErrCorrupt, gap, rows)
+			}
+			row := prevRow + 1 + int(gap)
+			c.Ragged = append(c.Ragged, int32(row))
+			c.RaggedRecs = append(c.RaggedRecs, rec)
+			prevRow = row
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("mapreduce: columnar: %w", err)
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after columnar segment",
+			wire.ErrCorrupt, d.Remaining())
+	}
+	return c, nil
+}

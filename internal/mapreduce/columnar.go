@@ -1,0 +1,156 @@
+package mapreduce
+
+import "strconv"
+
+// Columnar is the per-field column representation of one segment's
+// records (ROADMAP item 4). A tab-separated record set is decomposed by
+// a fixed column plan: each leading field becomes one typed column, and
+// the final column is the tail — the raw remainder of the record,
+// including its leading tab, so reassembly is byte-exact even when
+// records carry trailing fields the plan does not type.
+//
+// Rows that do not fit the plan (too few fields, a non-canonical
+// integer) are ragged: their raw bytes are kept aside and the typed
+// columns simply skip them, staying dense. Row order is preserved —
+// iteration interleaves dense and ragged rows by ascending row index —
+// so the columnar form carries exactly the information of the record
+// slice it was built from: Materialize is the identity (pinned by the
+// round-trip tests and, end to end, by the columnar golden digests).
+//
+// The representation is the read-path analogue of the shuffle's segment
+// codec: dictionary codes for low-cardinality strings, int64 vectors
+// for numeric fields, shared blobs for everything else. The batched
+// GroupBy implementations (internal/queries) scan these vectors
+// directly instead of re-splitting every record.
+type Columnar struct {
+	// Rows is the total row count, dense plus ragged.
+	Rows int
+	// Cols hold one entry per plan column. Every column has exactly
+	// Rows − len(Ragged) dense entries, in row order.
+	Cols []Col
+	// Ragged lists the row indexes stored raw, ascending.
+	Ragged []int32
+	// RaggedRecs holds the raw bytes of each ragged row, parallel to
+	// Ragged.
+	RaggedRecs [][]byte
+}
+
+// ColKind types one column.
+type ColKind uint8
+
+const (
+	// ColInt holds canonical decimal int64s: a row lands here only if
+	// strconv re-rendering reproduces its bytes exactly, so
+	// reconstruction is exact.
+	ColInt ColKind = iota
+	// ColDict holds dictionary-coded strings: a code per dense row into
+	// Dict, built in first-use order. For low-cardinality fields (ops,
+	// geos, keys) this is both the compact form and the fast one — a
+	// batched GroupBy can map dictionary entries once per segment
+	// instead of once per record.
+	ColDict
+	// ColStr holds arbitrary strings as offsets into a shared blob
+	// (high-cardinality fields like datetimes).
+	ColStr
+	// ColTail is the final column: the raw record remainder including
+	// its leading tab ("" when the record ends at the previous field).
+	// Offsets into Blob, like ColStr.
+	ColTail
+	numColKinds
+)
+
+// Col is one typed column. Exactly one representation is populated,
+// chosen by Kind.
+type Col struct {
+	Kind  ColKind
+	Ints  []int64  // ColInt: value per dense row
+	Codes []uint32 // ColDict: dictionary index per dense row
+	Dict  []string // ColDict: entries in first-use order
+	Offs  []uint32 // ColStr/ColTail: len(dense)+1 prefix offsets into Blob
+	Blob  []byte   // ColStr/ColTail: concatenated bytes
+}
+
+// Str returns the dense row's bytes for a ColStr/ColTail column.
+func (c *Col) Str(dense int) []byte {
+	return c.Blob[c.Offs[dense]:c.Offs[dense+1]]
+}
+
+// Dense returns the number of dense rows.
+func (c *Columnar) Dense() int { return c.Rows - len(c.Ragged) }
+
+// RowIter walks rows [lo, hi) of a Columnar in row order, yielding for
+// each row either its raw bytes (ragged) or its dense index (typed).
+type RowIter struct {
+	c     *Columnar
+	row   int
+	hi    int
+	dense int
+	rag   int
+}
+
+// Iter positions an iterator at row lo. Dense and ragged cursors are
+// recovered by counting ragged rows before lo.
+func (c *Columnar) Iter(lo, hi int) RowIter {
+	rag := 0
+	for rag < len(c.Ragged) && int(c.Ragged[rag]) < lo {
+		rag++
+	}
+	return RowIter{c: c, row: lo, hi: hi, dense: lo - rag, rag: rag}
+}
+
+// Next yields the next row. raw is non-nil for ragged rows; otherwise
+// dense indexes the typed columns. ok is false once the range is done.
+func (it *RowIter) Next() (row int, raw []byte, dense int, ok bool) {
+	if it.row >= it.hi {
+		return 0, nil, 0, false
+	}
+	row = it.row
+	it.row++
+	if it.rag < len(it.c.Ragged) && int(it.c.Ragged[it.rag]) == row {
+		raw = it.c.RaggedRecs[it.rag]
+		it.rag++
+		return row, raw, 0, true
+	}
+	dense = it.dense
+	it.dense++
+	return row, nil, dense, true
+}
+
+// AppendRow reconstructs one row's record bytes. For dense rows it
+// re-joins the typed columns with tabs and appends the tail verbatim;
+// ragged rows are copied raw. Byte-identity with the source record is
+// the format's contract.
+func (c *Columnar) appendRow(dst []byte, raw []byte, dense int) []byte {
+	if raw != nil {
+		return append(dst, raw...)
+	}
+	for i := range c.Cols {
+		col := &c.Cols[i]
+		if col.Kind != ColTail && i > 0 {
+			dst = append(dst, '\t')
+		}
+		switch col.Kind {
+		case ColInt:
+			dst = strconv.AppendInt(dst, col.Ints[dense], 10)
+		case ColDict:
+			dst = append(dst, col.Dict[col.Codes[dense]]...)
+		case ColStr, ColTail:
+			dst = append(dst, col.Str(dense)...)
+		}
+	}
+	return dst
+}
+
+// Materialize reconstructs every record, in row order, appending to
+// dst. Each record is freshly allocated (none alias the columns).
+func (c *Columnar) Materialize(dst [][]byte) [][]byte {
+	it := c.Iter(0, c.Rows)
+	for {
+		_, raw, dense, ok := it.Next()
+		if !ok {
+			return dst
+		}
+		rec := c.appendRow(make([]byte, 0, 32), raw, dense)
+		dst = append(dst, rec)
+	}
+}

@@ -42,6 +42,11 @@ import (
 type Segment struct {
 	ID      int
 	Records [][]byte
+	// Columns, when non-nil, is the columnar form of Records (same rows,
+	// same order; Columns.Materialize reproduces Records byte for byte).
+	// Records stays authoritative — consumers that understand columns
+	// read them, everything else keeps working off the record slice.
+	Columns *Columnar
 }
 
 // Bytes returns the total payload size of the segment.

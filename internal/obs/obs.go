@@ -97,6 +97,10 @@ const (
 	AttrWireBytes    = "wire_bytes"
 	AttrLogicalBytes = "logical_bytes"
 	AttrOutBytes     = "out_bytes"
+	// AttrBatchRecords is the number of events a batched map chunk kept
+	// after vectorized grouping (its parse and exec spans carry the same
+	// value; scalar chunks don't set it).
+	AttrBatchRecords = "batch_records"
 )
 
 // Span is one traced interval (or instant event, when End == Start).

@@ -22,6 +22,7 @@ const (
 	InvGroupOnce       = "group-once"        // each group composed by exactly one winning reducer
 	InvDuplicateSpan   = "duplicate-span"    // span IDs unique within a job
 	InvJobMissing      = "job-missing"       // non-empty trace must contain a job span
+	InvBatchRecords    = "batch-records"     // kept batch events <= chunk records; parse/exec agree per chunk
 )
 
 // Violation is one failed invariant over a trace.
@@ -162,6 +163,50 @@ func (v Verifier) verifyJob(job *Span, children []*Span) []Violation {
 	out = append(out, verifyRuns(job, children)...)
 	out = append(out, verifyCommits(job, children)...)
 	out = append(out, verifyComposes(job, children)...)
+	out = append(out, verifyBatches(job, children)...)
+	return out
+}
+
+// verifyBatches checks the batched map chunks: a chunk's kept-event
+// count (batch_records, set by vectorized grouping) can never exceed its
+// record count — grouping only filters — and the parse and exec spans of
+// one (task, chunk) must agree on it, since pass two consumes exactly
+// the events pass one kept. Scalar chunks carry no batch_records and are
+// skipped.
+func verifyBatches(job *Span, children []*Span) []Violation {
+	var out []Violation
+	type chunkKey struct{ task, chunk int64 }
+	parse := make(map[chunkKey]int64)
+	for _, sp := range children {
+		if sp.Kind != KindMapParse {
+			continue
+		}
+		batch, ok := sp.Attrs[AttrBatchRecords]
+		if !ok {
+			continue
+		}
+		if recs := sp.Attr(AttrRecords); batch > recs {
+			out = append(out, Violation{InvBatchRecords,
+				fmt.Sprintf("job %q: %s %q kept %d batch events from %d records",
+					job.Name, sp.Kind, sp.Name, batch, recs)})
+		}
+		parse[chunkKey{sp.Attr(AttrTask), sp.Attr(AttrChunk)}] = batch
+	}
+	for _, sp := range children {
+		if sp.Kind != KindMapExec {
+			continue
+		}
+		batch, ok := sp.Attrs[AttrBatchRecords]
+		if !ok {
+			continue
+		}
+		k := chunkKey{sp.Attr(AttrTask), sp.Attr(AttrChunk)}
+		if want, seen := parse[k]; seen && want != batch {
+			out = append(out, Violation{InvBatchRecords,
+				fmt.Sprintf("job %q: task %d chunk %d parsed %d batch events but executed %d",
+					job.Name, k.task, k.chunk, want, batch)})
+		}
+	}
 	return out
 }
 

@@ -44,17 +44,19 @@ func chaosSeedCount(t *testing.T, def int) int {
 
 // chaosDatasets generates reduced corpora so a wide seed sweep stays
 // fast; seeds differ from smallDatasets so the two suites cannot mask
-// each other's generator assumptions.
+// each other's generator assumptions. Segments carry their columnar
+// form (Columnar: true) so half the sweep can run the batch path.
 func chaosDatasets() map[string][]*mapreduce.Segment {
 	return map[string][]*mapreduce.Segment{
 		"github": data.GenGithub(data.GithubConfig{
-			Records: 3000, Repos: 120, Segments: 6, Filler: 8, Seed: 31}),
+			Records: 3000, Repos: 120, Segments: 6, Filler: 8, Seed: 31,
+			Columnar: true}),
 		"bing": data.GenBing(data.BingConfig{
 			Records: 3000, Users: 200, Geos: 8, Segments: 6,
-			Filler: 8, Seed: 32, Outages: 5}),
+			Filler: 8, Seed: 32, Outages: 5, Columnar: true}),
 		"redshift": data.GenRedshift(data.RedshiftConfig{
 			Records: 3000, Advertisers: 25, Segments: 6,
-			Seed: 33, DarkWindows: 2}),
+			Seed: 33, DarkWindows: 2, Columnar: true}),
 	}
 }
 
@@ -120,7 +122,13 @@ func TestChaosQueriesDifferential(t *testing.T) {
 				// Half the sweep ships flate-compressed segments, so fault
 				// recovery and the compressed wire path are tested together.
 				conf.CompressShuffle = seed%2 == 0
-				got, err := spec.Symple(segs, conf)
+				// The other half runs the columnar batch path, so task
+				// retries and speculation replay batched mappers too.
+				run := spec.Symple
+				if seed%2 == 1 {
+					run = spec.SympleColumnar
+				}
+				got, err := run(segs, conf)
 				if err != nil {
 					t.Fatalf("seed %d: chaos run failed (final attempts are spared; this must succeed): %v", seed, err)
 				}

@@ -1,0 +1,350 @@
+package queries
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/mapreduce"
+)
+
+// Vectorized GroupBy (core.Query.GroupByBatch) for the 12 queries. Each
+// query compiles its per-chunk plan once — shape-checking the columns it
+// reads and translating low-cardinality dictionaries up front — then
+// scans the column vectors row by row. Dictionary translation is the
+// batch path's branch-free form of the enum predicates the scalar
+// GroupBy evaluates per record: GithubOpFromName / CountryIndex /
+// CampaignIndex run once per distinct dictionary entry, and the
+// per-record filter collapses to one table load and sign test instead of
+// a byte-comparison cascade. Ragged rows (and whole chunks whose columns
+// don't match the expected shape) fall back to the scalar GroupBy, so
+// the batch path never changes which rows are kept or what they yield —
+// pinned by the columnar golden digests and the metamorphic tests.
+
+// dictCol returns column i if it is dictionary-coded, else nil.
+func dictCol(c *mapreduce.Columnar, i int) *mapreduce.Col {
+	if i >= len(c.Cols) || c.Cols[i].Kind != mapreduce.ColDict {
+		return nil
+	}
+	return &c.Cols[i]
+}
+
+// intCol returns column i if it is an int64 vector, else nil.
+func intCol(c *mapreduce.Columnar, i int) *mapreduce.Col {
+	if i >= len(c.Cols) || c.Cols[i].Kind != mapreduce.ColInt {
+		return nil
+	}
+	return &c.Cols[i]
+}
+
+// strCol returns column i if it is a string column, else nil.
+func strCol(c *mapreduce.Columnar, i int) *mapreduce.Col {
+	if i >= len(c.Cols) || c.Cols[i].Kind != mapreduce.ColStr {
+		return nil
+	}
+	return &c.Cols[i]
+}
+
+// keyInterner assigns first-use key indexes. The common case — keys come
+// from one dictionary column — is a direct code→index table; the string
+// map exists only once a ragged row (or a non-dictionary key) shows up,
+// and the two stay consistent so a key reached both ways interns once.
+type keyInterner struct {
+	byCode []int32
+	m      map[string]int32
+}
+
+func newKeyInterner(codes int) keyInterner {
+	byCode := make([]int32, codes)
+	for i := range byCode {
+		byCode[i] = -1
+	}
+	return keyInterner{byCode: byCode}
+}
+
+// code interns the key named by a dictionary code.
+func (in *keyInterner) code(keys *[]string, code uint32, name string) int32 {
+	if ki := in.byCode[code]; ki >= 0 {
+		return ki
+	}
+	ki := in.str(keys, name)
+	in.byCode[code] = ki
+	return ki
+}
+
+// str interns a key by value, building the map on first need.
+func (in *keyInterner) str(keys *[]string, key string) int32 {
+	if in.m == nil {
+		if in.byCode != nil || len(*keys) > 0 {
+			in.m = make(map[string]int32, len(*keys)+8)
+			for i, k := range *keys {
+				in.m[k] = int32(i)
+			}
+		} else {
+			in.m = make(map[string]int32, 8)
+		}
+	}
+	if ki, ok := in.m[key]; ok {
+		return ki
+	}
+	ki := int32(len(*keys))
+	*keys = append(*keys, key)
+	in.m[key] = ki
+	return ki
+}
+
+// makeGroupByBatch adapts a per-chunk compile step into the engine's
+// GroupByBatch contract. compile shape-checks the columns and returns
+// the dense-row emitter (nil → the whole chunk falls back to scalar);
+// ragged rows always go through the scalar groupBy, interned into the
+// same key space.
+func makeGroupByBatch[E any](
+	groupBy func([]byte) (string, E, bool),
+	compile func(cols *mapreduce.Columnar, b *core.Batch[E], in *keyInterner) func(row, dense int),
+) func(*mapreduce.Columnar, int, int, *core.Batch[E]) bool {
+	return func(cols *mapreduce.Columnar, lo, hi int, b *core.Batch[E]) bool {
+		b.Reset()
+		var in keyInterner
+		emit := compile(cols, b, &in)
+		if emit == nil {
+			return false
+		}
+		it := cols.Iter(lo, hi)
+		for {
+			row, raw, dense, ok := it.Next()
+			if !ok {
+				return true
+			}
+			if raw != nil {
+				key, ev, kept := groupBy(raw)
+				if kept {
+					ki := in.str(&b.Keys, key)
+					b.KeyIdx = append(b.KeyIdx, ki)
+					b.Rows = append(b.Rows, int32(row))
+					b.Events = append(b.Events, ev)
+				}
+				continue
+			}
+			emit(row, dense)
+		}
+	}
+}
+
+// githubOpTable translates an op-name dictionary once per chunk:
+// entry i is the op code of dictionary entry i, −1 for unknown names.
+func githubOpTable(dict []string) []int64 {
+	ops := make([]int64, len(dict))
+	for i, s := range dict {
+		ops[i] = int64(data.GithubOpFromName([]byte(s)))
+	}
+	return ops
+}
+
+// compileGithubOp is the shared G1/G2/G3 shape: key = repo (field 1),
+// event = op code (field 2), unknown ops dropped.
+func compileGithubOp(cols *mapreduce.Columnar, b *core.Batch[int64], in *keyInterner) func(row, dense int) {
+	repoCol, opCol := dictCol(cols, 1), dictCol(cols, 2)
+	if repoCol == nil || opCol == nil {
+		return nil
+	}
+	ops := githubOpTable(opCol.Dict)
+	*in = newKeyInterner(len(repoCol.Dict))
+	return func(row, dense int) {
+		op := ops[opCol.Codes[dense]]
+		if op < 0 {
+			return
+		}
+		code := repoCol.Codes[dense]
+		ki := in.code(&b.Keys, code, repoCol.Dict[code])
+		b.KeyIdx = append(b.KeyIdx, ki)
+		b.Rows = append(b.Rows, int32(row))
+		b.Events = append(b.Events, op)
+	}
+}
+
+// compileG4: key = repo, event = {op, ts}, only branch create/delete.
+func compileG4(cols *mapreduce.Columnar, b *core.Batch[g4Event], in *keyInterner) func(row, dense int) {
+	tsCol, repoCol, opCol := intCol(cols, 0), dictCol(cols, 1), dictCol(cols, 2)
+	if tsCol == nil || repoCol == nil || opCol == nil {
+		return nil
+	}
+	ops := make([]int64, len(opCol.Dict))
+	for i, s := range opCol.Dict {
+		op := data.GithubOpFromName([]byte(s))
+		if op != data.OpBranchCreate && op != data.OpBranchDelete {
+			op = -1
+		}
+		ops[i] = int64(op)
+	}
+	*in = newKeyInterner(len(repoCol.Dict))
+	return func(row, dense int) {
+		op := ops[opCol.Codes[dense]]
+		if op < 0 {
+			return
+		}
+		code := repoCol.Codes[dense]
+		ki := in.code(&b.Keys, code, repoCol.Dict[code])
+		b.KeyIdx = append(b.KeyIdx, ki)
+		b.Rows = append(b.Rows, int32(row))
+		b.Events = append(b.Events, g4Event{Op: op, Ts: tsCol.Ints[dense]})
+	}
+}
+
+// compileB1: single constant group, event = ts, successful queries only.
+func compileB1(cols *mapreduce.Columnar, b *core.Batch[int64], in *keyInterner) func(row, dense int) {
+	tsCol, okCol := intCol(cols, 0), intCol(cols, 3)
+	if tsCol == nil || okCol == nil {
+		return nil
+	}
+	return func(row, dense int) {
+		if okCol.Ints[dense] != 1 {
+			return
+		}
+		ki := in.str(&b.Keys, "all")
+		b.KeyIdx = append(b.KeyIdx, ki)
+		b.Rows = append(b.Rows, int32(row))
+		b.Events = append(b.Events, tsCol.Ints[dense])
+	}
+}
+
+// compileB2: key = geo, event = ts, successful queries only.
+func compileB2(cols *mapreduce.Columnar, b *core.Batch[int64], in *keyInterner) func(row, dense int) {
+	tsCol, geoCol, okCol := intCol(cols, 0), dictCol(cols, 2), intCol(cols, 3)
+	if tsCol == nil || geoCol == nil || okCol == nil {
+		return nil
+	}
+	*in = newKeyInterner(len(geoCol.Dict))
+	return func(row, dense int) {
+		if okCol.Ints[dense] != 1 {
+			return
+		}
+		code := geoCol.Codes[dense]
+		ki := in.code(&b.Keys, code, geoCol.Dict[code])
+		b.KeyIdx = append(b.KeyIdx, ki)
+		b.Rows = append(b.Rows, int32(row))
+		b.Events = append(b.Events, tsCol.Ints[dense])
+	}
+}
+
+// compileB3: key = user, event = ts, no filter.
+func compileB3(cols *mapreduce.Columnar, b *core.Batch[int64], in *keyInterner) func(row, dense int) {
+	tsCol, userCol := intCol(cols, 0), dictCol(cols, 1)
+	if tsCol == nil || userCol == nil {
+		return nil
+	}
+	*in = newKeyInterner(len(userCol.Dict))
+	return func(row, dense int) {
+		code := userCol.Codes[dense]
+		ki := in.code(&b.Keys, code, userCol.Dict[code])
+		b.KeyIdx = append(b.KeyIdx, ki)
+		b.Rows = append(b.Rows, int32(row))
+		b.Events = append(b.Events, tsCol.Ints[dense])
+	}
+}
+
+// compileT1: key = hashtag, event = spam flag, flag must be 0 or 1.
+func compileT1(cols *mapreduce.Columnar, b *core.Batch[int64], in *keyInterner) func(row, dense int) {
+	tagCol, spamCol := dictCol(cols, 1), intCol(cols, 3)
+	if tagCol == nil || spamCol == nil {
+		return nil
+	}
+	*in = newKeyInterner(len(tagCol.Dict))
+	return func(row, dense int) {
+		spam := spamCol.Ints[dense]
+		if spam != 0 && spam != 1 {
+			return
+		}
+		code := tagCol.Codes[dense]
+		ki := in.code(&b.Keys, code, tagCol.Dict[code])
+		b.KeyIdx = append(b.KeyIdx, ki)
+		b.Rows = append(b.Rows, int32(row))
+		b.Events = append(b.Events, spam)
+	}
+}
+
+// compileR1: key = advertiser, unit event, no filter (a dense row always
+// has its advertiser field).
+func compileR1(cols *mapreduce.Columnar, b *core.Batch[struct{}], in *keyInterner) func(row, dense int) {
+	advCol := dictCol(cols, 1)
+	if advCol == nil {
+		return nil
+	}
+	*in = newKeyInterner(len(advCol.Dict))
+	return func(row, dense int) {
+		code := advCol.Codes[dense]
+		ki := in.code(&b.Keys, code, advCol.Dict[code])
+		b.KeyIdx = append(b.KeyIdx, ki)
+		b.Rows = append(b.Rows, int32(row))
+		b.Events = append(b.Events, struct{}{})
+	}
+}
+
+// compileR2: key = advertiser, event = country index, unknown dropped.
+func compileR2(cols *mapreduce.Columnar, b *core.Batch[int64], in *keyInterner) func(row, dense int) {
+	advCol, ccCol := dictCol(cols, 1), dictCol(cols, 3)
+	if advCol == nil || ccCol == nil {
+		return nil
+	}
+	ccs := make([]int64, len(ccCol.Dict))
+	for i, s := range ccCol.Dict {
+		ccs[i] = int64(data.CountryIndex([]byte(s)))
+	}
+	*in = newKeyInterner(len(advCol.Dict))
+	return func(row, dense int) {
+		cc := ccs[ccCol.Codes[dense]]
+		if cc < 0 {
+			return
+		}
+		code := advCol.Codes[dense]
+		ki := in.code(&b.Keys, code, advCol.Dict[code])
+		b.KeyIdx = append(b.KeyIdx, ki)
+		b.Rows = append(b.Rows, int32(row))
+		b.Events = append(b.Events, cc)
+	}
+}
+
+// compileR3: key = advertiser, event = Unix seconds of the datetime
+// column. Datetime parsing stays per-row (high-cardinality strings); the
+// batch path only saves the record re-splitting.
+func compileR3(cols *mapreduce.Columnar, b *core.Batch[int64], in *keyInterner) func(row, dense int) {
+	dtCol, advCol := strCol(cols, 0), dictCol(cols, 1)
+	if dtCol == nil || advCol == nil {
+		return nil
+	}
+	*in = newKeyInterner(len(advCol.Dict))
+	return func(row, dense int) {
+		t, err := time.Parse(redshiftLayout, string(dtCol.Str(dense)))
+		if err != nil {
+			return
+		}
+		code := advCol.Codes[dense]
+		ki := in.code(&b.Keys, code, advCol.Dict[code])
+		b.KeyIdx = append(b.KeyIdx, ki)
+		b.Rows = append(b.Rows, int32(row))
+		b.Events = append(b.Events, t.Unix())
+	}
+}
+
+// compileR4: key = advertiser, event = campaign index, unknown dropped.
+func compileR4(cols *mapreduce.Columnar, b *core.Batch[int64], in *keyInterner) func(row, dense int) {
+	advCol, campCol := dictCol(cols, 1), dictCol(cols, 2)
+	if advCol == nil || campCol == nil {
+		return nil
+	}
+	camps := make([]int64, len(campCol.Dict))
+	for i, s := range campCol.Dict {
+		camps[i] = int64(data.CampaignIndex([]byte(s)))
+	}
+	*in = newKeyInterner(len(advCol.Dict))
+	return func(row, dense int) {
+		c := camps[campCol.Codes[dense]]
+		if c < 0 {
+			return
+		}
+		code := advCol.Codes[dense]
+		ki := in.code(&b.Keys, code, advCol.Dict[code])
+		b.KeyIdx = append(b.KeyIdx, ki)
+		b.Rows = append(b.Rows, int32(row))
+		b.Events = append(b.Events, c)
+	}
+}

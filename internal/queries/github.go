@@ -43,6 +43,7 @@ func G1() *Spec {
 		EncodeEvent: func(e *wire.Encoder, op int64) { e.Uvarint(uint64(op)) },
 		DecodeEvent: func(d *wire.Decoder) (int64, error) { return int64(d.Uvarint()), d.Err() },
 	}
+	q.GroupByBatch = makeGroupByBatch(q.GroupBy, compileGithubOp)
 	return makeSpec("G1", "Return all repositories with only push commands", "github",
 		true, false, false, q,
 		func(key string, onlyPush bool) string {
@@ -101,6 +102,7 @@ func G2() *Spec {
 		EncodeEvent: func(e *wire.Encoder, op int64) { e.Uvarint(uint64(op)) },
 		DecodeEvent: func(d *wire.Decoder) (int64, error) { return int64(d.Uvarint()), d.Err() },
 	}
+	q.GroupByBatch = makeGroupByBatch(q.GroupBy, compileGithubOp)
 	return makeSpec("G2", "All operations on a repository directly preceding a delete operation", "github",
 		true, false, false, q,
 		func(key string, ops []int64) string {
@@ -159,6 +161,7 @@ func G3() *Spec {
 		EncodeEvent: func(e *wire.Encoder, op int64) { e.Uvarint(uint64(op)) },
 		DecodeEvent: func(d *wire.Decoder) (int64, error) { return int64(d.Uvarint()), d.Err() },
 	}
+	q.GroupByBatch = makeGroupByBatch(q.GroupBy, compileGithubOp)
 	return makeSpec("G3", "Number of operations executed on a repository between pull open and close", "github",
 		true, true, false, q,
 		func(key string, counts []int64) string {
@@ -229,6 +232,7 @@ func G4() *Spec {
 			return g4Event{Op: int64(d.Uvarint()), Ts: d.Varint()}, d.Err()
 		},
 	}
+	q.GroupByBatch = makeGroupByBatch(q.GroupBy, compileG4)
 	return makeSpec("G4", "The time between branch deletion and branch creation in a repository", "github",
 		true, true, false, q,
 		func(key string, deltas []int64) string {

@@ -44,6 +44,7 @@ func R1() *Spec {
 		EncodeEvent: func(*wire.Encoder, struct{}) {},
 		DecodeEvent: func(d *wire.Decoder) (struct{}, error) { return struct{}{}, d.Err() },
 	}
+	q.GroupByBatch = makeGroupByBatch(q.GroupBy, compileR1)
 	return makeSpec("R1", "Number of impressions per advertiser", "redshift",
 		false, true, false, q,
 		func(key string, count int64) string { return fmt.Sprintf("%s:%d", key, count) })
@@ -105,6 +106,7 @@ func R2() *Spec {
 		EncodeEvent: func(e *wire.Encoder, cc int64) { e.Uvarint(uint64(cc)) },
 		DecodeEvent: func(d *wire.Decoder) (int64, error) { return int64(d.Uvarint()), d.Err() },
 	}
+	q.GroupByBatch = makeGroupByBatch(q.GroupBy, compileR2)
 	return makeSpec("R2", "List of advertisers operating only in a single country", "redshift",
 		true, true, false, q,
 		func(key string, country string) string {
@@ -154,6 +156,7 @@ func R3() *Spec {
 		EncodeEvent: func(e *wire.Encoder, ts int64) { e.Varint(ts) },
 		DecodeEvent: func(d *wire.Decoder) (int64, error) { return d.Varint(), d.Err() },
 	}
+	q.GroupByBatch = makeGroupByBatch(q.GroupBy, compileR3)
 	return makeSpec("R3", "Cases for advertiser when their ads were not showing for more than 1 hour", "redshift",
 		false, true, false, q,
 		func(key string, gaps []int64) string {
@@ -220,6 +223,7 @@ func R4() *Spec {
 		EncodeEvent: func(e *wire.Encoder, c int64) { e.Uvarint(uint64(c)) },
 		DecodeEvent: func(d *wire.Decoder) (int64, error) { return int64(d.Uvarint()), d.Err() },
 	}
+	q.GroupByBatch = makeGroupByBatch(q.GroupBy, compileR4)
 	return makeSpec("R4", "Lengths of runs for which only a single campaign by an advertiser is shown", "redshift",
 		true, true, false, q,
 		func(key string, runs []int64) string {

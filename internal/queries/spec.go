@@ -48,6 +48,12 @@ type Spec struct {
 	SympleTree     func(segs []*mapreduce.Segment, conf mapreduce.Config) (*Run, error)
 	SympleCombined func(segs []*mapreduce.Segment, conf mapreduce.Config) (*Run, error)
 
+	// SympleColumnar runs the SYMPLE engine through the columnar batch
+	// path (vectorized GroupBy over segment columns, batched symbolic
+	// execution). Segments without attached columns fall back to the
+	// scalar loop per chunk; results are byte-identical either way.
+	SympleColumnar func(segs []*mapreduce.Segment, conf mapreduce.Config) (*Run, error)
+
 	// SympleWithOptions runs the SYMPLE engine with explicit symbolic
 	// engine options (for the merging / path-cap ablations). Not safe to
 	// call concurrently with the other runners.
@@ -140,6 +146,9 @@ func makeSpec[S sym.State, E, R any](
 		},
 		SympleCombined: func(segs []*mapreduce.Segment, conf mapreduce.Config) (*Run, error) {
 			return wrap(core.RunSympleOpts(q, segs, conf, core.SympleOptions{Combine: true}))
+		},
+		SympleColumnar: func(segs []*mapreduce.Segment, conf mapreduce.Config) (*Run, error) {
+			return wrap(core.RunSympleOpts(q, segs, conf, core.SympleOptions{Columnar: true}))
 		},
 		SympleWithOptions: func(segs []*mapreduce.Segment, conf mapreduce.Config, opts sym.Options) (*Run, error) {
 			saved := q.Options

@@ -1,0 +1,618 @@
+package sym
+
+// Batch execution: FeedBatch processes a key's whole event vector with
+// batch-level strategies the record-at-a-time loop cannot use —
+// run-length transition probes and speculative in-place windows — while
+// remaining observationally identical to feeding the records one by one
+// (pinned by the equivalence and metamorphic tests, and end to end by
+// the columnar golden digests).
+//
+// Three regimes, chosen per position in the vector:
+//
+//   - Run folding (feedRun): a run of identical events (≥ minRunLen, or
+//     any whole-vector run — high-cardinality groups are often two or
+//     three identical events) has one transition summary T; instead of
+//     probing the memo once per record, the run costs one probe
+//     (stats.RunProbes) and the fold is either skipped outright (T is
+//     the identity — e.g. a push event on a push-only group) or applied
+//     as T^n by square-and-multiply (composition is associative and
+//     exact, §3.6, and powers of one transition commute). Two per-event
+//     caches survive across keys: the identity verdict (a run of a
+//     known-identity event skips with no probe at all, under any
+//     regime) and the squaring ladder T^(2^k) (a repeated run event
+//     pays only its multiply steps).
+//   - In-place windows (feedWindow): once the stream has been fork-free
+//     for windowQuiet records, live paths are checkpointed once per
+//     window and updated in place — no per-record clone/recycle. A fork
+//     mid-window rolls every path back to its checkpoint, replays the
+//     fork-free prefix (Update is deterministic, so the replay follows
+//     the original trajectory exactly), and routes the forking record
+//     through the scalar feed.
+//   - Scalar feed: everything else — records near a fork, and short
+//     runs, where the batch bookkeeping would cost more than it saves.
+const (
+	// minRunLen is the shortest run worth a transition probe: below it
+	// the compose/fold bookkeeping costs more than scalar feeding.
+	minRunLen = 4
+	// batchWindow bounds one speculative in-place window, so a fork
+	// never forces replaying more than this many records.
+	batchWindow = 64
+	// windowQuiet is the fork-free streak required before the batch
+	// path speculates on in-place windows.
+	windowQuiet = 3
+)
+
+// FeedBatch processes a key's event vector. Equivalent to calling Feed
+// on each event in order; a returned error is sticky.
+func (x *Executor[S, E]) FeedBatch(evs []E) (err error) {
+	if x.err != nil {
+		return x.err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			f, ok := r.(failure)
+			if !ok {
+				panic(r)
+			}
+			x.err = f.err
+			err = f.err
+		}
+	}()
+	if !x.eqInit {
+		x.initEq()
+	}
+	i := 0
+	for i < len(evs) {
+		if x.eq != nil {
+			if ci := x.identLookup(evs[i]); ci >= 0 && x.identIsID[ci] {
+				// A run of a known-identity event advances no path no
+				// matter the regime — concrete included, since the
+				// identity maps every state to itself. Skip it outright;
+				// only the record count moves.
+				j := i + x.identScan(evs[i:], evs[i])
+				x.stats.RunProbes++
+				x.stats.Records += j - i
+				x.noForkRun = min(x.noForkRun+(j-i), memoQuietStreak)
+				i = j
+				continue
+			}
+			if !x.fastConcrete {
+				j := i + x.identScan(evs[i:], evs[i])
+				// A run shorter than minRunLen still folds when it spans
+				// the whole vector: high-cardinality groups are often two
+				// or three identical events, and folding them once is how
+				// the identity cache gets seeded for the O(1) skip above.
+				if j-i >= minRunLen || (i == 0 && j == len(evs) && j >= 2) {
+					x.feedRun(evs[i], j-i)
+					i = j
+					continue
+				}
+			}
+		}
+		if x.fastConcrete || x.noForkRun >= windowQuiet {
+			hi := min(len(evs), i+batchWindow)
+			i += x.feedWindow(evs[i:hi])
+			continue
+		}
+		x.feed(evs[i])
+		i++
+	}
+	return nil
+}
+
+// TryFinishIdentity recognizes a key whose entire event vector consists
+// of known-identity events and appends that key's summary directly:
+// identity transitions advance no path, so the group's summary is the
+// identity summary — one fresh symbolic path — no matter what the
+// events' values or multiplicities are. The whole Reset/FeedBatch/Finish
+// cycle for the key collapses to filling one pooled container, without
+// touching the executor's live paths (so no Reset is needed before or
+// after; the caller Resets only between keys that take the regular
+// path). On high-cardinality corpora where no-op events dominate (G1's
+// push events), most groups finish through this path.
+//
+// It reports false — and appends nothing — when the vector is not
+// provably all-identity: an event with no cached verdict, a cached
+// non-identity verdict, or no cheap event comparison at all. Callers
+// then run the regular Reset/FeedBatch/FinishInto path, which (via
+// feedRun) is what seeds the identity cache in the first place.
+func (x *Executor[S, E]) TryFinishIdentity(evs []E, dst []*Summary[S]) ([]*Summary[S], bool) {
+	// identHotSet is true iff at least one identity verdict is cached, so
+	// without it the all-identity check cannot succeed. With it, runs of
+	// the hot identity are swallowed by the typed scan — an all-hot
+	// vector (the dominant case) costs one indirect call — and only
+	// other events pay the cache scan.
+	if x.err != nil || len(evs) == 0 || x.eq == nil || !x.identHotSet {
+		return dst, false
+	}
+	hot, scan := x.identHotEv, x.identScan
+	for i := 0; i < len(evs); i++ {
+		i += scan(evs[i:], hot)
+		if i >= len(evs) {
+			break
+		}
+		ci := x.identLookup(evs[i])
+		if ci < 0 || !x.identIsID[ci] {
+			return dst, false
+		}
+	}
+	s, k := x.nextSummary(1)
+	if k == 1 {
+		for i, f := range s.ps[0].fs {
+			f.ResetSymbolic(i)
+		}
+	} else {
+		s.ps[0] = x.sc.fresh()
+	}
+	x.stats.RunProbes++
+	x.stats.Records += len(evs)
+	x.noForkRun = min(x.noForkRun+len(evs), memoQuietStreak)
+	return append(dst, s), true
+}
+
+// identCacheCap bounds the identity-verdict cache. Query event alphabets
+// are tiny (an op code, a small enum); eight entries hold a whole
+// alphabet while keeping the linear eq scan trivially cheap.
+const identCacheCap = 8
+
+// identLookup returns the cache index of ev's identity verdict, or -1.
+// Callers must hold a non-nil eq.
+func (x *Executor[S, E]) identLookup(ev E) int {
+	for i := range x.identEvs {
+		if x.eq(ev, x.identEvs[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// identInsert caches ev's verdict, evicting round-robin once full. The
+// first identity event found is pinned as the hot event for the
+// per-record skip in feedWindow.
+func (x *Executor[S, E]) identInsert(ev E, isID bool) {
+	if isID && !x.identHotSet {
+		x.identHotEv, x.identHotSet = ev, true
+	}
+	if len(x.identEvs) < identCacheCap {
+		x.identEvs = append(x.identEvs, ev)
+		x.identIsID = append(x.identIsID, isID)
+		return
+	}
+	x.identEvs[x.identPos] = ev
+	x.identIsID[x.identPos] = isID
+	x.identPos = (x.identPos + 1) % identCacheCap
+}
+
+// initEq specializes the run-detection comparison for the event types
+// the queries use. Event types without a case here (or that are not
+// cheaply comparable at all) simply never fold runs — every other batch
+// strategy still applies.
+func (x *Executor[S, E]) initEq() {
+	x.eqInit = true
+	switch f := any(&x.eq).(type) {
+	case *func(int64, int64) bool:
+		*f = func(a, b int64) bool { return a == b }
+		*any(&x.identScan).(*func([]int64, int64) int) = scanEq[int64]
+		*any(&x.identCompact).(*func([]int64, []int64, int64) int) = compactNe[int64]
+	case *func(int, int) bool:
+		*f = func(a, b int) bool { return a == b }
+		*any(&x.identScan).(*func([]int, int) int) = scanEq[int]
+		*any(&x.identCompact).(*func([]int, []int, int) int) = compactNe[int]
+	case *func(struct{}, struct{}) bool:
+		*f = func(struct{}, struct{}) bool { return true }
+		*any(&x.identScan).(*func([]struct{}, struct{}) int) = func(evs []struct{}, _ struct{}) int { return len(evs) }
+		*any(&x.identCompact).(*func([]struct{}, []struct{}, struct{}) int) = func(_, _ []struct{}, _ struct{}) int { return 0 }
+	case *func(string, string) bool:
+		*f = func(a, b string) bool { return a == b }
+		*any(&x.identScan).(*func([]string, string) int) = scanEq[string]
+		*any(&x.identCompact).(*func([]string, []string, string) int) = compactNe[string]
+	}
+}
+
+// scanEq counts the leading events equal to hot, with the comparison
+// inlined at the concrete type — the amortized form of calling eq once
+// per record.
+func scanEq[T comparable](evs []T, hot T) int {
+	for i, e := range evs {
+		if e != hot {
+			return i
+		}
+	}
+	return len(evs)
+}
+
+// compactNe writes src's events that differ from hot into dst, in
+// order, and returns how many. The store is unconditional and the index
+// advance is a flag add, so the loop carries no data-dependent branch.
+// dst must have len ≥ len(src).
+func compactNe[T comparable](dst, src []T, hot T) int {
+	j := 0
+	for _, e := range src {
+		dst[j] = e
+		if e != hot {
+			j++
+		}
+	}
+	return j
+}
+
+// feedWindow advances every live path in place over a fork-free prefix
+// of evs, returning how many events were consumed (always ≥ 1). In-place
+// update of a path that does not fork is equivalent to the scalar feed's
+// clone-then-update (the clone is a deep copy and the original is
+// recycled), so the only speculation is fork-freedom — repaired by
+// checkpoint rollback when it fails.
+func (x *Executor[S, E]) feedWindow(evs []E) int {
+	// A mixed window still carries known-identity events interleaved with
+	// advancing ones (G1: pushes between other ops). An identity event
+	// advances no path on any state — concrete included — so the hot
+	// identity event is skipped per record here, update never called: one
+	// flag test and one eq call, no scan, no closure. Queries with no
+	// identity event pay only the flag test.
+	skipID := x.identHotSet && x.eq != nil
+	eq, hot := x.eq, x.identHotEv
+	if x.fastConcrete {
+		x.concreteTail(evs, skipID, hot)
+		return len(evs)
+	}
+	x.saveCkpt()
+	for k := 0; k < len(evs); k++ {
+		ev := evs[k]
+		if skipID && eq(ev, hot) {
+			// Swallow the whole identity run with one stats update.
+			j := k + x.identScan(evs[k:], hot)
+			x.stats.Records += j - k
+			x.noForkRun = min(x.noForkRun+(j-k), memoQuietStreak)
+			k = j - 1
+			continue
+		}
+		forked := false
+		for _, p := range x.paths {
+			x.ctx.reset()
+			x.ctx.begin()
+			x.stats.Runs++
+			x.update(&x.ctx, p.s, ev)
+			// Concrete fields cannot fork (the scalar feed relies on the
+			// same invariant); checking the recorded choices costs the
+			// same either way.
+			if x.ctx.advance() {
+				forked = true
+				break
+			}
+		}
+		if forked {
+			// Roll back and replay the fork-free prefix, then hand the
+			// forking record to the scalar feed, which owns the full
+			// explore/merge/restart bookkeeping. Identity events are
+			// skipped in the replay too — they did not move the state on
+			// the way in, so the replayed trajectory is identical.
+			for pi, p := range x.paths {
+				for fi, f := range p.fs {
+					f.CopyFrom(x.ckpt[pi].fs[fi])
+				}
+			}
+			for _, prev := range evs[:k] {
+				if skipID && eq(prev, hot) {
+					continue
+				}
+				for _, p := range x.paths {
+					x.ctx.reset()
+					x.ctx.begin()
+					x.stats.Runs++
+					x.update(&x.ctx, p.s, prev)
+				}
+			}
+			x.feed(ev)
+			return k + 1
+		}
+		x.stats.Records++
+		x.noForkRun = min(x.noForkRun+1, memoQuietStreak)
+		if len(x.paths) == 1 && allConcreteFields(x.paths[0].fs) {
+			// The single live path went fully concrete mid-window (a
+			// gate-style UDA collapsing on its first advancing event).
+			// Concrete fields cannot fork, so the checkpoints are moot
+			// and the rest of the window runs in the tight concrete
+			// loop.
+			x.fastConcrete = true
+			x.concreteTail(evs[k+1:], skipID, hot)
+			return len(evs)
+		}
+	}
+	x.fastConcrete = len(x.paths) == 1 && allConcreteFields(x.paths[0].fs)
+	return len(evs)
+}
+
+// concreteTail runs evs over the single fully concrete live path. A
+// concrete path cannot fork (the scalar feed relies on the same
+// invariant), so one context reset covers the whole stretch and stats
+// accumulate in locals. With an identity event pinned, the tail first
+// compacts the advancing events branchlessly — a real corpus
+// interleaves identity and advancing events unpredictably, and taking
+// that interleaving as branches costs a mispredict per run boundary —
+// then updates over the dense vector, which the branch predictor
+// handles perfectly.
+func (x *Executor[S, E]) concreteTail(evs []E, skipID bool, hot E) {
+	p := x.paths[0]
+	upd := x.update
+	x.ctx.reset()
+	x.ctx.begin()
+	n := len(evs)
+	runs := 0
+	if skipID {
+		if cap(x.evBuf) < n {
+			x.evBuf = make([]E, n)
+		}
+		buf := x.evBuf[:n]
+		runs = x.identCompact(buf, evs, hot)
+		for _, ev := range buf[:runs] {
+			upd(&x.ctx, p.s, ev)
+		}
+	} else {
+		for _, ev := range evs {
+			runs++
+			upd(&x.ctx, p.s, ev)
+		}
+	}
+	x.stats.Records += n
+	x.stats.Runs += runs
+}
+
+// saveCkpt snapshots every live path into the executor-owned checkpoint
+// buffer. Entries are pooled containers claimed once and reused for all
+// subsequent windows, so a window costs field copies only — no
+// container pool round trip per window.
+func (x *Executor[S, E]) saveCkpt() {
+	for len(x.ckpt) < len(x.paths) {
+		x.ckpt = append(x.ckpt, x.sc.get())
+	}
+	for pi, p := range x.paths {
+		cf := x.ckpt[pi].fs
+		for fi, f := range p.fs {
+			cf[fi].CopyFrom(f)
+		}
+	}
+}
+
+// feedRun folds a run of n identical events through one transition
+// probe. Any failure along the way — unbuildable transition, compose
+// overflow, path blow-up during powering — falls back to the scalar
+// feed loop, so feedRun never gives up correctness, only speed.
+func (x *Executor[S, E]) feedRun(ev E, n int) {
+	x.stats.RunProbes++
+	var tr *transition[S]
+	owned := false
+	if x.memo != nil && x.memo.active() {
+		tr = x.lookupTransition(ev)
+	}
+	if tr == nil {
+		// No memo, memo declined admission, or a negative entry: a run
+		// amortizes one ephemeral build across n records, so try anyway.
+		tr = x.buildTransition(ev)
+		owned = tr != nil
+	}
+	if tr == nil {
+		x.feedLoop(ev, n)
+		return
+	}
+	var ident bool
+	if ci := x.identLookup(ev); ci >= 0 {
+		ident = x.identIsID[ci]
+	} else {
+		// The verdict depends only on the event (transitions are built
+		// deterministically from the fresh state), so cache it for the
+		// next run of this event — and, when it is the identity, for the
+		// probe-free skip in FeedBatch and TryFinishIdentity.
+		ident = x.isIdentity(tr)
+		x.identInsert(ev, ident)
+	}
+	if ident {
+		// T is the identity on every state, so T^n is too: the run
+		// advances no path and only the record count moves.
+		x.stats.Records += n
+		x.noForkRun = min(x.noForkRun+n, memoQuietStreak)
+		if owned {
+			x.releaseTransition(tr)
+		}
+		return
+	}
+	pow, powOwned := x.powerRun(ev, tr, owned, n)
+	if pow == nil {
+		x.feedLoop(ev, n)
+		return
+	}
+	next := x.scratch[:0]
+	ok := true
+	for _, p := range x.paths {
+		next, ok = x.composeOnto(next, p, pow)
+		if !ok {
+			break
+		}
+	}
+	if !ok {
+		for _, c := range next {
+			x.sc.put(c)
+		}
+		if powOwned {
+			x.releaseTransition(pow)
+		}
+		x.feedLoop(ev, n)
+		return
+	}
+	for _, p := range x.paths {
+		x.sc.put(p)
+	}
+	if powOwned {
+		x.releaseTransition(pow)
+	}
+	x.stats.Records += n
+	x.settle(next, n)
+}
+
+// feedLoop is the scalar fallback for a run feedRun could not fold.
+func (x *Executor[S, E]) feedLoop(ev E, n int) {
+	for k := 0; k < n; k++ {
+		x.feed(ev)
+	}
+}
+
+// isIdentity reports whether tr maps every state to itself: a single
+// path whose every field has the fresh state's transfer (each field is
+// its own symbolic input) and constraint (none). Composing an identity
+// transition onto any path reproduces that path.
+func (x *Executor[S, E]) isIdentity(tr *transition[S]) bool {
+	if len(tr.ps) != 1 {
+		return false
+	}
+	fresh := x.sc.fresh()
+	same := true
+	for i, f := range tr.ps[0].fs {
+		if !f.SameTransfer(fresh.fs[i]) || !f.ConstraintEq(fresh.fs[i]) {
+			same = false
+			break
+		}
+	}
+	x.sc.put(fresh)
+	return same
+}
+
+// powerRun computes T^n for the run event ev by square-and-multiply —
+// O(log n) compositions instead of n per-record folds. Composition of
+// summaries is associative and exact (§3.6) and powers of one transition
+// commute, so the fold order cannot change results.
+//
+// The squaring ladder T^(2^k) is cached on the executor, keyed by the
+// event (not the transition pointer — memo eviction may rebuild the
+// transition, but rebuilding is deterministic, so the event alone
+// determines the ladder). One chunk's keys repeat the same run events,
+// so after the first key a powered run costs only the popcount(n)-1
+// multiply steps, with the ladder extended lazily when a longer run
+// needs higher rungs. Returns nil when any intermediate fails to compose
+// or exceeds the live-path cap; the caller falls back to the scalar
+// loop. The returned transition is borrowed from the ladder (owned =
+// false) when n is a power of two.
+func (x *Executor[S, E]) powerRun(ev E, tr *transition[S], owned bool, n int) (*transition[S], bool) {
+	if len(x.ladder) == 0 || !x.eq(ev, x.ladderEv) {
+		x.resetLadder()
+		base := tr
+		if !owned {
+			// The memo keeps tr; the ladder owns its rungs.
+			base = x.cloneTransition(tr)
+		}
+		x.ladder = append(x.ladder, base)
+		x.ladderEv = ev
+	} else if owned {
+		// The ladder already carries this event's base transition.
+		x.releaseTransition(tr)
+	}
+	var result *transition[S]
+	resultOwned := false
+	for k := 0; n > 0; k++ {
+		if k == len(x.ladder) {
+			next := x.composeTransitions(x.ladder[k-1], x.ladder[k-1])
+			if next == nil {
+				if resultOwned {
+					x.releaseTransition(result)
+				}
+				return nil, false
+			}
+			x.ladder = append(x.ladder, next)
+		}
+		if n&1 == 1 {
+			if result == nil {
+				result, resultOwned = x.ladder[k], false // borrowed rung
+			} else {
+				nr := x.composeTransitions(result, x.ladder[k])
+				if resultOwned {
+					x.releaseTransition(result)
+				}
+				if nr == nil {
+					return nil, false
+				}
+				result, resultOwned = nr, true
+			}
+		}
+		n >>= 1
+	}
+	return result, resultOwned
+}
+
+// cloneTransition deep-copies a transition into pool-backed containers
+// owned by the caller.
+func (x *Executor[S, E]) cloneTransition(tr *transition[S]) *transition[S] {
+	ps := make([]*pathState[S], len(tr.ps))
+	for i, p := range tr.ps {
+		ps[i] = x.sc.cloneOf(p)
+	}
+	return &transition[S]{ps: ps}
+}
+
+// resetLadder releases every cached ladder rung (all rungs are owned by
+// the executor).
+func (x *Executor[S, E]) resetLadder() {
+	for _, t := range x.ladder {
+		x.releaseTransition(t)
+	}
+	x.ladder = x.ladder[:0]
+}
+
+// composeTransitions builds "a then b" over the executor's schema:
+// the cross product of a's and b's paths, infeasible pairs dropped,
+// then merged and capped exactly like the live path set. nil means the
+// composition could not be represented (overflow, explosion past the
+// live cap) and the caller must fall back.
+func (x *Executor[S, E]) composeTransitions(a, b *transition[S]) *transition[S] {
+	var out []*pathState[S]
+	failed := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(failure); !ok {
+					panic(r)
+				}
+				failed = true
+			}
+		}()
+		for _, pa := range a.ps {
+			x.sc.captureSymEnv(&x.senv, pa.fs)
+			for _, pb := range b.ps {
+				cand := x.sc.cloneOf(pb)
+				feasible := true
+				for i, f := range cand.fs {
+					if !f.ComposeAfter(pa.fs[i], &x.senv) {
+						feasible = false
+						break
+					}
+				}
+				if feasible {
+					out = append(out, cand)
+				} else {
+					x.sc.put(cand)
+				}
+			}
+		}
+	}()
+	if failed || len(out) == 0 {
+		for _, c := range out {
+			x.sc.put(c)
+		}
+		return nil
+	}
+	if !x.opts.DisableMerging {
+		var m int
+		out, m = mergePathStates(x.sc, out)
+		x.stats.Merges += m
+	}
+	if len(out) > x.opts.MaxLivePaths {
+		for _, c := range out {
+			x.sc.put(c)
+		}
+		return nil
+	}
+	return &transition[S]{ps: out}
+}
+
+func (x *Executor[S, E]) releaseTransition(tr *transition[S]) {
+	for _, p := range tr.ps {
+		x.sc.put(p)
+	}
+}

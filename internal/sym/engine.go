@@ -48,6 +48,10 @@ type Stats struct {
 	// transition cannot be cached). Both stay zero without a memo.
 	MemoHits   int
 	MemoMisses int
+	// RunProbes counts runs of identical events handled by FeedBatch
+	// with a single transition probe (identity skip or transition
+	// powering) instead of per-record processing.
+	RunProbes int
 }
 
 // Executor runs a UDA's Update function over a stream of records,
@@ -102,10 +106,60 @@ type Executor[S State, E any] struct {
 	maxSeen      int
 	err          error
 	stats        Stats
-	// handedOff marks that Finish has transferred ownership of the
-	// current path containers to the returned summary, so Reset must
-	// drop them instead of recycling them.
-	handedOff bool
+	// eq compares two events for the batch path's run-length detection;
+	// nil (after eqInit) means the event type has no cheap comparison
+	// and FeedBatch never detects runs. Lazily specialized on first use.
+	eq     func(E, E) bool
+	eqInit bool
+	// identScan counts the leading events of a vector equal to a probe
+	// event. Specialized alongside eq for the concrete event types, so
+	// the comparison loop runs with an inlined == instead of one eq
+	// closure call per record — the batch hot loops swallow an identity
+	// run in a single indirect call. nil whenever eq is nil.
+	identScan func([]E, E) int
+	// identCompact filters a vector's non-hot events into dst with a
+	// store-then-advance loop (no data-dependent branch): the random
+	// identity/advancing interleaving of a real corpus costs no branch
+	// mispredicts, and the concrete tail's update loop then runs over a
+	// dense, perfectly predictable vector. Specialized with identScan.
+	identCompact func(dst, src []E, hot E) int
+	// evBuf is identCompact's reused destination (one speculative window
+	// long at most).
+	evBuf []E
+	// ckpt holds per-path checkpoints for FeedBatch's speculative
+	// in-place windows (batch.go); reused across windows.
+	ckpt []*pathState[S]
+	// identEvs/identIsID cache identity verdicts per run event, scanned
+	// linearly with eq (identCacheCap entries; identPos is the clock
+	// hand). isIdentity walks every field against a fresh state, but the
+	// verdict is a deterministic property of the event alone (transitions
+	// are built from the fresh symbolic state), so one check serves every
+	// later run of the same event — and a run of a known-identity event
+	// is skipped outright, with no memo probe and under any regime. A
+	// multi-entry cache matters: corpora interleave identity and
+	// non-identity runs, and a single-entry cache thrashes between them.
+	// Survives Reset for the same reason noForkRun does.
+	identEvs  []E
+	identIsID []bool
+	identPos  int
+	// identHotEv is the first identity event discovered — the one no-op
+	// event that dominates a corpus (G1's push) — pinned in a dedicated
+	// field so the per-record skip in feedWindow is a single eq call
+	// instead of a cache scan.
+	identHotEv  E
+	identHotSet bool
+	// ladder caches the square-and-multiply ladder of the last powered
+	// run event: ladder[k] = T^(2^k) for ladderEv's transition, rungs
+	// owned by the executor. The memo's transitions are key-independent
+	// and one chunk's keys repeat the same run events, so after the first
+	// key a powered run costs popcount(n)-1 compositions instead of a
+	// full ladder rebuild. Survives Reset like the memo does.
+	ladderEv E
+	ladder   []*transition[S]
+	// sumCache holds parked summary structs claimed from the schema's
+	// free stack in blocks (refillSummaries), so the per-key Finish
+	// draws one with a plain slice pop. Survives Reset.
+	sumCache []*Summary[S]
 }
 
 // NewExecutor returns an executor starting from a fresh symbolic state:
@@ -246,16 +300,23 @@ func (x *Executor[S, E]) feed(rec E) {
 		// copy-on-append, so reuse cannot alias live paths.
 		x.recycle(p)
 	}
+	x.settle(next, 1)
+}
+
+// settle installs next as the live path set after records input records
+// advanced every path, then applies the paper's explosion controls:
+// merge as soon as the path count exceeds the previous maximum (§5.2),
+// restart if still over the live cap. Shared by the scalar feed and the
+// batch path (batch.go), which settles once per folded run.
+func (x *Executor[S, E]) settle(next []*pathState[S], records int) {
 	if len(next) > len(x.paths) {
 		x.noForkRun = 0
-	} else if x.noForkRun < memoQuietStreak {
-		x.noForkRun++
+	} else {
+		x.noForkRun = min(x.noForkRun+records, memoQuietStreak)
 	}
 	x.scratch = x.paths
 	x.paths = next
 
-	// Merge as soon as the path count exceeds the previous maximum
-	// (paper §5.2), then restart if still over the live cap.
 	if len(x.paths) > x.maxSeen {
 		if !x.opts.DisableMerging {
 			var m int
@@ -425,24 +486,60 @@ func (x *Executor[S, E]) composeOnto(next []*pathState[S], p *pathState[S], tr *
 
 // Finish returns the ordered symbolic summaries for everything fed so
 // far. A mapper usually produces one summary; path-explosion restarts
-// produce several, composed in order at the reducer.
+// produce several, composed in order at the reducer. The summary holds
+// copies: the executor's own paths stay live, so feeding may continue
+// after a Finish snapshot.
 func (x *Executor[S, E]) Finish() ([]*Summary[S], error) {
+	return x.FinishInto(make([]*Summary[S], 0, len(x.done)+1))
+}
+
+// FinishInto is Finish appending into a caller-owned slice: the form the
+// per-key mapper loops use, so finishing a key costs one pool crossing
+// and, in the steady state, no allocation. The summary is drawn from the
+// schema's summary pool as a unit — struct, path list and the containers
+// a previous Release parked in it — and the live paths' field contents
+// are copied in. The executor keeps its own containers, which lets Reset
+// reinitialize them in place instead of drawing fresh ones. For
+// high-cardinality queries these per-key fixed costs, not the per-record
+// work, bounded the mapper's execution pass.
+func (x *Executor[S, E]) FinishInto(dst []*Summary[S]) ([]*Summary[S], error) {
 	if x.err != nil {
-		return nil, x.err
+		return dst, x.err
 	}
 	if x.spare != nil {
 		x.sc.put(x.spare)
 		x.spare = nil
 	}
-	out := make([]*Summary[S], 0, len(x.done)+1)
-	out = append(out, x.done...)
-	// The summary gets its own exact-size path list: the executor keeps
-	// the working slice's backing array for reuse after Reset.
-	ps := make([]*pathState[S], len(x.paths))
-	copy(ps, x.paths)
-	out = append(out, &Summary[S]{ps: ps, newState: x.sc.newState, sc: x.sc})
-	x.handedOff = true
-	return out, nil
+	dst = append(dst, x.done...)
+	s, k := x.nextSummary(len(x.paths))
+	for i, p := range x.paths {
+		if i < k {
+			for fi, f := range s.ps[i].fs {
+				f.CopyFrom(p.fs[fi])
+			}
+		} else {
+			s.ps[i] = x.sc.cloneOf(p)
+		}
+	}
+	dst = append(dst, s)
+	return dst, nil
+}
+
+// nextSummary draws a summary readied for n paths (see prepSummary for
+// the returned prefix contract) from the executor's private cache,
+// refilling the cache from the schema's free stack in blocks.
+func (x *Executor[S, E]) nextSummary(n int) (*Summary[S], int) {
+	if len(x.sumCache) == 0 {
+		x.sumCache = x.sc.refillSummaries(x.sumCache, summaryRefill)
+		if len(x.sumCache) == 0 {
+			s := &Summary[S]{ps: make([]*pathState[S], n), newState: x.sc.newState, sc: x.sc}
+			return s, 0
+		}
+	}
+	s := x.sumCache[len(x.sumCache)-1]
+	x.sumCache[len(x.sumCache)-1] = nil
+	x.sumCache = x.sumCache[:len(x.sumCache)-1]
+	return s, x.sc.prepSummary(s, n)
 }
 
 // Reset returns the executor to a fresh symbolic start for a new input
@@ -450,19 +547,23 @@ func (x *Executor[S, E]) Finish() ([]*Summary[S], error) {
 // cumulative Stats. One resettable executor can serve every group of a
 // map chunk in turn — for high-cardinality queries the per-group
 // constructor cost, not the per-record cost, dominated the mapper's
-// symbolic-execution profile. Path containers not handed off by Finish
-// are recycled.
+// symbolic-execution profile. The first live container is reinitialized
+// in place (Finish copies contents out rather than taking ownership, so
+// the executor always still holds its paths here); extras are recycled.
 func (x *Executor[S, E]) Reset() {
 	x.err = nil
-	if x.handedOff {
-		x.handedOff = false
+	x.done = x.done[:0]
+	if len(x.paths) == 0 {
+		x.paths = append(x.paths, x.sc.fresh())
 	} else {
-		for _, p := range x.paths {
+		for _, p := range x.paths[1:] {
 			x.sc.put(p)
 		}
+		x.paths = x.paths[:1]
+		for i, f := range x.paths[0].fs {
+			f.ResetSymbolic(i)
+		}
 	}
-	x.done = x.done[:0]
-	x.paths = append(x.paths[:0], x.sc.fresh())
 	x.maxSeen = 1
 	x.fastConcrete = false
 	// noForkRun deliberately survives Reset: forking behavior is a

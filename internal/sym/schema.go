@@ -30,9 +30,91 @@ type Schema[S State] struct {
 	scalarTr []bool
 
 	pool sync.Pool // *pathState[S]
+	// sumFree parks released summaries — struct, path-list backing array
+	// and retained containers, one unit per entry — for reuse by the
+	// per-key Finish. A plain LIFO under a mutex rather than a sync.Pool:
+	// executors claim blocks into a private cache (refillSummaries), so
+	// the hot per-key draw touches no synchronization at all and the lock
+	// is crossed once per block. sync.Pool's per-P pinning on every
+	// Get/Put was a measurable share of the per-key fixed cost on
+	// high-cardinality chunks.
+	sumFreeMu sync.Mutex
+	sumFree   []*Summary[S]
 	// allocated counts containers ever created (pool misses). Tests use
 	// it to assert that long runs recycle instead of growing the heap.
 	allocated atomic.Int64
+}
+
+// sumFreeCap bounds the parked-summary stack; overflow drops the struct
+// to the GC and returns its retained containers to the container pool,
+// so a release burst cannot strand containers unreachable.
+const sumFreeCap = 1 << 14
+
+// summaryRefill is the block size executors claim from the free stack:
+// one lock crossing amortized over this many per-key draws.
+const summaryRefill = 32
+
+// parkSummary retires a released summary (held containers included) to
+// the schema's free stack.
+func (sc *Schema[S]) parkSummary(s *Summary[S]) {
+	sc.sumFreeMu.Lock()
+	if len(sc.sumFree) < sumFreeCap {
+		sc.sumFree = append(sc.sumFree, s)
+		sc.sumFreeMu.Unlock()
+		return
+	}
+	sc.sumFreeMu.Unlock()
+	for _, p := range s.ps[:s.held] {
+		sc.put(p)
+	}
+}
+
+// refillSummaries moves up to n parked summaries into dst with one lock
+// crossing. dst should be an executor-private cache.
+func (sc *Schema[S]) refillSummaries(dst []*Summary[S], n int) []*Summary[S] {
+	sc.sumFreeMu.Lock()
+	k := min(n, len(sc.sumFree))
+	if k > 0 {
+		off := len(sc.sumFree) - k
+		dst = append(dst, sc.sumFree[off:]...)
+		for i := off; i < len(sc.sumFree); i++ {
+			sc.sumFree[i] = nil
+		}
+		sc.sumFree = sc.sumFree[:off]
+	}
+	sc.sumFreeMu.Unlock()
+	return dst
+}
+
+// prepSummary readies a parked (or zero) summary for n paths, binding it
+// to sc. It returns k: entries ps[:k] are valid containers retained by a
+// previous Release — the caller copies state contents into them; entries
+// ps[k:] are nil and must be filled with cloned containers. Surplus
+// retained containers beyond n go back to the container pool so nothing
+// leaks when path counts shrink.
+func (sc *Schema[S]) prepSummary(s *Summary[S], n int) int {
+	held := s.held
+	s.held = 0
+	s.ps = s.ps[:held]
+	k := min(held, n)
+	for _, p := range s.ps[k:] {
+		sc.put(p)
+	}
+	if cap(s.ps) >= n {
+		s.ps = s.ps[:n]
+		// Cells past the retained prefix may hold stale pointers to
+		// containers already recycled — nil them so no caller can ever
+		// alias a container that lives elsewhere.
+		for i := k; i < n; i++ {
+			s.ps[i] = nil
+		}
+	} else {
+		np := make([]*pathState[S], n)
+		copy(np, s.ps[:k])
+		s.ps = np
+	}
+	s.newState, s.sc = sc.newState, sc
+	return k
 }
 
 // pathState pairs a state with its captured field slice. All engine and

@@ -50,13 +50,17 @@ func TestSchemaPoolRoundTrip(t *testing.T) {
 	sc.put(f)
 }
 
-// TestSchemaPoolBoundedAcrossRuns: repeated executor runs over one
-// schema must recycle containers through the pool rather than allocate
-// per run.
+// TestSchemaPoolBoundedAcrossRuns: repeated runs of a Reset-loop
+// executor over one schema must recycle containers through the pool
+// rather than allocate per run. (A Reset loop is the supported
+// recycling idiom: Finish snapshots copy into pooled summaries and the
+// executor's own containers are reinitialized in place; an executor
+// dropped without Reset hands its final working set to the GC.)
 func TestSchemaPoolBoundedAcrossRuns(t *testing.T) {
 	sc := newSchema(newIntState(math.MinInt64))
+	x := NewSchemaExecutor(sc, maxUpdate, DefaultOptions())
 	run := func() {
-		x := NewSchemaExecutor(sc, maxUpdate, DefaultOptions())
+		x.Reset()
 		for i := 0; i < 300; i++ {
 			if err := x.Feed(int64(i % 37)); err != nil {
 				t.Fatal(err)
@@ -93,8 +97,9 @@ func TestSchemaPoolBoundedAcrossRuns(t *testing.T) {
 // pool as they fold, instead of accumulating for the GC.
 func TestStreamComposerBoundedLiveMemory(t *testing.T) {
 	sc := newSchema(newIntState(math.MinInt64))
+	x := NewSchemaExecutor(sc, maxUpdate, DefaultOptions())
 	chunkSummaries := func(lo int64) []*Summary[*intState] {
-		x := NewSchemaExecutor(sc, maxUpdate, DefaultOptions())
+		x.Reset()
 		for i := int64(0); i < 20; i++ {
 			if err := x.Feed(lo + i%13); err != nil {
 				t.Fatal(err)

@@ -26,6 +26,14 @@ type Summary[S State] struct {
 	ps       []*pathState[S]
 	newState func() S
 	sc       *Schema[S] // nil for schemaless summaries
+	// held counts path containers a released summary keeps parked in
+	// ps[:cap] for its next pooled use. Retaining them makes the
+	// summary+containers a single pooled unit, so finishing a key costs
+	// one pool crossing (getSummary) instead of one per container —
+	// sync.Pool's per-P pinning was a measurable share of the per-key
+	// fixed cost on high-cardinality chunks. Only meaningful while the
+	// struct sits parked in the schema's free stack.
+	held int
 }
 
 // NewSummary builds a summary from explored paths. Intended for tests and
@@ -52,18 +60,24 @@ func (s *Summary[S]) Paths() []S {
 	return out
 }
 
-// Release returns the summary's path containers to the schema pool and
-// empties the summary. Call once the summary has been consumed (folded
-// into a state or composed away); no-op for schemaless summaries. The
-// summary must not be used afterwards.
+// Release recycles the summary — struct, path-list backing array AND
+// path containers — through the schema's summary pool as one unit. The
+// containers stay parked inside the pooled struct (held) rather than
+// going back to the container pool, so the next Finish on this schema
+// reuses them with a single pool crossing. Call once the summary has
+// been consumed (folded into a state or composed away); no-op for
+// schemaless summaries. The summary must not be used — or released
+// again — afterwards.
 func (s *Summary[S]) Release() {
-	if s.sc == nil {
+	sc := s.sc
+	if sc == nil {
 		return
 	}
-	for _, p := range s.ps {
-		s.sc.put(p)
-	}
-	s.ps = nil
+	s.held = len(s.ps)
+	s.ps = s.ps[:0]
+	s.newState = nil
+	s.sc = nil
+	sc.parkSummary(s)
 }
 
 // Apply composes the summary onto the concrete state c: it selects the

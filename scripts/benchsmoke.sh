@@ -17,6 +17,8 @@ trap 'rm -f "$OUT"' EXIT
 go test -run '^$' -bench 'BenchmarkSymExec$' -benchtime 200000x ./internal/sym | tee -a "$OUT"
 go test -run '^$' -bench 'BenchmarkSummaryEncode$|BenchmarkSummaryDecode$|BenchmarkComposeTree$' -benchtime 20000x ./internal/sym | tee -a "$OUT"
 go test -run '^$' -bench 'BenchmarkEmitHotPath$' -benchtime 200000x ./internal/mapreduce | tee -a "$OUT"
+go test -run '^$' -bench 'BenchmarkBatchExec$|BenchmarkRunProbe$|BenchmarkBatchKeyedGroups$|BenchmarkBatchMixedGate$' -benchtime 20000x ./internal/sym | tee -a "$OUT"
+go test -run '^$' -bench 'BenchmarkColumnarParse$' -benchtime 200x ./internal/data | tee -a "$OUT"
 
 awk -v slack="$SLACK" '
 NR == FNR {

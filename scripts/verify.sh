@@ -19,6 +19,11 @@ go test -race ./internal/sym ./internal/mapreduce ./internal/core ./internal/que
 # digests checked against the fault-free run. CI runs the wide sweep
 # (CHAOS_SEEDS=100) in its own job.
 CHAOS_SEEDS=6 go test -race -count=1 -run 'Chaos' ./internal/mapreduce ./internal/queries
+# Columnar leg: the batch execution path must stay byte-identical to
+# the sequential reference — golden digests through columnar segments,
+# metamorphic batch-boundary splits, and the FeedBatch equivalence
+# suite. CI's `columnar` job runs the wide form under -race.
+go test -count=1 -run 'Columnar|Batch' ./internal/sym ./internal/data ./internal/mapreduce ./internal/queries
 # Traced leg: every engine run auto-attaches a trace; the run fails if
 # the completed trace breaks an obs.Verifier invariant or the metrics
 # registry fails its self-check. CI's `traced` job runs the wide form
