@@ -5,6 +5,11 @@
 //
 //	symple -query B1 -engine symple -records 200000 -segments 8
 //	symple -query R3 -engine all -condensed
+//	symple -query G1 -engine symple -workers 4   # SYMPLE maps on worker subprocesses
+//
+// With -workers N the SYMPLE engine executes its map attempts on N
+// spawned sympled worker subprocesses over loopback TCP; the sequential
+// and baseline engines (and the digest cross-check) stay in-process.
 package main
 
 import (
@@ -12,9 +17,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/mapreduce"
 	"repro/internal/obs"
@@ -36,6 +45,8 @@ func main() {
 		input     = flag.String("input", "", "read segments from this directory (written by datagen) instead of generating")
 		tracePath = flag.String("trace", "", "write structured JSONL task spans to this file and verify trace invariants")
 		profile   = flag.String("profile", "", "write a CPU profile covering each engine run to this file")
+		workers   = flag.Int("workers", 0, "run SYMPLE maps on this many spawned worker subprocesses (0 = in-process)")
+		workerBin = flag.String("worker-bin", "sympled", "worker binary: a path, or a name resolved next to this executable then on PATH")
 	)
 	flag.Parse()
 
@@ -96,6 +107,45 @@ func main() {
 		conf.Trace = obs.NewTrace(obs.MultiSink{jsink, mem})
 		conf.Registry = obs.NewRegistry()
 	}
+	// The SYMPLE runner defaults to in-process; -workers N replaces it
+	// with the remote path: N spawned sympled subprocesses on loopback
+	// TCP, a Pool routing map attempts to them, and the driver's retry
+	// machinery covering worker death. Other engines stay local — they
+	// are the cross-check, not the system under test.
+	sympleRun := func() (*queries.Run, error) { return symple(segs, conf) }
+	if *workers > 0 {
+		bin, err := cluster.ResolveWorkerBinary(*workerBin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eps, err := cluster.SpawnWorkers(bin, *workers, cluster.SpawnOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt := core.SympleOptions{Columnar: *columnar}
+		pool, err := cluster.NewPool(queries.ClusterSpec(spec.ID, conf, opt), eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pool.Close()
+			for _, ep := range eps {
+				ep.Close()
+			}
+		}()
+		rconf := conf
+		rconf.RemoteMap = pool
+		// Remote attempts are coordinator-side waits; keep enough task
+		// parallelism in flight to cover every worker even when the
+		// GOMAXPROCS default is smaller.
+		rconf.Parallelism = max(*workers, runtime.GOMAXPROCS(0))
+		rconf.MaxAttempts = 4
+		rconf.Speculation = true
+		rconf.RetryBackoff = 10 * time.Millisecond
+		rconf.MaxRetryBackoff = 250 * time.Millisecond
+		sympleRun = func() (*queries.Run, error) { return spec.SympleOpts(segs, rconf, opt) }
+		fmt.Printf("cluster: %d %s workers spawned, SYMPLE maps run remotely\n\n", *workers, bin)
+	}
 	type engineRun struct {
 		name string
 		run  func() (*queries.Run, error)
@@ -107,12 +157,12 @@ func main() {
 	case "baseline":
 		engines = append(engines, engineRun{"baseline", func() (*queries.Run, error) { return spec.Baseline(segs, conf) }})
 	case "symple":
-		engines = append(engines, engineRun{"symple", func() (*queries.Run, error) { return symple(segs, conf) }})
+		engines = append(engines, engineRun{"symple", sympleRun})
 	case "all":
 		engines = append(engines,
 			engineRun{"sequential", func() (*queries.Run, error) { return spec.Sequential(segs) }},
 			engineRun{"baseline", func() (*queries.Run, error) { return spec.Baseline(segs, conf) }},
-			engineRun{"symple", func() (*queries.Run, error) { return symple(segs, conf) }})
+			engineRun{"symple", sympleRun})
 	default:
 		log.Fatalf("unknown engine %q", *engine)
 	}
@@ -132,7 +182,9 @@ func main() {
 			fmt.Printf("  shuffle: %d records, %.2f KB wire (%.2f KB logical)\n",
 				m.ShuffleRecords, float64(m.ShuffleBytes)/1024, float64(m.ShuffleLogicalBytes)/1024)
 		}
-		if e.name == "symple" {
+		// Symbolic counters accumulate where the mapper runs; under
+		// -workers they stay in the worker processes, so skip the line.
+		if e.name == "symple" && run.Sym.Records > 0 {
 			fmt.Printf("  symbolic: %d update runs over %d records (%.2fx), %d merges, %d restarts, %d summaries\n",
 				run.Sym.Runs, run.Sym.Records,
 				float64(run.Sym.Runs)/float64(max(1, run.Sym.Records)),

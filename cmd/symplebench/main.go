@@ -6,17 +6,20 @@
 //	symplebench -experiment fig5 -records 500000
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8, b1latency,
-// ablation, shuffle, wire, symexec, faults, obs, columnar, all. See
-// EXPERIMENTS.md for the paper-vs-measured record; -experiment shuffle
-// also writes BENCH_SHUFFLE.json, -experiment wire writes
-// BENCH_WIRE.json (compact shuffle encoding vs the seed framing across
-// all 12 queries), -experiment symexec writes BENCH_SYMEXEC.json,
-// -experiment faults writes BENCH_FAULTS.json (380-node replay latency
-// clean vs failures vs failures+speculation), -experiment obs writes
-// BENCH_OBS.json (traced-vs-untraced overhead on the hot-loop queries;
-// target ≤3%), and -experiment columnar writes BENCH_COLUMNAR.json
-// (batched columnar execution vs the scalar fast engine on the
-// hot-loop queries; target ≥2x exec-pass throughput).
+// ablation, shuffle, wire, symexec, faults, obs, columnar, cluster,
+// all. See EXPERIMENTS.md for the paper-vs-measured record;
+// -experiment shuffle also writes BENCH_SHUFFLE.json, -experiment wire
+// writes BENCH_WIRE.json (compact shuffle encoding vs the seed framing
+// across all 12 queries), -experiment symexec writes
+// BENCH_SYMEXEC.json, -experiment faults writes BENCH_FAULTS.json
+// (380-node replay latency clean vs failures vs failures+speculation),
+// -experiment obs writes BENCH_OBS.json (traced-vs-untraced overhead
+// on the hot-loop queries; target ≤3%), -experiment columnar writes
+// BENCH_COLUMNAR.json (batched columnar execution vs the scalar fast
+// engine on the hot-loop queries; target ≥2x exec-pass throughput),
+// and -experiment cluster writes BENCH_CLUSTER.json (real
+// coordinator/worker execution over loopback TCP on 1/2/4 spawned
+// worker subprocesses, measured wall clock vs dcsim prediction).
 //
 // -memo-size and -map-parallelism tune the SYMPLE runtime knobs the
 // symexec experiment exercises (see README). -trace streams every
@@ -32,14 +35,25 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/queries"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("symplebench: ")
+	// The cluster experiment spawns copies of this binary as workers,
+	// flipped into worker mode by env var (see bench.ClusterRun).
+	if os.Getenv(bench.WorkerEnv) == "1" {
+		queries.RegisterClusterJobs()
+		if err := cluster.WorkerMain(""); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | fig8 | b1latency | ablation | shuffle | wire | symexec | faults | obs | columnar | all")
+		experiment = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | fig8 | b1latency | ablation | shuffle | wire | symexec | faults | obs | columnar | cluster | all")
 		records    = flag.Int("records", 200000, "records per generated corpus")
 		segments   = flag.Int("segments", 8, "input segments (measured mapper count)")
 		memoSize   = flag.Int("memo-size", 0, "record-transition memo entries per map chunk (0 default, <0 disables)")
@@ -107,6 +121,7 @@ func main() {
 		{"faults", func() (*bench.Table, error) { return bench.Faults(datasets()) }},
 		{"obs", func() (*bench.Table, error) { return bench.Obs(datasets()) }},
 		{"columnar", func() (*bench.Table, error) { return bench.Columnar(datasets(), *memoSize) }},
+		{"cluster", func() (*bench.Table, error) { return bench.ClusterRun(datasets()) }},
 	}
 	ran := 0
 	for _, e := range exps {

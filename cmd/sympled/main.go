@@ -1,0 +1,35 @@
+// Command sympled is the SYMPLE cluster worker daemon. A coordinator
+// (symple -workers N, or anything driving internal/cluster.Pool)
+// connects over TCP, ships map assignments, and receives the encoded
+// shuffle runs back. The daemon announces its bound address on stdout
+// as "SYMPLED LISTEN <addr>" and shuts down when stdin reaches EOF, so
+// a parent process that dies takes its workers with it.
+//
+// Usage:
+//
+//	sympled                       # loopback, kernel-assigned port
+//	sympled -listen 0.0.0.0:7070  # fixed address
+package main
+
+import (
+	"flag"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/queries"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sympled: ")
+	listen := flag.String("listen", "127.0.0.1:0",
+		"address to listen on (host:0 picks a free port, announced on stdout)")
+	flag.Parse()
+
+	// Link every query's map side into the job registry; a worker that
+	// skipped this would reject all assignments.
+	queries.RegisterClusterJobs()
+	if err := cluster.WorkerMain(*listen); err != nil {
+		log.Fatal(err)
+	}
+}

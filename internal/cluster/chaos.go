@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Deterministic worker-fault injection, mirroring the engine's
+// FaultPlan design (mapreduce/faultinject.go): every decision is a
+// pure function of (seed, task, attempt) through a splitmix64
+// finalizer, so a chaos run is exactly reproducible from its seed and
+// two sweeps over the same seed range replay identical schedules. The
+// plan spares any attempt that could be a task's last (the driver's
+// final budgeted attempt, and speculative attempts whose IDs run past
+// the budget), so every chaos run must still commit — divergence or
+// failure is an engine or protocol bug, never injection bad luck.
+
+// ChaosKind is one injected worker-fault flavor.
+type ChaosKind int
+
+const (
+	// ChaosNone injects nothing.
+	ChaosNone ChaosKind = iota
+	// ChaosLoseWorker drops the worker's connection before the
+	// assignment is even sent — the worker died between attempts.
+	ChaosLoseWorker
+	// ChaosWorkerAbort makes the worker abort its connection after
+	// streaming After runs — the worker died mid-attempt, mid-stream.
+	ChaosWorkerAbort
+	// ChaosDropConn makes the coordinator drop the connection after
+	// receiving After run frames — a network partition mid-stream.
+	ChaosDropConn
+)
+
+// ChaosPlan injects deterministic worker faults into a Pool.
+type ChaosPlan struct {
+	seed        uint64
+	rate        float64
+	maxAttempts int
+	injected    atomic.Int64
+}
+
+// NewChaosPlan seeds a plan. maxAttempts must match the job's
+// mapreduce.Config.MaxAttempts so the spare-final rule lines up with
+// the retry budget. The default injection rate is 0.4 per attempt.
+func NewChaosPlan(seed int64, maxAttempts int) *ChaosPlan {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	return &ChaosPlan{seed: uint64(seed), rate: 0.4, maxAttempts: maxAttempts}
+}
+
+// WithRate sets the per-attempt injection probability (0..1).
+func (p *ChaosPlan) WithRate(r float64) *ChaosPlan {
+	p.rate = math.Min(math.Max(r, 0), 1)
+	return p
+}
+
+// decide returns the fault for one (task, attempt), with After counting
+// the runs/frames to let through before the injected death.
+func (p *ChaosPlan) decide(task, attempt int) (kind ChaosKind, after int) {
+	if p == nil {
+		return ChaosNone, 0
+	}
+	// Spare-final: the driver's last budgeted attempt (maxAttempts-1)
+	// and any speculative attempt beyond the budget run clean, so the
+	// task always has a survivable path.
+	if attempt >= p.maxAttempts-1 {
+		return ChaosNone, 0
+	}
+	h := chaosMix(p.seed ^ chaosMix(uint64(task)+1) ^ chaosMix(uint64(attempt)+0x9E37))
+	if float64(h%1000)/1000 >= p.rate {
+		return ChaosNone, 0
+	}
+	kind = ChaosKind(1 + (h>>10)%3)
+	after = int((h >> 20) % 3)
+	p.injected.Add(1)
+	return kind, after
+}
+
+// Injected counts the faults the plan has armed so far — differential
+// sweeps assert it is non-zero, so a silently disarmed harness fails.
+func (p *ChaosPlan) Injected() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.injected.Load()
+}
+
+// chaosMix is the splitmix64 finalizer, the same mixer FaultPlan uses.
+func chaosMix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

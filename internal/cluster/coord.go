@@ -1,0 +1,341 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/mapreduce"
+)
+
+// The coordinator side. A Pool implements mapreduce.RemoteMapper over a
+// fixed set of worker endpoints: RunMap leases a connection, ships the
+// assignment, and demultiplexes the reply stream — runs, spans, then
+// the closing metrics — back into a mapreduce.MapOutput. Any
+// connection failure retires the lease and surfaces as an attempt
+// error; a background redial restores the worker, and the engine's
+// retry/speculation machinery does the rest. The pool never commits
+// anything itself: first-finisher-wins stays with the engine, exactly
+// as in process.
+
+// Endpoint is one worker the pool can (re)connect to.
+type Endpoint interface {
+	// Connect establishes a fresh transport connection to the worker.
+	Connect(ctx context.Context) (net.Conn, error)
+	// Close releases the endpoint (kills a spawned worker process).
+	Close() error
+}
+
+// dialEndpoint connects to an already-listening worker address.
+type dialEndpoint struct{ addr string }
+
+// Dial returns an endpoint for a worker listening on addr.
+func Dial(addr string) Endpoint { return &dialEndpoint{addr: addr} }
+
+func (e *dialEndpoint) Connect(ctx context.Context) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", e.addr)
+}
+
+func (e *dialEndpoint) Close() error { return nil }
+
+// workerConn is one leased connection to a worker.
+type workerConn struct {
+	ep   Endpoint
+	conn net.Conn
+	fr   *frameReader
+	fw   *frameWriter
+}
+
+// Pool leases worker connections to concurrent map attempts.
+type Pool struct {
+	spec  JobSpec
+	chaos *ChaosPlan
+
+	free chan *workerConn
+	dead chan struct{} // closed when every worker is permanently lost
+
+	mu     sync.Mutex
+	closed bool
+	live   int
+	conns  map[*workerConn]struct{}
+
+	wg sync.WaitGroup // background redials
+}
+
+// PoolOption configures NewPool.
+type PoolOption func(*Pool)
+
+// WithChaos injects a deterministic worker-fault plan (tests only).
+func WithChaos(plan *ChaosPlan) PoolOption {
+	return func(p *Pool) { p.chaos = plan }
+}
+
+// reconnect backoff schedule for retired workers.
+const (
+	redialAttempts = 8
+	redialBase     = 2 * time.Millisecond
+	redialMax      = 200 * time.Millisecond
+)
+
+// NewPool connects to every endpoint and performs the hello exchange.
+// On any failure it closes what it opened and returns the error. The
+// pool borrows the endpoints — several pools (one per job spec) can
+// share one set of workers — so the caller closes the endpoints after
+// the last pool is done with them.
+func NewPool(spec JobSpec, endpoints []Endpoint, opts ...PoolOption) (*Pool, error) {
+	if len(endpoints) == 0 {
+		return nil, errors.New("cluster: pool needs at least one worker endpoint")
+	}
+	p := &Pool{
+		spec:  spec,
+		free:  make(chan *workerConn, len(endpoints)),
+		dead:  make(chan struct{}),
+		conns: map[*workerConn]struct{}{},
+		live:  len(endpoints),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, ep := range endpoints {
+		w, err := p.connect(ctx, ep)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.free <- w
+	}
+	return p, nil
+}
+
+// connect opens and handshakes one worker connection, registering it
+// for Close.
+func (p *Pool) connect(ctx context.Context, ep Endpoint) (*workerConn, error) {
+	conn, err := ep.Connect(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: connecting worker: %w", err)
+	}
+	w := &workerConn{ep: ep, conn: conn, fr: newFrameReader(conn), fw: newFrameWriter(conn)}
+	if err := w.fw.write(FrameHello, encodeHello()); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: hello send: %w", err)
+	}
+	f, err := w.fr.next()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: hello reply: %w", err)
+	}
+	if f.Type == FrameError {
+		msg, _ := decodeError(f.Payload)
+		conn.Close()
+		return nil, fmt.Errorf("cluster: worker rejected hello: %s", msg)
+	}
+	if f.Type != FrameHello {
+		conn.Close()
+		return nil, fmt.Errorf("%w: expected hello reply, got frame type %d", ErrFrame, f.Type)
+	}
+	if _, err := DecodeHello(f.Payload); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		conn.Close()
+		return nil, errors.New("cluster: pool closed")
+	}
+	p.conns[w] = struct{}{}
+	p.mu.Unlock()
+	return w, nil
+}
+
+// acquire leases a worker connection.
+func (p *Pool) acquire(ctx context.Context) (*workerConn, error) {
+	select {
+	case w := <-p.free:
+		return w, nil
+	case <-p.dead:
+		return nil, errors.New("cluster: all workers permanently lost")
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// release returns a healthy lease to the pool.
+func (p *Pool) release(w *workerConn) {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		w.conn.Close()
+		return
+	}
+	p.free <- w
+}
+
+// retire kills a lease and redials its endpoint in the background with
+// capped backoff. A worker that cannot be reached after the redial
+// budget is written off; when the last one goes, acquire fails fast
+// instead of blocking forever.
+func (p *Pool) retire(w *workerConn) {
+	w.conn.Close()
+	p.mu.Lock()
+	delete(p.conns, w)
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.wg.Add(1)
+	p.mu.Unlock()
+	go func() {
+		defer p.wg.Done()
+		delay := redialBase
+		for i := 0; i < redialAttempts; i++ {
+			p.mu.Lock()
+			closed := p.closed
+			p.mu.Unlock()
+			if closed {
+				return
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			nw, err := p.connect(ctx, w.ep)
+			cancel()
+			if err == nil {
+				p.release(nw)
+				return
+			}
+			time.Sleep(delay)
+			delay = min(delay*2, redialMax)
+		}
+		p.mu.Lock()
+		p.live--
+		lost := p.live == 0 && !p.closed
+		p.mu.Unlock()
+		if lost {
+			close(p.dead)
+		}
+	}()
+}
+
+// Close tears the pool down: closes every connection (leased ones
+// included — in-flight RunMap calls fail fast) and waits for
+// background redials to stop. The endpoints stay open for other pools;
+// the caller closes them when done.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for w := range p.conns {
+		w.conn.Close()
+	}
+	p.conns = map[*workerConn]struct{}{}
+	p.mu.Unlock()
+	p.wg.Wait()
+	// Drain leases parked in free (their conns are already closed).
+	for {
+		select {
+		case <-p.free:
+			continue
+		default:
+		}
+		break
+	}
+	return nil
+}
+
+// RunMap implements mapreduce.RemoteMapper: execute one map attempt on
+// some worker. Safe for concurrent calls; each call holds one lease.
+func (p *Pool) RunMap(ctx context.Context, task, attempt int, seg *mapreduce.Segment) (*mapreduce.MapOutput, error) {
+	kind, after := p.chaos.decide(task, attempt)
+	w, err := p.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if kind == ChaosLoseWorker {
+		p.retire(w)
+		return nil, fmt.Errorf("cluster: worker lost before assignment (injected, task %d attempt %d)", task, attempt)
+	}
+	// ctx cancellation unblocks the socket read by closing the conn.
+	stop := context.AfterFunc(ctx, func() { w.conn.Close() })
+	defer stop()
+	fail := func(err error) (*mapreduce.MapOutput, error) {
+		p.retire(w)
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+	a := &assignment{spec: p.spec, task: task, attempt: attempt, abortAfter: -1, seg: seg}
+	if kind == ChaosWorkerAbort {
+		a.abortAfter = after
+	}
+	if err := w.fw.write(FrameAssign, encodeAssign(a)); err != nil {
+		return fail(fmt.Errorf("cluster: sending assignment (task %d attempt %d): %w", task, attempt, err))
+	}
+	out := &mapreduce.MapOutput{}
+	for {
+		f, err := w.fr.next()
+		if err != nil {
+			return fail(fmt.Errorf("cluster: worker stream (task %d attempt %d): %w", task, attempt, err))
+		}
+		switch f.Type {
+		case FrameRun:
+			r, err := decodeRun(f.Payload)
+			if err != nil {
+				return fail(err)
+			}
+			if r.Task != task || r.Attempt != attempt {
+				return fail(fmt.Errorf("%w: run for task %d attempt %d on stream for task %d attempt %d",
+					ErrFrame, r.Task, r.Attempt, task, attempt))
+			}
+			out.Runs = append(out.Runs, r)
+			if kind == ChaosDropConn && len(out.Runs) > after {
+				p.retire(w)
+				return nil, fmt.Errorf("cluster: connection dropped mid-stream (injected, task %d attempt %d after %d runs)",
+					task, attempt, len(out.Runs))
+			}
+		case FrameSpans:
+			spans, err := decodeSpans(f.Payload)
+			if err != nil {
+				return fail(err)
+			}
+			out.Spans = spans
+		case FrameMapDone:
+			m, err := decodeMapDone(f.Payload)
+			if err != nil {
+				return fail(err)
+			}
+			out.Emitted = m.emitted
+			out.Records = m.records
+			out.InputBytes = m.inputBytes
+			out.Duration = m.duration
+			out.LogicalOutBytes = m.logical
+			if ctx.Err() != nil {
+				// The AfterFunc may have closed the conn under us.
+				p.retire(w)
+				return nil, ctx.Err()
+			}
+			p.release(w)
+			return out, nil
+		case FrameError:
+			msg, derr := decodeError(f.Payload)
+			if derr != nil {
+				return fail(derr)
+			}
+			// The worker reported a clean attempt failure; the conn is
+			// still synchronized and reusable.
+			p.release(w)
+			return nil, fmt.Errorf("cluster: worker attempt failed (task %d attempt %d): %s", task, attempt, msg)
+		default:
+			return fail(fmt.Errorf("%w: unexpected frame type %d in attempt stream", ErrFrame, f.Type))
+		}
+	}
+}

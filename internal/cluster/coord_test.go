@@ -1,0 +1,334 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mapreduce"
+	"repro/internal/obs"
+)
+
+// checkGoroutineLeaks fails the test if goroutines have not returned to
+// the baseline by cleanup (same pattern as the engine's fault tests).
+func checkGoroutineLeaks(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > base {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Errorf("goroutine leak: %d running, baseline %d\n%s",
+					runtime.NumGoroutine(), base, buf[:n])
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	})
+}
+
+// startWorker runs an in-process Worker on a loopback listener and
+// returns its endpoint. Cleanup waits for Serve to return, so the leak
+// check sees the accept loop and every connection goroutine gone.
+func startWorker(t *testing.T) (Endpoint, *Worker) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- w.Serve(ctx, ln) }()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("worker serve: %v", err)
+		}
+		if n := w.Active(); n != 0 {
+			t.Errorf("worker still serving %d connections after shutdown", n)
+		}
+	})
+	return Dial(ln.Addr().String()), w
+}
+
+// silentWorker accepts connections and answers the hello exchange, then
+// reads and discards everything: an assignment sent to it never gets a
+// reply. It exists to pin the pool's context-cancellation path.
+func silentWorker(t *testing.T) Endpoint {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithCancel(context.Background())
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				stop := context.AfterFunc(ctx, func() { conn.Close() })
+				defer stop()
+				fr, fw := newFrameReader(conn), newFrameWriter(conn)
+				if f, err := fr.next(); err != nil || f.Type != FrameHello {
+					return
+				}
+				if err := fw.write(FrameHello, encodeHello()); err != nil {
+					return
+				}
+				_, _ = io.Copy(io.Discard, conn) // swallow assignments forever
+			}()
+		}
+	}()
+	t.Cleanup(func() {
+		cancel()
+		ln.Close()
+		wg.Wait()
+	})
+	return Dial(ln.Addr().String())
+}
+
+// testSpec is a registered no-op job for pool unit tests: identity
+// grouping on the record's first byte.
+func testSpec(t *testing.T) JobSpec {
+	t.Helper()
+	RegisterJob("cluster-unit-test", func(spec JobSpec, trace *obs.Trace) (mapreduce.MapFunc, error) {
+		return func(mapperID int, seg *mapreduce.Segment, emit mapreduce.Emit) error {
+			for i, rec := range seg.Records {
+				if len(rec) == 0 {
+					continue
+				}
+				emit(string(rec[:1]), int64(i), rec)
+			}
+			return nil
+		}, nil
+	})
+	return JobSpec{Query: "cluster-unit-test", NumReducers: 2}
+}
+
+func testSegment() *mapreduce.Segment {
+	return &mapreduce.Segment{ID: 0, Records: [][]byte{
+		[]byte("alpha"), []byte("beta"), []byte("avocado"), []byte("banana"),
+	}}
+}
+
+// TestPoolRunMapRoundTrip: one attempt through a real worker over
+// loopback TCP produces runs addressed to the right task/attempt and
+// sane metrics, and the pool and worker shut down leak-free.
+func TestPoolRunMapRoundTrip(t *testing.T) {
+	checkGoroutineLeaks(t)
+	ep, _ := startWorker(t)
+	p, err := NewPool(testSpec(t), []Endpoint{ep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	out, err := p.RunMap(context.Background(), 3, 1, testSegment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Runs) == 0 {
+		t.Fatal("no runs returned")
+	}
+	for _, r := range out.Runs {
+		if r.Task != 3 || r.Attempt != 1 {
+			t.Errorf("run addressed to task %d attempt %d, want 3/1", r.Task, r.Attempt)
+		}
+		if r.Part < 0 || r.Part >= 2 {
+			t.Errorf("run partition %d out of range", r.Part)
+		}
+		if len(r.Seg) == 0 || r.Bytes != int64(len(r.Seg)) {
+			t.Errorf("run bytes %d inconsistent with %d-byte segment", r.Bytes, len(r.Seg))
+		}
+	}
+	if out.Records != 4 || out.Emitted != 4 {
+		t.Errorf("metrics records=%d emitted=%d, want 4/4", out.Records, out.Emitted)
+	}
+	if out.Duration <= 0 {
+		t.Errorf("non-positive duration %v", out.Duration)
+	}
+}
+
+// TestPoolContextCancellation: a cancelled context unblocks RunMap
+// promptly even when the worker never answers, and an already-cancelled
+// context never reaches the wire. No goroutines or connections leak.
+func TestPoolContextCancellation(t *testing.T) {
+	checkGoroutineLeaks(t)
+	spec := testSpec(t)
+	p, err := NewPool(spec, []Endpoint{silentWorker(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.RunMap(ctx, 0, 0, testSegment()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context: got %v, want context.Canceled", err)
+	}
+
+	ctx, cancel = context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = p.RunMap(ctx, 0, 1, testSegment())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-stream cancel: got %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("cancellation took %v — the read did not unblock", d)
+	}
+}
+
+// TestPoolWorkerErrorKeepsConnection: a worker-side attempt failure
+// (here: an unregistered job) comes back as an error without killing
+// the connection — the next attempt on the same pool still runs.
+func TestPoolWorkerErrorKeepsConnection(t *testing.T) {
+	checkGoroutineLeaks(t)
+	ep, w := startWorker(t)
+	p, err := NewPool(JobSpec{Query: "no-such-job", NumReducers: 2}, []Endpoint{ep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 3; i++ {
+		_, err := p.RunMap(context.Background(), i, 0, testSegment())
+		if err == nil || !strings.Contains(err.Error(), "no job registered") {
+			t.Fatalf("attempt %d: got %v, want unregistered-job error", i, err)
+		}
+	}
+	if n := w.Active(); n != 1 {
+		t.Errorf("worker serving %d connections, want the original 1 — errors must not retire conns", n)
+	}
+}
+
+// TestPoolRetiresAndRedials: an injected pre-assignment worker loss
+// retires the connection, and the background redial restores capacity
+// so later attempts succeed against the same single worker.
+func TestPoolRetiresAndRedials(t *testing.T) {
+	checkGoroutineLeaks(t)
+	ep, _ := startWorker(t)
+	spec := testSpec(t)
+	// Rate 1 with maxAttempts 3: attempts 0 and 1 draw injections,
+	// attempt 2 (final) is spared by construction.
+	plan := NewChaosPlan(7, 3).WithRate(1)
+	p, err := NewPool(spec, []Endpoint{ep}, WithChaos(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var failures int
+	for attempt := 0; attempt < 3; attempt++ {
+		_, err := p.RunMap(context.Background(), 0, attempt, testSegment())
+		if attempt < 2 {
+			if err == nil {
+				t.Fatalf("attempt %d: injection did not fire", attempt)
+			}
+			failures++
+			continue
+		}
+		if err != nil {
+			t.Fatalf("final attempt must be spared and succeed: %v", err)
+		}
+	}
+	if failures != 2 {
+		t.Fatalf("%d injected failures, want 2", failures)
+	}
+}
+
+// TestPoolAllWorkersLost: when every endpoint is gone for good, acquire
+// fails fast instead of hanging.
+func TestPoolAllWorkersLost(t *testing.T) {
+	checkGoroutineLeaks(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- w.Serve(ctx, ln) }()
+	p, err := NewPool(testSpec(t), []Endpoint{Dial(ln.Addr().String())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Kill the worker for good, then force the pool to notice: the
+	// leased conn breaks, and every redial is refused.
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RunMap(context.Background(), 0, 0, testSegment()); err == nil {
+		t.Fatal("attempt against a dead worker succeeded")
+	}
+	start := time.Now()
+	_, err = p.RunMap(context.Background(), 0, 1, testSegment())
+	if err == nil {
+		t.Fatal("attempt with no live workers succeeded")
+	}
+	if d := time.Since(start); d > 30*time.Second {
+		t.Fatalf("dead-pool detection took %v", d)
+	}
+}
+
+// TestChaosPlanDeterminism pins the plan's contract: pure in
+// (seed, task, attempt), final attempts spared, distinct seeds diverge.
+func TestChaosPlanDeterminism(t *testing.T) {
+	plan := NewChaosPlan(42, 4)
+	for task := 0; task < 20; task++ {
+		for attempt := 0; attempt < 6; attempt++ {
+			k1, a1 := plan.decide(task, attempt)
+			k2, a2 := plan.decide(task, attempt)
+			if k1 != k2 || a1 != a2 {
+				t.Fatalf("decide(%d,%d) not deterministic: %v/%d vs %v/%d",
+					task, attempt, k1, a1, k2, a2)
+			}
+			if attempt >= 3 && k1 != ChaosNone {
+				t.Fatalf("decide(%d,%d) injected %v on a spared attempt", task, attempt, k1)
+			}
+		}
+	}
+	var injected, diverged int
+	other := NewChaosPlan(43, 4)
+	for task := 0; task < 200; task++ {
+		k, _ := plan.decide(task, 0)
+		ko, _ := other.decide(task, 0)
+		if k != ChaosNone {
+			injected++
+		}
+		if k != ko {
+			diverged++
+		}
+	}
+	if injected < 40 || injected > 160 {
+		t.Errorf("rate 0.4 plan injected %d/200 — mixer is biased", injected)
+	}
+	if diverged == 0 {
+		t.Error("seeds 42 and 43 produced identical schedules")
+	}
+	if k, _ := (*ChaosPlan)(nil).decide(0, 0); k != ChaosNone {
+		t.Error("nil plan must inject nothing")
+	}
+	if k, _ := NewChaosPlan(42, 4).WithRate(0).decide(0, 0); k != ChaosNone {
+		t.Error("rate-0 plan injected")
+	}
+}

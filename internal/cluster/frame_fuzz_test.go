@@ -1,0 +1,353 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fuzzseed"
+	"repro/internal/mapreduce"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+var updateFuzzSeeds = flag.Bool("update-fuzz-seeds", false,
+	"regenerate testdata/fuzz-seeds/frames from the current encoder")
+
+// seedAssignment builds a realistic small assignment for the corpus.
+func seedAssignment() *assignment {
+	return &assignment{
+		spec: JobSpec{
+			Query: "G1", NumReducers: 3, Compress: true,
+			Combine: true, MemoSize: 64, MapParallelism: 2,
+		},
+		task: 4, attempt: 1, abortAfter: -1,
+		seg: &mapreduce.Segment{
+			ID: 4,
+			Records: [][]byte{
+				[]byte("1700000000\trepo/alpha\tpush\tu1"),
+				[]byte("1700000005\trepo/beta\tpull_open\tu2"),
+				[]byte(""),
+			},
+		},
+	}
+}
+
+// seedSpans builds a spans payload shaped like a real worker attempt.
+func seedSpans() []*obs.Span {
+	return []*obs.Span{
+		{Kind: "map_exec", Name: "G1/symple", Start: 100, End: 2100,
+			Attrs: map[string]int64{"records": 3}, Tags: map[string]string{"chunk": "0"}},
+		{Kind: "spill_encode", Name: "part0", Start: 2200, End: 2300},
+	}
+}
+
+// frame wraps a payload in its wire framing.
+func frame(t FrameType, payload []byte) []byte {
+	return AppendFrame(nil, t, payload)
+}
+
+// helloWith builds a hello payload with arbitrary magic/version, for
+// the corruption seeds.
+func helloWith(magic, version uint64) []byte {
+	e := wire.NewEncoder(8)
+	e.Uvarint(magic)
+	e.Uvarint(version)
+	return e.Bytes()
+}
+
+// frameSeedCorpus builds the committed frame corpus: one genuine frame
+// per protocol message type plus one seed per corruption class the
+// decoders must reject. Names are load-bearing: corrupt-* seeds are
+// asserted rejected by TestFuzzSeedFrameCorpus, valid-* accepted.
+func frameSeedCorpus() []fuzzseed.Seed {
+	assign := frame(FrameAssign, encodeAssign(seedAssignment()))
+	hello := frame(FrameHello, encodeHello())
+	run := frame(FrameRun, encodeRun(mapreduce.Run{
+		Task: 4, Attempt: 1, Part: 2, Seg: []byte{0x01, 0x02, 0x03, 0x9C}}))
+	done := frame(FrameMapDone, encodeMapDone(&mapDone{
+		emitted: 7, records: 3, inputBytes: 88,
+		duration: 1500 * time.Microsecond, logical: []int64{12, 0, 34}}))
+	spans := frame(FrameSpans, encodeSpans(seedSpans()))
+
+	// Oversized declared length: type byte plus uvarint(maxFrameLen+1).
+	oversized := append([]byte{byte(FrameRun)}, binary.AppendUvarint(nil, maxFrameLen+1)...)
+
+	return []fuzzseed.Seed{
+		{Name: "valid-hello.bin", Data: hello},
+		{Name: "valid-assign.bin", Data: assign},
+		{Name: "valid-run.bin", Data: run},
+		{Name: "valid-mapdone.bin", Data: done},
+		{Name: "valid-spans.bin", Data: spans},
+		{Name: "valid-error.bin", Data: frame(FrameError, encodeError("mapper: boom"))},
+		{Name: "corrupt-empty.bin", Data: []byte{}},
+		{Name: "corrupt-zero-type.bin", Data: []byte{0x00, 0x00}},
+		{Name: "corrupt-unknown-type.bin", Data: []byte{0xEE, 0x00}},
+		{Name: "corrupt-unterminated-length.bin", Data: []byte{byte(FrameRun), 0xFF}},
+		{Name: "corrupt-oversized-length.bin", Data: oversized},
+		{Name: "corrupt-truncated-hello.bin", Data: hello[:len(hello)-2]},
+		{Name: "corrupt-truncated-assign.bin", Data: assign[:len(assign)/2]},
+		{Name: "corrupt-frame-trailing.bin", Data: append(append([]byte(nil), run...), 0xAB)},
+		{Name: "corrupt-hello-magic.bin", Data: frame(FrameHello, helloWith(0xBADC0DE, ProtocolVersion))},
+		{Name: "corrupt-hello-version.bin", Data: frame(FrameHello, helloWith(helloMagic, ProtocolVersion+9))},
+		{Name: "corrupt-hello-payload-trailing.bin",
+			Data: frame(FrameHello, append(encodeHello(), 0x00))},
+		{Name: "corrupt-assign-payload-trailing.bin",
+			Data: frame(FrameAssign, append(encodeAssign(seedAssignment()), 0x7F))},
+		{Name: "corrupt-assign-forged-count.bin",
+			Data: frame(FrameAssign, forgedAssignCount())},
+		{Name: "corrupt-run-payload-trailing.bin",
+			Data: frame(FrameRun, append(encodeRun(mapreduce.Run{Task: 1, Seg: []byte{1}}), 0x01))},
+		{Name: "corrupt-mapdone-forged-parts.bin",
+			Data: frame(FrameMapDone, forgedMapDoneParts())},
+		{Name: "corrupt-spans-forged-count.bin",
+			Data: frame(FrameSpans, binary.AppendUvarint(nil, maxSpans+1))},
+	}
+}
+
+// forgedAssignCount claims a huge record count with no record data.
+func forgedAssignCount() []byte {
+	e := wire.NewEncoder(32)
+	appendJobSpec(e, JobSpec{Query: "G1", NumReducers: 3})
+	e.Uvarint(0)                     // task
+	e.Uvarint(0)                     // attempt
+	e.Varint(-1)                     // abortAfter
+	e.Uvarint(0)                     // segment ID
+	e.Uvarint(maxSegmentRecords + 1) // forged record count
+	return e.Bytes()
+}
+
+// forgedMapDoneParts claims more per-partition entries than maxParts.
+func forgedMapDoneParts() []byte {
+	e := wire.NewEncoder(16)
+	e.Varint(0)
+	e.Varint(0)
+	e.Varint(0)
+	e.Varint(0)
+	e.Uvarint(maxParts + 1)
+	return e.Bytes()
+}
+
+// decodeSeedFrame fully decodes a single-frame seed: framing first,
+// then the type's payload codec, rejecting stream leftovers. This is
+// the acceptance predicate the corpus assertions and the corruption
+// test share.
+func decodeSeedFrame(data []byte) error {
+	f, rest, err := DecodeFrame(data)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return errTrailingSeed
+	}
+	switch f.Type {
+	case FrameHello:
+		_, err = DecodeHello(f.Payload)
+	case FrameAssign:
+		_, err = decodeAssign(f.Payload)
+	case FrameRun:
+		_, err = decodeRun(f.Payload)
+	case FrameSpans:
+		_, err = decodeSpans(f.Payload)
+	case FrameMapDone:
+		_, err = decodeMapDone(f.Payload)
+	case FrameError:
+		_, err = decodeError(f.Payload)
+	}
+	return err
+}
+
+var errTrailingSeed = bytes.ErrTooLarge // any non-nil sentinel; message unused
+
+// TestUpdateFrameFuzzSeeds regenerates the committed corpus when run
+// with -update-fuzz-seeds; otherwise it only checks the generator still
+// produces every class.
+func TestUpdateFrameFuzzSeeds(t *testing.T) {
+	corpus := frameSeedCorpus()
+	if !*updateFuzzSeeds {
+		t.Skipf("generator healthy (%d seeds); pass -update-fuzz-seeds to rewrite testdata/fuzz-seeds/frames", len(corpus))
+	}
+	if err := fuzzseed.Update("frames", corpus); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzSeedFrameCorpus is the regression net over the committed
+// corpus: every corrupt-* seed must be rejected and every valid-* seed
+// accepted, independent of how the seed was built.
+func TestFuzzSeedFrameCorpus(t *testing.T) {
+	seeds, err := fuzzseed.Load("frames")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var valid, corrupt int
+	for _, s := range seeds {
+		err := decodeSeedFrame(s.Data)
+		switch {
+		case strings.HasPrefix(s.Name, "corrupt-"):
+			corrupt++
+			if err == nil {
+				t.Errorf("%s: corrupt seed accepted", s.Name)
+			}
+		case strings.HasPrefix(s.Name, "valid-"):
+			valid++
+			if err != nil {
+				t.Errorf("%s: valid seed rejected: %v", s.Name, err)
+			}
+		default:
+			t.Errorf("%s: seed name must start with valid- or corrupt-", s.Name)
+		}
+	}
+	if valid < 5 || corrupt < 12 {
+		t.Fatalf("corpus too small: %d valid / %d corrupt seeds", valid, corrupt)
+	}
+}
+
+// FuzzFrameDecode feeds the frame decoder arbitrary bytes. Contract:
+// malformed input — truncation anywhere, unknown types, oversized or
+// unterminated lengths, garbage payloads — returns an error, never
+// panics and never over-allocates; an accepted frame must survive a
+// re-encode/re-decode round trip; and every payload codec must be
+// total on whatever payload the framing layer hands it.
+func FuzzFrameDecode(f *testing.F) {
+	seeds, err := fuzzseed.Load("frames")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, s := range seeds {
+		f.Add(s.Data)
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		fr, rest, err := DecodeFrame(in)
+		if err != nil {
+			return
+		}
+		if len(fr.Payload)+len(rest) > len(in) {
+			t.Fatalf("decoded more bytes than supplied: %d payload + %d rest > %d input",
+				len(fr.Payload), len(rest), len(in))
+		}
+		// Round trip: re-framing the decoded frame must decode back to
+		// the identical frame with nothing left over.
+		re := AppendFrame(nil, fr.Type, fr.Payload)
+		fr2, rest2, err := DecodeFrame(re)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded frame failed: %v", err)
+		}
+		if len(rest2) != 0 || fr2.Type != fr.Type || !bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatalf("frame round trip diverged: %v/%d bytes vs %v/%d bytes (+%d rest)",
+				fr.Type, len(fr.Payload), fr2.Type, len(fr2.Payload), len(rest2))
+		}
+		// Payload codecs must be total: errors fine, panics never. Run
+		// the payload through every decoder, not just its own type's —
+		// a desynchronized stream can hand any bytes to any of them.
+		_, _ = DecodeHello(fr.Payload)
+		_, _ = decodeAssign(fr.Payload)
+		_, _ = decodeRun(fr.Payload)
+		_, _ = decodeSpans(fr.Payload)
+		_, _ = decodeMapDone(fr.Payload)
+		_, _ = decodeError(fr.Payload)
+	})
+}
+
+// TestFrameDecodeRejectsCorruption pins the specific corruption classes
+// the satellite contract names: truncation at every byte of a genuine
+// frame, a bad protocol version, an oversized declared length, and
+// trailing garbage after a payload must all error — never panic, never
+// silently succeed.
+func TestFrameDecodeRejectsCorruption(t *testing.T) {
+	for _, s := range frameSeedCorpus() {
+		if !strings.HasPrefix(s.Name, "valid-") {
+			continue
+		}
+		// Every strict prefix of a single well-formed frame is truncated
+		// somewhere — type, length varint, or payload — and must error.
+		for cut := 0; cut < len(s.Data); cut++ {
+			if _, _, err := DecodeFrame(s.Data[:cut]); err == nil {
+				t.Fatalf("%s: truncation at %d/%d bytes accepted", s.Name, cut, len(s.Data))
+			}
+		}
+	}
+
+	if _, err := DecodeHello(helloWith(helloMagic, ProtocolVersion+1)); err == nil {
+		t.Error("future protocol version accepted")
+	}
+	if _, err := DecodeHello(helloWith(0xDEAD, ProtocolVersion)); err == nil {
+		t.Error("bad hello magic accepted")
+	}
+	if _, err := DecodeHello(append(encodeHello(), 0x00)); err == nil {
+		t.Error("trailing garbage after hello accepted")
+	}
+
+	oversized := append([]byte{byte(FrameRun)}, binary.AppendUvarint(nil, maxFrameLen+1)...)
+	if _, _, err := DecodeFrame(oversized); err == nil {
+		t.Error("oversized declared length accepted")
+	}
+
+	if _, err := decodeAssign(append(encodeAssign(seedAssignment()), 0x7F)); err == nil {
+		t.Error("trailing garbage after assignment accepted")
+	}
+	if _, err := decodeRun(append(encodeRun(mapreduce.Run{Task: 1, Seg: []byte{1}}), 0x01)); err == nil {
+		t.Error("trailing garbage after run accepted")
+	}
+	if _, err := decodeAssign(forgedAssignCount()); err == nil {
+		t.Error("forged record count accepted")
+	}
+	if _, err := decodeMapDone(forgedMapDoneParts()); err == nil {
+		t.Error("forged partition count accepted")
+	}
+}
+
+// TestAssignRoundTrip pins the assignment codec on both record forms.
+func TestAssignRoundTrip(t *testing.T) {
+	a := seedAssignment()
+	got, err := decodeAssign(encodeAssign(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.spec != a.spec || got.task != a.task || got.attempt != a.attempt ||
+		got.abortAfter != a.abortAfter || got.seg.ID != a.seg.ID {
+		t.Fatalf("assignment metadata diverged: %+v vs %+v", got, a)
+	}
+	if len(got.seg.Records) != len(a.seg.Records) {
+		t.Fatalf("record count %d, want %d", len(got.seg.Records), len(a.seg.Records))
+	}
+	for i := range a.seg.Records {
+		if !bytes.Equal(got.seg.Records[i], a.seg.Records[i]) {
+			t.Fatalf("record %d diverged", i)
+		}
+	}
+}
+
+// TestSpansRoundTrip pins the spans codec, attrs and tags included.
+func TestSpansRoundTrip(t *testing.T) {
+	in := seedSpans()
+	got, err := decodeSpans(encodeSpans(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("span count %d, want %d", len(got), len(in))
+	}
+	for i := range in {
+		a, b := in[i], got[i]
+		if a.Kind != b.Kind || a.Name != b.Name || a.Start != b.Start || a.End != b.End ||
+			len(a.Attrs) != len(b.Attrs) || len(a.Tags) != len(b.Tags) {
+			t.Fatalf("span %d diverged: %+v vs %+v", i, a, b)
+		}
+		for k, v := range a.Attrs {
+			if b.Attrs[k] != v {
+				t.Fatalf("span %d attr %q: %d vs %d", i, k, v, b.Attrs[k])
+			}
+		}
+		for k, v := range a.Tags {
+			if b.Tags[k] != v {
+				t.Fatalf("span %d tag %q: %q vs %q", i, k, v, b.Tags[k])
+			}
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mapreduce"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// Payload codecs for the frame protocol, built on the wire primitives
+// the segment codec already uses. Every decoder is total: corrupt
+// input returns an error naming wire.ErrCorrupt or ErrFrame, never a
+// panic — the same contract decodeSegment holds, extended across the
+// socket.
+
+// JobSpec identifies, to a worker, how to build the map side of a job:
+// the registered query plus the engine knobs that change map output.
+// All fields are scalar so specs are comparable — workers cache one
+// built mapper per distinct spec.
+type JobSpec struct {
+	// Query is the job registry key (RegisterJob), e.g. "G1".
+	Query string
+	// NumReducers and Compress must match the coordinator's
+	// mapreduce.Config: they shape the partitioning and encoding of
+	// every run the worker ships.
+	NumReducers int
+	Compress    bool
+	// Combine, Columnar, MemoSize, and MapParallelism are the
+	// core.SympleOptions knobs that affect the map side.
+	Combine        bool
+	Columnar       bool
+	MemoSize       int
+	MapParallelism int
+}
+
+func appendJobSpec(e *wire.Encoder, s JobSpec) {
+	e.String(s.Query)
+	e.Uvarint(uint64(s.NumReducers))
+	e.Bool(s.Compress)
+	e.Bool(s.Combine)
+	e.Bool(s.Columnar)
+	e.Varint(int64(s.MemoSize))
+	e.Varint(int64(s.MapParallelism))
+}
+
+func decodeJobSpec(d *wire.Decoder) JobSpec {
+	return JobSpec{
+		Query:          d.String(),
+		NumReducers:    int(d.Uvarint()),
+		Compress:       d.Bool(),
+		Combine:        d.Bool(),
+		Columnar:       d.Bool(),
+		MemoSize:       int(d.Varint()),
+		MapParallelism: int(d.Varint()),
+	}
+}
+
+// encodeHello builds the hello payload: magic then protocol version.
+func encodeHello() []byte {
+	e := wire.NewEncoder(8)
+	e.Uvarint(helloMagic)
+	e.Uvarint(ProtocolVersion)
+	return e.Bytes()
+}
+
+// DecodeHello validates a hello payload, returning the peer's version.
+// Bad magic and unsupported versions are errors (never panics); the
+// fuzz corpus pins both classes.
+func DecodeHello(payload []byte) (version uint64, err error) {
+	d := wire.NewDecoder(payload)
+	magic := d.Uvarint()
+	version = d.Uvarint()
+	if d.Err() != nil {
+		return 0, fmt.Errorf("%w: truncated hello", ErrFrame)
+	}
+	if magic != helloMagic {
+		return 0, fmt.Errorf("%w: bad hello magic 0x%x", ErrFrame, magic)
+	}
+	if version != ProtocolVersion {
+		return version, fmt.Errorf("cluster: protocol version %d not supported (want %d)", version, ProtocolVersion)
+	}
+	if d.Remaining() != 0 {
+		return 0, fmt.Errorf("%w: %d trailing bytes after hello", ErrFrame, d.Remaining())
+	}
+	return version, nil
+}
+
+// assignment is one map attempt shipped to a worker.
+type assignment struct {
+	spec    JobSpec
+	task    int
+	attempt int
+	// abortAfter, when ≥ 0, instructs the worker to abort the
+	// connection after streaming that many runs — the deterministic
+	// worker-death injection the chaos plans drive. -1 disables.
+	abortAfter int
+	seg        *mapreduce.Segment
+}
+
+// maxSegmentRecords caps a decoded assignment's record count; segments
+// in this repo are thousands of records, so the cap only rejects
+// forged counts before allocation.
+const maxSegmentRecords = 1 << 26
+
+func encodeAssign(a *assignment) []byte {
+	e := wire.NewEncoder(1 << 16)
+	appendJobSpec(e, a.spec)
+	e.Uvarint(uint64(a.task))
+	e.Uvarint(uint64(a.attempt))
+	e.Varint(int64(a.abortAfter))
+	e.Uvarint(uint64(a.seg.ID))
+	e.Uvarint(uint64(len(a.seg.Records)))
+	for _, r := range a.seg.Records {
+		e.BytesField(r)
+	}
+	// The columnar form rides along in colcodec framing when the
+	// coordinator has it, so workers run the same batched execution
+	// path they would in process.
+	if a.seg.Columns != nil {
+		e.Bool(true)
+		e.BytesField(mapreduce.EncodeColumnar(a.seg.Columns, false))
+	} else {
+		e.Bool(false)
+	}
+	return e.Bytes()
+}
+
+func decodeAssign(payload []byte) (*assignment, error) {
+	d := wire.NewDecoder(payload)
+	a := &assignment{
+		spec:       decodeJobSpec(d),
+		task:       int(d.Uvarint()),
+		attempt:    int(d.Uvarint()),
+		abortAfter: int(d.Varint()),
+	}
+	segID := int(d.Uvarint())
+	n := d.Length(maxSegmentRecords)
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	recs := make([][]byte, n)
+	for i := range recs {
+		b := d.BytesField()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		// Copy out of the frame buffer: segments outlive the frame.
+		recs[i] = append([]byte(nil), b...)
+	}
+	a.seg = &mapreduce.Segment{ID: segID, Records: recs}
+	if d.Bool() {
+		cols, err := mapreduce.DecodeColumnar(d.BytesField())
+		if err != nil {
+			return nil, fmt.Errorf("cluster: assignment columnar payload: %w", err)
+		}
+		a.seg.Columns = cols
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after assignment", ErrFrame, d.Remaining())
+	}
+	return a, nil
+}
+
+func encodeRun(r mapreduce.Run) []byte {
+	e := wire.NewEncoder(len(r.Seg) + 16)
+	e.Uvarint(uint64(r.Task))
+	e.Uvarint(uint64(r.Attempt))
+	e.Uvarint(uint64(r.Part))
+	e.BytesField(r.Seg)
+	return e.Bytes()
+}
+
+func decodeRun(payload []byte) (mapreduce.Run, error) {
+	d := wire.NewDecoder(payload)
+	r := mapreduce.Run{
+		Task:    int(d.Uvarint()),
+		Attempt: int(d.Uvarint()),
+		Part:    int(d.Uvarint()),
+	}
+	seg := d.BytesField()
+	if d.Err() != nil {
+		return mapreduce.Run{}, d.Err()
+	}
+	if d.Remaining() != 0 {
+		return mapreduce.Run{}, fmt.Errorf("%w: %d trailing bytes after run", ErrFrame, d.Remaining())
+	}
+	r.Seg = append([]byte(nil), seg...) // outlives the frame buffer
+	r.Bytes = int64(len(r.Seg))
+	return r, nil
+}
+
+// mapDone is the attempt-closing metrics message, the wire form of the
+// non-run fields of mapreduce.MapOutput.
+type mapDone struct {
+	emitted    int64
+	records    int64
+	inputBytes int64
+	duration   time.Duration
+	logical    []int64
+}
+
+// maxParts caps the per-partition slice in a decoded mapDone.
+const maxParts = 1 << 16
+
+func encodeMapDone(m *mapDone) []byte {
+	e := wire.NewEncoder(64)
+	e.Varint(m.emitted)
+	e.Varint(m.records)
+	e.Varint(m.inputBytes)
+	e.Varint(int64(m.duration))
+	e.Uvarint(uint64(len(m.logical)))
+	for _, v := range m.logical {
+		e.Varint(v)
+	}
+	return e.Bytes()
+}
+
+func decodeMapDone(payload []byte) (*mapDone, error) {
+	d := wire.NewDecoder(payload)
+	m := &mapDone{
+		emitted:    d.Varint(),
+		records:    d.Varint(),
+		inputBytes: d.Varint(),
+		duration:   time.Duration(d.Varint()),
+	}
+	n := d.Length(maxParts)
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	m.logical = make([]int64, n)
+	for i := range m.logical {
+		m.logical[i] = d.Varint()
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after map-done", ErrFrame, d.Remaining())
+	}
+	return m, nil
+}
+
+// maxSpans and maxSpanKVs cap a decoded spans frame.
+const (
+	maxSpans   = 1 << 20
+	maxSpanKVs = 1 << 10
+)
+
+func encodeSpans(spans []*obs.Span) []byte {
+	e := wire.NewEncoder(len(spans) * 64)
+	e.Uvarint(uint64(len(spans)))
+	for _, sp := range spans {
+		e.String(sp.Kind)
+		e.String(sp.Name)
+		e.Varint(sp.Start)
+		e.Varint(sp.End)
+		e.Uvarint(uint64(len(sp.Attrs)))
+		for k, v := range sp.Attrs {
+			e.String(k)
+			e.Varint(v)
+		}
+		e.Uvarint(uint64(len(sp.Tags)))
+		for k, v := range sp.Tags {
+			e.String(k)
+			e.String(v)
+		}
+	}
+	return e.Bytes()
+}
+
+func decodeSpans(payload []byte) ([]*obs.Span, error) {
+	d := wire.NewDecoder(payload)
+	n := d.Length(maxSpans)
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	spans := make([]*obs.Span, 0, n)
+	for i := 0; i < n; i++ {
+		sp := &obs.Span{
+			Kind:  d.String(),
+			Name:  d.String(),
+			Start: d.Varint(),
+			End:   d.Varint(),
+		}
+		if na := d.Length(maxSpanKVs); na > 0 {
+			sp.Attrs = make(map[string]int64, na)
+			for j := 0; j < na; j++ {
+				k := d.String()
+				sp.Attrs[k] = d.Varint()
+			}
+		}
+		if nt := d.Length(maxSpanKVs); nt > 0 {
+			sp.Tags = make(map[string]string, nt)
+			for j := 0; j < nt; j++ {
+				k := d.String()
+				sp.Tags[k] = d.String()
+			}
+		}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		spans = append(spans, sp)
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after spans", ErrFrame, d.Remaining())
+	}
+	return spans, nil
+}
+
+func encodeError(msg string) []byte {
+	e := wire.NewEncoder(len(msg) + 4)
+	e.String(msg)
+	return e.Bytes()
+}
+
+func decodeError(payload []byte) (string, error) {
+	d := wire.NewDecoder(payload)
+	msg := d.String()
+	if d.Err() != nil {
+		return "", d.Err()
+	}
+	return msg, nil
+}

@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mapreduce"
+	"repro/internal/obs"
+)
+
+// The worker side: accept coordinator connections, exchange hellos,
+// then serve assignments one at a time per connection. Each assignment
+// runs the registered map side over the shipped segment via
+// mapreduce.ExecuteMap — the exact attempt body the in-process engine
+// runs — and streams every non-empty partition's encoded run back as
+// it is produced, followed by the worker-side trace spans and the
+// closing metrics frame. A worker holds no job state across attempts
+// beyond a cache of built mappers, so killing one loses nothing that
+// isn't re-derivable: the coordinator just retries the attempt.
+
+// Worker serves map assignments to coordinators.
+type Worker struct {
+	mu     sync.Mutex
+	maps   map[JobSpec]*cachedMapper
+	active atomic.Int64
+}
+
+// cachedMapper is one built map side plus the trace plumbing that
+// collects its spans per assignment. sympleMapFunc closes over its
+// trace, so the trace and sink live as long as the mapper; runs of the
+// same spec on one worker serialize on mu (one connection per worker
+// in practice, so this never contends).
+type cachedMapper struct {
+	mu    sync.Mutex
+	fn    mapreduce.MapFunc
+	trace *obs.Trace
+	sink  *obs.MemSink
+}
+
+// NewWorker returns an empty worker.
+func NewWorker() *Worker {
+	return &Worker{maps: map[JobSpec]*cachedMapper{}}
+}
+
+// Active reports connections currently being served — the
+// connection-leak probe the differential tests poll to zero.
+func (w *Worker) Active() int { return int(w.active.Load()) }
+
+// Serve accepts and serves connections until ln is closed or ctx is
+// cancelled; a closed listener returns nil.
+func (w *Worker) Serve(ctx context.Context, ln net.Listener) error {
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.active.Add(1)
+			defer w.active.Add(-1)
+			w.serveConn(ctx, conn) // per-connection errors end that conn only
+		}()
+	}
+}
+
+// errAbortConn is the sentinel the chaos-injected worker abort uses to
+// tear down the connection mid-stream.
+var errAbortConn = errors.New("cluster: injected worker abort")
+
+// serveConn handshakes and then serves assignments until the peer
+// disconnects or a protocol/injected fault kills the connection.
+func (w *Worker) serveConn(ctx context.Context, conn net.Conn) error {
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	fr, fw := newFrameReader(conn), newFrameWriter(conn)
+	// Hello exchange: coordinator speaks first, worker answers.
+	f, err := fr.next()
+	if err != nil {
+		return err
+	}
+	if f.Type != FrameHello {
+		return fmt.Errorf("%w: expected hello, got frame type %d", ErrFrame, f.Type)
+	}
+	if _, err := DecodeHello(f.Payload); err != nil {
+		// Tell a mismatched peer why before hanging up.
+		_ = fw.write(FrameError, encodeError(err.Error()))
+		return err
+	}
+	if err := fw.write(FrameHello, encodeHello()); err != nil {
+		return err
+	}
+	for {
+		f, err := fr.next()
+		if err != nil {
+			if err == io.EOF {
+				return nil // coordinator hung up cleanly between assignments
+			}
+			return err
+		}
+		if f.Type != FrameAssign {
+			return fmt.Errorf("%w: expected assignment, got frame type %d", ErrFrame, f.Type)
+		}
+		a, err := decodeAssign(f.Payload)
+		if err != nil {
+			// Undecodable assignment: the stream is unsynchronized, kill it.
+			_ = fw.write(FrameError, encodeError(err.Error()))
+			return err
+		}
+		if err := w.runAssignment(a, fw); err != nil {
+			if errors.Is(err, errAbortConn) {
+				return err // injected death: abandon the conn abruptly
+			}
+			// Attempt-level failure: report and stay available.
+			if werr := fw.write(FrameError, encodeError(err.Error())); werr != nil {
+				return werr
+			}
+		}
+	}
+}
+
+// mapper returns the cached map side for a spec, building and caching
+// it on first use. The returned cachedMapper is locked; the caller
+// unlocks when the assignment finishes.
+func (w *Worker) mapper(spec JobSpec) (*cachedMapper, error) {
+	w.mu.Lock()
+	cm, ok := w.maps[spec]
+	if !ok {
+		sink := obs.NewMemSink()
+		trace := obs.NewTrace(sink)
+		builder, err := lookupJob(spec.Query)
+		if err != nil {
+			w.mu.Unlock()
+			return nil, err
+		}
+		fn, err := builder(spec, trace)
+		if err != nil {
+			w.mu.Unlock()
+			return nil, err
+		}
+		cm = &cachedMapper{fn: fn, trace: trace, sink: sink}
+		w.maps[spec] = cm
+	}
+	w.mu.Unlock()
+	cm.mu.Lock()
+	cm.sink.Reset() // spans emitted from here on belong to this assignment
+	return cm, nil
+}
+
+// runSink streams runs to the coordinator as FrameRun messages,
+// implementing the worker half of the transport seam. abortAfter ≥ 0
+// injects the chaos worker death after that many runs.
+type runSink struct {
+	fw         *frameWriter
+	sent       int
+	abortAfter int
+}
+
+func (s *runSink) Publish(r mapreduce.Run) error {
+	if s.abortAfter >= 0 && s.sent >= s.abortAfter {
+		return errAbortConn
+	}
+	if err := s.fw.write(FrameRun, encodeRun(r)); err != nil {
+		return err
+	}
+	s.sent++
+	return nil
+}
+
+// runAssignment executes one map attempt and streams its output.
+func (w *Worker) runAssignment(a *assignment, fw *frameWriter) error {
+	cm, err := w.mapper(a.spec)
+	if err != nil {
+		return err
+	}
+	defer cm.mu.Unlock()
+	sink := &runSink{fw: fw, abortAfter: a.abortAfter}
+	out, err := mapreduce.ExecuteMap(cm.fn, a.seg, a.task, a.attempt,
+		a.spec.NumReducers, a.spec.Compress, cm.trace, sink)
+	if err != nil {
+		return err
+	}
+	if spans := cm.sink.Spans(); len(spans) > 0 {
+		if err := fw.write(FrameSpans, encodeSpans(spans)); err != nil {
+			return err
+		}
+	}
+	return fw.write(FrameMapDone, encodeMapDone(&mapDone{
+		emitted:    out.Emitted,
+		records:    out.Records,
+		inputBytes: out.InputBytes,
+		duration:   out.Duration,
+		logical:    out.LogicalOutBytes,
+	}))
+}
+
+// WorkerMain runs a worker daemon the way cmd/sympled and the spawned
+// subprocess mode use it: listen on addr (host:0 picks a free port),
+// announce the bound address on stdout as "SYMPLED LISTEN <addr>", and
+// serve until stdin reaches EOF — the parent closing the pipe (or
+// dying) is the shutdown signal, so orphaned workers cannot linger.
+func WorkerMain(addr string) error {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: worker listen: %w", err)
+	}
+	fmt.Printf("%s%s\n", spawnBanner, ln.Addr())
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		defer cancel()
+		// Block until the parent closes our stdin (EOF) or it errors.
+		_, _ = io.Copy(io.Discard, bufio.NewReader(os.Stdin))
+	}()
+	return NewWorker().Serve(ctx, ln)
+}

@@ -147,6 +147,19 @@ type Config struct {
 	// check per boundary.
 	Faults *FaultPlan
 
+	// Transport carries committed map-output runs to reduce partitions
+	// (transport.go). nil (the default) uses the in-process
+	// memTransport, which reproduces the pre-transport channel behavior
+	// exactly. The barrier oracle predates the transport seam and
+	// ignores it.
+	Transport Transport
+	// RemoteMap, when set, executes every map attempt's body out of
+	// process through the given RemoteMapper (remote.go) while the
+	// local task lifecycle — retries, speculation, first-finisher-wins
+	// commit — stays in charge. Incompatible with SpillDir,
+	// ExternalSort, and Faults (see validateRemote).
+	RemoteMap RemoteMapper
+
 	// Trace, when set, emits structured spans for the job and every task
 	// attempt, commit, spill-run decode, and merge to the trace's sink
 	// (see internal/obs). nil (the default) costs one nil check per span

@@ -68,6 +68,11 @@ func (j *Job) runStreaming(ctx context.Context, conf Config, segments []*Segment
 			End()
 		env.reg.MergeInto(conf.Registry)
 	}()
+	if conf.RemoteMap != nil {
+		if verr := validateRemote(conf); verr != nil {
+			return nil, fmt.Errorf("mapreduce %q: %w", j.Name, verr)
+		}
+	}
 	if conf.SpillDir != "" {
 		spill, err := newSpillStore(conf.SpillDir)
 		if err != nil {
@@ -77,12 +82,13 @@ func (j *Job) runStreaming(ctx context.Context, conf Config, segments []*Segment
 		defer spill.close()
 	}
 
-	// Per-partition run channels, buffered for one run per map task so
-	// committing attempts never block on reducers.
-	env.runCh = make([]chan spillRun, conf.NumReducers)
-	for p := range env.runCh {
-		env.runCh[p] = make(chan spillRun, len(segments))
+	// The shuffle transport: per-partition run streams, buffered for one
+	// run per map task so committing attempts never block on reducers.
+	env.transport = conf.Transport
+	if env.transport == nil {
+		env.transport = NewMemTransport()
 	}
+	env.transport.Open(conf.NumReducers, len(segments))
 
 	// ---- Reduce tasks (launched first: there is no map barrier) ----
 	type redOut struct {
@@ -194,9 +200,7 @@ func (j *Job) runStreaming(ctx context.Context, conf Config, segments []*Segment
 	if mapErr != nil {
 		env.aborted.Store(true)
 	}
-	for p := range env.runCh {
-		close(env.runCh[p])
-	}
+	env.transport.CloseSend()
 	rwg.Wait()
 	m.ReduceAttempts = env.reduceAttempts.Value()
 	m.TaskRetries = env.retries.Value() // map and reduce retries
@@ -239,33 +243,30 @@ func (j *Job) runStreaming(ctx context.Context, conf Config, segments []*Segment
 // producer identity — the consumption record the trace verifier joins
 // against run_commit events for the merged-exactly-once invariant.
 func (env *runEnv) collectRuns(p int) (runs []spillRun, inBytes int64, active time.Duration, err error) {
-	ch, external := env.runCh[p], env.conf.ExternalSort
-	add := func(r spillRun) {
-		if r.path != "" || r.seg != nil {
-			span := env.trace.Start(obs.KindSegDecode, fmt.Sprintf("part-%d", p)).
-				Attr(obs.AttrTask, int64(r.task)).Attr(obs.AttrAttempt, int64(r.attempt)).
-				Attr(obs.AttrPart, int64(r.part)).Attr(obs.AttrBytes, r.bytes)
-			t0 := time.Now()
-			var recs []kvRec
-			var derr error
-			if r.path != "" {
-				recs, derr = decodeRunFile(r.path)
-			} else {
-				recs, derr = decodeSegment(r.seg)
-			}
-			active += time.Since(t0)
-			if derr != nil {
-				span.Tag("outcome", "error").End()
-				if err == nil {
-					err = derr
-				}
-				return
-			}
-			span.End()
-			r = spillRun{recs: recs, bytes: r.bytes}
+	ch, external := env.transport.Partition(p), env.conf.ExternalSort
+	add := func(r Run) {
+		span := env.trace.Start(obs.KindSegDecode, fmt.Sprintf("part-%d", p)).
+			Attr(obs.AttrTask, int64(r.Task)).Attr(obs.AttrAttempt, int64(r.Attempt)).
+			Attr(obs.AttrPart, int64(r.Part)).Attr(obs.AttrBytes, r.Bytes)
+		t0 := time.Now()
+		var recs []kvRec
+		var derr error
+		if r.Path != "" {
+			recs, derr = decodeRunFile(r.Path)
+		} else {
+			recs, derr = decodeSegment(r.Seg)
 		}
-		runs = append(runs, r)
-		inBytes += r.bytes
+		active += time.Since(t0)
+		if derr != nil {
+			span.Tag("outcome", "error").End()
+			if err == nil {
+				err = derr
+			}
+			return
+		}
+		span.End()
+		runs = append(runs, spillRun{recs: recs, bytes: r.Bytes})
+		inBytes += r.Bytes
 	}
 	for {
 		select {

@@ -1,0 +1,200 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Remote map execution. User MapFuncs are closures and cannot cross a
+// process boundary, so cluster mode splits the map attempt in two: the
+// coordinator keeps the whole task lifecycle — retries with backoff,
+// speculation, the first-finisher-wins commit — and delegates only the
+// attempt body (run the map, sort, encode) to a RemoteMapper. Worker
+// death and connection drops surface as attempt errors and are retried
+// or speculated exactly like an injected fault; a worker whose output
+// never commits cannot perturb the merged stream.
+
+// MapOutput is one remotely executed map attempt's result: the encoded
+// runs plus the task metrics the coordinator would have measured
+// locally. Runs hold the segcodec wire form — byte-identical to what an
+// in-process attempt over the same segment encodes, which is what makes
+// placement invisible to reducers.
+type MapOutput struct {
+	Runs    []Run
+	Emitted int64 // shuffle records across all partitions
+	Records int64 // input records consumed
+	// InputBytes is the segment payload the worker read.
+	InputBytes int64
+	// Duration is the worker-measured attempt time; it feeds the
+	// speculation watchdog's straggler medians and MetricMapTaskNS.
+	Duration time.Duration
+	// LogicalOutBytes is the per-partition legacy-framing volume
+	// (Metrics.ShuffleLogicalBytes), computed at the worker where the
+	// records exist.
+	LogicalOutBytes []int64
+	// Spans are the worker-side trace spans covering this attempt
+	// (map parse/exec chunks, spill encode), shipped back for
+	// re-parenting under the coordinator's job root. May be nil.
+	Spans []*obs.Span
+}
+
+// RemoteMapper executes map attempts out of process. RunMap must be
+// safe for concurrent calls (the engine runs attempts in parallel up to
+// Config.Parallelism) and must honor ctx cancellation. A non-nil error
+// fails the attempt, not the task: the task lifecycle retries.
+type RemoteMapper interface {
+	RunMap(ctx context.Context, task, attempt int, seg *Segment) (*MapOutput, error)
+}
+
+// ExecuteMap runs one map attempt locally and publishes each non-empty
+// partition's encoded run into sink. It is the worker-side half of
+// remote execution and mirrors the engine's in-process attempt path —
+// same emit sequence numbering, same per-partition spill sort, same
+// segcodec encoding — so a run produced here is byte-identical to one
+// produced by runMapAttempt over the same segment.
+//
+// task and attempt label the published runs and trace spans; trace may
+// be nil. The returned MapOutput carries metrics only (Runs stays nil —
+// the runs went through sink, which may have streamed them away).
+func ExecuteMap(mapFn MapFunc, seg *Segment, task, attempt, numParts int,
+	compress bool, trace *obs.Trace, sink RunSink) (*MapOutput, error) {
+	if numParts <= 0 {
+		numParts = 1
+	}
+	t0 := time.Now()
+	parts := make([][]kvRec, numParts)
+	logical := make([]int64, numParts)
+	discardParts := func() {
+		for p := range parts {
+			if parts[p] != nil {
+				kvBufs.put(parts[p])
+				parts[p] = nil
+			}
+		}
+	}
+	var seq int64
+	emit := func(key string, recordID int64, value []byte) {
+		rec := kvRec{key: key, mapperID: seg.ID, recordID: recordID, seq: seq, value: value}
+		seq++
+		p := partition(key, numParts)
+		buf := parts[p]
+		if buf == nil {
+			buf = kvBufs.get(0)
+		}
+		parts[p] = append(buf, rec)
+		logical[p] += rec.wireSize()
+	}
+	if err := mapFn(seg.ID, seg, emit); err != nil {
+		discardParts()
+		return nil, err
+	}
+	out := &MapOutput{
+		Records:         int64(len(seg.Records)),
+		InputBytes:      seg.Bytes(),
+		LogicalOutBytes: logical,
+	}
+	encSpan := trace.Start(obs.KindSpillEncode, fmt.Sprintf("map-%d", task)).
+		Attr(obs.AttrTask, int64(task)).Attr(obs.AttrAttempt, int64(attempt))
+	var encBytes int64
+	for p := range parts {
+		if parts[p] == nil {
+			continue
+		}
+		if len(parts[p]) == 0 {
+			kvBufs.put(parts[p])
+			parts[p] = nil
+			continue
+		}
+		out.Emitted += int64(len(parts[p]))
+		sortRun(parts[p])
+		sg := encodeSegment(parts[p], compress)
+		kvBufs.put(parts[p])
+		parts[p] = nil
+		encBytes += int64(len(sg))
+		if err := sink.Publish(Run{Task: task, Attempt: attempt, Part: p,
+			Bytes: int64(len(sg)), Seg: sg}); err != nil {
+			encSpan.Tag("outcome", "error").End()
+			discardParts()
+			return nil, err
+		}
+	}
+	encSpan.Attr(obs.AttrBytes, encBytes).End()
+	out.Duration = time.Since(t0)
+	return out, nil
+}
+
+// runRemoteMapAttempt is the attempt body in cluster mode: delegate the
+// map to Config.RemoteMap and adapt its output into the same
+// attemptResult an in-process attempt builds, so commit and the reduce
+// side cannot tell where the work ran.
+func (env *runEnv) runRemoteMapAttempt(st *mapTask, attempt int) (*attemptResult, error) {
+	conf := env.conf
+	out, err := conf.RemoteMap.RunMap(env.ctx, st.id, attempt, st.seg)
+	if err != nil {
+		return nil, err
+	}
+	res := &attemptResult{
+		emitted: out.Emitted,
+		attempt: attempt,
+		memRuns: make([]spillRun, conf.NumReducers),
+	}
+	wireOut := make([]int64, conf.NumReducers)
+	for _, r := range out.Runs {
+		if r.Part < 0 || r.Part >= conf.NumReducers || r.Seg == nil {
+			return nil, fmt.Errorf("mapreduce %q: remote map task %d attempt %d returned invalid run (part %d of %d)",
+				env.job.Name, st.id, attempt, r.Part, conf.NumReducers)
+		}
+		res.memRuns[r.Part] = spillRun{seg: r.Seg, bytes: r.Bytes,
+			task: st.id, attempt: attempt, part: r.Part}
+		wireOut[r.Part] = r.Bytes
+	}
+	logical := out.LogicalOutBytes
+	if len(logical) != conf.NumReducers {
+		logical = make([]int64, conf.NumReducers)
+	}
+	dur := out.Duration
+	if dur <= 0 {
+		dur = time.Nanosecond // keep the speculation median well-defined
+	}
+	res.task = TaskMetrics{
+		Duration:        dur,
+		InputBytes:      st.seg.Bytes(),
+		Records:         int64(len(st.seg.Records)),
+		OutBytes:        wireOut,
+		LogicalOutBytes: logical,
+	}
+	// Re-parent the worker's spans under the coordinator job root only
+	// for an attempt that came back whole; a dying worker's half-trace
+	// is discarded with the attempt.
+	for _, sp := range out.Spans {
+		if sp == nil {
+			continue
+		}
+		sp.ID = 0 // EmitRaw reassigns from the coordinator's sequence
+		sp.Parent = env.trace.CurrentJob()
+		if sp.Tags == nil {
+			sp.Tags = map[string]string{}
+		}
+		sp.Tags["remote"] = "1"
+		env.trace.EmitRaw(sp)
+	}
+	return res, nil
+}
+
+// validateRemote rejects Config combinations the remote map path cannot
+// honor: the fault hooks, spill persistence, and the external-sort
+// baseline all live inside the in-process attempt body.
+func validateRemote(conf Config) error {
+	switch {
+	case conf.SpillDir != "":
+		return fmt.Errorf("mapreduce: RemoteMap is incompatible with SpillDir (runs arrive encoded, not as local spill files)")
+	case conf.ExternalSort:
+		return fmt.Errorf("mapreduce: RemoteMap is incompatible with ExternalSort (workers ship pre-sorted runs)")
+	case conf.Faults != nil:
+		return fmt.Errorf("mapreduce: RemoteMap is incompatible with Faults (inject worker faults at the cluster layer instead)")
+	}
+	return nil
+}

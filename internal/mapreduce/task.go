@@ -60,13 +60,13 @@ func backoffDelay(conf Config, retry int) time.Duration {
 // runEnv bundles the per-job scheduler state shared by task drivers,
 // attempts, and the speculation watchdog.
 type runEnv struct {
-	ctx     context.Context
-	job     *Job
-	conf    Config
-	sem     chan struct{}
-	runCh   []chan spillRun
-	spill   *spillStore
-	aborted *atomic.Bool
+	ctx       context.Context
+	job       *Job
+	conf      Config
+	sem       chan struct{}
+	transport Transport
+	spill     *spillStore
+	aborted   *atomic.Bool
 
 	// trace is Config.Trace (possibly nil — span calls are nil-safe).
 	// reg is the job's private metrics registry; lifecycle counters and
@@ -168,6 +168,9 @@ func (env *runEnv) driveMapTask(st *mapTask) {
 		if err == nil {
 			won, cerr := env.commit(st, id, res)
 			if won {
+				if cerr != nil {
+					env.finishTask(st, cerr) // transport fault after commit: abort
+				}
 				return
 			}
 			res.discard(st.id, env.spill)
@@ -234,6 +237,16 @@ func (env *runEnv) runMapAttempt(st *mapTask, attempt int, spec bool) (res *atte
 		}
 		span.End()
 	}()
+
+	// Cluster mode: delegate the attempt body to the remote mapper. The
+	// semaphore slot stays held — it bounds in-flight remote attempts the
+	// way it bounds local CPU — and the span above still wraps the
+	// attempt, so the verifier's commit-matches-attempt and cpu-bound
+	// invariants see the same shape as an in-process run.
+	if env.conf.RemoteMap != nil {
+		res, err = env.runRemoteMapAttempt(st, attempt)
+		return res, err
+	}
 
 	conf := env.conf
 	seg := st.seg
@@ -388,24 +401,34 @@ func (env *runEnv) commit(st *mapTask, attempt int, res *attemptResult) (won boo
 	env.trace.Start(obs.KindCommit, fmt.Sprintf("map-%d", st.id)).
 		Attr(obs.AttrTask, int64(st.id)).Attr(obs.AttrAttempt, int64(attempt)).
 		Tag("phase", "map").End()
-	runCommit := func(r spillRun) {
-		env.reg.Histogram(MetricRunBytes).Observe(r.bytes)
+	runCommit := func(r Run) error {
+		env.reg.Histogram(MetricRunBytes).Observe(r.Bytes)
 		env.trace.Start(obs.KindRunCommit, fmt.Sprintf("map-%d", st.id)).
-			Attr(obs.AttrTask, int64(r.task)).Attr(obs.AttrAttempt, int64(r.attempt)).
-			Attr(obs.AttrPart, int64(r.part)).Attr(obs.AttrBytes, r.bytes).End()
+			Attr(obs.AttrTask, int64(r.Task)).Attr(obs.AttrAttempt, int64(r.Attempt)).
+			Attr(obs.AttrPart, int64(r.Part)).Attr(obs.AttrBytes, r.Bytes).End()
+		return env.transport.Publish(r)
 	}
+	// A Publish failure after the CAS is a transport fault, not an
+	// attempt fault: the task has committed and cannot retry, so the
+	// error aborts the job (won=true, err!=nil).
 	if res.onDisk {
 		for _, f := range res.files {
-			r := spillRun{path: env.spill.committedRunPath(st.id, f), bytes: f.bytes,
-				task: st.id, attempt: attempt, part: f.part}
-			runCommit(r)
-			env.runCh[f.part] <- r
+			r := Run{Path: env.spill.committedRunPath(st.id, f), Bytes: f.bytes,
+				Task: st.id, Attempt: attempt, Part: f.part}
+			if perr := runCommit(r); perr != nil {
+				return true, fmt.Errorf("mapreduce %q: map task %d: publishing committed run: %w",
+					env.job.Name, st.id, perr)
+			}
 		}
 	} else {
 		for p := range res.memRuns {
 			if res.memRuns[p].seg != nil {
-				runCommit(res.memRuns[p])
-				env.runCh[p] <- res.memRuns[p]
+				r := res.memRuns[p]
+				if perr := runCommit(Run{Task: r.task, Attempt: r.attempt, Part: r.part,
+					Bytes: r.bytes, Seg: r.seg}); perr != nil {
+					return true, fmt.Errorf("mapreduce %q: map task %d: publishing committed run: %w",
+						env.job.Name, st.id, perr)
+				}
 			}
 		}
 	}
@@ -475,8 +498,12 @@ func (env *runEnv) runBackup(st *mapTask, b chan struct{}) {
 	if err != nil {
 		return // the driver's own attempts decide the task's fate
 	}
-	won, _ := env.commit(st, id, res)
+	won, cerr := env.commit(st, id, res)
 	if won {
+		if cerr != nil {
+			env.finishTask(st, cerr) // transport fault after commit: abort
+			return
+		}
 		env.specWins.Add(1)
 		return
 	}

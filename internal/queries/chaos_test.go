@@ -1,11 +1,15 @@
 package queries
 
 import (
+	"context"
+	"net"
 	"os"
 	"strconv"
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/mapreduce"
 )
@@ -169,6 +173,91 @@ func TestChaosBaselineDifferential(t *testing.T) {
 				got, err := spec.Baseline(segs, conf)
 				if err != nil {
 					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if got.Digest != want.Digest || got.NumResults != want.NumResults {
+					t.Fatalf("seed %d: digest %x (%d results) != fault-free %x (%d)",
+						seed, got.Digest, got.NumResults, want.Digest, want.NumResults)
+				}
+			}
+		})
+	}
+}
+
+// chaosWorkers starts n in-process loopback cluster workers whose
+// cleanup asserts every connection drained.
+func chaosWorkers(t *testing.T, n int) []cluster.Endpoint {
+	t.Helper()
+	eps := make([]cluster.Endpoint, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := cluster.NewWorker()
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- w.Serve(ctx, ln) }()
+		t.Cleanup(func() {
+			cancel()
+			if err := <-done; err != nil {
+				t.Errorf("worker serve: %v", err)
+			}
+			if active := w.Active(); active != 0 {
+				t.Errorf("worker leaked %d connections", active)
+			}
+		})
+		eps[i] = cluster.Dial(ln.Addr().String())
+	}
+	return eps
+}
+
+// TestClusterChaosDifferential is the distributed arm of the chaos
+// suite: the same queries run over TCP workers while a seeded
+// cluster.ChaosPlan kills workers before assignment, aborts them
+// mid-stream, and drops coordinator connections mid-stream. Plans are
+// pure in (seed, task, attempt) and spare each task's last survivable
+// attempt, so every run must commit — and its digest must equal the
+// fault-free sequential reference exactly. CHAOS_SEEDS widens the
+// sweep (CI runs it under -race).
+func TestClusterChaosDifferential(t *testing.T) {
+	seeds := chaosSeedCount(t, 6)
+	datasets := chaosDatasets()
+	eps := chaosWorkers(t, 2)
+	var injected int64
+	t.Cleanup(func() {
+		if injected == 0 {
+			t.Error("cluster chaos sweep injected no faults — the harness is not arming")
+		}
+	})
+	for qi, id := range chaosSpecIDs {
+		spec := ByID(id)
+		segs := datasets[spec.Dataset]
+		want, err := spec.Sequential(segs)
+		if err != nil {
+			t.Fatalf("%s sequential reference: %v", id, err)
+		}
+		if want.NumResults == 0 {
+			t.Fatalf("%s reference produced no results", id)
+		}
+		t.Run(id, func(t *testing.T) {
+			for seed := 0; seed < seeds; seed++ {
+				conf := chaosConf(nil)
+				conf.CompressShuffle = seed%2 == 0
+				// Odd seeds run the columnar batch path on the worker,
+				// riding the colcodec payload in the assignment.
+				opt := core.SympleOptions{Columnar: seed%2 == 1}
+				plan := cluster.NewChaosPlan(int64(seed*53+qi), conf.MaxAttempts)
+				pool, err := cluster.NewPool(
+					ClusterSpec(id, conf, opt), eps, cluster.WithChaos(plan))
+				if err != nil {
+					t.Fatal(err)
+				}
+				conf.RemoteMap = pool
+				got, err := spec.SympleOpts(segs, conf, opt)
+				pool.Close()
+				injected += plan.Injected()
+				if err != nil {
+					t.Fatalf("seed %d: cluster chaos run failed (final attempts are spared; this must succeed): %v", seed, err)
 				}
 				if got.Digest != want.Digest || got.NumResults != want.NumResults {
 					t.Fatalf("seed %d: digest %x (%d results) != fault-free %x (%d)",

@@ -1,0 +1,81 @@
+package queries
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/mapreduce"
+	"repro/internal/obs"
+	"repro/internal/sym"
+)
+
+// Cluster wiring: user map functions are closures over typed queries
+// and cannot cross a socket, so coordinator and worker instead agree on
+// a registry key — the query ID — and both sides link the same
+// registrations. Constructing any Spec (makeSpec) registers its SYMPLE
+// map side under its ID; a worker process just has to force the specs
+// into existence once at startup.
+
+// registerClusterJob publishes the SYMPLE map side of a typed query in
+// the cluster job registry under the query's ID. makeSpec calls it, so
+// any process that constructs the specs can serve worker assignments.
+func registerClusterJob[S sym.State, E, R any](id string, q *core.Query[S, E, R]) {
+	cluster.RegisterJob(id, func(spec cluster.JobSpec, trace *obs.Trace) (mapreduce.MapFunc, error) {
+		return core.SympleMapper(q, core.SympleOptions{
+			Combine:        spec.Combine,
+			Columnar:       spec.Columnar,
+			MemoSize:       spec.MemoSize,
+			MapParallelism: spec.MapParallelism,
+		}, trace)
+	})
+}
+
+// RegisterClusterJobs makes every query's map side available to the
+// cluster job registry. Worker processes (cmd/sympled, the spawned
+// worker modes) call this once at startup; it is idempotent.
+func RegisterClusterJobs() {
+	// Constructing each Spec runs makeSpec, which registers its job.
+	_ = All()
+}
+
+// ClusterSpec builds the cluster.JobSpec a coordinator ships to
+// workers for query id under the given engine config and options. The
+// spec must mirror exactly the knobs that shape map output — reducer
+// count, shuffle compression, and the map-side SympleOptions — or the
+// worker would produce different bytes than the in-process engine.
+func ClusterSpec(id string, conf mapreduce.Config, opt core.SympleOptions) cluster.JobSpec {
+	return cluster.JobSpec{
+		Query:          id,
+		NumReducers:    conf.NumReducers,
+		Compress:       conf.CompressShuffle,
+		Combine:        opt.Combine,
+		Columnar:       opt.Columnar,
+		MemoSize:       opt.MemoSize,
+		MapParallelism: opt.MapParallelism,
+	}
+}
+
+// GoldenSegments is the segment count the committed golden corpora are
+// cut into (testdata/golden_digests.txt).
+const GoldenSegments = 6
+
+// GoldenDatasets generates the seeded laptop-scale instances of all
+// four corpora that the golden digests and the cross-package
+// differential suites (queries, cluster) run against. Deterministic in
+// (segments, seeds), so every process — including spawned worker
+// subprocesses in other tests — regenerates identical records.
+func GoldenDatasets(segments int) map[string][]*mapreduce.Segment {
+	return map[string][]*mapreduce.Segment{
+		"github": data.GenGithub(data.GithubConfig{
+			Records: 8000, Repos: 300, Segments: segments, Filler: 8, Seed: 11}),
+		"bing": data.GenBing(data.BingConfig{
+			Records: 8000, Users: 400, Geos: 12, Segments: segments,
+			Filler: 8, Seed: 12, Outages: 6}),
+		"twitter": data.GenTwitter(data.TwitterConfig{
+			Records: 8000, Hashtags: 200, Users: 500, Segments: segments,
+			Filler: 8, Seed: 13}),
+		"redshift": data.GenRedshift(data.RedshiftConfig{
+			Records: 8000, Advertisers: 40, Segments: segments,
+			Seed: 14, DarkWindows: 2}),
+	}
+}

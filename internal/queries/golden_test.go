@@ -23,11 +23,12 @@ var update = flag.Bool("update", false, "regenerate the golden digest file")
 //	go test ./internal/queries -run TestGoldenDigests -update
 const goldenPath = "testdata/golden_digests.txt"
 
-// goldenSegments is the segment count the golden corpora are cut into.
-// It is part of the golden contract only via the generators' record
+// goldenSegments is the segment count the golden corpora are cut into
+// (exported as GoldenSegments for the cluster differential suite). It
+// is part of the golden contract only via the generators' record
 // placement; the digests themselves are segmentation-independent (the
 // engines guarantee that, and TestAllQueriesEnginesAgree checks it).
-const goldenSegments = 6
+const goldenSegments = GoldenSegments
 
 // goldenEntry is one line of the golden file: a query's reference digest
 // and result count.

@@ -7,21 +7,10 @@ import (
 	"repro/internal/mapreduce"
 )
 
-// smallDatasets generates laptop-scale instances of all four corpora.
+// smallDatasets generates laptop-scale instances of all four corpora
+// (now shared with the cluster differential suite as GoldenDatasets).
 func smallDatasets(segments int) map[string][]*mapreduce.Segment {
-	return map[string][]*mapreduce.Segment{
-		"github": data.GenGithub(data.GithubConfig{
-			Records: 8000, Repos: 300, Segments: segments, Filler: 8, Seed: 11}),
-		"bing": data.GenBing(data.BingConfig{
-			Records: 8000, Users: 400, Geos: 12, Segments: segments,
-			Filler: 8, Seed: 12, Outages: 6}),
-		"twitter": data.GenTwitter(data.TwitterConfig{
-			Records: 8000, Hashtags: 200, Users: 500, Segments: segments,
-			Filler: 8, Seed: 13}),
-		"redshift": data.GenRedshift(data.RedshiftConfig{
-			Records: 8000, Advertisers: 40, Segments: segments,
-			Seed: 14, DarkWindows: 2}),
-	}
+	return GoldenDatasets(segments)
 }
 
 // TestAllQueriesEnginesAgree is the repository's central end-to-end

@@ -129,6 +129,8 @@ func makeSpec[S sym.State, E, R any](
 		d, n := digestResults(out.Results, format)
 		return &Run{Digest: d, NumResults: n, Metrics: out.Metrics, Sym: out.Sym}, nil
 	}
+	// Publish the map side for cluster workers (see cluster.go).
+	registerClusterJob(id, q)
 	return &Spec{
 		ID: id, Description: desc, Dataset: dataset,
 		UsesEnum: usesEnum, UsesInt: usesInt, UsesPred: usesPred,

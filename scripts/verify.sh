@@ -24,6 +24,12 @@ CHAOS_SEEDS=6 go test -race -count=1 -run 'Chaos' ./internal/mapreduce ./interna
 # metamorphic batch-boundary splits, and the FeedBatch equivalence
 # suite. CI's `columnar` job runs the wide form under -race.
 go test -count=1 -run 'Columnar|Batch' ./internal/sym ./internal/data ./internal/mapreduce ./internal/queries
+# Cluster leg: the transport/coordinator/worker path — frame codec
+# seeds, pool lifecycle, golden digest equivalence through loopback TCP
+# workers (in-process and multi-process), and a short distributed chaos
+# sweep. CI's `cluster` job runs the wide sweep (CHAOS_SEEDS=100).
+go test -race -count=1 ./internal/cluster
+CHAOS_SEEDS=4 go test -race -count=1 -run 'TestClusterChaosDifferential' ./internal/queries
 # Traced leg: every engine run auto-attaches a trace; the run fails if
 # the completed trace breaks an obs.Verifier invariant or the metrics
 # registry fails its self-check. CI's `traced` job runs the wide form
