@@ -10,6 +10,9 @@
 // With -workers N the SYMPLE engine executes its map attempts on N
 // spawned sympled worker subprocesses over loopback TCP; the sequential
 // and baseline engines (and the digest cross-check) stay in-process.
+// Adding -w2w routes spill runs worker-to-worker by partition owner and
+// reduces on the owning workers, so the coordinator receives only run
+// receipts and one applied constant summary per group.
 package main
 
 import (
@@ -46,6 +49,7 @@ func main() {
 		tracePath = flag.String("trace", "", "write structured JSONL task spans to this file and verify trace invariants")
 		profile   = flag.String("profile", "", "write a CPU profile covering each engine run to this file")
 		workers   = flag.Int("workers", 0, "run SYMPLE maps on this many spawned worker subprocesses (0 = in-process)")
+		w2w       = flag.Bool("w2w", false, "with -workers: shuffle runs worker-to-worker and reduce on the partition owners (coordinator receives only receipts and final summaries)")
 		workerBin = flag.String("worker-bin", "sympled", "worker binary: a path, or a name resolved next to this executable then on PATH")
 	)
 	flag.Parse()
@@ -123,7 +127,11 @@ func main() {
 			log.Fatal(err)
 		}
 		opt := core.SympleOptions{Columnar: *columnar}
-		pool, err := cluster.NewPool(queries.ClusterSpec(spec.ID, conf, opt), eps)
+		var popts []cluster.PoolOption
+		if *w2w {
+			popts = append(popts, cluster.WithW2W())
+		}
+		pool, err := cluster.NewPool(queries.ClusterSpec(spec.ID, conf, opt), eps, popts...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -135,6 +143,9 @@ func main() {
 		}()
 		rconf := conf
 		rconf.RemoteMap = pool
+		if *w2w {
+			rconf.RemoteReduce = pool
+		}
 		// Remote attempts are coordinator-side waits; keep enough task
 		// parallelism in flight to cover every worker even when the
 		// GOMAXPROCS default is smaller.
@@ -144,7 +155,11 @@ func main() {
 		rconf.RetryBackoff = 10 * time.Millisecond
 		rconf.MaxRetryBackoff = 250 * time.Millisecond
 		sympleRun = func() (*queries.Run, error) { return spec.SympleOpts(segs, rconf, opt) }
-		fmt.Printf("cluster: %d %s workers spawned, SYMPLE maps run remotely\n\n", *workers, bin)
+		mode := "SYMPLE maps run remotely"
+		if *w2w {
+			mode = "worker-to-worker shuffle, maps and reduces run remotely"
+		}
+		fmt.Printf("cluster: %d %s workers spawned, %s\n\n", *workers, bin, mode)
 	}
 	type engineRun struct {
 		name string

@@ -30,6 +30,11 @@ const (
 	// ChaosDropConn makes the coordinator drop the connection after
 	// receiving After run frames — a network partition mid-stream.
 	ChaosDropConn
+	// ChaosPeerDrop makes the map worker close its peer connections
+	// after After pushes — a worker-to-worker shuffle link dying
+	// mid-push. In the via-coordinator topology (no peer mesh) the pool
+	// downgrades it to ChaosWorkerAbort so the schedule stays seeded.
+	ChaosPeerDrop
 )
 
 // ChaosPlan injects deterministic worker faults into a Pool.
@@ -72,10 +77,30 @@ func (p *ChaosPlan) decide(task, attempt int) (kind ChaosKind, after int) {
 	if float64(h%1000)/1000 >= p.rate {
 		return ChaosNone, 0
 	}
-	kind = ChaosKind(1 + (h>>10)%3)
+	kind = ChaosKind(1 + (h>>10)%4)
 	after = int((h >> 20) % 3)
 	p.injected.Add(1)
 	return kind, after
+}
+
+// decideReduce returns whether to kill the partition's reduce owner on
+// this attempt: the owner drops the partition's buffered runs and
+// aborts its connection, so the retried attempt must refill. Drawn
+// from a salted stream separate from the map-side decisions, with the
+// same rate and the same spare-final rule.
+func (p *ChaosPlan) decideReduce(part, attempt int) bool {
+	if p == nil {
+		return false
+	}
+	if attempt >= p.maxAttempts-1 {
+		return false
+	}
+	h := chaosMix(p.seed ^ chaosMix(uint64(part)+0x517C) ^ chaosMix(uint64(attempt)+0xC2B2))
+	if float64(h%1000)/1000 >= p.rate {
+		return false
+	}
+	p.injected.Add(1)
+	return true
 }
 
 // Injected counts the faults the plan has armed so far — differential

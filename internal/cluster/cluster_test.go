@@ -162,14 +162,18 @@ func remoteConf(pool *cluster.Pool) mapreduce.Config {
 
 // TestTransportEquivalenceGolden is the core satellite contract: all 12
 // queries produce byte-identical digests through the in-memory
-// transport and through loopback TCP workers, and both match the
-// committed golden reference. Goroutines and worker connections are
-// checked back to baseline afterwards.
+// transport, through loopback TCP workers shuffling via the
+// coordinator, and through the worker-to-worker topology — all matching
+// the committed golden reference. Across the whole suite, the w2w
+// topology must also collapse the coordinator's shuffle-plane ingress
+// (runs vs receipts + combined reduce replies). Goroutines and worker
+// connections are checked back to baseline afterwards.
 func TestTransportEquivalenceGolden(t *testing.T) {
 	checkGoroutineLeaks(t)
 	golden := readGolden(t)
 	datasets := queries.GoldenDatasets(queries.GoldenSegments)
 	eps := startWorkers(t, 2)
+	var viaIngress, w2wIngress int64
 	for _, spec := range queries.All() {
 		spec := spec
 		t.Run(spec.ID, func(t *testing.T) {
@@ -189,6 +193,23 @@ func TestTransportEquivalenceGolden(t *testing.T) {
 			if err != nil {
 				t.Fatalf("TCP transport: %v", err)
 			}
+			viaIngress += pool.Stats().ShuffleIngressBytes
+
+			w2wPool, err := cluster.NewPool(
+				queries.ClusterSpec(spec.ID, mapreduce.Config{NumReducers: 3}, core.SympleOptions{}),
+				eps, cluster.WithW2W())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w2wPool.Close()
+			w2wConf := remoteConf(w2wPool)
+			w2wConf.RemoteReduce = w2wPool
+			w2w, err := spec.SympleOpts(segs, w2wConf, core.SympleOptions{})
+			if err != nil {
+				t.Fatalf("w2w transport: %v", err)
+			}
+			w2wIngress += w2wPool.Stats().ShuffleIngressBytes
+
 			w := golden[spec.ID]
 			if mem.Digest != w.digest || mem.NumResults != w.results {
 				t.Errorf("in-memory digest %016x (%d results) != golden %016x (%d)",
@@ -198,7 +219,128 @@ func TestTransportEquivalenceGolden(t *testing.T) {
 				t.Errorf("TCP digest %016x (%d results) != golden %016x (%d)",
 					tcp.Digest, tcp.NumResults, w.digest, w.results)
 			}
+			if w2w.Digest != w.digest || w2w.NumResults != w.results {
+				t.Errorf("w2w digest %016x (%d results) != golden %016x (%d)",
+					w2w.Digest, w2w.NumResults, w.digest, w.results)
+			}
 		})
+	}
+	if viaIngress == 0 || w2wIngress == 0 {
+		t.Fatalf("shuffle ingress not recorded (via %d, w2w %d)", viaIngress, w2wIngress)
+	}
+	if w2wIngress*2 > viaIngress {
+		t.Errorf("w2w coordinator shuffle ingress %d bytes is not well below via-coordinator %d bytes",
+			w2wIngress, viaIngress)
+	}
+	t.Logf("coordinator shuffle ingress across the suite: via %d bytes, w2w %d bytes (%.1fx reduction)",
+		viaIngress, w2wIngress, float64(viaIngress)/float64(w2wIngress))
+}
+
+// TestW2WTraceSpans extends the observability contract to the w2w
+// topology: every partition gets a part_owner span, worker reduce spans
+// arrive tagged remote with the owner's worker attr, and the merged
+// trace passes every verifier invariant — including the owner-decode
+// join between part_owner and the reduce-side seg_decode spans.
+func TestW2WTraceSpans(t *testing.T) {
+	checkGoroutineLeaks(t)
+	datasets := queries.GoldenDatasets(queries.GoldenSegments)
+	eps := startWorkers(t, 2)
+	spec := queries.ByID("G1")
+	pool, err := cluster.NewPool(
+		queries.ClusterSpec("G1", mapreduce.Config{NumReducers: 3}, core.SympleOptions{}),
+		eps, cluster.WithW2W())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	sink := obs.NewMemSink()
+	conf := remoteConf(pool)
+	conf.RemoteReduce = pool
+	conf.Trace = obs.NewTrace(sink)
+	if _, err := spec.SympleOpts(datasets[spec.Dataset], conf, core.SympleOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	spans := sink.Spans()
+	var owners, remoteDecodes int
+	for _, sp := range spans {
+		switch {
+		case sp.Kind == obs.KindPartOwner:
+			owners++
+			if _, ok := sp.Attrs[obs.AttrWorker]; !ok {
+				t.Errorf("part_owner span %d missing the worker attr", sp.ID)
+			}
+		case sp.Kind == obs.KindSegDecode && sp.Tags["remote"] == "1":
+			remoteDecodes++
+			if _, ok := sp.Attrs[obs.AttrWorker]; !ok {
+				t.Errorf("remote seg_decode span %d missing the worker attr", sp.ID)
+			}
+		}
+	}
+	if owners != 3 {
+		t.Errorf("%d part_owner spans, want one per partition (3)", owners)
+	}
+	if remoteDecodes == 0 {
+		t.Error("no remote seg_decode spans — worker reduce spans did not ship")
+	}
+	if err := (obs.Verifier{}).Check(spans); err != nil {
+		t.Errorf("merged w2w trace failed verification: %v", err)
+	}
+}
+
+// TestW2WOwnerDeathFailsCleanly pins the dead-reduce-owner semantics:
+// partition ownership is static for the job's lifetime, so when an
+// owner dies for good, map attempts cannot settle their pushes and the
+// job fails with a clean error once the retry budget exhausts — no
+// hang, no partial result, and the surviving worker drains.
+func TestW2WOwnerDeathFailsCleanly(t *testing.T) {
+	checkGoroutineLeaks(t)
+	// Worker 0 gets its own lifecycle so the test can kill it; the
+	// startWorkers cleanup contract (serve error nil) still holds.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0 := cluster.NewWorker()
+	ctx0, cancel0 := context.WithCancel(context.Background())
+	done0 := make(chan error, 1)
+	go func() { done0 <- w0.Serve(ctx0, ln) }()
+	killed := false
+	kill0 := func() {
+		if killed {
+			return
+		}
+		killed = true
+		cancel0()
+		if err := <-done0; err != nil {
+			t.Errorf("worker 0 serve: %v", err)
+		}
+	}
+	t.Cleanup(kill0)
+	eps := append([]cluster.Endpoint{cluster.Dial(ln.Addr().String())}, startWorkers(t, 1)...)
+
+	pool, err := cluster.NewPool(
+		queries.ClusterSpec("G1", mapreduce.Config{NumReducers: 3}, core.SympleOptions{}),
+		eps, cluster.WithW2W())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	kill0() // owner of partitions 0 and 2 is now permanently gone
+
+	spec := queries.ByID("G1")
+	segs := queries.GoldenDatasets(queries.GoldenSegments)[spec.Dataset]
+	start := time.Now()
+	if _, err := spec.SympleOpts(segs, func() mapreduce.Config {
+		conf := remoteConf(pool)
+		conf.RemoteReduce = pool
+		return conf
+	}(), core.SympleOptions{}); err == nil {
+		t.Fatal("job with a dead partition owner succeeded — ownership must not re-elect mid-job")
+	} else if !strings.Contains(err.Error(), "failed after") {
+		t.Fatalf("unexpected failure shape: %v", err)
+	}
+	if d := time.Since(start); d > 60*time.Second {
+		t.Fatalf("dead-owner failure took %v — retries did not fail fast", d)
 	}
 }
 

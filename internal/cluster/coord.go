@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mapreduce"
@@ -13,18 +15,31 @@ import (
 
 // The coordinator side. A Pool implements mapreduce.RemoteMapper over a
 // fixed set of worker endpoints: RunMap leases a connection, ships the
-// assignment, and demultiplexes the reply stream — runs, spans, then
-// the closing metrics — back into a mapreduce.MapOutput. Any
-// connection failure retires the lease and surfaces as an attempt
-// error; a background redial restores the worker, and the engine's
-// retry/speculation machinery does the rest. The pool never commits
-// anything itself: first-finisher-wins stays with the engine, exactly
-// as in process.
+// assignment, and demultiplexes the reply stream back into a
+// mapreduce.MapOutput. Any connection failure retires the lease and
+// surfaces as an attempt error; a background redial restores the
+// worker, and the engine's retry/speculation machinery does the rest.
+// The pool never commits anything itself: first-finisher-wins stays
+// with the engine, exactly as in process.
+//
+// With WithW2W the pool also implements mapreduce.RemoteReducer and
+// takes itself off the data path: partitions get static owners
+// (p mod workers), assignments carry the ownership tables so map
+// workers push runs straight to their owners, and RunReduce asks the
+// owning worker to merge in place — only byte-counted receipts flow up
+// during maps and only combined group summaries flow back at reduce.
+// Segments are content-addressed: once a worker has acknowledged an
+// attempt over some segment, later attempts ship only the digest, and
+// a worker whose cache was lost answers need-segment to get one
+// payload re-ship.
 
 // Endpoint is one worker the pool can (re)connect to.
 type Endpoint interface {
 	// Connect establishes a fresh transport connection to the worker.
 	Connect(ctx context.Context) (net.Conn, error)
+	// Addr is the worker's listen address — the identity peers dial in
+	// the w2w topology.
+	Addr() string
 	// Close releases the endpoint (kills a spawned worker process).
 	Close() error
 }
@@ -40,6 +55,9 @@ func (e *dialEndpoint) Connect(ctx context.Context) (net.Conn, error) {
 	return d.DialContext(ctx, "tcp", e.addr)
 }
 
+// Addr returns the worker's listen address.
+func (e *dialEndpoint) Addr() string { return e.addr }
+
 func (e *dialEndpoint) Close() error { return nil }
 
 // workerConn is one leased connection to a worker.
@@ -50,18 +68,68 @@ type workerConn struct {
 	fw   *frameWriter
 }
 
+// ownerConn is the dedicated reduce connection to one partition owner,
+// dialed lazily; mu serializes reduce conversations when one worker
+// owns several partitions.
+type ownerConn struct {
+	mu sync.Mutex
+	w  *workerConn
+}
+
+// Placement records where one map attempt was dispatched — the
+// speculation anti-affinity and cache-affinity tests read these.
+type Placement struct {
+	Task    int
+	Attempt int
+	Addr    string
+}
+
+// PoolStats are the coordinator-side byte counters the benchmark
+// methodology records per topology.
+type PoolStats struct {
+	// ConnIngressBytes / ConnEgressBytes count every byte the
+	// coordinator read from / wrote to worker connections.
+	ConnIngressBytes int64
+	ConnEgressBytes  int64
+	// ShuffleIngressBytes counts the shuffle-plane payload bytes that
+	// reached the coordinator: run frames (via-coordinator), receipts
+	// and reduce replies (w2w). This is the number the w2w topology
+	// collapses.
+	ShuffleIngressBytes int64
+}
+
 // Pool leases worker connections to concurrent map attempts.
 type Pool struct {
 	spec  JobSpec
 	chaos *ChaosPlan
 
+	w2w       bool
+	jobID     uint64
+	endpoints []Endpoint
+	epIndex   map[Endpoint]int
+	owners    []int
+	addrs     []string
+
 	free chan *workerConn
 	dead chan struct{} // closed when every worker is permanently lost
 
-	mu     sync.Mutex
-	closed bool
-	live   int
-	conns  map[*workerConn]struct{}
+	mu         sync.Mutex
+	closed     bool
+	live       int
+	conns      map[*workerConn]struct{}
+	lastEp     map[int]Endpoint             // task → endpoint of the latest dispatched attempt
+	epSegs     map[Endpoint]map[uint64]bool // segments acknowledged cached per endpoint
+	segs       map[int]*mapreduce.Segment   // task → segment, retained for w2w refills
+	segDigests map[*mapreduce.Segment]uint64
+	placements []Placement
+	procs      map[string]int // worker addr → GOMAXPROCS, from map-done
+
+	rmu    sync.Mutex
+	rconns map[int]*ownerConn
+
+	connIn    atomic.Int64
+	connOut   atomic.Int64
+	shuffleIn atomic.Int64
 
 	wg sync.WaitGroup // background redials
 }
@@ -73,6 +141,18 @@ type PoolOption func(*Pool)
 func WithChaos(plan *ChaosPlan) PoolOption {
 	return func(p *Pool) { p.chaos = plan }
 }
+
+// WithW2W switches the pool to the worker-to-worker shuffle topology.
+// The pool then also implements mapreduce.RemoteReducer; wire it into
+// both Config.RemoteMap and Config.RemoteReduce.
+func WithW2W() PoolOption {
+	return func(p *Pool) { p.w2w = true }
+}
+
+// jobSeq disambiguates pools within one coordinator process; combined
+// with the pid it keys per-job worker state across coordinators
+// sharing workers.
+var jobSeq atomic.Uint64
 
 // reconnect backoff schedule for retired workers.
 const (
@@ -91,14 +171,36 @@ func NewPool(spec JobSpec, endpoints []Endpoint, opts ...PoolOption) (*Pool, err
 		return nil, errors.New("cluster: pool needs at least one worker endpoint")
 	}
 	p := &Pool{
-		spec:  spec,
-		free:  make(chan *workerConn, len(endpoints)),
-		dead:  make(chan struct{}),
-		conns: map[*workerConn]struct{}{},
-		live:  len(endpoints),
+		spec:       spec,
+		jobID:      uint64(os.Getpid())<<20 ^ jobSeq.Add(1),
+		endpoints:  endpoints,
+		epIndex:    make(map[Endpoint]int, len(endpoints)),
+		free:       make(chan *workerConn, len(endpoints)),
+		dead:       make(chan struct{}),
+		conns:      map[*workerConn]struct{}{},
+		lastEp:     map[int]Endpoint{},
+		epSegs:     map[Endpoint]map[uint64]bool{},
+		segs:       map[int]*mapreduce.Segment{},
+		segDigests: map[*mapreduce.Segment]uint64{},
+		procs:      map[string]int{},
+		rconns:     map[int]*ownerConn{},
+		live:       len(endpoints),
+	}
+	for i, ep := range endpoints {
+		p.epIndex[ep] = i
+		p.addrs = append(p.addrs, ep.Addr())
 	}
 	for _, o := range opts {
 		o(p)
+	}
+	if p.w2w {
+		// Static partition ownership: p mod workers. Deterministic, so
+		// every assignment of the job carries the same tables and a
+		// retried attempt pushes to the same owners.
+		p.owners = make([]int, spec.NumReducers)
+		for i := range p.owners {
+			p.owners[i] = i % len(endpoints)
+		}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -113,13 +215,32 @@ func NewPool(spec JobSpec, endpoints []Endpoint, opts ...PoolOption) (*Pool, err
 	return p, nil
 }
 
+// countingConn tallies raw socket bytes into the pool's counters.
+type countingConn struct {
+	net.Conn
+	p *Pool
+}
+
+func (c *countingConn) Read(b []byte) (int, error) {
+	n, err := c.Conn.Read(b)
+	c.p.connIn.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(b []byte) (int, error) {
+	n, err := c.Conn.Write(b)
+	c.p.connOut.Add(int64(n))
+	return n, err
+}
+
 // connect opens and handshakes one worker connection, registering it
 // for Close.
 func (p *Pool) connect(ctx context.Context, ep Endpoint) (*workerConn, error) {
-	conn, err := ep.Connect(ctx)
+	raw, err := ep.Connect(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: connecting worker: %w", err)
 	}
+	conn := net.Conn(&countingConn{Conn: raw, p: p})
 	w := &workerConn{ep: ep, conn: conn, fr: newFrameReader(conn), fw: newFrameWriter(conn)}
 	if err := w.fw.write(FrameHello, encodeHello()); err != nil {
 		conn.Close()
@@ -154,16 +275,58 @@ func (p *Pool) connect(ctx context.Context, ep Endpoint) (*workerConn, error) {
 	return w, nil
 }
 
-// acquire leases a worker connection.
-func (p *Pool) acquire(ctx context.Context) (*workerConn, error) {
-	select {
-	case w := <-p.free:
-		return w, nil
-	case <-p.dead:
-		return nil, errors.New("cluster: all workers permanently lost")
-	case <-ctx.Done():
-		return nil, ctx.Err()
+// acquire leases a worker connection for an attempt of task, preferring
+// (a) a different worker than the task's previous attempt — so
+// speculation and retries land on another machine — and (b) a worker
+// that already caches the segment digest. It drains whatever is free
+// right now and scores it; when nothing is free it blocks on the next
+// lease regardless of preference (liveness beats placement).
+func (p *Pool) acquire(ctx context.Context, task, attempt int, digest uint64) (*workerConn, error) {
+	var cands []*workerConn
+drain:
+	for {
+		select {
+		case w := <-p.free:
+			cands = append(cands, w)
+		default:
+			break drain
+		}
 	}
+	if len(cands) == 0 {
+		select {
+		case w := <-p.free:
+			cands = append(cands, w)
+		case <-p.dead:
+			return nil, errors.New("cluster: all workers permanently lost")
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	p.mu.Lock()
+	last := p.lastEp[task]
+	best, bestScore := 0, -1
+	for i, w := range cands {
+		score := 0
+		if last != nil && w.ep != last {
+			score += 2 // anti-affinity to the previous attempt's worker
+		}
+		if digest != 0 && p.epSegs[w.ep][digest] {
+			score++ // cache affinity: the segment is already resident
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	w := cands[best]
+	p.lastEp[task] = w.ep
+	p.placements = append(p.placements, Placement{Task: task, Attempt: attempt, Addr: w.ep.Addr()})
+	p.mu.Unlock()
+	for i, c := range cands {
+		if i != best {
+			p.release(c)
+		}
+	}
+	return w, nil
 }
 
 // release returns a healthy lease to the pool.
@@ -186,6 +349,10 @@ func (p *Pool) retire(w *workerConn) {
 	w.conn.Close()
 	p.mu.Lock()
 	delete(p.conns, w)
+	// The worker (re)starting means its segment cache may be gone;
+	// forget what we believed it held so the next assignment ships the
+	// payload rather than a digest the worker cannot resolve.
+	delete(p.epSegs, w.ep)
 	if p.closed {
 		p.mu.Unlock()
 		return
@@ -222,11 +389,18 @@ func (p *Pool) retire(w *workerConn) {
 	}()
 }
 
-// Close tears the pool down: closes every connection (leased ones
-// included — in-flight RunMap calls fail fast) and waits for
-// background redials to stop. The endpoints stay open for other pools;
-// the caller closes them when done.
+// Close tears the pool down: broadcasts job-done so workers drop this
+// job's shuffle state, closes every connection (leased ones included —
+// in-flight RunMap calls fail fast), and waits for background redials
+// to stop. The endpoints stay open for other pools; the caller closes
+// them when done.
 func (p *Pool) Close() error {
+	p.mu.Lock()
+	alreadyClosed := p.closed
+	p.mu.Unlock()
+	if !alreadyClosed && p.w2w {
+		p.broadcastJobDone()
+	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -251,11 +425,145 @@ func (p *Pool) Close() error {
 	return nil
 }
 
+// broadcastJobDone tells every reachable worker the job is over —
+// drop buffered runs, close peer connections — before the sockets go
+// away. Best effort: a worker we cannot reach has nothing durable to
+// leak anyway.
+func (p *Pool) broadcastJobDone() {
+	payload := encodeJobDone(p.jobID)
+	p.rmu.Lock()
+	for _, oc := range p.rconns {
+		oc.mu.Lock()
+		if oc.w != nil {
+			_ = oc.w.fw.write(FrameJobDone, payload)
+		}
+		oc.mu.Unlock()
+	}
+	p.rmu.Unlock()
+	var drained []*workerConn
+drain:
+	for {
+		select {
+		case w := <-p.free:
+			drained = append(drained, w)
+		default:
+			break drain
+		}
+	}
+	for _, w := range drained {
+		_ = w.fw.write(FrameJobDone, payload)
+		p.free <- w
+	}
+}
+
+// Stats returns the pool's byte counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		ConnIngressBytes:    p.connIn.Load(),
+		ConnEgressBytes:     p.connOut.Load(),
+		ShuffleIngressBytes: p.shuffleIn.Load(),
+	}
+}
+
+// Placements returns where every map attempt was dispatched, in
+// dispatch order.
+func (p *Pool) Placements() []Placement {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Placement(nil), p.placements...)
+}
+
+// WorkerProcs reports each worker's GOMAXPROCS as observed from its
+// map-done replies, keyed by address.
+func (p *Pool) WorkerProcs() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int, len(p.procs))
+	for k, v := range p.procs {
+		out[k] = v
+	}
+	return out
+}
+
+// segmentDigest content-addresses a segment (FNV-1a over ID, records,
+// and columnar presence), memoizing per pointer — segments are
+// immutable once built. Zero is reserved for "no digest".
+func (p *Pool) segmentDigest(seg *mapreduce.Segment) uint64 {
+	p.mu.Lock()
+	if d, ok := p.segDigests[seg]; ok {
+		p.mu.Unlock()
+		return d
+	}
+	p.mu.Unlock()
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xFF
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(seg.ID))
+	mix(uint64(len(seg.Records)))
+	for _, r := range seg.Records {
+		mix(uint64(len(r)))
+		for _, b := range r {
+			h ^= uint64(b)
+			h *= prime64
+		}
+	}
+	if seg.Columns != nil {
+		mix(1)
+	}
+	if h == 0 {
+		h = 1
+	}
+	p.mu.Lock()
+	p.segDigests[seg] = h
+	p.mu.Unlock()
+	return h
+}
+
+// markCached records that ep acknowledged an attempt over digest, so
+// future assignments can go digest-only.
+func (p *Pool) markCached(ep Endpoint, digest uint64, procs int) {
+	p.mu.Lock()
+	if digest != 0 {
+		m := p.epSegs[ep]
+		if m == nil {
+			m = map[uint64]bool{}
+			p.epSegs[ep] = m
+		}
+		m[digest] = true
+	}
+	if procs > 0 {
+		p.procs[ep.Addr()] = procs
+	}
+	p.mu.Unlock()
+}
+
 // RunMap implements mapreduce.RemoteMapper: execute one map attempt on
 // some worker. Safe for concurrent calls; each call holds one lease.
 func (p *Pool) RunMap(ctx context.Context, task, attempt int, seg *mapreduce.Segment) (*mapreduce.MapOutput, error) {
 	kind, after := p.chaos.decide(task, attempt)
-	w, err := p.acquire(ctx)
+	if kind == ChaosPeerDrop && !p.w2w {
+		// No peer mesh to drop; keep the seeded schedule by taking the
+		// nearest equivalent worker-side death.
+		kind = ChaosWorkerAbort
+	}
+	digest := p.segmentDigest(seg)
+	if p.w2w {
+		// Retain the segment: a dead reduce owner is refilled by
+		// re-running this task's committed attempt.
+		p.mu.Lock()
+		p.segs[task] = seg
+		p.mu.Unlock()
+	}
+	w, err := p.acquire(ctx, task, attempt, digest)
 	if err != nil {
 		return nil, err
 	}
@@ -273,14 +581,38 @@ func (p *Pool) RunMap(ctx context.Context, task, attempt int, seg *mapreduce.Seg
 		}
 		return nil, err
 	}
-	a := &assignment{spec: p.spec, task: task, attempt: attempt, abortAfter: -1, seg: seg}
-	if kind == ChaosWorkerAbort {
-		a.abortAfter = after
+	p.mu.Lock()
+	hasPayload := digest == 0 || !p.epSegs[w.ep][digest]
+	p.mu.Unlock()
+	sendAssign := func(withPayload bool) error {
+		a := &assignment{
+			spec: p.spec, task: task, attempt: attempt, abortAfter: -1,
+			segID: seg.ID, segDigest: digest,
+			peerDropAfter: -1, refillPart: -1,
+		}
+		if withPayload {
+			a.seg = seg
+		}
+		if p.w2w {
+			a.w2w = true
+			a.jobID = p.jobID
+			a.selfID = p.epIndex[w.ep]
+			a.owners = p.owners
+			a.addrs = p.addrs
+		}
+		switch kind {
+		case ChaosWorkerAbort:
+			a.abortAfter = after
+		case ChaosPeerDrop:
+			a.peerDropAfter = after
+		}
+		return w.fw.write(FrameAssign, encodeAssign(a))
 	}
-	if err := w.fw.write(FrameAssign, encodeAssign(a)); err != nil {
+	if err := sendAssign(hasPayload); err != nil {
 		return fail(fmt.Errorf("cluster: sending assignment (task %d attempt %d): %w", task, attempt, err))
 	}
 	out := &mapreduce.MapOutput{}
+	resent := false
 	for {
 		f, err := w.fr.next()
 		if err != nil {
@@ -288,12 +620,35 @@ func (p *Pool) RunMap(ctx context.Context, task, attempt int, seg *mapreduce.Seg
 		}
 		switch f.Type {
 		case FrameRun:
+			if p.w2w {
+				return fail(fmt.Errorf("%w: run payload on a w2w attempt stream", ErrFrame))
+			}
+			p.shuffleIn.Add(int64(len(f.Payload)))
 			r, err := decodeRun(f.Payload)
 			if err != nil {
 				return fail(err)
 			}
 			if r.Task != task || r.Attempt != attempt {
 				return fail(fmt.Errorf("%w: run for task %d attempt %d on stream for task %d attempt %d",
+					ErrFrame, r.Task, r.Attempt, task, attempt))
+			}
+			out.Runs = append(out.Runs, r)
+			if kind == ChaosDropConn && len(out.Runs) > after {
+				p.retire(w)
+				return nil, fmt.Errorf("cluster: connection dropped mid-stream (injected, task %d attempt %d after %d runs)",
+					task, attempt, len(out.Runs))
+			}
+		case FrameRunReceipt:
+			if !p.w2w {
+				return fail(fmt.Errorf("%w: run receipt on a via-coordinator attempt stream", ErrFrame))
+			}
+			p.shuffleIn.Add(int64(len(f.Payload)))
+			r, err := decodeRunReceipt(f.Payload)
+			if err != nil {
+				return fail(err)
+			}
+			if r.Task != task || r.Attempt != attempt {
+				return fail(fmt.Errorf("%w: receipt for task %d attempt %d on stream for task %d attempt %d",
 					ErrFrame, r.Task, r.Attempt, task, attempt))
 			}
 			out.Runs = append(out.Runs, r)
@@ -323,6 +678,7 @@ func (p *Pool) RunMap(ctx context.Context, task, attempt int, seg *mapreduce.Seg
 				p.retire(w)
 				return nil, ctx.Err()
 			}
+			p.markCached(w.ep, digest, m.procs)
 			p.release(w)
 			return out, nil
 		case FrameError:
@@ -330,12 +686,233 @@ func (p *Pool) RunMap(ctx context.Context, task, attempt int, seg *mapreduce.Seg
 			if derr != nil {
 				return fail(derr)
 			}
+			if isNeedSegment(msg) && !hasPayload && !resent {
+				// The worker's content cache lost the segment (restart,
+				// eviction): re-ship the payload once on the same conn.
+				resent, hasPayload = true, true
+				if err := sendAssign(true); err != nil {
+					return fail(fmt.Errorf("cluster: re-sending assignment with payload (task %d attempt %d): %w", task, attempt, err))
+				}
+				continue
+			}
 			// The worker reported a clean attempt failure; the conn is
 			// still synchronized and reusable.
 			p.release(w)
 			return nil, fmt.Errorf("cluster: worker attempt failed (task %d attempt %d): %s", task, attempt, msg)
 		default:
 			return fail(fmt.Errorf("%w: unexpected frame type %d in attempt stream", ErrFrame, f.Type))
+		}
+	}
+}
+
+// RunReduce implements mapreduce.RemoteReducer: run one reduce attempt
+// for a partition on its owning worker. If the owner reports committed
+// runs it never received (it restarted, or chaos dropped its state),
+// the pool refills them — re-running each missing committed attempt
+// over its retained segment, pushing only this partition — and asks
+// again. One refill round per attempt; the engine's retry budget
+// handles the rest.
+func (p *Pool) RunReduce(ctx context.Context, part, attempt int, commits []mapreduce.Run) (*mapreduce.ReduceOutput, error) {
+	if !p.w2w {
+		return nil, errors.New("cluster: RunReduce requires the worker-to-worker topology (WithW2W)")
+	}
+	if part < 0 || part >= len(p.owners) {
+		return nil, fmt.Errorf("cluster: reduce for partition %d outside %d partitions", part, len(p.owners))
+	}
+	owner := p.owners[part]
+	reqCommits := make([]taskAttempt, len(commits))
+	for i, c := range commits {
+		reqCommits[i] = taskAttempt{task: c.Task, attempt: c.Attempt}
+	}
+	drop := p.chaos.decideReduce(part, attempt)
+	refilled := false
+	for {
+		out, missing, err := p.reduceOnce(ctx, owner, part, reqCommits, drop)
+		drop = false
+		if err != nil {
+			return nil, err
+		}
+		if len(missing) == 0 {
+			out.Worker = owner
+			return out, nil
+		}
+		if refilled {
+			return nil, fmt.Errorf("cluster: partition %d owner still missing %d committed runs after refill", part, len(missing))
+		}
+		if err := p.refill(ctx, part, missing); err != nil {
+			return nil, fmt.Errorf("cluster: refilling partition %d: %w", part, err)
+		}
+		refilled = true
+	}
+}
+
+// reduceConn returns the lazily dialed, locked reduce connection to an
+// owner; the caller must unlock oc.mu.
+func (p *Pool) reduceConn(ctx context.Context, owner int) (*ownerConn, error) {
+	p.rmu.Lock()
+	oc, ok := p.rconns[owner]
+	if !ok {
+		oc = &ownerConn{}
+		p.rconns[owner] = oc
+	}
+	p.rmu.Unlock()
+	oc.mu.Lock()
+	if oc.w == nil {
+		w, err := p.connect(ctx, p.endpoints[owner])
+		if err != nil {
+			oc.mu.Unlock()
+			return nil, err
+		}
+		oc.w = w
+	}
+	return oc, nil
+}
+
+// dropOwnerConn kills a broken reduce connection; the next attempt
+// redials. Caller holds oc.mu.
+func (p *Pool) dropOwnerConn(oc *ownerConn) {
+	if oc.w == nil {
+		return
+	}
+	oc.w.conn.Close()
+	p.mu.Lock()
+	delete(p.conns, oc.w)
+	p.mu.Unlock()
+	oc.w = nil
+}
+
+// reduceOnce runs one reduce conversation with the owner.
+func (p *Pool) reduceOnce(ctx context.Context, owner, part int, commits []taskAttempt, drop bool) (*mapreduce.ReduceOutput, []taskAttempt, error) {
+	oc, err := p.reduceConn(ctx, owner)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer oc.mu.Unlock()
+	w := oc.w
+	stop := context.AfterFunc(ctx, func() { w.conn.Close() })
+	defer stop()
+	fail := func(err error) (*mapreduce.ReduceOutput, []taskAttempt, error) {
+		p.dropOwnerConn(oc)
+		if ctx.Err() != nil {
+			return nil, nil, ctx.Err()
+		}
+		return nil, nil, err
+	}
+	req := &reduceReq{jobID: p.jobID, spec: p.spec, part: part, dropState: drop, commits: commits}
+	if err := w.fw.write(FrameReduce, encodeReduce(req)); err != nil {
+		return fail(fmt.Errorf("cluster: sending reduce request (part %d): %w", part, err))
+	}
+	out := &mapreduce.ReduceOutput{}
+	for {
+		f, err := w.fr.next()
+		if err != nil {
+			return fail(fmt.Errorf("cluster: reduce stream (part %d): %w", part, err))
+		}
+		switch f.Type {
+		case FrameSpans:
+			spans, err := decodeSpans(f.Payload)
+			if err != nil {
+				return fail(err)
+			}
+			out.Spans = spans
+		case FrameReduceDone:
+			p.shuffleIn.Add(int64(len(f.Payload)))
+			groups, missing, err := decodeReduceDone(f.Payload)
+			if err != nil {
+				return fail(err)
+			}
+			if ctx.Err() != nil {
+				p.dropOwnerConn(oc)
+				return nil, nil, ctx.Err()
+			}
+			if len(missing) > 0 {
+				return nil, missing, nil
+			}
+			out.Groups = groups
+			return out, nil, nil
+		case FrameError:
+			msg, derr := decodeError(f.Payload)
+			if derr != nil {
+				return fail(derr)
+			}
+			// Clean worker-side reduce failure; the conn stays usable.
+			return nil, nil, fmt.Errorf("cluster: worker reduce failed (part %d): %s", part, msg)
+		default:
+			return fail(fmt.Errorf("%w: unexpected frame type %d in reduce stream", ErrFrame, f.Type))
+		}
+	}
+}
+
+// refill re-derives missing committed runs: each missing (task,
+// attempt) is re-run over the task's retained segment on some free
+// worker, pushing only the affected partition to its owner, with no
+// receipts, no spans, and no chaos — the original attempt already
+// committed; this is recovery, not a new attempt.
+func (p *Pool) refill(ctx context.Context, part int, missing []taskAttempt) error {
+	for _, ta := range missing {
+		p.mu.Lock()
+		seg := p.segs[ta.task]
+		p.mu.Unlock()
+		if seg == nil {
+			return fmt.Errorf("cluster: no retained segment for task %d", ta.task)
+		}
+		if err := p.refillOne(ctx, part, ta, seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Pool) refillOne(ctx context.Context, part int, ta taskAttempt, seg *mapreduce.Segment) error {
+	digest := p.segmentDigest(seg)
+	w, err := p.acquire(ctx, ta.task, ta.attempt, digest)
+	if err != nil {
+		return err
+	}
+	stop := context.AfterFunc(ctx, func() { w.conn.Close() })
+	defer stop()
+	fail := func(err error) error {
+		p.retire(w)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	a := &assignment{
+		spec: p.spec, task: ta.task, attempt: ta.attempt, abortAfter: -1,
+		w2w: true, jobID: p.jobID, selfID: p.epIndex[w.ep],
+		owners: p.owners, addrs: p.addrs,
+		peerDropAfter: -1, refillPart: part,
+		segID: seg.ID, segDigest: digest, seg: seg,
+	}
+	if err := w.fw.write(FrameAssign, encodeAssign(a)); err != nil {
+		return fail(fmt.Errorf("cluster: sending refill (task %d attempt %d part %d): %w", ta.task, ta.attempt, part, err))
+	}
+	for {
+		f, err := w.fr.next()
+		if err != nil {
+			return fail(fmt.Errorf("cluster: refill stream (task %d attempt %d): %w", ta.task, ta.attempt, err))
+		}
+		switch f.Type {
+		case FrameMapDone:
+			if _, err := decodeMapDone(f.Payload); err != nil {
+				return fail(err)
+			}
+			if ctx.Err() != nil {
+				p.retire(w)
+				return ctx.Err()
+			}
+			p.release(w)
+			return nil
+		case FrameError:
+			msg, derr := decodeError(f.Payload)
+			if derr != nil {
+				return fail(derr)
+			}
+			p.release(w)
+			return fmt.Errorf("cluster: refill failed (task %d attempt %d): %s", ta.task, ta.attempt, msg)
+		default:
+			return fail(fmt.Errorf("%w: unexpected frame type %d in refill stream", ErrFrame, f.Type))
 		}
 	}
 }

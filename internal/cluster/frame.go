@@ -24,8 +24,11 @@ import (
 )
 
 // ProtocolVersion is negotiated by the hello exchange; a peer speaking
-// a different version is rejected before any job traffic.
-const ProtocolVersion = 1
+// a different version is rejected before any job traffic. Version 2
+// added the worker-to-worker shuffle frames (peer_hello, run_push,
+// partition_done, run_receipt, reduce, reduce_done, job_done) and the
+// extended assignment payload (topology, segment digest).
+const ProtocolVersion = 2
 
 // helloMagic opens every hello payload, guarding against a stray TCP
 // client. Spells "SYMP".
@@ -61,8 +64,36 @@ const (
 	// FrameError reports a worker-side attempt failure; the connection
 	// stays usable for the next assignment.
 	FrameError FrameType = 6
+	// FramePeerHello opens a worker-to-worker peer connection: magic,
+	// protocol version, and the job ID the pushes belong to. The
+	// receiving worker echoes it back as the accept.
+	FramePeerHello FrameType = 7
+	// FrameRunPush streams one encoded run from a map worker directly to
+	// the worker owning the run's partition (w2w topology). No per-push
+	// ack; FramePartDone settles the stream.
+	FrameRunPush FrameType = 8
+	// FramePartDone closes a map attempt's pushes to one peer: the push
+	// count for (task, attempt), echoed back by the owner as the ack
+	// that every push is buffered — the durability point the
+	// coordinator's commit relies on.
+	FramePartDone FrameType = 9
+	// FrameRunReceipt replaces FrameRun on the worker→coordinator stream
+	// in w2w mode: the run's coordinates and byte count, without the
+	// bytes (those went to the owner).
+	FrameRunReceipt FrameType = 10
+	// FrameReduce asks the owning worker to run one reduce attempt over
+	// its buffered runs: job ID, spec, partition, and the committed
+	// (task, attempt) list.
+	FrameReduce FrameType = 11
+	// FrameReduceDone answers FrameReduce: either the merged (and
+	// combined) key groups, or the list of committed runs the owner is
+	// missing and needs refilled.
+	FrameReduceDone FrameType = 12
+	// FrameJobDone tells a worker the job is over: drop its buffered
+	// runs and close its peer connections. No reply.
+	FrameJobDone FrameType = 13
 
-	frameTypeMax = FrameError
+	frameTypeMax = FrameJobDone
 )
 
 // Frame is one decoded protocol frame.

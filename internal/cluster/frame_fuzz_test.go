@@ -25,6 +25,8 @@ func seedAssignment() *assignment {
 			Combine: true, MemoSize: 64, MapParallelism: 2,
 		},
 		task: 4, attempt: 1, abortAfter: -1,
+		peerDropAfter: -1, refillPart: -1,
+		segID: 4, segDigest: 0xFEEDFACE,
 		seg: &mapreduce.Segment{
 			ID: 4,
 			Records: [][]byte{
@@ -33,6 +35,41 @@ func seedAssignment() *assignment {
 				[]byte(""),
 			},
 		},
+	}
+}
+
+// seedAssignmentW2W is seedAssignment in the worker-to-worker
+// topology, ownership tables attached.
+func seedAssignmentW2W() *assignment {
+	a := seedAssignment()
+	a.w2w = true
+	a.jobID = 77
+	a.selfID = 1
+	a.owners = []int{0, 1, 0}
+	a.addrs = []string{"127.0.0.1:7001", "127.0.0.1:7002"}
+	return a
+}
+
+// seedReduce builds a realistic reduce request for the corpus.
+func seedReduce() *reduceReq {
+	return &reduceReq{
+		jobID: 77,
+		spec:  JobSpec{Query: "G1", NumReducers: 3, Compress: true, Combine: true},
+		part:  2,
+		commits: []taskAttempt{
+			{task: 0, attempt: 0}, {task: 1, attempt: 2}, {task: 2, attempt: 0},
+		},
+	}
+}
+
+// seedReduceGroups builds a combined-groups reduce reply.
+func seedReduceGroups() []mapreduce.ReducedGroup {
+	return []mapreduce.ReducedGroup{
+		{Key: "repo/alpha", Rows: []mapreduce.Shuffled{
+			{MapperID: 0, RecordID: 3, Value: []byte{0x01, 0x44, 0x02}}}},
+		{Key: "repo/beta", Rows: []mapreduce.Shuffled{
+			{MapperID: 1, RecordID: 0, Value: []byte{0x01, 0x9C}},
+			{MapperID: 2, RecordID: 5, Value: []byte{0x01, 0x00}}}},
 	}
 }
 
@@ -76,13 +113,29 @@ func frameSeedCorpus() []fuzzseed.Seed {
 	// Oversized declared length: type byte plus uvarint(maxFrameLen+1).
 	oversized := append([]byte{byte(FrameRun)}, binary.AppendUvarint(nil, maxFrameLen+1)...)
 
+	digestOnly := seedAssignmentW2W()
+	digestOnly.seg = nil
+
 	return []fuzzseed.Seed{
 		{Name: "valid-hello.bin", Data: hello},
 		{Name: "valid-assign.bin", Data: assign},
+		{Name: "valid-assign-w2w.bin", Data: frame(FrameAssign, encodeAssign(seedAssignmentW2W()))},
+		{Name: "valid-assign-digest-only.bin", Data: frame(FrameAssign, encodeAssign(digestOnly))},
 		{Name: "valid-run.bin", Data: run},
 		{Name: "valid-mapdone.bin", Data: done},
 		{Name: "valid-spans.bin", Data: spans},
 		{Name: "valid-error.bin", Data: frame(FrameError, encodeError("mapper: boom"))},
+		{Name: "valid-peerhello.bin", Data: frame(FramePeerHello, encodePeerHello(77))},
+		{Name: "valid-runpush.bin", Data: frame(FrameRunPush, encodeRunPush(77, mapreduce.Run{
+			Task: 4, Attempt: 1, Part: 2, Seg: []byte{0x01, 0x02, 0x03, 0x9C}}))},
+		{Name: "valid-partdone.bin", Data: frame(FramePartDone, encodePartDone(77, 4, 1, 2))},
+		{Name: "valid-receipt.bin", Data: frame(FrameRunReceipt, encodeRunReceipt(mapreduce.Run{
+			Task: 4, Attempt: 1, Part: 2, Bytes: 128}))},
+		{Name: "valid-reduce.bin", Data: frame(FrameReduce, encodeReduce(seedReduce()))},
+		{Name: "valid-reducedone-groups.bin", Data: frame(FrameReduceDone, encodeReduceGroups(seedReduceGroups()))},
+		{Name: "valid-reducedone-missing.bin", Data: frame(FrameReduceDone,
+			encodeReduceMissing([]taskAttempt{{task: 1, attempt: 2}}))},
+		{Name: "valid-jobdone.bin", Data: frame(FrameJobDone, encodeJobDone(77))},
 		{Name: "corrupt-empty.bin", Data: []byte{}},
 		{Name: "corrupt-zero-type.bin", Data: []byte{0x00, 0x00}},
 		{Name: "corrupt-unknown-type.bin", Data: []byte{0xEE, 0x00}},
@@ -105,7 +158,59 @@ func frameSeedCorpus() []fuzzseed.Seed {
 			Data: frame(FrameMapDone, forgedMapDoneParts())},
 		{Name: "corrupt-spans-forged-count.bin",
 			Data: frame(FrameSpans, binary.AppendUvarint(nil, maxSpans+1))},
+		{Name: "corrupt-peerhello-version.bin",
+			Data: frame(FramePeerHello, peerHelloWith(helloMagic, ProtocolVersion+9, 77))},
+		{Name: "corrupt-peerhello-magic.bin",
+			Data: frame(FramePeerHello, peerHelloWith(0xBADC0DE, ProtocolVersion, 77))},
+		{Name: "corrupt-runpush-trailing.bin",
+			Data: frame(FrameRunPush, append(encodeRunPush(77, mapreduce.Run{Task: 1, Seg: []byte{1}}), 0x01))},
+		{Name: "corrupt-receipt-zero-bytes.bin",
+			Data: frame(FrameRunReceipt, encodeRunReceipt(mapreduce.Run{Task: 4, Attempt: 1, Part: 2}))},
+		{Name: "corrupt-reduce-forged-commits.bin",
+			Data: frame(FrameReduce, forgedReduceCommits())},
+		{Name: "corrupt-reducedone-forged-groups.bin",
+			Data: frame(FrameReduceDone, forgedReduceGroups())},
+		{Name: "corrupt-assign-forged-owner.bin",
+			Data: frame(FrameAssign, encodeAssign(forgedOwnerAssignment()))},
+		{Name: "corrupt-jobdone-trailing.bin",
+			Data: frame(FrameJobDone, append(encodeJobDone(77), 0x00))},
 	}
+}
+
+// peerHelloWith builds a peer hello with arbitrary magic/version.
+func peerHelloWith(magic, version, jobID uint64) []byte {
+	e := wire.NewEncoder(16)
+	e.Uvarint(magic)
+	e.Uvarint(version)
+	e.Uvarint(jobID)
+	return e.Bytes()
+}
+
+// forgedReduceCommits claims a huge commit count with no data.
+func forgedReduceCommits() []byte {
+	e := wire.NewEncoder(32)
+	e.Uvarint(77)
+	appendJobSpec(e, JobSpec{Query: "G1", NumReducers: 3})
+	e.Uvarint(2)                    // part
+	e.Bool(false)                   // dropState
+	e.Uvarint(maxReduceCommits + 1) // forged commit count
+	return e.Bytes()
+}
+
+// forgedReduceGroups claims a huge group count with no data.
+func forgedReduceGroups() []byte {
+	e := wire.NewEncoder(16)
+	e.Uvarint(0)                   // nothing missing
+	e.Uvarint(maxReduceGroups + 1) // forged group count
+	return e.Bytes()
+}
+
+// forgedOwnerAssignment points a partition at a worker index outside
+// the address table.
+func forgedOwnerAssignment() *assignment {
+	a := seedAssignmentW2W()
+	a.owners = []int{0, 5, 0} // worker 5 of 2
+	return a
 }
 
 // forgedAssignCount claims a huge record count with no record data.
@@ -115,7 +220,10 @@ func forgedAssignCount() []byte {
 	e.Uvarint(0)                     // task
 	e.Uvarint(0)                     // attempt
 	e.Varint(-1)                     // abortAfter
+	e.Bool(false)                    // not w2w
 	e.Uvarint(0)                     // segment ID
+	e.Uvarint(0)                     // segment digest
+	e.Bool(true)                     // payload attached
 	e.Uvarint(maxSegmentRecords + 1) // forged record count
 	return e.Bytes()
 }
@@ -156,6 +264,20 @@ func decodeSeedFrame(data []byte) error {
 		_, err = decodeMapDone(f.Payload)
 	case FrameError:
 		_, err = decodeError(f.Payload)
+	case FramePeerHello:
+		_, err = decodePeerHello(f.Payload)
+	case FrameRunPush:
+		_, _, err = decodeRunPush(f.Payload)
+	case FramePartDone:
+		_, _, _, err = decodePartDone(f.Payload)
+	case FrameRunReceipt:
+		_, err = decodeRunReceipt(f.Payload)
+	case FrameReduce:
+		_, err = decodeReduce(f.Payload)
+	case FrameReduceDone:
+		_, _, err = decodeReduceDone(f.Payload)
+	case FrameJobDone:
+		_, err = decodeJobDone(f.Payload)
 	}
 	return err
 }
@@ -201,7 +323,7 @@ func TestFuzzSeedFrameCorpus(t *testing.T) {
 			t.Errorf("%s: seed name must start with valid- or corrupt-", s.Name)
 		}
 	}
-	if valid < 5 || corrupt < 12 {
+	if valid < 13 || corrupt < 20 {
 		t.Fatalf("corpus too small: %d valid / %d corrupt seeds", valid, corrupt)
 	}
 }
@@ -251,6 +373,13 @@ func FuzzFrameDecode(f *testing.F) {
 		_, _ = decodeSpans(fr.Payload)
 		_, _ = decodeMapDone(fr.Payload)
 		_, _ = decodeError(fr.Payload)
+		_, _ = decodePeerHello(fr.Payload)
+		_, _, _ = decodeRunPush(fr.Payload)
+		_, _, _, _ = decodePartDone(fr.Payload)
+		_, _ = decodeRunReceipt(fr.Payload)
+		_, _ = decodeReduce(fr.Payload)
+		_, _, _ = decodeReduceDone(fr.Payload)
+		_, _ = decodeJobDone(fr.Payload)
 	})
 }
 
@@ -300,6 +429,39 @@ func TestFrameDecodeRejectsCorruption(t *testing.T) {
 	if _, err := decodeMapDone(forgedMapDoneParts()); err == nil {
 		t.Error("forged partition count accepted")
 	}
+
+	if _, err := decodePeerHello(peerHelloWith(helloMagic, ProtocolVersion+1, 7)); err == nil {
+		t.Error("future peer protocol version accepted")
+	}
+	if _, err := decodePeerHello(peerHelloWith(0xDEAD, ProtocolVersion, 7)); err == nil {
+		t.Error("bad peer hello magic accepted")
+	}
+	if _, err := decodeRunReceipt(encodeRunReceipt(mapreduce.Run{Task: 1, Part: 0})); err == nil {
+		t.Error("zero-byte run receipt accepted")
+	}
+	if _, err := decodeReduce(forgedReduceCommits()); err == nil {
+		t.Error("forged reduce commit count accepted")
+	}
+	if _, _, err := decodeReduceDone(forgedReduceGroups()); err == nil {
+		t.Error("forged reduce group count accepted")
+	}
+	if _, err := decodeAssign(encodeAssign(forgedOwnerAssignment())); err == nil {
+		t.Error("out-of-range partition owner accepted")
+	}
+	if _, err := decodeJobDone(append(encodeJobDone(7), 0x00)); err == nil {
+		t.Error("trailing garbage after job done accepted")
+	}
+	// A reply claiming both groups and missing runs is ambiguous.
+	both := wire.NewEncoder(16)
+	both.Uvarint(1)
+	both.Uvarint(1) // missing: task 1
+	both.Uvarint(1) // missing: attempt 1
+	both.Uvarint(1) // one group
+	both.String("k")
+	both.Uvarint(0) // zero rows
+	if _, _, err := decodeReduceDone(both.Bytes()); err == nil {
+		t.Error("reduce reply with both groups and missing accepted")
+	}
 }
 
 // TestAssignRoundTrip pins the assignment codec on both record forms.
@@ -320,6 +482,128 @@ func TestAssignRoundTrip(t *testing.T) {
 		if !bytes.Equal(got.seg.Records[i], a.seg.Records[i]) {
 			t.Fatalf("record %d diverged", i)
 		}
+	}
+}
+
+// TestAssignW2WRoundTrip pins the extended assignment codec: topology
+// tables, digest-only form, refill markers.
+func TestAssignW2WRoundTrip(t *testing.T) {
+	a := seedAssignmentW2W()
+	a.peerDropAfter = 2
+	a.refillPart = 1
+	got, err := decodeAssign(encodeAssign(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.w2w || got.jobID != a.jobID || got.selfID != a.selfID ||
+		got.peerDropAfter != 2 || got.refillPart != 1 || got.segDigest != a.segDigest {
+		t.Fatalf("w2w assignment metadata diverged: %+v vs %+v", got, a)
+	}
+	if len(got.owners) != len(a.owners) || len(got.addrs) != len(a.addrs) {
+		t.Fatalf("topology tables diverged: %+v vs %+v", got, a)
+	}
+	for i := range a.owners {
+		if got.owners[i] != a.owners[i] {
+			t.Fatalf("owner %d: %d vs %d", i, got.owners[i], a.owners[i])
+		}
+	}
+	for i := range a.addrs {
+		if got.addrs[i] != a.addrs[i] {
+			t.Fatalf("addr %d: %q vs %q", i, got.addrs[i], a.addrs[i])
+		}
+	}
+
+	a.seg = nil // digest-only form
+	got, err = decodeAssign(encodeAssign(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.seg != nil || got.segDigest != a.segDigest || got.segID != a.segID {
+		t.Fatalf("digest-only assignment diverged: %+v", got)
+	}
+}
+
+// TestW2WCodecRoundTrips pins the push/receipt/reduce codecs.
+func TestW2WCodecRoundTrips(t *testing.T) {
+	jid, run, err := decodeRunPush(encodeRunPush(77, mapreduce.Run{
+		Task: 4, Attempt: 1, Part: 2, Seg: []byte{9, 8, 7}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jid != 77 || run.Task != 4 || run.Attempt != 1 || run.Part != 2 ||
+		run.Bytes != 3 || !bytes.Equal(run.Seg, []byte{9, 8, 7}) {
+		t.Fatalf("run push diverged: job %d run %+v", jid, run)
+	}
+
+	jid, ta, n, err := decodePartDone(encodePartDone(77, 4, 1, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jid != 77 || ta.task != 4 || ta.attempt != 1 || n != 6 {
+		t.Fatalf("partition done diverged: job %d %+v count %d", jid, ta, n)
+	}
+
+	rec, err := decodeRunReceipt(encodeRunReceipt(mapreduce.Run{Task: 4, Attempt: 1, Part: 2, Bytes: 321}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Task != 4 || rec.Attempt != 1 || rec.Part != 2 || rec.Bytes != 321 || rec.Seg != nil {
+		t.Fatalf("receipt diverged: %+v", rec)
+	}
+
+	req := seedReduce()
+	gotReq, err := decodeReduce(encodeReduce(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotReq.jobID != req.jobID || gotReq.spec != req.spec || gotReq.part != req.part ||
+		gotReq.dropState != req.dropState || len(gotReq.commits) != len(req.commits) {
+		t.Fatalf("reduce request diverged: %+v vs %+v", gotReq, req)
+	}
+	for i := range req.commits {
+		if gotReq.commits[i] != req.commits[i] {
+			t.Fatalf("commit %d: %+v vs %+v", i, gotReq.commits[i], req.commits[i])
+		}
+	}
+
+	groups := seedReduceGroups()
+	gotGroups, missing, err := decodeReduceDone(encodeReduceGroups(groups))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 || len(gotGroups) != len(groups) {
+		t.Fatalf("reduce groups diverged: %d groups, %d missing", len(gotGroups), len(missing))
+	}
+	for i, g := range groups {
+		got := gotGroups[i]
+		if got.Key != g.Key || len(got.Rows) != len(g.Rows) {
+			t.Fatalf("group %d diverged: %+v vs %+v", i, got, g)
+		}
+		for j, r := range g.Rows {
+			gr := got.Rows[j]
+			if gr.MapperID != r.MapperID || gr.RecordID != r.RecordID || !bytes.Equal(gr.Value, r.Value) {
+				t.Fatalf("group %d row %d diverged: %+v vs %+v", i, j, gr, r)
+			}
+		}
+	}
+
+	want := []taskAttempt{{task: 1, attempt: 2}, {task: 5, attempt: 0}}
+	gotGroups, missing, err = decodeReduceDone(encodeReduceMissing(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotGroups) != 0 || len(missing) != len(want) {
+		t.Fatalf("reduce missing diverged: %d groups, %d missing", len(gotGroups), len(missing))
+	}
+	for i := range want {
+		if missing[i] != want[i] {
+			t.Fatalf("missing %d: %+v vs %+v", i, missing[i], want[i])
+		}
+	}
+
+	jid2, err := decodeJobDone(encodeJobDone(12345))
+	if err != nil || jid2 != 12345 {
+		t.Fatalf("job done diverged: %d, %v", jid2, err)
 	}
 }
 

@@ -1,0 +1,265 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/mapreduce"
+)
+
+// The worker-to-worker shuffle mesh. In the w2w topology a map worker
+// pushes each run straight to the worker owning its partition (one
+// lazily dialed peer connection per owner per job), sending the
+// coordinator only a byte-counted receipt. The owner buffers runs
+// keyed by (task, attempt, part) — idempotent, so refills and retried
+// pushes overwrite rather than duplicate — and reduces them in place
+// when the coordinator's FrameReduce arrives. The coordinator stays on
+// the control path only: receipts up, assignments and reduce requests
+// down, merged group summaries back.
+
+// runRef keys one buffered run.
+type runRef struct {
+	task    int
+	attempt int
+	part    int
+}
+
+// jobState is one job's shuffle state on one worker: the runs pushed
+// to it (as owner) and the peer connections it pushes on (as mapper).
+type jobState struct {
+	id uint64
+
+	mu     sync.Mutex
+	owners []int
+	addrs  []string
+	runs   map[runRef]mapreduce.Run
+	peers  map[int]*peerClient
+}
+
+func newJobState(id uint64) *jobState {
+	return &jobState{
+		id:    id,
+		runs:  map[runRef]mapreduce.Run{},
+		peers: map[int]*peerClient{},
+	}
+}
+
+// setTopo installs the partition-ownership tables an assignment
+// carries. Every assignment of one job carries the same tables, so
+// overwriting is idempotent.
+func (js *jobState) setTopo(owners []int, addrs []string) {
+	js.mu.Lock()
+	js.owners = owners
+	js.addrs = addrs
+	js.mu.Unlock()
+}
+
+func (js *jobState) putRun(r mapreduce.Run) {
+	js.mu.Lock()
+	js.runs[runRef{task: r.Task, attempt: r.Attempt, part: r.Part}] = r
+	js.mu.Unlock()
+}
+
+func (js *jobState) getRun(task, attempt, part int) (mapreduce.Run, bool) {
+	js.mu.Lock()
+	r, ok := js.runs[runRef{task: task, attempt: attempt, part: part}]
+	js.mu.Unlock()
+	return r, ok
+}
+
+// dropPart discards a partition's buffered runs — the injected
+// reduce-owner death.
+func (js *jobState) dropPart(part int) {
+	js.mu.Lock()
+	for ref := range js.runs {
+		if ref.part == part {
+			delete(js.runs, ref)
+		}
+	}
+	js.mu.Unlock()
+}
+
+// peer returns the lazily dialed push connection to owner.
+func (js *jobState) peer(owner int) (*peerClient, error) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if pc, ok := js.peers[owner]; ok {
+		return pc, nil
+	}
+	if owner < 0 || owner >= len(js.addrs) {
+		return nil, fmt.Errorf("cluster: no address for peer worker %d", owner)
+	}
+	pc, err := dialPeer(js.addrs[owner], js.id)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dialing peer worker %d: %w", owner, err)
+	}
+	js.peers[owner] = pc
+	return pc, nil
+}
+
+// closePeer drops one peer connection after a push error so the next
+// attempt redials fresh.
+func (js *jobState) closePeer(owner int) {
+	js.mu.Lock()
+	pc := js.peers[owner]
+	delete(js.peers, owner)
+	js.mu.Unlock()
+	if pc != nil {
+		pc.conn.Close()
+	}
+}
+
+// dropPeers closes every peer connection — the injected peer-drop
+// fault and the job-done cleanup. Closing the sockets also lets the
+// receiving workers' peer-serving goroutines exit.
+func (js *jobState) dropPeers() {
+	js.mu.Lock()
+	peers := js.peers
+	js.peers = map[int]*peerClient{}
+	js.mu.Unlock()
+	for _, pc := range peers {
+		pc.conn.Close()
+	}
+}
+
+// peerDialTimeout bounds a worker-to-worker dial; peers are on the
+// same fabric as the coordinator, so seconds of silence means dead.
+const peerDialTimeout = 5 * time.Second
+
+// peerClient is the pushing end of one worker-to-worker connection.
+type peerClient struct {
+	conn net.Conn
+	fr   *frameReader
+	fw   *frameWriter
+}
+
+func dialPeer(addr string, jobID uint64) (*peerClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, peerDialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	pc := &peerClient{conn: conn, fr: newFrameReader(conn), fw: newFrameWriter(conn)}
+	if err := pc.fw.write(FramePeerHello, encodePeerHello(jobID)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	f, err := pc.fr.next()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if f.Type == FrameError {
+		msg, _ := decodeError(f.Payload)
+		conn.Close()
+		return nil, fmt.Errorf("cluster: peer rejected hello: %s", msg)
+	}
+	if f.Type != FramePeerHello {
+		conn.Close()
+		return nil, fmt.Errorf("%w: expected peer hello echo, got frame type %d", ErrFrame, f.Type)
+	}
+	if got, err := decodePeerHello(f.Payload); err != nil {
+		conn.Close()
+		return nil, err
+	} else if got != jobID {
+		conn.Close()
+		return nil, fmt.Errorf("%w: peer hello echoed job %d, want %d", ErrFrame, got, jobID)
+	}
+	return pc, nil
+}
+
+// push streams one run to the owner. No per-push ack — partDone
+// settles the stream.
+func (pc *peerClient) push(jobID uint64, r mapreduce.Run) error {
+	return pc.fw.write(FrameRunPush, encodeRunPush(jobID, r))
+}
+
+// partDone closes a (task, attempt)'s pushes on this connection and
+// waits for the owner's echo — the ack that every push is buffered.
+// Only after every pushed-to owner acks does the worker send
+// FrameMapDone, so a coordinator commit implies the runs are resident
+// at their owners.
+func (pc *peerClient) partDone(jobID uint64, task, attempt, count int) error {
+	if err := pc.fw.write(FramePartDone, encodePartDone(jobID, task, attempt, count)); err != nil {
+		return err
+	}
+	f, err := pc.fr.next()
+	if err != nil {
+		return err
+	}
+	switch f.Type {
+	case FramePartDone:
+		id, ta, n, err := decodePartDone(f.Payload)
+		if err != nil {
+			return err
+		}
+		if id != jobID || ta.task != task || ta.attempt != attempt || n != count {
+			return fmt.Errorf("%w: partition-done ack mismatch", ErrFrame)
+		}
+		return nil
+	case FrameError:
+		msg, _ := decodeError(f.Payload)
+		return fmt.Errorf("cluster: peer rejected pushes: %s", msg)
+	default:
+		return fmt.Errorf("%w: expected partition-done ack, got frame type %d", ErrFrame, f.Type)
+	}
+}
+
+// servePeer is the receiving end: buffer pushes into the job's state
+// and ack partition-done barriers, until the pusher hangs up. The
+// barrier is a stream property — it counts pushes received on THIS
+// connection since the last barrier for the (task, attempt), not runs
+// resident in job state: a refill re-pushes only the partition that
+// was lost, while the owner may still hold the same attempt's runs for
+// its other partitions.
+func (w *Worker) servePeer(jobID uint64, fr *frameReader, fw *frameWriter) error {
+	recv := map[taskAttempt]int{}
+	for {
+		f, err := fr.next()
+		if err != nil {
+			if err == io.EOF {
+				return nil // pusher closed the mesh cleanly
+			}
+			return err
+		}
+		switch f.Type {
+		case FrameRunPush:
+			id, r, err := decodeRunPush(f.Payload)
+			if err != nil {
+				_ = fw.write(FrameError, encodeError(err.Error()))
+				return err
+			}
+			if id != jobID {
+				err := fmt.Errorf("%w: run push for job %d on a job-%d peer connection", ErrFrame, id, jobID)
+				_ = fw.write(FrameError, encodeError(err.Error()))
+				return err
+			}
+			w.jobState(id).putRun(r)
+			recv[taskAttempt{task: r.Task, attempt: r.Attempt}]++
+		case FramePartDone:
+			id, ta, count, err := decodePartDone(f.Payload)
+			if err != nil {
+				_ = fw.write(FrameError, encodeError(err.Error()))
+				return err
+			}
+			if id != jobID {
+				err := fmt.Errorf("%w: partition done for job %d on a job-%d peer connection", ErrFrame, id, jobID)
+				_ = fw.write(FrameError, encodeError(err.Error()))
+				return err
+			}
+			if got := recv[ta]; got != count {
+				err := fmt.Errorf("cluster: peer pushed %d runs for task %d attempt %d, barrier says %d", got, ta.task, ta.attempt, count)
+				_ = fw.write(FrameError, encodeError(err.Error()))
+				return err
+			}
+			delete(recv, ta)
+			if err := fw.write(FramePartDone, f.Payload); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unexpected frame type %d on peer connection", ErrFrame, f.Type)
+		}
+	}
+}

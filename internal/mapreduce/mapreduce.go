@@ -159,6 +159,14 @@ type Config struct {
 	// commit — stays in charge. Incompatible with SpillDir,
 	// ExternalSort, and Faults (see validateRemote).
 	RemoteMap RemoteMapper
+	// RemoteReduce, when set alongside RemoteMap, keeps shuffle data off
+	// the coordinator entirely: map workers stream runs directly to each
+	// partition's owning worker, the coordinator's transport carries only
+	// byte-counted run receipts (Run with nil Seg), and the k-way merge
+	// plus any registered group combiner run on the owner. The reduce
+	// task lifecycle — retries, backoff, the reduce commit span — stays
+	// coordinator-side; only the attempt body moves. Requires RemoteMap.
+	RemoteReduce RemoteReducer
 
 	// Trace, when set, emits structured spans for the job and every task
 	// attempt, commit, spill-run decode, and merge to the trace's sink

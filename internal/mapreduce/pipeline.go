@@ -73,6 +73,9 @@ func (j *Job) runStreaming(ctx context.Context, conf Config, segments []*Segment
 			return nil, fmt.Errorf("mapreduce %q: %w", j.Name, verr)
 		}
 	}
+	if conf.RemoteReduce != nil && conf.RemoteMap == nil {
+		return nil, fmt.Errorf("mapreduce %q: RemoteReduce requires RemoteMap (worker-resident reduce consumes runs pushed by worker-resident maps)", j.Name)
+	}
 	if conf.SpillDir != "" {
 		spill, err := newSpillStore(conf.SpillDir)
 		if err != nil {
@@ -102,6 +105,25 @@ func (j *Job) runStreaming(ctx context.Context, conf Config, segments []*Segment
 		rwg.Add(1)
 		go func(p int) {
 			defer rwg.Done()
+			if conf.RemoteReduce != nil {
+				// W2w topology: the partition stream carries receipts, not
+				// bytes — the runs themselves sit on the owning worker.
+				// Nothing to pre-merge; the owner merges when asked.
+				commits, inBytes := env.collectReceipts(p)
+				if env.aborted.Load() {
+					return
+				}
+				env.sem <- struct{}{}
+				defer func() { <-env.sem }()
+				t0 := time.Now()
+				groups, rerr := env.runRemoteReduceTask(p, commits)
+				redOuts[p] = redOut{
+					task:   TaskMetrics{Duration: time.Since(t0), InputBytes: inBytes, Records: groups},
+					groups: groups,
+					err:    rerr,
+				}
+				return
+			}
 			runs, inBytes, active, lerr := env.collectRuns(p)
 			if env.aborted.Load() || lerr != nil {
 				releaseRuns(runs)
@@ -227,6 +249,17 @@ func (j *Job) runStreaming(ctx context.Context, conf Config, segments []*Segment
 	m.ReduceWall = time.Since(mapDone)
 	m.TotalWall = time.Since(start)
 	return m, nil
+}
+
+// collectReceipts drains one partition's receipt stream (w2w mode):
+// commit published one Seg-less receipt per placed run, so the slice
+// names exactly the runs the owning worker must merge.
+func (env *runEnv) collectReceipts(p int) (commits []Run, inBytes int64) {
+	for r := range env.transport.Partition(p) {
+		commits = append(commits, r)
+		inBytes += r.Bytes
+	}
+	return commits, inBytes
 }
 
 // collectRuns drains one partition's channel until all map tasks are

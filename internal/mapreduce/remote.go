@@ -2,7 +2,9 @@ package mapreduce
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/obs"
@@ -47,6 +49,39 @@ type MapOutput struct {
 // fails the attempt, not the task: the task lifecycle retries.
 type RemoteMapper interface {
 	RunMap(ctx context.Context, task, attempt int, seg *Segment) (*MapOutput, error)
+}
+
+// ReducedGroup is one key group as merged (and, when a combiner is
+// registered, folded) on the partition's owning worker. Rows keep the
+// (MapperID, RecordID) ordering the §5.4 contract requires; after a
+// successful combine a group is a single row holding the composed
+// summary bundle.
+type ReducedGroup struct {
+	Key  string
+	Rows []Shuffled
+}
+
+// ReduceOutput is one worker-resident reduce attempt's result: the
+// partition's groups in ascending key order, ready for the coordinator
+// to feed the user ReduceFunc.
+type ReduceOutput struct {
+	Groups []ReducedGroup
+	// Worker identifies the worker that ran the merge — the partition's
+	// owner. It lands on the re-parented spans as the worker attr, which
+	// the verifier's owner-decode invariant joins against part_owner.
+	Worker int
+	// Spans are the worker-side trace spans covering the attempt
+	// (seg_decode per run, combine per folded group). May be nil.
+	Spans []*obs.Span
+}
+
+// RemoteReducer executes reduce attempt bodies on the worker owning the
+// partition. commits lists the committed runs for the partition as
+// receipts (nil Seg); the worker holds the bytes, pushed to it by map
+// workers. Like RunMap, a non-nil error fails the attempt, not the
+// task.
+type RemoteReducer interface {
+	RunReduce(ctx context.Context, part, attempt int, commits []Run) (*ReduceOutput, error)
 }
 
 // ExecuteMap runs one map attempt locally and publishes each non-empty
@@ -139,17 +174,35 @@ func (env *runEnv) runRemoteMapAttempt(st *mapTask, attempt int) (*attemptResult
 	res := &attemptResult{
 		emitted: out.Emitted,
 		attempt: attempt,
-		memRuns: make([]spillRun, conf.NumReducers),
 	}
 	wireOut := make([]int64, conf.NumReducers)
-	for _, r := range out.Runs {
-		if r.Part < 0 || r.Part >= conf.NumReducers || r.Seg == nil {
-			return nil, fmt.Errorf("mapreduce %q: remote map task %d attempt %d returned invalid run (part %d of %d)",
-				env.job.Name, st.id, attempt, r.Part, conf.NumReducers)
+	if conf.RemoteReduce != nil {
+		// Worker-to-worker topology: the run bytes went straight to each
+		// partition's owning worker; what comes back are receipts. Commit
+		// publishes the receipts so the reduce side knows exactly which
+		// (task, attempt, part) runs the winning attempt placed.
+		res.receipts = make([]Run, 0, len(out.Runs))
+		for _, r := range out.Runs {
+			if r.Part < 0 || r.Part >= conf.NumReducers || r.Seg != nil || r.Bytes <= 0 ||
+				wireOut[r.Part] != 0 {
+				return nil, fmt.Errorf("mapreduce %q: remote map task %d attempt %d returned invalid run receipt (part %d of %d)",
+					env.job.Name, st.id, attempt, r.Part, conf.NumReducers)
+			}
+			res.receipts = append(res.receipts, Run{Task: st.id, Attempt: attempt,
+				Part: r.Part, Bytes: r.Bytes})
+			wireOut[r.Part] = r.Bytes
 		}
-		res.memRuns[r.Part] = spillRun{seg: r.Seg, bytes: r.Bytes,
-			task: st.id, attempt: attempt, part: r.Part}
-		wireOut[r.Part] = r.Bytes
+	} else {
+		res.memRuns = make([]spillRun, conf.NumReducers)
+		for _, r := range out.Runs {
+			if r.Part < 0 || r.Part >= conf.NumReducers || r.Seg == nil {
+				return nil, fmt.Errorf("mapreduce %q: remote map task %d attempt %d returned invalid run (part %d of %d)",
+					env.job.Name, st.id, attempt, r.Part, conf.NumReducers)
+			}
+			res.memRuns[r.Part] = spillRun{seg: r.Seg, bytes: r.Bytes,
+				task: st.id, attempt: attempt, part: r.Part}
+			wireOut[r.Part] = r.Bytes
+		}
 	}
 	logical := out.LogicalOutBytes
 	if len(logical) != conf.NumReducers {
@@ -182,6 +235,93 @@ func (env *runEnv) runRemoteMapAttempt(st *mapTask, attempt int) (*attemptResult
 		env.trace.EmitRaw(sp)
 	}
 	return res, nil
+}
+
+// runRemoteReduceTask is the reduce lifecycle in worker-to-worker mode:
+// the same retry/backoff budget and commit span as runReduceTask, but
+// the attempt body — decode, k-way merge, optional combine — runs on
+// the partition's owning worker. The coordinator receives only final
+// groups and feeds them to the user ReduceFunc locally, so reducers
+// (and their idempotency contract) are unchanged.
+func (env *runEnv) runRemoteReduceTask(p int, commits []Run) (groups int64, err error) {
+	conf := env.conf
+	// Receipts drain off the transport in commit order, which varies with
+	// scheduling; the worker decodes in the order given, so fix it for
+	// deterministic span streams. Merge output is order-independent
+	// either way (distinct tasks mean distinct mapperIDs).
+	sort.Slice(commits, func(i, j int) bool { return commits[i].Task < commits[j].Task })
+	groupHist := env.reg.Histogram(MetricGroupValues)
+	var attemptErrs []error
+	for a := 0; a < conf.MaxAttempts; a++ {
+		if env.ctx.Err() != nil {
+			return 0, env.ctx.Err()
+		}
+		if a > 0 {
+			env.retries.Add(1)
+			if serr := sleepCtx(env.ctx, backoffDelay(conf, a)); serr != nil {
+				return 0, serr
+			}
+		}
+		env.reduceAttempts.Add(1)
+		span := env.trace.Start(obs.KindReduceAttempt, fmt.Sprintf("reduce-%d", p)).
+			Attr(obs.AttrTask, int64(p)).Attr(obs.AttrAttempt, int64(a))
+		t0 := time.Now()
+		out, rerr := conf.RemoteReduce.RunReduce(env.ctx, p, a, commits)
+		if rerr == nil {
+			rerr = env.deliverRemoteGroups(p, out, groupHist)
+		}
+		if rerr == nil {
+			groups = int64(len(out.Groups))
+			env.reg.Histogram(MetricReduceTaskNS).Observe(int64(time.Since(t0)))
+			span.Tag("outcome", "ok").Attr(obs.AttrGroups, groups).End()
+			env.trace.Start(obs.KindCommit, fmt.Sprintf("reduce-%d", p)).
+				Attr(obs.AttrTask, int64(p)).Attr(obs.AttrAttempt, int64(a)).
+				Tag("phase", "reduce").End()
+			return groups, nil
+		}
+		span.Tag("outcome", "error").End()
+		if env.ctx.Err() != nil {
+			return 0, env.ctx.Err()
+		}
+		attemptErrs = append(attemptErrs, fmt.Errorf("attempt %d: %w", a, rerr))
+	}
+	return 0, fmt.Errorf("mapreduce %q: reduce task %d failed after %d attempts: %w",
+		env.job.Name, p, len(attemptErrs), errors.Join(attemptErrs...))
+}
+
+// deliverRemoteGroups feeds a worker-reduced partition to the user
+// ReduceFunc, then — only once the whole partition has reduced cleanly —
+// re-parents the worker's spans and records the partition's owner. Span
+// emission after the last Reduce call keeps a failed attempt's decode
+// spans out of the trace, which the run-merged-once invariant requires
+// (the successful retry re-decodes the same runs).
+func (env *runEnv) deliverRemoteGroups(p int, out *ReduceOutput, groupHist *obs.Histogram) error {
+	j := env.job
+	for _, g := range out.Groups {
+		groupHist.Observe(int64(len(g.Rows)))
+		if err := j.Reduce(p, g.Key, g.Rows); err != nil {
+			return fmt.Errorf("mapreduce %q: reduce task %d key %q: %w", j.Name, p, g.Key, err)
+		}
+	}
+	for _, sp := range out.Spans {
+		if sp == nil {
+			continue
+		}
+		sp.ID = 0 // EmitRaw reassigns from the coordinator's sequence
+		sp.Parent = env.trace.CurrentJob()
+		if sp.Tags == nil {
+			sp.Tags = map[string]string{}
+		}
+		sp.Tags["remote"] = "1"
+		if sp.Attrs == nil {
+			sp.Attrs = map[string]int64{}
+		}
+		sp.Attrs[obs.AttrWorker] = int64(out.Worker)
+		env.trace.EmitRaw(sp)
+	}
+	env.trace.Start(obs.KindPartOwner, fmt.Sprintf("part-%d", p)).
+		Attr(obs.AttrPart, int64(p)).Attr(obs.AttrWorker, int64(out.Worker)).End()
+	return nil
 }
 
 // validateRemote rejects Config combinations the remote map path cannot

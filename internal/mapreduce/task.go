@@ -119,6 +119,10 @@ type attemptResult struct {
 	attempt int         // spill mode: attempt ID owning dirTmp
 	files   []spillFile // spill mode: encoded runs awaiting rename
 	onDisk  bool
+	// receipts is the w2w-mode output: run bytes already live on each
+	// partition's owning worker, so commit publishes only these
+	// (Seg-less) receipts. Non-nil exactly when RemoteReduce is set.
+	receipts []Run
 }
 
 // discard releases a losing or unused attempt's output: buffers back to
@@ -411,7 +415,14 @@ func (env *runEnv) commit(st *mapTask, attempt int, res *attemptResult) (won boo
 	// A Publish failure after the CAS is a transport fault, not an
 	// attempt fault: the task has committed and cannot retry, so the
 	// error aborts the job (won=true, err!=nil).
-	if res.onDisk {
+	if res.receipts != nil {
+		for _, r := range res.receipts {
+			if perr := runCommit(r); perr != nil {
+				return true, fmt.Errorf("mapreduce %q: map task %d: publishing committed run: %w",
+					env.job.Name, st.id, perr)
+			}
+		}
+	} else if res.onDisk {
 		for _, f := range res.files {
 			r := Run{Path: env.spill.committedRunPath(st.id, f), Bytes: f.bytes,
 				Task: st.id, Attempt: attempt, Part: f.part}

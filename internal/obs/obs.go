@@ -77,6 +77,11 @@ const (
 	// KindReduceGroup covers one concrete reduce group (baseline
 	// engine). Name: group key. Attrs: values.
 	KindReduceGroup = "reduce_group"
+	// KindPartOwner is an instant event recording which worker ran the
+	// worker-resident reduce for a partition (cluster w2w topology).
+	// Attrs: part, worker. The owner-decode invariant joins it against
+	// seg_decode spans carrying a worker attr.
+	KindPartOwner = "part_owner"
 )
 
 // Common attribute keys shared by emitters and the Verifier.
@@ -97,6 +102,9 @@ const (
 	AttrWireBytes    = "wire_bytes"
 	AttrLogicalBytes = "logical_bytes"
 	AttrOutBytes     = "out_bytes"
+	// AttrWorker identifies the cluster worker a span executed on
+	// (w2w reduce placement); in-process spans don't set it.
+	AttrWorker = "worker"
 	// AttrBatchRecords is the number of events a batched map chunk kept
 	// after vectorized grouping (its parse and exec spans carry the same
 	// value; scalar chunks don't set it).

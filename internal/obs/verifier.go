@@ -23,6 +23,7 @@ const (
 	InvDuplicateSpan   = "duplicate-span"    // span IDs unique within a job
 	InvJobMissing      = "job-missing"       // non-empty trace must contain a job span
 	InvBatchRecords    = "batch-records"     // kept batch events <= chunk records; parse/exec agree per chunk
+	InvOwnerDecode     = "owner-decode"      // w2w: runs decoded only on their partition's owning worker
 )
 
 // Violation is one failed invariant over a trace.
@@ -164,6 +165,56 @@ func (v Verifier) verifyJob(job *Span, children []*Span) []Violation {
 	out = append(out, verifyCommits(job, children)...)
 	out = append(out, verifyComposes(job, children)...)
 	out = append(out, verifyBatches(job, children)...)
+	out = append(out, verifyOwners(job, children)...)
+	return out
+}
+
+// verifyOwners checks worker-to-worker reduce placement: part_owner
+// events record which cluster worker ran each partition's reduce, and
+// every seg_decode span that carries a worker attr (only worker-resident
+// decodes do) must have run on its partition's recorded owner — a run
+// decoded elsewhere would mean shuffle data leaked off the owning
+// worker. Traces without part_owner spans (in-process and
+// via-coordinator runs) are skipped.
+func verifyOwners(job *Span, children []*Span) []Violation {
+	var out []Violation
+	owner := make(map[int64]int64)
+	for _, sp := range children {
+		if sp.Kind != KindPartOwner {
+			continue
+		}
+		part, w := sp.Attr(AttrPart), sp.Attr(AttrWorker)
+		if prev, ok := owner[part]; ok && prev != w {
+			out = append(out, Violation{InvOwnerDecode,
+				fmt.Sprintf("job %q: partition %d owned by worker %d and worker %d",
+					job.Name, part, prev, w)})
+		}
+		owner[part] = w
+	}
+	if len(owner) == 0 {
+		return out
+	}
+	for _, sp := range children {
+		if sp.Kind != KindSegDecode {
+			continue
+		}
+		w, ok := sp.Attrs[AttrWorker]
+		if !ok {
+			continue
+		}
+		part := sp.Attr(AttrPart)
+		o, known := owner[part]
+		switch {
+		case !known:
+			out = append(out, Violation{InvOwnerDecode,
+				fmt.Sprintf("job %q: run (%s) decoded on worker %d but partition %d has no recorded owner",
+					job.Name, runKey{sp.Attr(AttrTask), sp.Attr(AttrAttempt), part}, w, part)})
+		case o != w:
+			out = append(out, Violation{InvOwnerDecode,
+				fmt.Sprintf("job %q: run (%s) decoded on worker %d but partition %d is owned by worker %d",
+					job.Name, runKey{sp.Attr(AttrTask), sp.Attr(AttrAttempt), part}, w, part, o)})
+		}
+	}
 	return out
 }
 

@@ -247,12 +247,23 @@ func TestClusterChaosDifferential(t *testing.T) {
 				// riding the colcodec payload in the assignment.
 				opt := core.SympleOptions{Columnar: seed%2 == 1}
 				plan := cluster.NewChaosPlan(int64(seed*53+qi), conf.MaxAttempts)
+				popts := []cluster.PoolOption{cluster.WithChaos(plan)}
+				// Even seeds run the w2w topology, so peer-conn drops and
+				// reduce-owner kills (ChaosPeerDrop, the decideReduce
+				// state-drop) are swept alongside the map-side faults.
+				w2w := seed%2 == 0
+				if w2w {
+					popts = append(popts, cluster.WithW2W())
+				}
 				pool, err := cluster.NewPool(
-					ClusterSpec(id, conf, opt), eps, cluster.WithChaos(plan))
+					ClusterSpec(id, conf, opt), eps, popts...)
 				if err != nil {
 					t.Fatal(err)
 				}
 				conf.RemoteMap = pool
+				if w2w {
+					conf.RemoteReduce = pool
+				}
 				got, err := spec.SympleOpts(segs, conf, opt)
 				pool.Close()
 				injected += plan.Injected()

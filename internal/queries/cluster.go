@@ -28,6 +28,9 @@ func registerClusterJob[S sym.State, E, R any](id string, q *core.Query[S, E, R]
 			MapParallelism: spec.MapParallelism,
 		}, trace)
 	})
+	cluster.RegisterJobCombiner(id, func(spec cluster.JobSpec, trace *obs.Trace) (cluster.GroupCombiner, error) {
+		return core.SympleCombiner(q, trace)
+	})
 }
 
 // RegisterClusterJobs makes every query's map side available to the

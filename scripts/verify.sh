@@ -25,9 +25,14 @@ CHAOS_SEEDS=6 go test -race -count=1 -run 'Chaos' ./internal/mapreduce ./interna
 # suite. CI's `columnar` job runs the wide form under -race.
 go test -count=1 -run 'Columnar|Batch' ./internal/sym ./internal/data ./internal/mapreduce ./internal/queries
 # Cluster leg: the transport/coordinator/worker path — frame codec
-# seeds, pool lifecycle, golden digest equivalence through loopback TCP
-# workers (in-process and multi-process), and a short distributed chaos
-# sweep. CI's `cluster` job runs the wide sweep (CHAOS_SEEDS=100).
+# seeds, pool lifecycle, and transport-equivalence golden digests: all
+# 12 queries byte-identical across in-memory, via-coordinator, and
+# worker-to-worker shuffle (in-process and multi-process workers), with
+# connection/job-state leak checks on success, worker death, and
+# cancellation. The short distributed chaos sweep covers both
+# topologies (even seeds run w2w: peer-connection drops and
+# reduce-owner state loss). CI's `cluster` job runs the wide sweep
+# (CHAOS_SEEDS=100).
 go test -race -count=1 ./internal/cluster
 CHAOS_SEEDS=4 go test -race -count=1 -run 'TestClusterChaosDifferential' ./internal/queries
 # Traced leg: every engine run auto-attaches a trace; the run fails if
