@@ -13,6 +13,14 @@
 // Adding -w2w routes spill runs worker-to-worker by partition owner and
 // reduces on the owning workers, so the coordinator receives only run
 // receipts and one applied constant summary per group.
+//
+// The submit and tail verbs are clients of a serve-mode daemon
+// (sympled -serve): submit runs one job against a hosted dataset and
+// prints the result; tail subscribes and prints a refreshed result as
+// the dataset grows.
+//
+//	symple submit -addr 127.0.0.1:7070 -query G1
+//	symple tail -addr 127.0.0.1:7070 -query B2 -every 2
 package main
 
 import (
@@ -31,11 +39,16 @@ import (
 	"repro/internal/mapreduce"
 	"repro/internal/obs"
 	"repro/internal/queries"
+	"repro/internal/serve"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("symple: ")
+	if len(os.Args) > 1 && (os.Args[1] == "submit" || os.Args[1] == "tail") {
+		clientMain(os.Args[1], os.Args[2:])
+		return
+	}
 	var (
 		queryID   = flag.String("query", "B1", "query ID (G1-G4, B1-B3, T1, R1-R4)")
 		engine    = flag.String("engine", "all", "engine: sequential | baseline | symple | all")
@@ -227,6 +240,54 @@ func main() {
 		}
 		fmt.Printf("trace: %d spans → %s, invariants hold ✓\n", len(spans), *tracePath)
 	}
+}
+
+// clientMain implements the submit/tail verbs against a serve-mode
+// sympled daemon.
+func clientMain(verb string, args []string) {
+	fs := flag.NewFlagSet("symple "+verb, flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:7070", "serve-mode sympled address")
+		queryID = fs.String("query", "G1", "query ID (G1-G4, B1-B3, T1, R1-R4)")
+		dataset = fs.String("dataset", "", "hosted dataset name (default: the query's corpus)")
+		tenant  = fs.String("tenant", "cli", "admission-control tenant the job is billed to")
+		every   = fs.Int("every", 1, "tail: refresh stride in appended segments")
+	)
+	_ = fs.Parse(args)
+	id := strings.ToUpper(*queryID)
+	ds := *dataset
+	if ds == "" {
+		spec := queries.ByID(id)
+		if spec == nil {
+			log.Fatalf("unknown query %q", id)
+		}
+		ds = spec.Dataset
+	}
+	c, err := serve.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	j, err := c.Submit(cluster.JobSubmit{
+		Tenant: *tenant, Query: id, Dataset: ds,
+		Tail: verb == "tail", TailEvery: *every,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if j.Accept.QueuePos > 0 {
+		fmt.Printf("queued behind %d jobs\n", j.Accept.QueuePos)
+	}
+	for u := range j.Updates() {
+		fmt.Printf("update %d: digest %016x, %d groups over %d segments (%d cached, %d mapped)\n",
+			u.Seq, u.Digest, u.NumResults, u.Segments, u.CacheHits, u.MappedSegments)
+	}
+	res, err := j.Wait()
+	if err != nil {
+		log.Fatalf("job %d: %v", j.Accept.ID, err)
+	}
+	fmt.Printf("result: digest %016x, %d groups over %d segments (%d cached, %d mapped)\n",
+		res.Digest, res.NumResults, res.Segments, res.CacheHits, res.MappedSegments)
 }
 
 func max(a, b int) int {

@@ -7,7 +7,7 @@
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8, b1latency,
 // ablation, shuffle, wire, symexec, faults, obs, columnar, cluster,
-// all. See EXPERIMENTS.md for the paper-vs-measured record;
+// serve, all. See EXPERIMENTS.md for the paper-vs-measured record;
 // -experiment shuffle also writes BENCH_SHUFFLE.json, -experiment wire
 // writes BENCH_WIRE.json (compact shuffle encoding vs the seed framing
 // across all 12 queries), -experiment symexec writes
@@ -17,9 +17,12 @@
 // on the hot-loop queries; target ≤3%), -experiment columnar writes
 // BENCH_COLUMNAR.json (batched columnar execution vs the scalar fast
 // engine on the hot-loop queries; target ≥2x exec-pass throughput),
-// and -experiment cluster writes BENCH_CLUSTER.json (real
+// -experiment cluster writes BENCH_CLUSTER.json (real
 // coordinator/worker execution over loopback TCP on 1/2/4 spawned
-// worker subprocesses, measured wall clock vs dcsim prediction).
+// worker subprocesses, measured wall clock vs dcsim prediction), and
+// -experiment serve writes BENCH_SERVE.json (query-service latency:
+// cold submission vs warm-cache re-submission vs incremental append
+// against a loopback serve daemon, digest-checked per round).
 //
 // -memo-size and -map-parallelism tune the SYMPLE runtime knobs the
 // symexec experiment exercises (see README). -trace streams every
@@ -53,7 +56,7 @@ func main() {
 		return
 	}
 	var (
-		experiment = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | fig8 | b1latency | ablation | shuffle | wire | symexec | faults | obs | columnar | cluster | all")
+		experiment = flag.String("experiment", "all", "table1 | fig4 | fig5 | fig6 | fig7 | fig8 | b1latency | ablation | shuffle | wire | symexec | faults | obs | columnar | cluster | serve | all")
 		records    = flag.Int("records", 200000, "records per generated corpus")
 		segments   = flag.Int("segments", 8, "input segments (measured mapper count)")
 		memoSize   = flag.Int("memo-size", 0, "record-transition memo entries per map chunk (0 default, <0 disables)")
@@ -122,6 +125,7 @@ func main() {
 		{"obs", func() (*bench.Table, error) { return bench.Obs(datasets()) }},
 		{"columnar", func() (*bench.Table, error) { return bench.Columnar(datasets(), *memoSize) }},
 		{"cluster", func() (*bench.Table, error) { return bench.ClusterRun(datasets()) }},
+		{"serve", func() (*bench.Table, error) { return bench.ServeRun(datasets()) }},
 	}
 	ran := 0
 	for _, e := range exps {

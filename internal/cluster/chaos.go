@@ -35,6 +35,20 @@ const (
 	// mid-push. In the via-coordinator topology (no peer mesh) the pool
 	// downgrades it to ChaosWorkerAbort so the schedule stays seeded.
 	ChaosPeerDrop
+	// ChaosServeDisconnect makes a serve client drop its connection
+	// while a submitted job is still running — a tenant going away
+	// mid-job. The service must cancel the orphaned job and leak
+	// nothing.
+	ChaosServeDisconnect
+	// ChaosServeCancel makes a serve client send a JobCancel while the
+	// job is in flight — a clean mid-stream cancellation. The job must
+	// settle with a cancelled JobResult.
+	ChaosServeCancel
+	// ChaosServeEvict flushes the service's summary cache while the
+	// job's fold is in progress — eviction mid-fold. The job must still
+	// complete with the fault-free digest (the fold owns its decoded
+	// summaries; only future jobs re-map).
+	ChaosServeEvict
 )
 
 // ChaosPlan injects deterministic worker faults into a Pool.
@@ -101,6 +115,25 @@ func (p *ChaosPlan) decideReduce(part, attempt int) bool {
 	}
 	p.injected.Add(1)
 	return true
+}
+
+// DecideServe returns the serve-path fault for one submitted job, or
+// ChaosNone. Drawn from a salted stream separate from the map- and
+// reduce-side decisions so adding serve faults never perturbs a
+// worker-fault schedule with the same seed. There is no spare-final
+// rule: serve faults are survivable by design (disconnect and cancel
+// settle the job as cancelled; eviction must not change results), so
+// every job is fair game.
+func (p *ChaosPlan) DecideServe(job int) ChaosKind {
+	if p == nil {
+		return ChaosNone
+	}
+	h := chaosMix(p.seed ^ chaosMix(uint64(job)+0x5EB7))
+	if float64(h%1000)/1000 >= p.rate {
+		return ChaosNone
+	}
+	p.injected.Add(1)
+	return ChaosServeDisconnect + ChaosKind((h>>10)%3)
 }
 
 // Injected counts the faults the plan has armed so far — differential

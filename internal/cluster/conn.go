@@ -1,0 +1,36 @@
+package cluster
+
+import (
+	"io"
+	"sync"
+)
+
+// FrameConn pairs a frame reader and writer over one byte stream — the
+// exported face of the framing layer for the serve package, which runs
+// the job protocol without the worker/coordinator machinery. Reads are
+// single-consumer (one goroutine owns Next); writes are mutex-guarded
+// so many job goroutines can interleave whole frames on one connection.
+type FrameConn struct {
+	fr  *frameReader
+	wmu sync.Mutex
+	fw  *frameWriter
+}
+
+// NewFrameConn wraps rw (usually a net.Conn) in frame framing. The
+// caller keeps ownership of rw and closes it to unblock Next.
+func NewFrameConn(rw io.ReadWriter) *FrameConn {
+	return &FrameConn{fr: newFrameReader(rw), fw: newFrameWriter(rw)}
+}
+
+// Write sends one frame and flushes. Safe for concurrent use.
+func (c *FrameConn) Write(t FrameType, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.fw.write(t, payload)
+}
+
+// Next reads one frame. io.EOF surfaces unchanged at a clean frame
+// boundary; truncation mid-frame becomes io.ErrUnexpectedEOF.
+func (c *FrameConn) Next() (Frame, error) {
+	return c.fr.next()
+}

@@ -27,8 +27,10 @@ import (
 // a different version is rejected before any job traffic. Version 2
 // added the worker-to-worker shuffle frames (peer_hello, run_push,
 // partition_done, run_receipt, reduce, reduce_done, job_done) and the
-// extended assignment payload (topology, segment digest).
-const ProtocolVersion = 2
+// extended assignment payload (topology, segment digest). Version 3
+// added the query-service job frames (job_submit, job_accept,
+// job_update, job_result, job_cancel).
+const ProtocolVersion = 3
 
 // helloMagic opens every hello payload, guarding against a stray TCP
 // client. Spells "SYMP".
@@ -92,8 +94,24 @@ const (
 	// FrameJobDone tells a worker the job is over: drop its buffered
 	// runs and close its peer connections. No reply.
 	FrameJobDone FrameType = 13
+	// FrameJobSubmit asks a serve-mode daemon to run one query job for a
+	// tenant: tenant, query ID, dataset name, and the tail-mode knobs.
+	FrameJobSubmit FrameType = 14
+	// FrameJobAccept answers a submit immediately with the admission
+	// verdict: the assigned job ID and queue position, or a rejection
+	// reason (queue full, unknown query, over budget).
+	FrameJobAccept FrameType = 15
+	// FrameJobUpdate streams one refreshed result for a tail job: the
+	// update sequence number, result digest, and fold provenance.
+	FrameJobUpdate FrameType = 16
+	// FrameJobResult closes a job: the final digest and result count, or
+	// the job error, plus cache-hit/mapped-segment provenance.
+	FrameJobResult FrameType = 17
+	// FrameJobCancel asks the service to cancel a previously accepted
+	// job (client→server); the job still settles with a FrameJobResult.
+	FrameJobCancel FrameType = 18
 
-	frameTypeMax = FrameJobDone
+	frameTypeMax = FrameJobCancel
 )
 
 // Frame is one decoded protocol frame.

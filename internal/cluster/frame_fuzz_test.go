@@ -136,6 +136,21 @@ func frameSeedCorpus() []fuzzseed.Seed {
 		{Name: "valid-reducedone-missing.bin", Data: frame(FrameReduceDone,
 			encodeReduceMissing([]taskAttempt{{task: 1, attempt: 2}}))},
 		{Name: "valid-jobdone.bin", Data: frame(FrameJobDone, encodeJobDone(77))},
+		{Name: "valid-jobsubmit.bin", Data: frame(FrameJobSubmit, encodeJobSubmit(JobSubmit{
+			Tenant: "acme", Query: "G1", Dataset: "github", Tail: true, TailEvery: 2}))},
+		{Name: "valid-jobaccept.bin", Data: frame(FrameJobAccept, encodeJobAccept(JobAccept{
+			ID: 9, OK: true, QueuePos: 3}))},
+		{Name: "valid-jobaccept-rejected.bin", Data: frame(FrameJobAccept, encodeJobAccept(JobAccept{
+			OK: false, Reason: "queue full: 64 jobs pending"}))},
+		{Name: "valid-jobupdate.bin", Data: frame(FrameJobUpdate, encodeJobUpdate(JobUpdate{
+			ID: 9, Seq: 2, Digest: 0x5B4CE1A74A6DB4E3, NumResults: 74,
+			Segments: 6, CacheHits: 5, MappedSegments: 1}))},
+		{Name: "valid-jobresult.bin", Data: frame(FrameJobResult, encodeJobResult(JobResult{
+			ID: 9, Digest: 0x5B4CE1A74A6DB4E3, NumResults: 74,
+			Segments: 6, CacheHits: 6, Updates: 4}))},
+		{Name: "valid-jobresult-cancelled.bin", Data: frame(FrameJobResult, encodeJobResult(JobResult{
+			ID: 9, Err: "cancelled"}))},
+		{Name: "valid-jobcancel.bin", Data: frame(FrameJobCancel, encodeJobCancel(JobCancel{ID: 9}))},
 		{Name: "corrupt-empty.bin", Data: []byte{}},
 		{Name: "corrupt-zero-type.bin", Data: []byte{0x00, 0x00}},
 		{Name: "corrupt-unknown-type.bin", Data: []byte{0xEE, 0x00}},
@@ -174,7 +189,32 @@ func frameSeedCorpus() []fuzzseed.Seed {
 			Data: frame(FrameAssign, encodeAssign(forgedOwnerAssignment()))},
 		{Name: "corrupt-jobdone-trailing.bin",
 			Data: frame(FrameJobDone, append(encodeJobDone(77), 0x00))},
+		{Name: "corrupt-jobsubmit-trailing.bin",
+			Data: frame(FrameJobSubmit, append(encodeJobSubmit(JobSubmit{
+				Tenant: "acme", Query: "G1", Dataset: "github"}), 0x01))},
+		{Name: "corrupt-jobsubmit-oversized-tenant.bin",
+			Data: frame(FrameJobSubmit, encodeJobSubmit(JobSubmit{
+				Tenant: strings.Repeat("t", maxServeString+1), Query: "G1", Dataset: "github"}))},
+		{Name: "corrupt-jobsubmit-forged-length.bin",
+			Data: frame(FrameJobSubmit, forgedJobSubmitLength())},
+		{Name: "corrupt-jobaccept-trailing.bin",
+			Data: frame(FrameJobAccept, append(encodeJobAccept(JobAccept{ID: 9, OK: true}), 0x00))},
+		{Name: "corrupt-jobupdate-truncated.bin",
+			Data: frame(FrameJobUpdate, encodeJobUpdate(JobUpdate{ID: 9, Seq: 1})[:4])},
+		{Name: "corrupt-jobresult-oversized-err.bin",
+			Data: frame(FrameJobResult, encodeJobResult(JobResult{
+				ID: 9, Err: strings.Repeat("e", maxServeString+1)}))},
+		{Name: "corrupt-jobcancel-trailing.bin",
+			Data: frame(FrameJobCancel, append(encodeJobCancel(JobCancel{ID: 9}), 0xFF))},
 	}
+}
+
+// forgedJobSubmitLength claims a huge tenant-string length with no
+// string data behind it.
+func forgedJobSubmitLength() []byte {
+	e := wire.NewEncoder(8)
+	e.Uvarint(1 << 30) // forged tenant length
+	return e.Bytes()
 }
 
 // peerHelloWith builds a peer hello with arbitrary magic/version.
@@ -278,6 +318,16 @@ func decodeSeedFrame(data []byte) error {
 		_, _, err = decodeReduceDone(f.Payload)
 	case FrameJobDone:
 		_, err = decodeJobDone(f.Payload)
+	case FrameJobSubmit:
+		_, err = DecodeJobSubmit(f.Payload)
+	case FrameJobAccept:
+		_, err = DecodeJobAccept(f.Payload)
+	case FrameJobUpdate:
+		_, err = DecodeJobUpdate(f.Payload)
+	case FrameJobResult:
+		_, err = DecodeJobResult(f.Payload)
+	case FrameJobCancel:
+		_, err = DecodeJobCancel(f.Payload)
 	}
 	return err
 }
@@ -323,7 +373,7 @@ func TestFuzzSeedFrameCorpus(t *testing.T) {
 			t.Errorf("%s: seed name must start with valid- or corrupt-", s.Name)
 		}
 	}
-	if valid < 13 || corrupt < 20 {
+	if valid < 20 || corrupt < 27 {
 		t.Fatalf("corpus too small: %d valid / %d corrupt seeds", valid, corrupt)
 	}
 }
@@ -380,6 +430,11 @@ func FuzzFrameDecode(f *testing.F) {
 		_, _ = decodeReduce(fr.Payload)
 		_, _, _ = decodeReduceDone(fr.Payload)
 		_, _ = decodeJobDone(fr.Payload)
+		_, _ = DecodeJobSubmit(fr.Payload)
+		_, _ = DecodeJobAccept(fr.Payload)
+		_, _ = DecodeJobUpdate(fr.Payload)
+		_, _ = DecodeJobResult(fr.Payload)
+		_, _ = DecodeJobCancel(fr.Payload)
 	})
 }
 
@@ -450,6 +505,29 @@ func TestFrameDecodeRejectsCorruption(t *testing.T) {
 	}
 	if _, err := decodeJobDone(append(encodeJobDone(7), 0x00)); err == nil {
 		t.Error("trailing garbage after job done accepted")
+	}
+	if _, err := DecodeJobSubmit(append(encodeJobSubmit(JobSubmit{Tenant: "t", Query: "q", Dataset: "d"}), 0x01)); err == nil {
+		t.Error("trailing garbage after job submit accepted")
+	}
+	if _, err := DecodeJobSubmit(encodeJobSubmit(JobSubmit{
+		Tenant: strings.Repeat("t", maxServeString+1), Query: "q", Dataset: "d"})); err == nil {
+		t.Error("oversized job submit tenant accepted")
+	}
+	if _, err := DecodeJobSubmit(forgedJobSubmitLength()); err == nil {
+		t.Error("forged job submit string length accepted")
+	}
+	if _, err := DecodeJobAccept(append(encodeJobAccept(JobAccept{ID: 1, OK: true}), 0x00)); err == nil {
+		t.Error("trailing garbage after job accept accepted")
+	}
+	if _, err := DecodeJobUpdate(encodeJobUpdate(JobUpdate{ID: 1, Seq: 1, Digest: 1})[:4]); err == nil {
+		t.Error("truncated job update accepted")
+	}
+	if _, err := DecodeJobResult(encodeJobResult(JobResult{
+		ID: 1, Err: strings.Repeat("e", maxServeString+1)})); err == nil {
+		t.Error("oversized job result error accepted")
+	}
+	if _, err := DecodeJobCancel(append(encodeJobCancel(JobCancel{ID: 1}), 0xFF)); err == nil {
+		t.Error("trailing garbage after job cancel accepted")
 	}
 	// A reply claiming both groups and missing runs is ambiguous.
 	both := wire.NewEncoder(16)
@@ -604,6 +682,40 @@ func TestW2WCodecRoundTrips(t *testing.T) {
 	jid2, err := decodeJobDone(encodeJobDone(12345))
 	if err != nil || jid2 != 12345 {
 		t.Fatalf("job done diverged: %d, %v", jid2, err)
+	}
+}
+
+// TestJobFrameRoundTrips pins the five serve job-frame codecs: every
+// field survives an encode/decode round trip, including the rejected
+// and cancelled forms.
+func TestJobFrameRoundTrips(t *testing.T) {
+	sub := JobSubmit{Tenant: "acme", Query: "R4", Dataset: "redshift", Tail: true, TailEvery: 3}
+	if got, err := DecodeJobSubmit(encodeJobSubmit(sub)); err != nil || got != sub {
+		t.Fatalf("job submit diverged: %+v vs %+v (%v)", got, sub, err)
+	}
+	for _, acc := range []JobAccept{
+		{ID: 42, OK: true, QueuePos: 7},
+		{OK: false, Reason: "unknown query Z9"},
+	} {
+		if got, err := DecodeJobAccept(encodeJobAccept(acc)); err != nil || got != acc {
+			t.Fatalf("job accept diverged: %+v vs %+v (%v)", got, acc, err)
+		}
+	}
+	u := JobUpdate{ID: 42, Seq: 9, Digest: 0xCE4386EA43DC8579, NumResults: 40,
+		Segments: 6, CacheHits: 4, MappedSegments: 2}
+	if got, err := DecodeJobUpdate(encodeJobUpdate(u)); err != nil || got != u {
+		t.Fatalf("job update diverged: %+v vs %+v (%v)", got, u, err)
+	}
+	for _, r := range []JobResult{
+		{ID: 42, Digest: 0xA0A6156645A7A793, NumResults: 53, Segments: 6, CacheHits: 6, Updates: 2},
+		{ID: 43, Err: "cancelled", Updates: 5},
+	} {
+		if got, err := DecodeJobResult(encodeJobResult(r)); err != nil || got != r {
+			t.Fatalf("job result diverged: %+v vs %+v (%v)", got, r, err)
+		}
+	}
+	if got, err := DecodeJobCancel(encodeJobCancel(JobCancel{ID: 42})); err != nil || got.ID != 42 {
+		t.Fatalf("job cancel diverged: %+v (%v)", got, err)
 	}
 }
 

@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Payload codecs for the query-service job frames (protocol version 3).
+// Same contract as proto.go: every decoder is total — corrupt input
+// returns an error naming wire.ErrCorrupt or ErrFrame, never a panic —
+// and the frame fuzz corpus pins both the valid and corrupt classes.
+
+// maxServeString caps the tenant/query/dataset/reason strings in job
+// frames; they are identifiers and short sentences, not payloads.
+const maxServeString = 1 << 12
+
+// JobSubmit asks a serve-mode daemon to run one query job (client →
+// server, FrameJobSubmit).
+type JobSubmit struct {
+	// Tenant is the admission-control principal the job is billed to.
+	Tenant string
+	// Query is the registered query ID (e.g. "G1").
+	Query string
+	// Dataset names a dataset hosted by the service.
+	Dataset string
+	// Tail subscribes to the dataset: instead of one final result the
+	// job emits a refreshed result every TailEvery appended segments
+	// until cancelled.
+	Tail bool
+	// TailEvery is the tail refresh stride in segments (min 1).
+	TailEvery int
+}
+
+// JobAccept is the immediate admission verdict for one submit (server →
+// client, FrameJobAccept).
+type JobAccept struct {
+	// ID is the service-assigned job ID echoed by every later frame for
+	// this job. Zero when the job was rejected.
+	ID uint64
+	// OK reports admission; when false, Reason says why (queue full,
+	// unknown query or dataset, over budget).
+	OK     bool
+	Reason string
+	// QueuePos is the number of jobs ahead in the tenant's queue at
+	// admission time (0 = dispatched immediately).
+	QueuePos int
+}
+
+// JobUpdate is one refreshed result of a tail job (server → client,
+// FrameJobUpdate).
+type JobUpdate struct {
+	ID uint64
+	// Seq numbers the updates of one job from 1, in emit order.
+	Seq uint64
+	// Digest/NumResults mirror queries.Run: the digest of the formatted
+	// result lines and the group count.
+	Digest     uint64
+	NumResults int
+	// Segments counts the segments folded into this result; CacheHits
+	// of them came from the summary cache and MappedSegments were
+	// mapped fresh by this job.
+	Segments       int
+	CacheHits      int
+	MappedSegments int
+}
+
+// JobResult settles a job (server → client, FrameJobResult).
+type JobResult struct {
+	ID uint64
+	// Err is the job error ("" on success; "cancelled" after a
+	// JobCancel or client disconnect).
+	Err        string
+	Digest     uint64
+	NumResults int
+	// Segments/CacheHits/MappedSegments carry the final fold's
+	// provenance, as in JobUpdate. Updates counts the tail updates
+	// emitted before settling.
+	Segments       int
+	CacheHits      int
+	MappedSegments int
+	Updates        int
+}
+
+// JobCancel asks the service to cancel an accepted job (client →
+// server, FrameJobCancel). The job still settles with a JobResult.
+type JobCancel struct {
+	ID uint64
+}
+
+// EncodeHello builds the hello payload (magic, protocol version) for a
+// FrameHello. Exported for the serve client/server handshake; the
+// worker path uses it via encodeHello.
+func EncodeHello() []byte { return encodeHello() }
+
+func encodeJobSubmit(s JobSubmit) []byte {
+	e := wire.NewEncoder(len(s.Tenant) + len(s.Query) + len(s.Dataset) + 16)
+	e.String(s.Tenant)
+	e.String(s.Query)
+	e.String(s.Dataset)
+	e.Bool(s.Tail)
+	e.Uvarint(uint64(s.TailEvery))
+	return e.Bytes()
+}
+
+// DecodeJobSubmit decodes a FrameJobSubmit payload.
+func DecodeJobSubmit(payload []byte) (JobSubmit, error) {
+	d := wire.NewDecoder(payload)
+	var s JobSubmit
+	s.Tenant = d.String()
+	s.Query = d.String()
+	s.Dataset = d.String()
+	s.Tail = d.Bool()
+	s.TailEvery = int(d.Uvarint())
+	if err := d.Err(); err != nil {
+		return JobSubmit{}, fmt.Errorf("%w: truncated job submit: %v", ErrFrame, err)
+	}
+	if len(s.Tenant) > maxServeString || len(s.Query) > maxServeString || len(s.Dataset) > maxServeString {
+		return JobSubmit{}, fmt.Errorf("%w: oversized job submit field", ErrFrame)
+	}
+	if d.Remaining() != 0 {
+		return JobSubmit{}, fmt.Errorf("%w: %d trailing bytes after job submit", ErrFrame, d.Remaining())
+	}
+	return s, nil
+}
+
+func encodeJobAccept(a JobAccept) []byte {
+	e := wire.NewEncoder(len(a.Reason) + 16)
+	e.Uvarint(a.ID)
+	e.Bool(a.OK)
+	e.String(a.Reason)
+	e.Uvarint(uint64(a.QueuePos))
+	return e.Bytes()
+}
+
+// DecodeJobAccept decodes a FrameJobAccept payload.
+func DecodeJobAccept(payload []byte) (JobAccept, error) {
+	d := wire.NewDecoder(payload)
+	var a JobAccept
+	a.ID = d.Uvarint()
+	a.OK = d.Bool()
+	a.Reason = d.String()
+	a.QueuePos = int(d.Uvarint())
+	if err := d.Err(); err != nil {
+		return JobAccept{}, fmt.Errorf("%w: truncated job accept: %v", ErrFrame, err)
+	}
+	if len(a.Reason) > maxServeString {
+		return JobAccept{}, fmt.Errorf("%w: oversized job accept reason", ErrFrame)
+	}
+	if d.Remaining() != 0 {
+		return JobAccept{}, fmt.Errorf("%w: %d trailing bytes after job accept", ErrFrame, d.Remaining())
+	}
+	return a, nil
+}
+
+func encodeJobUpdate(u JobUpdate) []byte {
+	e := wire.NewEncoder(40)
+	e.Uvarint(u.ID)
+	e.Uvarint(u.Seq)
+	e.Uint64(u.Digest)
+	e.Uvarint(uint64(u.NumResults))
+	e.Uvarint(uint64(u.Segments))
+	e.Uvarint(uint64(u.CacheHits))
+	e.Uvarint(uint64(u.MappedSegments))
+	return e.Bytes()
+}
+
+// DecodeJobUpdate decodes a FrameJobUpdate payload.
+func DecodeJobUpdate(payload []byte) (JobUpdate, error) {
+	d := wire.NewDecoder(payload)
+	var u JobUpdate
+	u.ID = d.Uvarint()
+	u.Seq = d.Uvarint()
+	u.Digest = d.Uint64()
+	u.NumResults = int(d.Uvarint())
+	u.Segments = int(d.Uvarint())
+	u.CacheHits = int(d.Uvarint())
+	u.MappedSegments = int(d.Uvarint())
+	if err := d.Err(); err != nil {
+		return JobUpdate{}, fmt.Errorf("%w: truncated job update: %v", ErrFrame, err)
+	}
+	if d.Remaining() != 0 {
+		return JobUpdate{}, fmt.Errorf("%w: %d trailing bytes after job update", ErrFrame, d.Remaining())
+	}
+	return u, nil
+}
+
+func encodeJobResult(r JobResult) []byte {
+	e := wire.NewEncoder(len(r.Err) + 48)
+	e.Uvarint(r.ID)
+	e.String(r.Err)
+	e.Uint64(r.Digest)
+	e.Uvarint(uint64(r.NumResults))
+	e.Uvarint(uint64(r.Segments))
+	e.Uvarint(uint64(r.CacheHits))
+	e.Uvarint(uint64(r.MappedSegments))
+	e.Uvarint(uint64(r.Updates))
+	return e.Bytes()
+}
+
+// DecodeJobResult decodes a FrameJobResult payload.
+func DecodeJobResult(payload []byte) (JobResult, error) {
+	d := wire.NewDecoder(payload)
+	var r JobResult
+	r.ID = d.Uvarint()
+	r.Err = d.String()
+	r.Digest = d.Uint64()
+	r.NumResults = int(d.Uvarint())
+	r.Segments = int(d.Uvarint())
+	r.CacheHits = int(d.Uvarint())
+	r.MappedSegments = int(d.Uvarint())
+	r.Updates = int(d.Uvarint())
+	if err := d.Err(); err != nil {
+		return JobResult{}, fmt.Errorf("%w: truncated job result: %v", ErrFrame, err)
+	}
+	if len(r.Err) > maxServeString {
+		return JobResult{}, fmt.Errorf("%w: oversized job result error", ErrFrame)
+	}
+	if d.Remaining() != 0 {
+		return JobResult{}, fmt.Errorf("%w: %d trailing bytes after job result", ErrFrame, d.Remaining())
+	}
+	return r, nil
+}
+
+func encodeJobCancel(c JobCancel) []byte {
+	e := wire.NewEncoder(8)
+	e.Uvarint(c.ID)
+	return e.Bytes()
+}
+
+// DecodeJobCancel decodes a FrameJobCancel payload.
+func DecodeJobCancel(payload []byte) (JobCancel, error) {
+	d := wire.NewDecoder(payload)
+	c := JobCancel{ID: d.Uvarint()}
+	if err := d.Err(); err != nil {
+		return JobCancel{}, fmt.Errorf("%w: truncated job cancel: %v", ErrFrame, err)
+	}
+	if d.Remaining() != 0 {
+		return JobCancel{}, fmt.Errorf("%w: %d trailing bytes after job cancel", ErrFrame, d.Remaining())
+	}
+	return c, nil
+}
+
+// EncodeJobSubmit and friends expose the job-frame encoders to the
+// serve package without exporting the wire-level encoder plumbing.
+func EncodeJobSubmit(s JobSubmit) []byte { return encodeJobSubmit(s) }
+
+// EncodeJobAccept encodes a FrameJobAccept payload.
+func EncodeJobAccept(a JobAccept) []byte { return encodeJobAccept(a) }
+
+// EncodeJobUpdate encodes a FrameJobUpdate payload.
+func EncodeJobUpdate(u JobUpdate) []byte { return encodeJobUpdate(u) }
+
+// EncodeJobResult encodes a FrameJobResult payload.
+func EncodeJobResult(r JobResult) []byte { return encodeJobResult(r) }
+
+// EncodeJobCancel encodes a FrameJobCancel payload.
+func EncodeJobCancel(c JobCancel) []byte { return encodeJobCancel(c) }

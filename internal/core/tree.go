@@ -373,18 +373,10 @@ func treeReduceFunc[S sym.State, E, R any](q *Query[S, E, R], sc *sym.Schema[S],
 // summaries and releases them once consumed.
 func decodeSummaryBundles[S sym.State](sc *sym.Schema[S], values []mapreduce.Shuffled) ([]*sym.Summary[S], error) {
 	var sums []*sym.Summary[S]
+	var err error
 	for _, v := range values {
-		d := wire.NewDecoder(v.Value)
-		n := d.Length(d.Remaining() + 1)
-		if err := d.Err(); err != nil {
+		if sums, err = sc.DecodeSummaryBundle(sums, v.Value); err != nil {
 			return nil, err
-		}
-		for i := 0; i < n; i++ {
-			s, err := sc.DecodeSummary(d)
-			if err != nil {
-				return nil, err
-			}
-			sums = append(sums, s)
 		}
 	}
 	return sums, nil

@@ -1,0 +1,45 @@
+package mapreduce
+
+import "context"
+
+// Handle is a job started asynchronously with Job.Start: a cancellable,
+// waitable reference to one engine run. The serve layer uses handles to
+// run many jobs concurrently under admission control and to honor
+// client-side cancellation without tearing down the server.
+type Handle struct {
+	cancel  context.CancelFunc
+	done    chan struct{}
+	metrics *Metrics
+	err     error
+}
+
+// Start launches the job on its own goroutine and returns immediately.
+// The run observes ctx like RunContext does; Cancel aborts it early.
+// Exactly one of Wait or draining Done-then-Wait should be used to
+// collect the result.
+func (j *Job) Start(ctx context.Context, segments []*Segment) *Handle {
+	ctx, cancel := context.WithCancel(ctx)
+	h := &Handle{cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer cancel()
+		h.metrics, h.err = j.RunContext(ctx, segments)
+		close(h.done)
+	}()
+	return h
+}
+
+// Cancel asks the run to stop: in-flight attempts drain, no new
+// attempts launch, and Wait returns the context error. Idempotent, and
+// a no-op once the run has finished.
+func (h *Handle) Cancel() { h.cancel() }
+
+// Done returns a channel closed when the run has fully drained —
+// select on it to multiplex a job against other events.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Wait blocks until the run finishes and returns its result, like a
+// synchronous RunContext. Safe to call from multiple goroutines.
+func (h *Handle) Wait() (*Metrics, error) {
+	<-h.done
+	return h.metrics, h.err
+}

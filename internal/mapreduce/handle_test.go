@@ -1,0 +1,122 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHandleWait checks Start/Wait is equivalent to a synchronous Run.
+func TestHandleWait(t *testing.T) {
+	lines := []string{"a b", "b c", "c a"}
+	segs := segmentsFromLines(lines, 2)
+	var mu sync.Mutex
+	counts := map[string]int{}
+	job := &Job{
+		Name: "handle-wait",
+		Map: func(id int, seg *Segment, emit Emit) error {
+			for i, rec := range seg.Records {
+				for _, w := range splitWords(rec) {
+					emit(w, int64(i), []byte("1"))
+				}
+			}
+			return nil
+		},
+		Reduce: func(_ int, key string, values []Shuffled) error {
+			mu.Lock()
+			counts[key] = len(values)
+			mu.Unlock()
+			return nil
+		},
+		Conf: Config{NumReducers: 2},
+	}
+	h := job.Start(context.Background(), segs)
+	select {
+	case <-h.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("handle never finished")
+	}
+	m, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || m.Groups != 3 {
+		t.Fatalf("groups = %+v, want 3", m)
+	}
+	if counts["a"] != 2 || counts["b"] != 2 || counts["c"] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	// Cancel after completion is a documented no-op.
+	h.Cancel()
+	if _, err := h.Wait(); err != nil {
+		t.Fatalf("second Wait after finish: %v", err)
+	}
+}
+
+func splitWords(rec []byte) []string {
+	var out []string
+	start := -1
+	for i, b := range rec {
+		if b == ' ' {
+			if start >= 0 {
+				out = append(out, string(rec[start:i]))
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, string(rec[start:]))
+	}
+	return out
+}
+
+// TestHandleCancel checks that cancelling a running handle stops the
+// job: the run drains and Wait reports the context error.
+func TestHandleCancel(t *testing.T) {
+	segs := segmentsFromLines([]string{"a", "b", "c", "d", "e", "f", "g", "h"}, 8)
+	started := make(chan struct{}, 16)
+	release := make(chan struct{})
+	job := &Job{
+		Name: "handle-cancel",
+		Map: func(id int, seg *Segment, emit Emit) error {
+			started <- struct{}{}
+			<-release
+			emit("k", 0, seg.Records[0])
+			return nil
+		},
+		Reduce: func(_ int, key string, values []Shuffled) error { return nil },
+		Conf:   Config{NumReducers: 1, Parallelism: 2},
+	}
+	h := job.Start(context.Background(), segs)
+	// Wait until the first attempts are genuinely in flight, then cancel
+	// while the remaining segments are still queued.
+	<-started
+	h.Cancel()
+	close(release)
+	_, err := h.Wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait after Cancel = %v, want context.Canceled", err)
+	}
+	h.Cancel() // idempotent
+}
+
+// TestHandleParentContext checks the handle observes its parent context.
+func TestHandleParentContext(t *testing.T) {
+	segs := segmentsFromLines([]string{"a", "b", "c", "d"}, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	job := &Job{
+		Name:   "handle-parent",
+		Map:    func(id int, seg *Segment, emit Emit) error { return nil },
+		Reduce: func(_ int, key string, values []Shuffled) error { return nil },
+		Conf:   Config{NumReducers: 1},
+	}
+	_, err := job.Start(ctx, segs).Wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait under cancelled parent = %v, want context.Canceled", err)
+	}
+}

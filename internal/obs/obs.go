@@ -82,6 +82,13 @@ const (
 	// Attrs: part, worker. The owner-decode invariant joins it against
 	// seg_decode spans carrying a worker attr.
 	KindPartOwner = "part_owner"
+	// KindQueue covers one serve job's admission wait, from accepted
+	// submit to dispatch. Parented to the serve job root; tags: tenant.
+	KindQueue = "queue_wait"
+	// KindFold covers one serve fold: decoding cached or fresh summary
+	// bundles and streaming them through the composer. Attrs: segments,
+	// groups.
+	KindFold = "fold"
 )
 
 // Common attribute keys shared by emitters and the Verifier.
@@ -109,6 +116,14 @@ const (
 	// after vectorized grouping (its parse and exec spans carry the same
 	// value; scalar chunks don't set it).
 	AttrBatchRecords = "batch_records"
+	// AttrSegments, AttrCachedSegments, and AttrMappedSegments carry a
+	// serve job's fold provenance on its root span: how many input
+	// segments the result folded, how many of those came from the
+	// summary cache, and how many were mapped fresh. The serve-cache
+	// invariant joins them against the map spans in the job's subtree.
+	AttrSegments       = "segments"
+	AttrCachedSegments = "cached_segments"
+	AttrMappedSegments = "mapped_segments"
 )
 
 // Span is one traced interval (or instant event, when End == Start).
@@ -143,17 +158,49 @@ type Sink interface {
 //
 // One job runs at a time per trace: StartJob sets the implicit parent
 // that Start attaches to. Sequential jobs on one trace are fine (the
-// Verifier groups spans per job root); concurrent jobs need separate
-// traces.
+// Verifier groups spans per job root); concurrent jobs each need their
+// own Fork of a shared trace.
 type Trace struct {
-	sink   Sink
-	nextID atomic.Int64
-	jobID  atomic.Int64
+	sink Sink
+	// root, when non-nil, is the fork's ID authority: every fork of a
+	// trace allocates span IDs from the same counter, so concurrent
+	// forks emitting into one sink never collide.
+	root *Trace
+	// forkParent is the job span the forking trace was running when the
+	// fork was taken; StartJob on the fork parents its root there, so a
+	// sub-job (a serve job's engine run) nests under its umbrella span.
+	forkParent int64
+	nextID     atomic.Int64
+	jobID      atomic.Int64
 }
 
 // NewTrace returns a trace emitting to sink.
 func NewTrace(sink Sink) *Trace {
 	return &Trace{sink: sink}
+}
+
+// Fork returns a trace sharing t's sink and span-ID space but with its
+// own implicit job slot: each fork runs one job at a time, and any
+// number of forks run concurrently into the same sink. A job started on
+// the fork is parented to t's job at fork time (0 — a top-level root —
+// when t has none), so sub-jobs nest under the job that spawned them.
+func (t *Trace) Fork() *Trace {
+	if t == nil {
+		return nil
+	}
+	root := t.root
+	if root == nil {
+		root = t
+	}
+	return &Trace{sink: t.sink, root: root, forkParent: t.jobID.Load()}
+}
+
+// allocID draws a span ID from the trace's ID authority.
+func (t *Trace) allocID() int64 {
+	if t.root != nil {
+		return t.root.nextID.Add(1)
+	}
+	return t.nextID.Add(1)
 }
 
 // NewID issues a fresh span ID, for emitters that build spans manually
@@ -162,7 +209,7 @@ func (t *Trace) NewID() int64 {
 	if t == nil {
 		return 0
 	}
-	return t.nextID.Add(1)
+	return t.allocID()
 }
 
 // CurrentJob returns the implicit parent ID Start would attach to — the
@@ -183,7 +230,7 @@ func (t *Trace) EmitRaw(sp *Span) {
 		return
 	}
 	if sp.ID == 0 {
-		sp.ID = t.nextID.Add(1)
+		sp.ID = t.allocID()
 	}
 	t.sink.Emit(sp)
 }
@@ -202,10 +249,11 @@ func (t *Trace) StartJob(name string) *ActiveSpan {
 		return nil
 	}
 	s := &ActiveSpan{t: t, sp: Span{
-		ID:    t.nextID.Add(1),
-		Kind:  KindJob,
-		Name:  name,
-		Start: time.Now().UnixNano(),
+		ID:     t.allocID(),
+		Parent: t.forkParent,
+		Kind:   KindJob,
+		Name:   name,
+		Start:  time.Now().UnixNano(),
 	}}
 	t.jobID.Store(s.sp.ID)
 	return s
@@ -217,7 +265,7 @@ func (t *Trace) Start(kind, name string) *ActiveSpan {
 		return nil
 	}
 	return &ActiveSpan{t: t, sp: Span{
-		ID:     t.nextID.Add(1),
+		ID:     t.allocID(),
 		Parent: t.jobID.Load(),
 		Kind:   kind,
 		Name:   name,

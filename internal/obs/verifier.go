@@ -24,6 +24,7 @@ const (
 	InvJobMissing      = "job-missing"       // non-empty trace must contain a job span
 	InvBatchRecords    = "batch-records"     // kept batch events <= chunk records; parse/exec agree per chunk
 	InvOwnerDecode     = "owner-decode"      // w2w: runs decoded only on their partition's owning worker
+	InvServeCache      = "serve-cache"       // warm serve jobs do no map work; fold provenance adds up
 )
 
 // Violation is one failed invariant over a trace.
@@ -110,6 +111,61 @@ func (v Verifier) Verify(spans []*Span) []Violation {
 	}
 	for _, job := range jobs {
 		out = append(out, v.verifyJob(job, perJob[job.ID])...)
+	}
+	out = append(out, verifyServeCache(spans, jobs, byID)...)
+	return out
+}
+
+// verifyServeCache checks the serve layer's central promise: a fully
+// warm job — every folded segment served from the summary cache
+// (cached_segments == segments > 0 on the job root) — performed zero
+// map work, anywhere in its subtree. Nested engine job roots are
+// climbed through, so a warm path that quietly launched an engine run
+// cannot hide its map attempts under the inner root. Roots without the
+// provenance attrs (ordinary engine jobs) are skipped, and the attrs
+// must add up: cached + mapped == segments.
+func verifyServeCache(spans, jobs []*Span, byID map[int64]*Span) []Violation {
+	var out []Violation
+	warm := make(map[int64]*Span)
+	for _, job := range jobs {
+		cached, ok := job.Attrs[AttrCachedSegments]
+		if !ok {
+			continue
+		}
+		segs := job.Attr(AttrSegments)
+		if mapped := job.Attr(AttrMappedSegments); cached+mapped != segs {
+			out = append(out, Violation{InvServeCache,
+				fmt.Sprintf("job %q: %d cached + %d mapped segments != %d folded",
+					job.Name, cached, mapped, segs)})
+		}
+		if segs > 0 && cached == segs {
+			warm[job.ID] = job
+		}
+	}
+	if len(warm) == 0 {
+		return out
+	}
+	for _, sp := range spans {
+		switch sp.Kind {
+		case KindMapAttempt, KindMapParse, KindMapExec:
+		default:
+			continue
+		}
+		// Climb the full ancestor chain (bounded): map work under any
+		// warm serve root — however deeply nested — is a violation.
+		for p, hops := sp.Parent, 0; p != 0 && hops < 16; hops++ {
+			if job, ok := warm[p]; ok {
+				out = append(out, Violation{InvServeCache,
+					fmt.Sprintf("job %q: warm-cache job contains %s %q (id %d) — cached fold ran map work",
+						job.Name, sp.Kind, sp.Name, sp.ID)})
+				break
+			}
+			ps, ok := byID[p]
+			if !ok {
+				break
+			}
+			p = ps.Parent
+		}
 	}
 	return out
 }

@@ -1,0 +1,112 @@
+package queries
+
+import (
+	"repro/internal/core"
+	"repro/internal/mapreduce"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/sym"
+)
+
+// registerServeQuery publishes the query to the serve registry so the
+// long-running query service can fold it incrementally. The serve
+// session uses exactly the batch SYMPLE mapper (default options), so
+// cached bundles are the bytes a batch run shuffles, and reuses the
+// spec's format func through digestResults — the service's digest is
+// Run.Digest for the same data.
+func registerServeQuery[S sym.State, E, R any](
+	id string,
+	q *core.Query[S, E, R],
+	format func(key string, r R) string,
+) {
+	serve.Register(id, &serveRunner[S, E, R]{id: id, q: q, format: format})
+}
+
+// serveRunner builds fold sessions for one query.
+type serveRunner[S sym.State, E, R any] struct {
+	id     string
+	q      *core.Query[S, E, R]
+	format func(key string, r R) string
+}
+
+// SchemaKey names the map-output schema for cache keying. Serve runs
+// always map with default SympleOptions, so the query ID is the whole
+// key; grow it if serve ever maps under options that change bundles.
+func (r *serveRunner[S, E, R]) SchemaKey() string { return "symple/" + r.id }
+
+func (r *serveRunner[S, E, R]) NewSession() (serve.Session, error) {
+	sc, err := sym.NewSchema(r.q.NewState)
+	if err != nil {
+		return nil, err
+	}
+	return &serveSession[S, E, R]{
+		r:     r,
+		sc:    sc,
+		comps: map[string]*sym.StreamComposer[S]{},
+	}, nil
+}
+
+// serveSession is one job's standing fold: a StreamComposer per group
+// key, fed one chunk per folded segment. All composers share the
+// session's schema pool with the decoded summaries they consume.
+type serveSession[S sym.State, E, R any] struct {
+	r     *serveRunner[S, E, R]
+	sc    *sym.Schema[S]
+	comps map[string]*sym.StreamComposer[S]
+	// seq is the number of segments folded so far — each composer's
+	// per-key chunk sequence must be dense from 0, so keys absent from a
+	// segment are fed an empty chunk.
+	seq int
+}
+
+func (s *serveSession[S, E, R]) Mapper(trace *obs.Trace) (mapreduce.MapFunc, error) {
+	return core.SympleMapper(s.r.q, core.SympleOptions{}, trace)
+}
+
+func (s *serveSession[S, E, R]) Fold(bundles map[string][]byte) error {
+	for key, data := range bundles {
+		c := s.comps[key]
+		if c == nil {
+			c = sym.NewStreamComposerSchema(s.sc)
+			s.comps[key] = c
+			// Backfill empty chunks for the segments folded before this
+			// key first appeared.
+			for i := 0; i < s.seq; i++ {
+				if _, err := c.Add(i, nil); err != nil {
+					return err
+				}
+			}
+		}
+		sums, err := s.sc.DecodeSummaryBundle(nil, data)
+		if err != nil {
+			return err
+		}
+		if _, err := c.Add(s.seq, sums); err != nil {
+			return err
+		}
+	}
+	// Keys with no events in this segment still advance their sequence.
+	for key, c := range s.comps {
+		if _, ok := bundles[key]; ok {
+			continue
+		}
+		if _, err := c.Add(s.seq, nil); err != nil {
+			return err
+		}
+	}
+	s.seq++
+	return nil
+}
+
+func (s *serveSession[S, E, R]) Result() (serve.Result, error) {
+	// Prefix states are live composer state: the queries' Result funcs
+	// are read-only over the final state (they build fresh output
+	// containers), so formatting here does not disturb the fold.
+	results := make(map[string]R, len(s.comps))
+	for key, c := range s.comps {
+		st, _ := c.Prefix()
+		results[key] = s.r.q.Result(key, st)
+	}
+	d, n := digestResults(results, s.r.format)
+	return serve.Result{Digest: d, NumResults: n}, nil
+}

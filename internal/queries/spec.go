@@ -129,8 +129,10 @@ func makeSpec[S sym.State, E, R any](
 		d, n := digestResults(out.Results, format)
 		return &Run{Digest: d, NumResults: n, Metrics: out.Metrics, Sym: out.Sym}, nil
 	}
-	// Publish the map side for cluster workers (see cluster.go).
+	// Publish the map side for cluster workers (see cluster.go) and the
+	// fold side for the query service (see serve.go).
 	registerClusterJob(id, q)
+	registerServeQuery(id, q, format)
 	return &Spec{
 		ID: id, Description: desc, Dataset: dataset,
 		UsesEnum: usesEnum, UsesInt: usesInt, UsesPred: usesPred,

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Budget bounds what the service accepts and runs concurrently.
+type Budget struct {
+	// MaxQueued caps jobs waiting for dispatch across all tenants;
+	// submits past it are rejected at admission (queue-depth shedding).
+	MaxQueued int
+	// TenantJobs caps one tenant's concurrently running jobs.
+	TenantJobs int
+	// TenantBytes caps one tenant's in-flight input bytes (the summed
+	// Segment.Bytes of its running jobs). A single job larger than the
+	// budget is rejected outright.
+	TenantBytes int64
+}
+
+// withDefaults fills unset budget fields.
+func (b Budget) withDefaults() Budget {
+	if b.MaxQueued <= 0 {
+		b.MaxQueued = 64
+	}
+	if b.TenantJobs <= 0 {
+		b.TenantJobs = 2
+	}
+	if b.TenantBytes <= 0 {
+		b.TenantBytes = 256 << 20
+	}
+	return b
+}
+
+// pending is one job waiting for dispatch. ready is closed when the
+// admission controller grants the job its budget; the owner must call
+// release exactly once afterwards (or cancel while still queued).
+type pending struct {
+	tenant   string
+	bytes    int64
+	queuePos int
+	ready    chan struct{}
+	// granted flips when dispatch closes ready; guarded by the
+	// admitter's mutex.
+	granted bool
+}
+
+// tenantState is one tenant's queue and in-flight accounting.
+type tenantState struct {
+	waiting []*pending
+	running int
+	bytes   int64
+}
+
+// admitter is the admission controller: a fair FIFO across tenants.
+// Jobs queue per tenant; dispatch scans tenants round-robin, granting
+// each tenant's oldest job when it fits the tenant's concurrency and
+// memory budgets. Round-robin across tenants plus FIFO within a tenant
+// is the fairness contract: a tenant flooding the queue delays only
+// itself.
+type admitter struct {
+	mu      sync.Mutex
+	budget  Budget
+	tenants map[string]*tenantState
+	// ring is the round-robin order (tenant first-seen order); next is
+	// the ring index dispatch resumes from.
+	ring   []string
+	next   int
+	queued int
+}
+
+func newAdmitter(b Budget) *admitter {
+	return &admitter{budget: b.withDefaults(), tenants: map[string]*tenantState{}}
+}
+
+// enqueue admits a job into the tenant's queue, returning the pending
+// ticket, or an error when the service sheds it. Dispatch runs inline,
+// so an idle service grants the ticket before enqueue returns.
+func (a *admitter) enqueue(tenant string, bytes int64) (*pending, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if bytes > a.budget.TenantBytes {
+		return nil, fmt.Errorf("job needs %d bytes, tenant budget is %d", bytes, a.budget.TenantBytes)
+	}
+	if a.queued >= a.budget.MaxQueued {
+		return nil, fmt.Errorf("queue full: %d jobs pending", a.queued)
+	}
+	t := a.tenants[tenant]
+	if t == nil {
+		t = &tenantState{}
+		a.tenants[tenant] = t
+		a.ring = append(a.ring, tenant)
+	}
+	p := &pending{tenant: tenant, bytes: bytes, queuePos: len(t.waiting), ready: make(chan struct{})}
+	t.waiting = append(t.waiting, p)
+	a.queued++
+	a.dispatch()
+	return p, nil
+}
+
+// dispatch grants queued jobs their budgets, round-robin across
+// tenants, until no tenant's head-of-queue job fits. Caller holds a.mu.
+func (a *admitter) dispatch() {
+	for granted := true; granted; {
+		granted = false
+		for i := 0; i < len(a.ring); i++ {
+			t := a.tenants[a.ring[(a.next+i)%len(a.ring)]]
+			if len(t.waiting) == 0 {
+				continue
+			}
+			p := t.waiting[0]
+			if t.running >= a.budget.TenantJobs || t.bytes+p.bytes > a.budget.TenantBytes {
+				continue
+			}
+			t.waiting = t.waiting[1:]
+			t.running++
+			t.bytes += p.bytes
+			a.queued--
+			p.granted = true
+			close(p.ready)
+			a.next = (a.next + i + 1) % len(a.ring)
+			granted = true
+			break
+		}
+	}
+}
+
+// release returns a granted job's budget and dispatches successors.
+func (a *admitter) release(p *pending) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.tenants[p.tenant]
+	t.running--
+	t.bytes -= p.bytes
+	a.dispatch()
+}
+
+// cancel withdraws a job. It reports whether the job was still queued
+// (true: the ticket is dead, do not release); a job already granted
+// keeps its budget and must be released normally.
+func (a *admitter) cancel(p *pending) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if p.granted {
+		return false
+	}
+	t := a.tenants[p.tenant]
+	for i, q := range t.waiting {
+		if q == p {
+			t.waiting = append(t.waiting[:i], t.waiting[i+1:]...)
+			a.queued--
+			break
+		}
+	}
+	return true
+}

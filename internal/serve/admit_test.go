@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// granted reports whether the ticket's budget has been granted.
+func granted(p *pending) bool {
+	select {
+	case <-p.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+func mustEnqueue(t *testing.T, a *admitter, tenant string, bytes int64) *pending {
+	t.Helper()
+	p, err := a.enqueue(tenant, bytes)
+	if err != nil {
+		t.Fatalf("enqueue %s: %v", tenant, err)
+	}
+	return p
+}
+
+func TestAdmitConcurrencyBudget(t *testing.T) {
+	a := newAdmitter(Budget{TenantJobs: 2, MaxQueued: 10})
+	p1 := mustEnqueue(t, a, "a", 1)
+	p2 := mustEnqueue(t, a, "a", 1)
+	p3 := mustEnqueue(t, a, "a", 1)
+	if !granted(p1) || !granted(p2) {
+		t.Fatal("first two jobs should dispatch immediately")
+	}
+	if granted(p3) {
+		t.Fatal("third job exceeds TenantJobs=2")
+	}
+	a.release(p1)
+	if !granted(p3) {
+		t.Fatal("release should dispatch the queued job")
+	}
+	a.release(p2)
+	a.release(p3)
+}
+
+func TestAdmitMemoryBudget(t *testing.T) {
+	a := newAdmitter(Budget{TenantJobs: 10, TenantBytes: 100, MaxQueued: 10})
+	if _, err := a.enqueue("a", 101); err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("oversized job not rejected: %v", err)
+	}
+	p1 := mustEnqueue(t, a, "a", 60)
+	p2 := mustEnqueue(t, a, "a", 60)
+	if !granted(p1) || granted(p2) {
+		t.Fatal("second job should wait: 120 bytes exceeds the 100-byte budget")
+	}
+	a.release(p1)
+	if !granted(p2) {
+		t.Fatal("release should free the bytes")
+	}
+	a.release(p2)
+}
+
+func TestAdmitQueueDepthRejection(t *testing.T) {
+	a := newAdmitter(Budget{TenantJobs: 1, MaxQueued: 2})
+	p1 := mustEnqueue(t, a, "a", 1) // granted: not queued
+	mustEnqueue(t, a, "a", 1)       // queued 1
+	mustEnqueue(t, a, "a", 1)       // queued 2
+	if _, err := a.enqueue("b", 1); err == nil || !strings.Contains(err.Error(), "queue full") {
+		t.Fatalf("over-depth submit not shed: %v", err)
+	}
+	_ = p1
+}
+
+// TestAdmitFairness pins the round-robin contract: with one slot's
+// worth of releases, a flood from tenant a cannot starve tenant b.
+func TestAdmitFairness(t *testing.T) {
+	a := newAdmitter(Budget{TenantJobs: 1, MaxQueued: 64})
+	running := mustEnqueue(t, a, "a", 1)
+	var flood []*pending
+	for i := 0; i < 5; i++ {
+		flood = append(flood, mustEnqueue(t, a, "a", 1))
+	}
+	pb := mustEnqueue(t, a, "b", 1)
+	if !granted(pb) {
+		t.Fatal("tenant b's first job should dispatch: its own budget is free")
+	}
+	// a's successor dispatches when a's slot frees, regardless of b.
+	a.release(running)
+	if !granted(flood[0]) {
+		t.Fatal("tenant a's next job should dispatch after release")
+	}
+	a.release(flood[0])
+	a.release(pb)
+	if !granted(flood[1]) {
+		t.Fatal("round-robin should reach tenant a again")
+	}
+}
+
+func TestAdmitCancel(t *testing.T) {
+	a := newAdmitter(Budget{TenantJobs: 1, MaxQueued: 8})
+	p1 := mustEnqueue(t, a, "a", 1)
+	p2 := mustEnqueue(t, a, "a", 1)
+	p3 := mustEnqueue(t, a, "a", 1)
+	if !a.cancel(p2) {
+		t.Fatal("queued job should cancel as still-queued")
+	}
+	if a.cancel(p1) {
+		t.Fatal("granted job must not cancel as queued")
+	}
+	a.release(p1)
+	// p2 was withdrawn: the grant must skip to p3.
+	select {
+	case <-p3.ready:
+	case <-time.After(time.Second):
+		t.Fatal("cancelled job still holds a queue slot")
+	}
+	if granted(p2) {
+		t.Fatal("cancelled job must never be granted")
+	}
+	a.release(p3)
+}

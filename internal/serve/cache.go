@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/mapreduce"
+	"repro/internal/obs"
+)
+
+// Metric names the cache and server publish into the service registry.
+const (
+	MetricCacheHits      = "serve_cache_hits"
+	MetricCacheMisses    = "serve_cache_misses"
+	MetricCacheEvictions = "serve_cache_evictions"
+	MetricCacheBytes     = "serve_cache_bytes"
+	MetricJobsSubmitted  = "serve_jobs_submitted"
+	MetricJobsRejected   = "serve_jobs_rejected"
+	MetricJobsCompleted  = "serve_jobs_completed"
+	MetricJobsCancelled  = "serve_jobs_cancelled"
+	MetricJobsFailed     = "serve_jobs_failed"
+	MetricTailUpdates    = "serve_tail_updates"
+	MetricQueueWaitNs    = "serve_queue_wait_ns"
+)
+
+// cacheKey addresses one segment's summaries: the segment's content
+// digest joined with the query schema key. Content addressing makes
+// invalidation structural — appended data arrives as new segments with
+// new digests, and a replaced segment simply stops being asked for;
+// stale entries age out of the LRU instead of being hunted down.
+type cacheKey struct {
+	digest uint64
+	schema string
+}
+
+// cacheEntry holds one segment's per-key encoded summary bundles. The
+// bundle map and its buffers are immutable once inserted, so readers
+// keep using an entry safely even after it is evicted mid-fold.
+type cacheEntry struct {
+	key     cacheKey
+	bundles map[string][]byte
+	bytes   int64
+	elem    *list.Element
+}
+
+// Cache is the segment-summary cache: a byte-bounded LRU from
+// (segment digest, schema key) to encoded summary bundles. All methods
+// are safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int64
+	size    int64
+	entries map[cacheKey]*cacheEntry
+	lru     *list.List // front = most recently used
+	reg     *obs.Registry
+	// Local counter mirrors, so Stats works with a nil registry.
+	hits, misses, evictions int64
+}
+
+// CacheStats is a point-in-time cache counter snapshot.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+	Entries                 int
+	Bytes                   int64
+}
+
+// NewCache returns a cache bounded to capBytes of bundle payload
+// (minimum one entry is always kept). reg may be nil.
+func NewCache(capBytes int64, reg *obs.Registry) *Cache {
+	return &Cache{cap: capBytes, entries: map[cacheKey]*cacheEntry{}, lru: list.New(), reg: reg}
+}
+
+// Get returns the cached bundle map for key, or nil. The returned map
+// is shared and immutable.
+func (c *Cache) Get(key cacheKey) (map[string][]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		c.reg.Counter(MetricCacheMisses).Add(1)
+		return nil, false
+	}
+	c.lru.MoveToFront(e.elem)
+	c.hits++
+	c.reg.Counter(MetricCacheHits).Add(1)
+	return e.bundles, true
+}
+
+// Put inserts one segment's bundle map, evicting least-recently-used
+// entries past the byte capacity. The map must not be mutated after
+// insertion. Re-inserting an existing key refreshes its recency.
+func (c *Cache) Put(key cacheKey, bundles map[string][]byte) {
+	var bytes int64
+	for k, v := range bundles {
+		bytes += int64(len(k) + len(v))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &cacheEntry{key: key, bundles: bundles, bytes: bytes}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.size += bytes
+	for c.size > c.cap && c.lru.Len() > 1 {
+		c.evictOldest()
+	}
+	c.reg.Gauge(MetricCacheBytes).Max(c.size)
+}
+
+// evictOldest drops the LRU tail. Caller holds c.mu.
+func (c *Cache) evictOldest() {
+	back := c.lru.Back()
+	if back == nil {
+		return
+	}
+	e := back.Value.(*cacheEntry)
+	c.lru.Remove(back)
+	delete(c.entries, e.key)
+	c.size -= e.bytes
+	c.evictions++
+	c.reg.Counter(MetricCacheEvictions).Add(1)
+}
+
+// Flush evicts everything — the chaos eviction-mid-fold fault. Folds
+// already holding an entry's bundle map are unaffected (the map is
+// immutable); the only consequence is future misses.
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.lru.Len() > 0 {
+		c.evictOldest()
+	}
+}
+
+// Stats snapshots the cache counters plus the live entry/byte totals.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: len(c.entries), Bytes: c.size,
+	}
+}
+
+// segmentDigest content-addresses a segment: FNV-1a over the record
+// payloads (not the segment ID — two segments with identical bytes
+// share summaries, which is the point of content addressing). Zero is
+// reserved for "no digest".
+func segmentDigest(seg *mapreduce.Segment) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xFF
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(len(seg.Records)))
+	for _, r := range seg.Records {
+		mix(uint64(len(r)))
+		for _, b := range r {
+			h ^= uint64(b)
+			h *= prime64
+		}
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}

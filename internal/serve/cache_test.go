@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mapreduce"
+)
+
+func bundle(n int, size int) map[string][]byte {
+	m := map[string][]byte{}
+	for i := 0; i < n; i++ {
+		m[fmt.Sprintf("k%d", i)] = make([]byte, size)
+	}
+	return m
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(250, nil)
+	k := func(i int) cacheKey { return cacheKey{digest: uint64(i + 1), schema: "q"} }
+	c.Put(k(1), bundle(1, 98)) // 2+98 = 100 bytes
+	c.Put(k(2), bundle(1, 98))
+	if _, ok := c.Get(k(1)); !ok {
+		t.Fatal("k1 should be resident")
+	}
+	// k1 is now MRU; inserting k3 must evict k2.
+	c.Put(k(3), bundle(1, 98))
+	if _, ok := c.Get(k(2)); ok {
+		t.Fatal("k2 should have been evicted as LRU")
+	}
+	if _, ok := c.Get(k(1)); !ok {
+		t.Fatal("k1 (recently used) should survive")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats %+v, want 1 eviction / 2 entries", st)
+	}
+}
+
+func TestCacheKeepsOneOversizedEntry(t *testing.T) {
+	c := NewCache(10, nil)
+	k := cacheKey{digest: 1, schema: "q"}
+	c.Put(k, bundle(1, 100))
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("a single entry must stay resident even over capacity")
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := NewCache(1<<20, nil)
+	for i := 0; i < 5; i++ {
+		c.Put(cacheKey{digest: uint64(i + 1), schema: "q"}, bundle(2, 10))
+	}
+	held, _ := c.Get(cacheKey{digest: 1, schema: "q"})
+	c.Flush()
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 || st.Evictions != 5 {
+		t.Fatalf("post-flush stats %+v", st)
+	}
+	// A map handed out before the flush stays usable (immutability).
+	if len(held) != 2 {
+		t.Fatal("flushed entry's bundle map mutated")
+	}
+	if _, ok := c.Get(cacheKey{digest: 1, schema: "q"}); ok {
+		t.Fatal("flushed entry still resident")
+	}
+}
+
+// TestSegmentDigestContentAddressing pins that the digest depends on
+// record content only — not the segment ID — and separates both
+// content changes and record-boundary changes.
+func TestSegmentDigestContentAddressing(t *testing.T) {
+	recs := [][]byte{[]byte("alpha"), []byte("beta")}
+	a := &mapreduce.Segment{ID: 0, Records: recs}
+	b := &mapreduce.Segment{ID: 7, Records: recs}
+	if segmentDigest(a) != segmentDigest(b) {
+		t.Fatal("digest must ignore segment ID")
+	}
+	mut := &mapreduce.Segment{Records: [][]byte{[]byte("alpha"), []byte("betb")}}
+	if segmentDigest(a) == segmentDigest(mut) {
+		t.Fatal("digest must see content changes")
+	}
+	rebound := &mapreduce.Segment{Records: [][]byte{[]byte("alphab"), []byte("eta")}}
+	if segmentDigest(a) == segmentDigest(rebound) {
+		t.Fatal("digest must see record boundaries")
+	}
+	if segmentDigest(&mapreduce.Segment{}) == 0 {
+		t.Fatal("zero digest is reserved")
+	}
+}
+
+// TestSchemaKeyIsolation pins that two schemas never share cache slots
+// even for identical segment content.
+func TestSchemaKeyIsolation(t *testing.T) {
+	c := NewCache(1<<20, nil)
+	c.Put(cacheKey{digest: 42, schema: "q1"}, bundle(1, 8))
+	if _, ok := c.Get(cacheKey{digest: 42, schema: "q2"}); ok {
+		t.Fatal("schema keys must not share entries")
+	}
+}

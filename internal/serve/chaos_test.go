@@ -1,0 +1,100 @@
+package serve_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mapreduce"
+	"repro/internal/queries"
+	"repro/internal/serve"
+)
+
+// TestServeChaosDifferential is the serve leg of the seeded chaos
+// sweep: a deterministic ChaosPlan decides per job whether to drop the
+// tenant's connection mid-job, cancel mid-stream, or flush the summary
+// cache mid-fold. Jobs the plan leaves alone — and cancelled or
+// orphaned jobs that happen to win the race — must still produce the
+// fault-free golden digest; eviction must never change a result. Each
+// seed replays an identical schedule.
+func TestServeChaosDifferential(t *testing.T) {
+	checkGoroutineLeaks(t)
+	golden := readGolden(t)
+	datasets := queries.GoldenDatasets(queries.GoldenSegments)
+	specs := queries.All()
+
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			plan := cluster.NewChaosPlan(seed, 1)
+			srv, addr := startServer(t, serve.Config{
+				Engine: mapreduce.Config{NumReducers: 2, Parallelism: 2},
+			})
+			for name, segs := range datasets {
+				srv.AddDataset(name, segs)
+			}
+			completed := 0
+			for i, spec := range specs {
+				c := dialClient(t, addr)
+				j, err := c.Submit(cluster.JobSubmit{
+					Tenant: "chaos", Query: spec.ID, Dataset: spec.Dataset})
+				if err != nil {
+					t.Fatalf("%s: submit: %v", spec.ID, err)
+				}
+				switch kind := plan.DecideServe(i); kind {
+				case cluster.ChaosServeDisconnect:
+					// Tenant vanishes mid-job; nothing to assert client-side
+					// (the server drain + leak check carry the contract).
+					c.Close()
+					continue
+				case cluster.ChaosServeCancel:
+					if err := j.Cancel(); err != nil {
+						t.Fatalf("%s: cancel: %v", spec.ID, err)
+					}
+					res, err := j.Wait()
+					if err == nil {
+						// Completion won the race: result must be fault-free.
+						checkResult(t, "cancel-race", spec.ID, res, golden)
+						completed++
+					} else if res.Err != "cancelled" {
+						t.Errorf("%s: cancelled job settled %q (%v)", spec.ID, res.Err, err)
+					}
+					continue
+				case cluster.ChaosServeEvict:
+					// Eviction mid-fold: flush concurrently with the running
+					// job. The fold keeps its immutable bundle maps, so the
+					// digest must not change.
+					done := make(chan struct{})
+					go func() {
+						defer close(done)
+						srv.FlushCache()
+					}()
+					res, err := j.Wait()
+					<-done
+					if err != nil {
+						t.Errorf("%s: evict-fault job failed: %v", spec.ID, err)
+						continue
+					}
+					checkResult(t, "evict", spec.ID, res, golden)
+					completed++
+					continue
+				case cluster.ChaosNone:
+					res, err := j.Wait()
+					if err != nil {
+						t.Errorf("%s: fault-free job failed: %v", spec.ID, err)
+						continue
+					}
+					checkResult(t, "fault-free", spec.ID, res, golden)
+					completed++
+				default:
+					t.Fatalf("unexpected serve chaos kind %d", kind)
+				}
+			}
+			if completed == 0 {
+				t.Error("chaos schedule completed no jobs — sweep is vacuous")
+			}
+			if plan.Injected() == 0 {
+				t.Error("chaos plan injected nothing — sweep is vacuous")
+			}
+		})
+	}
+}

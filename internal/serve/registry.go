@@ -1,0 +1,96 @@
+// Package serve is the long-running query service: a multi-tenant
+// server that hosts named datasets, accepts concurrent jobs over the
+// cluster frame protocol (job_submit/accept/update/result/cancel), and
+// answers them through an incremental summary cache.
+//
+// The service is the "Monoidify!" payoff of the paper's summaries:
+// because a segment's symbolic summary is a composable monoid element,
+// it depends only on (segment content, query schema) — never on which
+// job asked. The cache stores each mapped segment's encoded per-key
+// summary bundles under that key, so a re-submitted job folds cached
+// bytes through sym.StreamComposer with zero map work, and an
+// append-only job maps only the new segments. Admission control (fair
+// per-tenant FIFO with concurrency and in-flight-memory budgets, plus
+// global queue-depth rejection) keeps one tenant from starving the
+// rest; a tail mode re-folds a growing dataset and streams refreshed
+// results.
+package serve
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/mapreduce"
+	"repro/internal/obs"
+)
+
+// Result is one fold's observable outcome, mirroring queries.Run: the
+// order-insensitive digest of the formatted result lines and the count
+// of non-empty lines.
+type Result struct {
+	Digest     uint64
+	NumResults int
+}
+
+// Session is one job's standing fold state: per-key StreamComposers
+// over the query's schema. A session is single-goroutine (the job that
+// owns it); tail jobs keep theirs alive across refreshes and Fold only
+// the appended segments.
+type Session interface {
+	// Mapper builds a fresh engine map function for one cold run —
+	// exactly the mapper the in-process SYMPLE engine would use, so the
+	// bundles a serve job caches are the bytes a batch run shuffles.
+	// trace receives the run's map spans; it may be nil.
+	Mapper(trace *obs.Trace) (mapreduce.MapFunc, error)
+	// Fold folds one segment's per-key summary bundles into the
+	// standing result. Segments must be folded in dataset order; the
+	// bundle map is immutable and may be shared with the cache.
+	Fold(bundles map[string][]byte) error
+	// Result formats and digests the standing result. Callable between
+	// Folds (tail jobs call it per refresh).
+	Result() (Result, error)
+}
+
+// Runner builds fold sessions for one registered query. Implementations
+// live in internal/queries, which holds the typed Query values; the
+// service itself is query-agnostic.
+type Runner interface {
+	NewSession() (Session, error)
+	// SchemaKey names the query schema for cache keying: two jobs share
+	// cached bundles iff their SchemaKeys match. It must change when
+	// anything that affects map output changes (query ID, engine
+	// options like combine/columnar).
+	SchemaKey() string
+}
+
+var (
+	regMu   sync.RWMutex
+	runners = map[string]Runner{}
+)
+
+// Register publishes the runner for a query ID, replacing any previous
+// registration (queries re-register on every Spec construction).
+func Register(id string, r Runner) {
+	regMu.Lock()
+	runners[id] = r
+	regMu.Unlock()
+}
+
+// Lookup returns the registered runner, or nil.
+func Lookup(id string) Runner {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return runners[id]
+}
+
+// RegisteredQueries returns the registered query IDs, sorted.
+func RegisteredQueries() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	ids := make([]string, 0, len(runners))
+	for id := range runners {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -35,6 +35,13 @@ go test -count=1 -run 'Columnar|Batch' ./internal/sym ./internal/data ./internal
 # (CHAOS_SEEDS=100).
 go test -race -count=1 ./internal/cluster
 CHAOS_SEEDS=4 go test -race -count=1 -run 'TestClusterChaosDifferential' ./internal/queries
+# Serve leg: the multi-tenant query service under -race — the 8-tenant
+# soak with goroutine-leak checks, the metamorphic incremental suite
+# (every append interleaving reproduces the golden digests with warm
+# submissions pinned to zero map attempts), the serve chaos sweep, and
+# the job-frame codec regression over the committed fuzz seeds.
+go test -race -count=1 ./internal/serve
+go test -count=1 -run 'TestFuzzSeedFrameCorpus|TestFrameDecodeRejectsCorruption|TestJobFrameRoundTrips' ./internal/cluster
 # Traced leg: every engine run auto-attaches a trace; the run fails if
 # the completed trace breaks an obs.Verifier invariant or the metrics
 # registry fails its self-check. CI's `traced` job runs the wide form
